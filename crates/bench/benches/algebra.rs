@@ -1,0 +1,64 @@
+//! Criterion benches for E12 — temporal algebra micro-operations — plus
+//! the kernel temporal-element primitives they are built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use std::time::Duration;
+use tcom_core::algebra::{coalesce, temporal_difference, temporal_join, TemporalRelation, TemporalRow};
+use tcom_kernel::time::iv;
+use tcom_kernel::{TemporalElement, Tuple, Value};
+
+fn random_relation(n: usize, distinct: usize, seed: u64) -> TemporalRelation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let s = rng.gen_range(0..1000u64);
+            TemporalRow {
+                tuple: Tuple::new(vec![Value::Int((i % distinct) as i64)]),
+                time: TemporalElement::from_intervals([iv(s, s + rng.gen_range(1..100))]),
+            }
+        })
+        .collect()
+}
+
+/// E12 — relation-level operators.
+fn e12_algebra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_algebra");
+    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    for n in [1000usize, 10_000] {
+        let rel = random_relation(n, (n / 4).max(1), 21);
+        let other: TemporalRelation = rel.iter().take(n / 2).cloned().collect();
+        g.bench_with_input(BenchmarkId::new("coalesce", n), &n, |b, _| {
+            b.iter(|| coalesce(rel.clone()))
+        });
+        g.bench_with_input(BenchmarkId::new("join", n), &n, |b, _| {
+            b.iter(|| temporal_join(&rel, &other, |t| t.get(0).clone(), |t| t.get(0).clone()))
+        });
+        g.bench_with_input(BenchmarkId::new("difference", n), &n, |b, _| {
+            b.iter(|| temporal_difference(rel.clone(), &other))
+        });
+    }
+    g.finish();
+}
+
+/// Kernel micro-ops: temporal-element set algebra.
+fn temporal_element_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("temporal_element_ops");
+    g.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(300));
+    let mut rng = StdRng::seed_from_u64(33);
+    let gen_elem = |rng: &mut StdRng, n: usize| {
+        TemporalElement::from_intervals((0..n).map(|_| {
+            let s = rng.gen_range(0..100_000u64);
+            iv(s, s + rng.gen_range(1..50))
+        }))
+    };
+    let a = gen_elem(&mut rng, 500);
+    let b = gen_elem(&mut rng, 500);
+    g.bench_function("union_500", |bch| bch.iter(|| a.union(&b)));
+    g.bench_function("intersect_500", |bch| bch.iter(|| a.intersect(&b)));
+    g.bench_function("difference_500", |bch| bch.iter(|| a.difference(&b)));
+    g.finish();
+}
+
+criterion_group!(benches, e12_algebra, temporal_element_ops);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches for the engine-level experiments:
+//! E9 (buffer sensitivity) and E11 (recovery / checkpoint cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use std::time::Duration;
+use tcom_bench::workloads::{cleanup, fresh_db, reopen_db, Synthetic};
+use tcom_core::{StoreKind, TimePoint};
+
+/// E9 — random current lookups under varying buffer sizes.
+fn e9_buffer_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_buffer_sensitivity");
+    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    let (db, dir) = fresh_db("cb-e9", StoreKind::Chain, 4096);
+    let syn = Synthetic::create(&db, 1500, 8).unwrap();
+    syn.random_updates(&db, 1500 * 8, 1, 500, 42).unwrap();
+    let atoms = syn.atoms.clone();
+    drop(syn);
+    drop(db);
+    for frames in [16usize, 256, 4096] {
+        let db = reopen_db(&dir, StoreKind::Chain, frames);
+        let mut rng = StdRng::seed_from_u64(5);
+        g.bench_with_input(BenchmarkId::new("frames", frames), &frames, |b, _| {
+            b.iter(|| {
+                let a = atoms[rng.gen_range(0..atoms.len())];
+                db.current_tuple(a, TimePoint(0)).unwrap()
+            })
+        });
+    }
+    cleanup(&dir);
+    g.finish();
+}
+
+/// E11 — recovery time after a crash with a populated WAL.
+fn e11_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_recovery");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for ops in [500usize, 5000] {
+        g.bench_with_input(BenchmarkId::new("ops", ops), &ops, |b, &ops| {
+            b.iter_with_setup(
+                || {
+                    // Setup: a crashed database with `ops` logged operations.
+                    let (db, dir) = fresh_db(&format!("cb-e11-{ops}-{}", rand::random::<u32>()), StoreKind::Split, 4096);
+                    let syn = Synthetic::create(&db, 100, 8).unwrap();
+                    db.checkpoint().unwrap();
+                    syn.random_updates(&db, ops, 1, 500, 42).unwrap();
+                    db.crash();
+                    dir
+                },
+                |dir| {
+                    let db = reopen_db(&dir, StoreKind::Split, 4096);
+                    drop(db);
+                    cleanup(&dir);
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, e9_buffer_sensitivity, e11_recovery);
+criterion_main!(benches);

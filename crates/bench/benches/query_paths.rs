@@ -1,0 +1,121 @@
+//! Criterion benches for the query-processing experiments:
+//! E7 (index vs scan), E8 (bitemporal matrix) and A2 (directory ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use tcom_bench::workloads::{cleanup, fresh_db, Synthetic, University};
+use tcom_core::{StoreKind, TimePoint};
+use tcom_query::{execute_with, ExecOptions};
+
+/// E7 — selective predicate: index probe vs full scan.
+fn e7_access_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_access_paths");
+    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    let (db, dir) = fresh_db("cb-e7", StoreKind::Split, 4096);
+    let _syn = Synthetic::create(&db, 5000, 8).unwrap();
+    db.checkpoint().unwrap();
+    for pct in [0.1f64, 1.0, 10.0] {
+        let hi = (5000.0 * pct / 100.0).max(1.0) as i64;
+        let q = format!("SELECT a0 FROM syn WHERE a0 < {hi}");
+        g.bench_with_input(BenchmarkId::new("index", format!("{pct}%")), &q, |b, q| {
+            b.iter(|| execute_with(&db, q, ExecOptions::default()).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("scan", format!("{pct}%")), &q, |b, q| {
+            b.iter(|| execute_with(&db, q, ExecOptions { force_scan: true }).unwrap())
+        });
+    }
+    drop(db);
+    cleanup(&dir);
+    g.finish();
+}
+
+/// E8 — the four bitemporal point-query combinations.
+fn e8_bitemporal_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_bitemporal_matrix");
+    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    let (db, dir) = fresh_db("cb-e8", StoreKind::Split, 2048);
+    let uni = University::create(&db, 10, 10, 2, 42).unwrap();
+    {
+        let mut txn = db.begin();
+        for (i, e) in uni.emps.iter().enumerate() {
+            let mut tup = txn.current_tuple(*e, TimePoint(0)).unwrap().unwrap();
+            tup.set(1, tcom_core::Value::Int(1000 + i as i64));
+            txn.update(*e, tcom_kernel::Interval::from(TimePoint(100)), tup).unwrap();
+        }
+        txn.commit().unwrap();
+    }
+    let past_tt = db.now();
+    uni.churn(&db, 3, 7).unwrap();
+    db.checkpoint().unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    let cases: [(&str, Option<TimePoint>, TimePoint); 4] = [
+        ("cur_tt_cur_vt", None, TimePoint(150)),
+        ("cur_tt_past_vt", None, TimePoint(50)),
+        ("past_tt_cur_vt", Some(past_tt), TimePoint(150)),
+        ("past_tt_past_vt", Some(past_tt), TimePoint(50)),
+    ];
+    for (name, tt, vt) in cases {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let e = uni.emps[rng.gen_range(0..uni.emps.len())];
+                match tt {
+                    None => db.current_tuple(e, vt).unwrap(),
+                    Some(tt) => db.version_at(e, tt, vt).unwrap().map(|v| v.tuple),
+                }
+            })
+        });
+    }
+    drop(db);
+    cleanup(&dir);
+    g.finish();
+}
+
+/// A2 — atom lookup through the B⁺-tree directory vs a heap scan.
+fn a2_directory(c: &mut Criterion) {
+    use tcom_storage::btree::BTree;
+    use tcom_storage::keys::BKey;
+    use tcom_storage::{BufferPool, DiskManager, HeapFile};
+    let mut g = c.benchmark_group("a2_directory");
+    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    let dir = std::env::temp_dir().join(format!("tcom-cb-a2-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let pool = BufferPool::new(4096);
+    let hf = pool.register_file(Arc::new(DiskManager::open(dir.join("h.tcm")).unwrap()));
+    let bf = pool.register_file(Arc::new(DiskManager::open(dir.join("b.tcm")).unwrap()));
+    let heap = HeapFile::create(pool.clone(), hf).unwrap();
+    let tree = BTree::create(pool, bf).unwrap();
+    let n = 5000u64;
+    for i in 0..n {
+        let mut rec = i.to_le_bytes().to_vec();
+        rec.extend_from_slice(&[7u8; 40]);
+        let rid = heap.insert(&rec).unwrap();
+        tree.insert(BKey::new(i, 0), rid.pack()).unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(17);
+    g.bench_function("btree_directory", |b| {
+        b.iter(|| tree.get(BKey::new(rng.gen_range(0..n), 0)).unwrap())
+    });
+    g.bench_function("heap_scan", |b| {
+        b.iter(|| {
+            let k = rng.gen_range(0..n);
+            let mut found = None;
+            heap.scan(|rid, rec| {
+                if rec.len() >= 8 && u64::from_le_bytes(rec[..8].try_into().unwrap()) == k {
+                    found = Some(rid);
+                    return Ok(false);
+                }
+                Ok(true)
+            })
+            .unwrap();
+            found
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    g.finish();
+}
+
+criterion_group!(benches, e7_access_paths, e8_bitemporal_matrix, a2_directory);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Criterion benches for the storage-format experiments:
+//! E1 (current access), E2 (past time-slice), E3 (update cost),
+//! E4/A1 (storage consumption is reported by the harness; here the write
+//! paths), E6 (history retrieval).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use std::time::Duration;
+use tcom_bench::workloads::{cleanup, fresh_db, Synthetic};
+use tcom_core::{StoreKind, TimePoint};
+use tcom_kernel::time::Interval;
+
+const KINDS: [StoreKind; 3] = [StoreKind::Chain, StoreKind::Delta, StoreKind::Split];
+
+/// E1 — current-version lookup vs. history length.
+fn e1_current_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_current_lookup");
+    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    for kind in KINDS {
+        for versions in [1usize, 16, 64] {
+            let (db, dir) = fresh_db(&format!("cb-e1-{kind}-{versions}"), kind, 256);
+            let syn = Synthetic::create(&db, 500, 8).unwrap();
+            syn.random_updates(&db, 500 * (versions - 1), 1, 500, 42).unwrap();
+            db.checkpoint().unwrap();
+            let mut rng = StdRng::seed_from_u64(7);
+            g.bench_with_input(
+                BenchmarkId::new(kind.to_string(), versions),
+                &versions,
+                |b, _| {
+                    b.iter(|| {
+                        let a = syn.atoms[rng.gen_range(0..syn.atoms.len())];
+                        db.current_tuple(a, TimePoint(0)).unwrap()
+                    })
+                },
+            );
+            drop(db);
+            cleanup(&dir);
+        }
+    }
+    g.finish();
+}
+
+/// E2 — past time-slice at half history depth.
+fn e2_past_timeslice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_past_timeslice");
+    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    for kind in KINDS {
+        let (db, dir) = fresh_db(&format!("cb-e2-{kind}"), kind, 1024);
+        let syn = Synthetic::create(&db, 100, 8).unwrap();
+        syn.uniform_history(&db, 63, 1, 42).unwrap();
+        db.checkpoint().unwrap();
+        let mid = TimePoint(db.now().0 / 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        g.bench_function(kind.to_string(), |b| {
+            b.iter(|| {
+                let a = syn.atoms[rng.gen_range(0..syn.atoms.len())];
+                db.versions_at(a, mid).unwrap()
+            })
+        });
+        drop(db);
+        cleanup(&dir);
+    }
+    g.finish();
+}
+
+/// E3 — update cost (one bitemporal update per iteration).
+fn e3_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_update");
+    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    for kind in KINDS {
+        let (db, dir) = fresh_db(&format!("cb-e3-{kind}"), kind, 4096);
+        let syn = Synthetic::create(&db, 200, 8).unwrap();
+        let mut round = 1i64;
+        let mut rng = StdRng::seed_from_u64(3);
+        g.bench_function(kind.to_string(), |b| {
+            b.iter(|| {
+                let idx = rng.gen_range(0..syn.atoms.len());
+                let mut txn = db.begin();
+                txn.update(
+                    syn.atoms[idx],
+                    Interval::all(),
+                    Synthetic::wide_change_tuple(8, idx as i64, round, 1),
+                )
+                .unwrap();
+                round += 1;
+                txn.commit().unwrap()
+            })
+        });
+        drop(db);
+        cleanup(&dir);
+    }
+    g.finish();
+}
+
+/// E4/A1 — write amplification of wide tuples with narrow changes.
+fn e4_wide_tuple_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_wide_tuple_update");
+    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    for kind in KINDS {
+        let (db, dir) = fresh_db(&format!("cb-e4-{kind}"), kind, 4096);
+        let syn = Synthetic::create(&db, 100, 64).unwrap();
+        let mut round = 1i64;
+        let mut rng = StdRng::seed_from_u64(3);
+        g.bench_function(kind.to_string(), |b| {
+            b.iter(|| {
+                let idx = rng.gen_range(0..syn.atoms.len());
+                let mut txn = db.begin();
+                txn.update(
+                    syn.atoms[idx],
+                    Interval::all(),
+                    Synthetic::wide_change_tuple(64, idx as i64, round, 1),
+                )
+                .unwrap();
+                round += 1;
+                txn.commit().unwrap()
+            })
+        });
+        drop(db);
+        cleanup(&dir);
+    }
+    g.finish();
+}
+
+/// E6 — full history retrieval (64 versions).
+fn e6_history(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_history");
+    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    for kind in KINDS {
+        let (db, dir) = fresh_db(&format!("cb-e6-{kind}"), kind, 1024);
+        let syn = Synthetic::create(&db, 50, 8).unwrap();
+        syn.uniform_history(&db, 63, 1, 42).unwrap();
+        db.checkpoint().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        g.bench_function(kind.to_string(), |b| {
+            b.iter(|| {
+                let a = syn.atoms[rng.gen_range(0..syn.atoms.len())];
+                db.history(a).unwrap()
+            })
+        });
+        drop(db);
+        cleanup(&dir);
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    e1_current_lookup,
+    e2_past_timeslice,
+    e3_update,
+    e4_wide_tuple_update,
+    e6_history
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! The evaluation harness: regenerates every table and figure of the
+//! reconstructed evaluation (see EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run -p tcom-bench --release --bin harness            # full scale
+//! cargo run -p tcom-bench --release --bin harness -- --quick # smoke run
+//! cargo run -p tcom-bench --release --bin harness -- E1 E7   # a subset
+//! ```
+//!
+//! Results print as tables and are also written as JSON to
+//! `bench_results.json` in the current directory.
+
+use tcom_bench::experiments::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let filter: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_ascii_uppercase())
+        .collect();
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    eprintln!(
+        "tcom evaluation harness — scale {}",
+        if quick { "quick (÷8)" } else { "full" }
+    );
+
+    type Experiment = fn(Scale) -> tcom_bench::measure::Table;
+    let all: Vec<(&str, Experiment)> = vec![
+        ("E1", experiments::e1_current_access),
+        ("E2", experiments::e2_past_timeslice),
+        ("E3", experiments::e3_update_cost),
+        ("E4", experiments::e4_storage_consumption),
+        ("E5", experiments::e5_molecule_timeslice),
+        ("E6", experiments::e6_history_query),
+        ("E7", experiments::e7_access_paths),
+        ("E8", experiments::e8_bitemporal_matrix),
+        ("E9", experiments::e9_buffer_sensitivity),
+        ("E10", experiments::e10_bom_explosion),
+        ("E11", experiments::e11_recovery),
+        ("E11B", experiments::e11b_checkpoint_tradeoff),
+        ("E12", experiments::e12_algebra),
+        ("A1", experiments::a1_delta_granularity),
+        ("A2", experiments::a2_directory),
+    ];
+
+    let mut results = Vec::new();
+    for (id, f) in all {
+        if !filter.is_empty() && !filter.iter().any(|x| x == id) {
+            continue;
+        }
+        eprintln!("running {id}…");
+        let t0 = std::time::Instant::now();
+        let table = f(scale);
+        eprintln!("  {id} done in {:.1}s", t0.elapsed().as_secs_f64());
+        print!("{}", table.render());
+        results.push(table.to_json());
+    }
+    let json = serde_json::json!({ "scale": if quick { "quick" } else { "full" }, "tables": results });
+    std::fs::write("bench_results.json", serde_json::to_string_pretty(&json).expect("json"))
+        .expect("write bench_results.json");
+    eprintln!("\nwrote bench_results.json");
+}

@@ -1,0 +1,13 @@
+//! # tcom-bench
+//!
+//! Workload generators ([`workloads`]) and measurement/reporting helpers
+//! ([`measure`]) for the reconstructed evaluation of the paper. The
+//! `harness` binary regenerates every table and figure (see
+//! EXPERIMENTS.md); the criterion benches in `benches/` provide
+//! statistically rigorous micro-measurements of the same experiments.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod workloads;

@@ -1,0 +1,197 @@
+//! Measurement and reporting helpers for the benchmark harness.
+
+use std::time::Instant;
+
+/// Timing statistics over repeated runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Timing {
+    /// Number of measured operations.
+    pub n: usize,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Median latency in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency in microseconds.
+    pub p95_us: f64,
+}
+
+impl Timing {
+    /// Throughput in operations per second implied by the mean.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.mean_us == 0.0 {
+            f64::INFINITY
+        } else {
+            1_000_000.0 / self.mean_us
+        }
+    }
+}
+
+/// Runs `f` once per iteration, timing each call individually.
+pub fn time_each<T>(iters: usize, mut f: impl FnMut(usize) -> T) -> Timing {
+    let mut samples = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let t0 = Instant::now();
+        let out = f(i);
+        samples.push(t0.elapsed().as_nanos() as f64 / 1000.0);
+        std::hint::black_box(out);
+    }
+    summarize(samples)
+}
+
+/// Times one batch call and divides by `ops` (for very fast operations).
+pub fn time_batch<T>(ops: usize, f: impl FnOnce() -> T) -> Timing {
+    let t0 = Instant::now();
+    let out = f();
+    std::hint::black_box(out);
+    let total_us = t0.elapsed().as_nanos() as f64 / 1000.0;
+    let per = total_us / ops.max(1) as f64;
+    Timing { n: ops, mean_us: per, p50_us: per, p95_us: per }
+}
+
+fn summarize(mut samples: Vec<f64>) -> Timing {
+    if samples.is_empty() {
+        return Timing::default();
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let pct = |p: f64| samples[((n as f64 * p) as usize).min(n - 1)];
+    Timing { n, mean_us: mean, p50_us: pct(0.50), p95_us: pct(0.95) }
+}
+
+/// A printable results table (also serialized to JSON by the harness).
+pub struct Table {
+    /// Experiment id, e.g. "E1".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (pre-formatted cells).
+    pub rows: Vec<Vec<String>>,
+    /// Expected shape, printed under the table and recorded in
+    /// EXPERIMENTS.md.
+    pub expectation: String,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, header: &[&str], expectation: &str) -> Table {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            expectation: expectation.into(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} — {} ==\n", self.id, self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out.push_str(&format!("expected shape: {}\n", self.expectation));
+        out
+    }
+
+    /// Serializes to a JSON object via `serde_json`.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "id": self.id,
+            "title": self.title,
+            "header": self.header,
+            "rows": self.rows,
+            "expectation": self.expectation,
+        })
+    }
+}
+
+/// Formats a microsecond value compactly.
+pub fn us(v: f64) -> String {
+    if v >= 10_000.0 {
+        format!("{:.1}ms", v / 1000.0)
+    } else {
+        format!("{v:.1}µs")
+    }
+}
+
+/// Formats a byte count compactly.
+pub fn bytes(v: u64) -> String {
+    if v >= 10 * 1024 * 1024 {
+        format!("{:.1}MiB", v as f64 / (1024.0 * 1024.0))
+    } else if v >= 10 * 1024 {
+        format!("{:.1}KiB", v as f64 / 1024.0)
+    } else {
+        format!("{v}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_summary() {
+        let t = time_each(50, |i| i * 2);
+        assert_eq!(t.n, 50);
+        assert!(t.mean_us >= 0.0);
+        assert!(t.p50_us <= t.p95_us);
+        assert!(t.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn batch_timing() {
+        let t = time_batch(100, || (0..100).sum::<usize>());
+        assert_eq!(t.n, 100);
+        assert!(t.mean_us >= 0.0);
+    }
+
+    #[test]
+    fn table_render_and_json() {
+        let mut t = Table::new("E0", "demo", &["a", "bb"], "flat");
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("E0"));
+        assert!(s.contains("expected shape: flat"));
+        let j = t.to_json();
+        assert_eq!(j["id"], "E0");
+        assert_eq!(j["rows"][0][1], "2");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(us(5.0), "5.0µs");
+        assert_eq!(us(50_000.0), "50.0ms");
+        assert_eq!(bytes(100), "100B");
+        assert!(bytes(100_000).ends_with("KiB"));
+        assert!(bytes(100_000_000).ends_with("MiB"));
+    }
+}

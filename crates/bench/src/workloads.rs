@@ -1,0 +1,403 @@
+//! Workload generators shared by the benchmark harness, the criterion
+//! benches and the examples.
+
+use rand::prelude::*;
+use std::path::PathBuf;
+use tcom_core::{AtomId, AttrDef, Database, DataType, DbConfig, MoleculeEdge, StoreKind, Tuple, Value};
+use tcom_kernel::time::Interval;
+use tcom_kernel::{AttrId, MoleculeTypeId, Result, TimePoint};
+
+/// Creates a fresh database directory under the system temp dir.
+pub fn fresh_db(tag: &str, kind: StoreKind, frames: usize) -> (Database, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("tcom-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::open(
+        &dir,
+        DbConfig::default()
+            .store_kind(kind)
+            .buffer_frames(frames)
+            .checkpoint_interval(0)
+            .sync_policy(tcom_core::SyncPolicy::OnCheckpoint),
+    )
+    .expect("open bench db");
+    (db, dir)
+}
+
+/// Reopens an existing bench database with a different buffer size.
+pub fn reopen_db(dir: &PathBuf, kind: StoreKind, frames: usize) -> Database {
+    Database::open(
+        dir,
+        DbConfig::default()
+            .store_kind(kind)
+            .buffer_frames(frames)
+            .checkpoint_interval(0)
+            .sync_policy(tcom_core::SyncPolicy::OnCheckpoint),
+    )
+    .expect("reopen bench db")
+}
+
+/// Removes a bench database directory.
+pub fn cleanup(dir: &PathBuf) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A synthetic versioned-record workload: one atom type with `width` INT
+/// attributes (attribute 0 indexed), `n_atoms` atoms, and a history of
+/// uniformly random updates that change `changed_attrs` attributes each.
+pub struct Synthetic {
+    /// The atom type.
+    pub ty: tcom_kernel::AtomTypeId,
+    /// All atom ids.
+    pub atoms: Vec<AtomId>,
+    /// Tuple width.
+    pub width: usize,
+}
+
+impl Synthetic {
+    /// Defines the schema and inserts `n_atoms` atoms (one commit).
+    pub fn create(db: &Database, n_atoms: usize, width: usize) -> Result<Synthetic> {
+        let attrs: Vec<AttrDef> = (0..width)
+            .map(|i| {
+                let a = AttrDef::new(format!("a{i}"), DataType::Int);
+                if i == 0 {
+                    a.indexed()
+                } else {
+                    a
+                }
+            })
+            .collect();
+        let ty = db.define_atom_type("syn", attrs)?;
+        let mut atoms = Vec::with_capacity(n_atoms);
+        // Insert in batches to bound transaction size.
+        for chunk in (0..n_atoms).collect::<Vec<_>>().chunks(1000) {
+            let mut txn = db.begin();
+            for &i in chunk {
+                atoms.push(txn.insert_atom(
+                    ty,
+                    Interval::all(),
+                    Self::tuple_of(width, i as i64, 0),
+                )?);
+            }
+            txn.commit()?;
+        }
+        Ok(Synthetic { ty, atoms, width })
+    }
+
+    /// The canonical tuple: attribute 0 is `key`, attribute `1..changed+1`
+    /// carry `round`, the rest are constant.
+    pub fn tuple_of(width: usize, key: i64, round: i64) -> Tuple {
+        Tuple::new(
+            (0..width)
+                .map(|i| {
+                    if i == 0 {
+                        Value::Int(key)
+                    } else if i == 1 {
+                        Value::Int(round)
+                    } else {
+                        Value::Int(i as i64 * 1000)
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// A tuple where `changed` attributes (starting at 1) differ per round.
+    pub fn wide_change_tuple(width: usize, key: i64, round: i64, changed: usize) -> Tuple {
+        Tuple::new(
+            (0..width)
+                .map(|i| {
+                    if i == 0 {
+                        Value::Int(key)
+                    } else if i >= 1 && i <= changed {
+                        Value::Int(round * 31 + i as i64)
+                    } else {
+                        Value::Int(i as i64 * 1000)
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Applies `total_updates` updates to uniformly random atoms, changing
+    /// `changed` attributes each, in transactions of `batch` updates.
+    pub fn random_updates(
+        &self,
+        db: &Database,
+        total_updates: usize,
+        changed: usize,
+        batch: usize,
+        seed: u64,
+    ) -> Result<()> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut done = 0usize;
+        let mut round = 1i64;
+        while done < total_updates {
+            let n = batch.min(total_updates - done);
+            let mut txn = db.begin();
+            for _ in 0..n {
+                let idx = rng.gen_range(0..self.atoms.len());
+                txn.update(
+                    self.atoms[idx],
+                    Interval::all(),
+                    Self::wide_change_tuple(self.width, idx as i64, round, changed),
+                )?;
+                round += 1;
+            }
+            txn.commit()?;
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Applies exactly `rounds` updates to *every* atom (history length
+    /// becomes `rounds + 1`), interleaved randomly across atoms per round.
+    pub fn uniform_history(
+        &self,
+        db: &Database,
+        rounds: usize,
+        changed: usize,
+        seed: u64,
+    ) -> Result<()> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for r in 1..=rounds {
+            let mut order: Vec<usize> = (0..self.atoms.len()).collect();
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(1000) {
+                let mut txn = db.begin();
+                for &idx in chunk {
+                    txn.update(
+                        self.atoms[idx],
+                        Interval::all(),
+                        Self::wide_change_tuple(self.width, idx as i64, r as i64, changed),
+                    )?;
+                }
+                txn.commit()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The university workload: departments employing employees working on
+/// projects — the classic complex-object schema.
+pub struct University {
+    /// `dept` type id.
+    pub dept: tcom_kernel::AtomTypeId,
+    /// `emp` type id.
+    pub emp: tcom_kernel::AtomTypeId,
+    /// `proj` type id.
+    pub proj: tcom_kernel::AtomTypeId,
+    /// The `dept_mol` molecule (dept → emp → proj).
+    pub mol: MoleculeTypeId,
+    /// Department atoms.
+    pub depts: Vec<AtomId>,
+    /// Employee atoms.
+    pub emps: Vec<AtomId>,
+    /// Project atoms.
+    pub projs: Vec<AtomId>,
+}
+
+impl University {
+    /// Builds `n_depts` departments × `emps_per_dept` employees ×
+    /// `projs_per_emp` projects (projects drawn from a shared pool of
+    /// `n_depts * emps_per_dept` projects).
+    pub fn create(
+        db: &Database,
+        n_depts: usize,
+        emps_per_dept: usize,
+        projs_per_emp: usize,
+        seed: u64,
+    ) -> Result<University> {
+        let proj = db.define_atom_type(
+            "proj",
+            vec![
+                AttrDef::new("title", DataType::Text),
+                AttrDef::new("budget", DataType::Int).indexed(),
+            ],
+        )?;
+        let emp = db.define_atom_type(
+            "emp",
+            vec![
+                AttrDef::new("name", DataType::Text).not_null(),
+                AttrDef::new("salary", DataType::Int).indexed(),
+                AttrDef::new("works_on", DataType::RefSet(proj)),
+            ],
+        )?;
+        let dept = db.define_atom_type(
+            "dept",
+            vec![
+                AttrDef::new("name", DataType::Text).not_null(),
+                AttrDef::new("budget", DataType::Int).indexed(),
+                AttrDef::new("employs", DataType::RefSet(emp)),
+            ],
+        )?;
+        let mol = db.define_molecule_type(
+            "dept_mol",
+            dept,
+            vec![
+                MoleculeEdge { from: dept, attr: AttrId(2), to: emp },
+                MoleculeEdge { from: emp, attr: AttrId(2), to: proj },
+            ],
+            None,
+        )?;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_projs = (n_depts * emps_per_dept).max(projs_per_emp);
+        let mut projs = Vec::new();
+        for chunk in (0..n_projs).collect::<Vec<_>>().chunks(1000) {
+            let mut txn = db.begin();
+            for &i in chunk {
+                projs.push(txn.insert_atom(
+                    proj,
+                    Interval::all(),
+                    Tuple::new(vec![
+                        Value::from(format!("proj-{i}")),
+                        Value::Int(rng.gen_range(10..1000)),
+                    ]),
+                )?);
+            }
+            txn.commit()?;
+        }
+        let mut emps = Vec::new();
+        let mut depts = Vec::new();
+        for d in 0..n_depts {
+            let mut txn = db.begin();
+            let mut members = Vec::new();
+            for e in 0..emps_per_dept {
+                let mut works: Vec<AtomId> = Vec::new();
+                for _ in 0..projs_per_emp {
+                    works.push(projs[rng.gen_range(0..projs.len())]);
+                }
+                let id = txn.insert_atom(
+                    emp,
+                    Interval::all(),
+                    Tuple::new(vec![
+                        Value::from(format!("emp-{d}-{e}")),
+                        Value::Int(rng.gen_range(30..300) * 10),
+                        Value::ref_set(works),
+                    ]),
+                )?;
+                members.push(id);
+                emps.push(id);
+            }
+            depts.push(txn.insert_atom(
+                dept,
+                Interval::all(),
+                Tuple::new(vec![
+                    Value::from(format!("dept-{d}")),
+                    Value::Int(rng.gen_range(100..10_000)),
+                    Value::ref_set(members),
+                ]),
+            )?);
+            txn.commit()?;
+        }
+        Ok(University { dept, emp, proj, mol, depts, emps, projs })
+    }
+
+    /// Applies `rounds` of personnel churn: every round gives a random 10 %
+    /// of employees a raise and moves a random 2 % between departments.
+    pub fn churn(&self, db: &Database, rounds: usize, seed: u64) -> Result<()> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for r in 0..rounds {
+            let mut txn = db.begin();
+            let raises = (self.emps.len() / 10).max(1);
+            for _ in 0..raises {
+                let e = self.emps[rng.gen_range(0..self.emps.len())];
+                if let Some(mut t) = txn.current_tuple(e, TimePoint(0))? {
+                    let Value::Int(s) = t.get(1).clone() else { continue };
+                    t.set(1, Value::Int(s + 10 + r as i64));
+                    txn.update(e, Interval::all(), t)?;
+                }
+            }
+            txn.commit()?;
+        }
+        Ok(())
+    }
+}
+
+/// The CAD bill-of-materials workload: a recursive `part` type.
+pub struct Bom {
+    /// The `part` type.
+    pub part: tcom_kernel::AtomTypeId,
+    /// The `bom` molecule type (part → part over `components`).
+    pub mol: MoleculeTypeId,
+    /// Root assemblies.
+    pub roots: Vec<AtomId>,
+    /// Every part.
+    pub parts: Vec<AtomId>,
+}
+
+impl Bom {
+    /// Builds `n_roots` assemblies as complete `fanout`-ary trees of the
+    /// given `depth` (leaves at depth 1).
+    pub fn create(db: &Database, n_roots: usize, fanout: usize, depth: usize) -> Result<Bom> {
+        let part = db.define_atom_type(
+            "part",
+            vec![
+                AttrDef::new("name", DataType::Text).not_null(),
+                AttrDef::new("mass", DataType::Int),
+                AttrDef::new("components", DataType::RefSet(tcom_kernel::AtomTypeId(0))),
+            ],
+        )?;
+        let mol = db.define_molecule_type(
+            "bom",
+            part,
+            vec![MoleculeEdge { from: part, attr: AttrId(2), to: part }],
+            Some(depth as u32 + 1),
+        )?;
+        let mut parts = Vec::new();
+        let mut roots = Vec::new();
+        for r in 0..n_roots {
+            let mut txn = db.begin();
+            let root = build_tree(&mut txn, part, &mut parts, &format!("asm{r}"), fanout, depth)?;
+            roots.push(root);
+            txn.commit()?;
+        }
+        Ok(Bom { part, mol, roots, parts })
+    }
+
+    /// Applies `n` engineering changes: random parts get a new mass.
+    pub fn engineering_changes(&self, db: &Database, n: usize, seed: u64) -> Result<()> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for chunk_start in (0..n).step_by(500) {
+            let mut txn = db.begin();
+            for _ in 0..(500.min(n - chunk_start)) {
+                let p = self.parts[rng.gen_range(0..self.parts.len())];
+                if let Some(mut t) = txn.current_tuple(p, TimePoint(0))? {
+                    t.set(1, Value::Int(rng.gen_range(1..100_000)));
+                    txn.update(p, Interval::all(), t)?;
+                }
+            }
+            txn.commit()?;
+        }
+        Ok(())
+    }
+}
+
+fn build_tree(
+    txn: &mut tcom_core::Txn<'_>,
+    part: tcom_kernel::AtomTypeId,
+    parts: &mut Vec<AtomId>,
+    name: &str,
+    fanout: usize,
+    depth: usize,
+) -> Result<AtomId> {
+    let children: Vec<AtomId> = if depth <= 1 {
+        Vec::new()
+    } else {
+        (0..fanout)
+            .map(|i| build_tree(txn, part, parts, &format!("{name}.{i}"), fanout, depth - 1))
+            .collect::<Result<_>>()?
+    };
+    let id = txn.insert_atom(
+        part,
+        Interval::all(),
+        Tuple::new(vec![
+            Value::from(name),
+            Value::Int(depth as i64 * 100),
+            Value::ref_set(children),
+        ]),
+    )?;
+    parts.push(id);
+    Ok(id)
+}

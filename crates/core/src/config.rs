@@ -1,0 +1,74 @@
+//! Engine configuration.
+
+use tcom_version::StoreKind;
+use tcom_wal::SyncPolicy;
+
+/// Tunables of a [`crate::Database`].
+#[derive(Clone, Copy, Debug)]
+pub struct DbConfig {
+    /// Buffer pool size in frames (8 KiB each).
+    pub buffer_frames: usize,
+    /// Temporal storage format for every atom type. Fixed at database
+    /// creation; persisted and validated on reopen.
+    pub store_kind: StoreKind,
+    /// When the WAL is fsynced.
+    pub sync_policy: SyncPolicy,
+    /// Auto-checkpoint after this many committed transactions
+    /// (`0` disables auto-checkpointing; `Database::checkpoint` is manual).
+    pub checkpoint_interval: u64,
+}
+
+impl Default for DbConfig {
+    fn default() -> DbConfig {
+        DbConfig {
+            buffer_frames: 1024,
+            store_kind: StoreKind::Split,
+            sync_policy: SyncPolicy::OnCommit,
+            checkpoint_interval: 10_000,
+        }
+    }
+}
+
+impl DbConfig {
+    /// Builder-style: sets the buffer size.
+    pub fn buffer_frames(mut self, frames: usize) -> DbConfig {
+        self.buffer_frames = frames;
+        self
+    }
+
+    /// Builder-style: sets the storage format.
+    pub fn store_kind(mut self, kind: StoreKind) -> DbConfig {
+        self.store_kind = kind;
+        self
+    }
+
+    /// Builder-style: sets the WAL sync policy.
+    pub fn sync_policy(mut self, policy: SyncPolicy) -> DbConfig {
+        self.sync_policy = policy;
+        self
+    }
+
+    /// Builder-style: sets the auto-checkpoint interval.
+    pub fn checkpoint_interval(mut self, txns: u64) -> DbConfig {
+        self.checkpoint_interval = txns;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = DbConfig::default()
+            .buffer_frames(64)
+            .store_kind(StoreKind::Chain)
+            .sync_policy(SyncPolicy::OnCheckpoint)
+            .checkpoint_interval(0);
+        assert_eq!(c.buffer_frames, 64);
+        assert_eq!(c.store_kind, StoreKind::Chain);
+        assert_eq!(c.sync_policy, SyncPolicy::OnCheckpoint);
+        assert_eq!(c.checkpoint_interval, 0);
+    }
+}

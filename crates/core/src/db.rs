@@ -1,0 +1,865 @@
+//! The database engine: lifecycle, DDL, read API, checkpointing and
+//! crash recovery.
+//!
+//! A database is a directory:
+//!
+//! ```text
+//! <dir>/db.meta            persisted creation options (store kind)
+//! <dir>/catalog.tcat       the schema (atomic rewrite on DDL)
+//! <dir>/wal.log            redo-only write-ahead log
+//! <dir>/t<ty>_*.tcm        per-type store files (layout depends on kind)
+//! <dir>/t<ty>_idx<a>.tcm   value indexes over indexed attributes
+//! ```
+//!
+//! Concurrency model: one writer at a time (write transactions hold the
+//! `writer` mutex for their lifetime); readers run concurrently against
+//! committed state and are excluded only while a commit applies its
+//! primitives (the brief `commit_lock` write section). This matches the
+//! single-user workstation setting of the original system while keeping
+//! the storage layer fully latch-safe.
+
+use crate::config::DbConfig;
+use crate::journal::{self, JournalEntry};
+use crate::txn::Txn;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use tcom_catalog::{AttrDef, Catalog, MoleculeEdge};
+use tcom_kernel::{
+    AtomId, AtomNo, AtomTypeId, AttrId, Error, Interval, MoleculeTypeId, Result, TimePoint, Tuple,
+};
+use tcom_storage::btree::BTree;
+use tcom_storage::buffer::{BufferPool, BufferStats, FileId};
+use tcom_storage::disk::DiskManager;
+use tcom_storage::keys::{encode_value, BKey};
+use tcom_version::record::AtomVersion;
+use tcom_version::{ChainStore, DeltaStore, SplitStore, StoreKind, StoreStats, VersionStore};
+use tcom_wal::{LogRecord, Wal};
+
+/// A bitemporal complex-object database.
+pub struct Database {
+    dir: PathBuf,
+    config: DbConfig,
+    pool: Arc<BufferPool>,
+    catalog: RwLock<Catalog>,
+    stores: RwLock<HashMap<u32, Arc<dyn VersionStore>>>,
+    indexes: RwLock<HashMap<(u32, u16), Arc<BTree>>>,
+    /// Per-type time index: B⁺-tree over `(tt boundary, atom_no)` — every
+    /// transaction time at which an atom of the type changed (a version
+    /// started or ended). Powers [`Database::atoms_changed_in`].
+    time_indexes: RwLock<HashMap<u32, Arc<BTree>>>,
+    wal: Wal,
+    /// Transaction-time clock == id of the last committed transaction.
+    clock: AtomicU64,
+    next_no: Mutex<HashMap<u32, u64>>,
+    /// Serializes write transactions (held for the whole transaction).
+    pub(crate) writer: Mutex<()>,
+    /// Readers in, commits exclusive (held only while applying).
+    pub(crate) commit_lock: RwLock<()>,
+    txns_since_ckpt: AtomicU64,
+    skip_checkpoint_on_drop: AtomicBool,
+    /// File names by [`FileId`] index (for the checkpoint journal, which
+    /// must address files by name — ids are session-scoped).
+    file_names: Mutex<Vec<String>>,
+}
+
+impl Database {
+    /// Opens a database directory, creating it if missing. Runs crash
+    /// recovery (WAL replay) when the log holds work past the last
+    /// checkpoint.
+    pub fn open(dir: impl AsRef<Path>, config: DbConfig) -> Result<Database> {
+        let dir = dir.as_ref().to_owned();
+        std::fs::create_dir_all(&dir)?;
+
+        // Persisted creation options.
+        let meta_path = dir.join("db.meta");
+        let config = if meta_path.exists() {
+            let text = std::fs::read_to_string(&meta_path)?;
+            let stored_kind = parse_meta(&text)?;
+            if stored_kind != config.store_kind {
+                // The on-disk layout wins; the caller's runtime knobs stay.
+                DbConfig { store_kind: stored_kind, ..config }
+            } else {
+                config
+            }
+        } else {
+            std::fs::write(&meta_path, format!("tcom v1\nstore_kind={}\n", config.store_kind))?;
+            config
+        };
+
+        // A complete checkpoint journal means a crash hit the in-place
+        // flush window; re-apply it before anything reads the store files.
+        let journal_path = dir.join("ckpt.jrnl");
+        if let Some(entries) = journal::read_journal(&journal_path)? {
+            journal::apply_journal(&dir, &journal_path, &entries)?;
+        } else {
+            journal::truncate_journal(&journal_path)?;
+        }
+
+        // No-steal: dirty pages reach disk only via journal-protected
+        // flushes, keeping the on-disk state a consistent snapshot.
+        let pool = BufferPool::new_no_steal(config.buffer_frames);
+        let wal = Wal::open(dir.join("wal.log"), config.sync_policy)?;
+
+        let catalog_path = dir.join("catalog.tcat");
+        let catalog = if catalog_path.exists() {
+            Catalog::load(&catalog_path)?
+        } else {
+            Catalog::new()
+        };
+
+        let db = Database {
+            dir,
+            config,
+            pool,
+            catalog: RwLock::new(catalog),
+            stores: RwLock::new(HashMap::new()),
+            indexes: RwLock::new(HashMap::new()),
+            time_indexes: RwLock::new(HashMap::new()),
+            wal,
+            clock: AtomicU64::new(0),
+            next_no: Mutex::new(HashMap::new()),
+            writer: Mutex::new(()),
+            commit_lock: RwLock::new(()),
+            txns_since_ckpt: AtomicU64::new(0),
+            skip_checkpoint_on_drop: AtomicBool::new(false),
+            file_names: Mutex::new(Vec::new()),
+        };
+
+        // Open stores and indexes for every cataloged type.
+        {
+            let catalog = db.catalog.read();
+            for t in catalog.atom_types() {
+                let store = db.open_or_create_store(t.id, false)?;
+                db.stores.write().insert(t.id.0, store);
+                for (attr_id, attr) in t.attrs.iter().enumerate() {
+                    if attr.indexed {
+                        let idx = db.open_or_create_index(t.id, AttrId(attr_id as u16), false)?;
+                        db.indexes.write().insert((t.id.0, attr_id as u16), idx);
+                    }
+                }
+                let tix = db.open_or_create_time_index(t.id, false)?;
+                db.time_indexes.write().insert(t.id.0, tix);
+            }
+        }
+
+        db.recover()?;
+        Ok(db)
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The shared buffer pool (exposed for benchmarks and statistics).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The current transaction-time clock (id/commit time of the last
+    /// committed transaction).
+    pub fn now(&self) -> TimePoint {
+        TimePoint(self.clock.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn bump_clock(&self) -> TimePoint {
+        TimePoint(self.clock.fetch_add(1, Ordering::AcqRel) + 1)
+    }
+
+    // ---- file plumbing ----
+
+    fn register(&self, name: String, must_exist: bool) -> Result<(FileId, bool)> {
+        let path = self.dir.join(&name);
+        let existed = path.exists() && std::fs::metadata(&path)?.len() > 0;
+        if must_exist && !existed {
+            return Err(Error::corruption(format!("missing store file {}", path.display())));
+        }
+        let dm = Arc::new(DiskManager::open(&path)?);
+        let id = self.pool.register_file(dm);
+        let mut names = self.file_names.lock();
+        debug_assert_eq!(names.len(), id.0 as usize);
+        names.push(name);
+        Ok((id, existed))
+    }
+
+    fn open_or_create_store(&self, ty: AtomTypeId, fresh: bool) -> Result<Arc<dyn VersionStore>> {
+        let n = ty.0;
+        Ok(match self.config.store_kind {
+            StoreKind::Chain => {
+                let (heap, existed) = self.register(format!("t{n}_heap.tcm"), false)?;
+                let (dir, _) = self.register(format!("t{n}_dir.tcm"), false)?;
+                if existed && !fresh {
+                    Arc::new(ChainStore::open(self.pool.clone(), heap, dir)?)
+                } else {
+                    Arc::new(ChainStore::create(self.pool.clone(), heap, dir)?)
+                }
+            }
+            StoreKind::Delta => {
+                let (heap, existed) = self.register(format!("t{n}_heap.tcm"), false)?;
+                let (dir, _) = self.register(format!("t{n}_dir.tcm"), false)?;
+                if existed && !fresh {
+                    Arc::new(DeltaStore::open(self.pool.clone(), heap, dir)?)
+                } else {
+                    Arc::new(DeltaStore::create(self.pool.clone(), heap, dir)?)
+                }
+            }
+            StoreKind::Split => {
+                let (ch, existed) = self.register(format!("t{n}_cur.tcm"), false)?;
+                let (cd, _) = self.register(format!("t{n}_curdir.tcm"), false)?;
+                let (hh, _) = self.register(format!("t{n}_hist.tcm"), false)?;
+                let (hd, _) = self.register(format!("t{n}_histdir.tcm"), false)?;
+                if existed && !fresh {
+                    Arc::new(SplitStore::open(self.pool.clone(), ch, cd, hh, hd)?)
+                } else {
+                    Arc::new(SplitStore::create(self.pool.clone(), ch, cd, hh, hd)?)
+                }
+            }
+        })
+    }
+
+    fn open_or_create_index(&self, ty: AtomTypeId, attr: AttrId, fresh: bool) -> Result<Arc<BTree>> {
+        let name = format!("t{}_idx{}.tcm", ty.0, attr.0);
+        if fresh {
+            let _ = std::fs::remove_file(self.dir.join(&name));
+        }
+        let (file, existed) = self.register(name, false)?;
+        Ok(Arc::new(if existed && !fresh {
+            BTree::open(self.pool.clone(), file)?
+        } else {
+            BTree::create(self.pool.clone(), file)?
+        }))
+    }
+
+    fn open_or_create_time_index(&self, ty: AtomTypeId, fresh: bool) -> Result<Arc<BTree>> {
+        let name = format!("t{}_tix.tcm", ty.0);
+        if fresh {
+            let _ = std::fs::remove_file(self.dir.join(&name));
+        }
+        let (file, existed) = self.register(name, false)?;
+        Ok(Arc::new(if existed && !fresh {
+            BTree::open(self.pool.clone(), file)?
+        } else {
+            BTree::create(self.pool.clone(), file)?
+        }))
+    }
+
+    // ---- DDL ----
+
+    /// Defines a new atom type (with its storage and index files) and
+    /// persists the catalog. DDL is auto-committed and flushed.
+    pub fn define_atom_type(
+        &self,
+        name: impl Into<String>,
+        attrs: Vec<AttrDef>,
+    ) -> Result<AtomTypeId> {
+        let _w = self.writer.lock();
+        let id = {
+            let mut catalog = self.catalog.write();
+            catalog.define_atom_type(name, attrs)?
+        };
+        let store = self.open_or_create_store(id, true)?;
+        self.stores.write().insert(id.0, store);
+        {
+            let catalog = self.catalog.read();
+            let t = catalog.atom_type(id)?;
+            for (i, a) in t.attrs.iter().enumerate() {
+                if a.indexed {
+                    let idx = self.open_or_create_index(id, AttrId(i as u16), true)?;
+                    self.indexes.write().insert((id.0, i as u16), idx);
+                }
+            }
+        }
+        let tix = self.open_or_create_time_index(id, true)?;
+        self.time_indexes.write().insert(id.0, tix);
+        self.catalog.read().save(self.dir.join("catalog.tcat"))?;
+        // New (empty) files must survive a crash without WAL coverage.
+        self.sync_pages()?;
+        Ok(id)
+    }
+
+    /// Defines a molecule type and persists the catalog.
+    pub fn define_molecule_type(
+        &self,
+        name: impl Into<String>,
+        root: AtomTypeId,
+        edges: Vec<MoleculeEdge>,
+        max_depth: Option<u32>,
+    ) -> Result<MoleculeTypeId> {
+        let _w = self.writer.lock();
+        let id = {
+            let mut catalog = self.catalog.write();
+            catalog.define_molecule_type(name, root, edges, max_depth)?
+        };
+        self.catalog.read().save(self.dir.join("catalog.tcat"))?;
+        Ok(id)
+    }
+
+    /// Read access to the catalog.
+    pub fn with_catalog<T>(&self, f: impl FnOnce(&Catalog) -> T) -> T {
+        f(&self.catalog.read())
+    }
+
+    /// Resolves an atom type id by name.
+    pub fn atom_type_id(&self, name: &str) -> Result<AtomTypeId> {
+        Ok(self.catalog.read().atom_type_by_name(name)?.id)
+    }
+
+    /// Resolves a molecule type id by name.
+    pub fn molecule_type_id(&self, name: &str) -> Result<MoleculeTypeId> {
+        Ok(self.catalog.read().molecule_type_by_name(name)?.id)
+    }
+
+    pub(crate) fn store(&self, ty: AtomTypeId) -> Result<Arc<dyn VersionStore>> {
+        self.stores
+            .read()
+            .get(&ty.0)
+            .cloned()
+            .ok_or_else(|| Error::UnknownSchemaObject(format!("store for atom type #{}", ty.0)))
+    }
+
+    pub(crate) fn index(&self, ty: AtomTypeId, attr: AttrId) -> Option<Arc<BTree>> {
+        self.indexes.read().get(&(ty.0, attr.0)).cloned()
+    }
+
+    pub(crate) fn alloc_atom_no(&self, ty: AtomTypeId) -> AtomNo {
+        let mut m = self.next_no.lock();
+        let slot = m.entry(ty.0).or_insert(0);
+        let no = *slot;
+        *slot += 1;
+        AtomNo(no)
+    }
+
+    // ---- transactions ----
+
+    /// Begins a write transaction. At most one write transaction exists at
+    /// a time; this call blocks until the writer slot is free.
+    pub fn begin(&self) -> Txn<'_> {
+        Txn::new(self)
+    }
+
+    pub(crate) fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    pub(crate) fn note_commit(&self) -> Result<()> {
+        let n = self.txns_since_ckpt.fetch_add(1, Ordering::AcqRel) + 1;
+        if self.config.checkpoint_interval > 0 && n >= self.config.checkpoint_interval {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    // ---- reads (committed state) ----
+
+    /// The current versions of an atom (sorted by valid time).
+    pub fn current_versions(&self, atom: AtomId) -> Result<Vec<AtomVersion>> {
+        let _r = self.commit_lock.read();
+        self.store(atom.ty)?.current_versions(atom.no)
+    }
+
+    /// The current tuple valid at `vt`, if any.
+    pub fn current_tuple(&self, atom: AtomId, vt: TimePoint) -> Result<Option<Tuple>> {
+        Ok(self
+            .current_versions(atom)?
+            .into_iter()
+            .find(|v| v.vt.contains(vt))
+            .map(|v| v.tuple))
+    }
+
+    /// The versions recorded at transaction time `tt` (sorted by valid time).
+    pub fn versions_at(&self, atom: AtomId, tt: TimePoint) -> Result<Vec<AtomVersion>> {
+        let _r = self.commit_lock.read();
+        self.store(atom.ty)?.versions_at(atom.no, tt)
+    }
+
+    /// The single version visible at bitemporal point `(tt, vt)`, if any.
+    pub fn version_at(
+        &self,
+        atom: AtomId,
+        tt: TimePoint,
+        vt: TimePoint,
+    ) -> Result<Option<AtomVersion>> {
+        Ok(self
+            .versions_at(atom, tt)?
+            .into_iter()
+            .find(|v| v.vt.contains(vt)))
+    }
+
+    /// The full recorded history of an atom (newest first).
+    pub fn history(&self, atom: AtomId) -> Result<Vec<AtomVersion>> {
+        let _r = self.commit_lock.read();
+        self.store(atom.ty)?.history(atom.no)
+    }
+
+    /// True iff the atom was ever inserted.
+    pub fn atom_exists(&self, atom: AtomId) -> Result<bool> {
+        let _r = self.commit_lock.read();
+        self.store(atom.ty)?.exists(atom.no)
+    }
+
+    /// Scans all atoms of a type at bitemporal point `(tt, vt)`; `f`
+    /// receives each visible `(atom, version)`; returning `false` stops.
+    pub fn scan_at(
+        &self,
+        ty: AtomTypeId,
+        tt: TimePoint,
+        vt: TimePoint,
+        mut f: impl FnMut(AtomId, &AtomVersion) -> Result<bool>,
+    ) -> Result<()> {
+        let _r = self.commit_lock.read();
+        let store = self.store(ty)?;
+        store.scan_atoms(&mut |no| {
+            let vs = store.versions_at(no, tt)?;
+            for v in vs {
+                if v.vt.contains(vt) {
+                    return f(AtomId::new(ty, no), &v);
+                }
+            }
+            Ok(true)
+        })
+    }
+
+    /// Scans the *current* state of a type at valid time `vt`.
+    pub fn scan_current(
+        &self,
+        ty: AtomTypeId,
+        vt: TimePoint,
+        mut f: impl FnMut(AtomId, &AtomVersion) -> Result<bool>,
+    ) -> Result<()> {
+        let _r = self.commit_lock.read();
+        let store = self.store(ty)?;
+        store.scan_atoms(&mut |no| {
+            let vs = store.current_versions(no)?;
+            for v in vs {
+                if v.vt.contains(vt) {
+                    return f(AtomId::new(ty, no), &v);
+                }
+            }
+            Ok(true)
+        })
+    }
+
+    /// All atom ids of a type (whether currently visible or not).
+    pub fn all_atoms(&self, ty: AtomTypeId) -> Result<Vec<AtomId>> {
+        let _r = self.commit_lock.read();
+        let store = self.store(ty)?;
+        let mut out = Vec::new();
+        store.scan_atoms(&mut |no| {
+            out.push(AtomId::new(ty, no));
+            Ok(true)
+        })?;
+        Ok(out)
+    }
+
+    /// Index range scan over an indexed attribute's **current** values:
+    /// returns atoms having a current version whose encoded attribute value
+    /// lies in `[lo_enc, hi_enc)`.
+    pub fn index_range(
+        &self,
+        ty: AtomTypeId,
+        attr: AttrId,
+        lo_enc: u64,
+        hi_enc: u64,
+    ) -> Result<Vec<AtomId>> {
+        let _r = self.commit_lock.read();
+        let idx = self.index(ty, attr).ok_or_else(|| {
+            Error::query(format!("no index on attribute #{} of type #{}", attr.0, ty.0))
+        })?;
+        let mut out = Vec::new();
+        idx.scan_range(BKey::new(lo_enc, 0), BKey::new(hi_enc, 0), |k, _| {
+            out.push(AtomId::new(ty, AtomNo(k.lo)));
+            Ok(true)
+        })?;
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Like [`Database::index_range`] but with an **inclusive** encoded
+    /// upper bound (what comparison predicates want).
+    pub fn index_range_inclusive(
+        &self,
+        ty: AtomTypeId,
+        attr: AttrId,
+        lo_enc: u64,
+        hi_enc: u64,
+    ) -> Result<Vec<AtomId>> {
+        let _r = self.commit_lock.read();
+        let idx = self.index(ty, attr).ok_or_else(|| {
+            Error::query(format!("no index on attribute #{} of type #{}", attr.0, ty.0))
+        })?;
+        let mut out = Vec::new();
+        idx.scan_range(BKey::min_for(lo_enc), BKey::max_for(hi_enc), |k, _| {
+            out.push(AtomId::new(ty, AtomNo(k.lo)));
+            Ok(true)
+        })?;
+        out.dedup();
+        Ok(out)
+    }
+
+    // ---- index maintenance (called under the commit lock) ----
+
+    /// Re-derives the index entries of `atom` for every indexed attribute,
+    /// given its before- and after-commit current value sets.
+    pub(crate) fn update_indexes_for(
+        &self,
+        atom: AtomId,
+        before: &[Tuple],
+        after: &[Tuple],
+    ) -> Result<()> {
+        let catalog = self.catalog.read();
+        let t = catalog.atom_type(atom.ty)?;
+        for (i, a) in t.attrs.iter().enumerate() {
+            if !a.indexed {
+                continue;
+            }
+            let attr = AttrId(i as u16);
+            let Some(idx) = self.index(atom.ty, attr) else { continue };
+            let old: HashSet<u64> = before.iter().filter_map(|tp| encode_value(tp.get(i))).collect();
+            let new: HashSet<u64> = after.iter().filter_map(|tp| encode_value(tp.get(i))).collect();
+            for gone in old.difference(&new) {
+                idx.remove(BKey::new(*gone, atom.no.0))?;
+            }
+            for added in new.difference(&old) {
+                idx.insert(BKey::new(*added, atom.no.0), atom.no.0)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Records that `atom` changed at transaction time `tt`
+    /// (called under the commit lock).
+    pub(crate) fn note_change(&self, atom: AtomId, tt: TimePoint) -> Result<()> {
+        if let Some(tix) = self.time_indexes.read().get(&atom.ty.0).cloned() {
+            tix.insert(BKey::new(tt.0, atom.no.0), atom.no.0)?;
+        }
+        Ok(())
+    }
+
+    /// The atoms of `ty` that changed (a version started or ended) at any
+    /// transaction time in `window` — answered from the time index without
+    /// touching version chains.
+    pub fn atoms_changed_in(&self, ty: AtomTypeId, window: Interval) -> Result<Vec<AtomId>> {
+        let _r = self.commit_lock.read();
+        let tix = self
+            .time_indexes
+            .read()
+            .get(&ty.0)
+            .cloned()
+            .ok_or_else(|| Error::UnknownSchemaObject(format!("time index for type #{}", ty.0)))?;
+        let mut out = Vec::new();
+        tix.scan_range(
+            BKey::min_for(window.start().0),
+            BKey::min_for(window.end().0),
+            |k, _| {
+                out.push(AtomId::new(ty, AtomNo(k.lo)));
+                Ok(true)
+            },
+        )?;
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Rebuilds every time index from the stores (recovery / post-prune).
+    fn rebuild_time_indexes(&self) -> Result<()> {
+        let catalog = self.catalog.read();
+        for t in catalog.atom_types() {
+            let store = self.store(t.id)?;
+            let tix = self.open_or_create_time_index(t.id, true)?;
+            store.scan_atoms(&mut |no| {
+                for v in store.history(no)? {
+                    tix.insert(BKey::new(v.tt.start().0, no.0), no.0)?;
+                    if !v.tt.end().is_forever() {
+                        tix.insert(BKey::new(v.tt.end().0, no.0), no.0)?;
+                    }
+                }
+                Ok(true)
+            })?;
+            self.time_indexes.write().insert(t.id.0, tix);
+        }
+        Ok(())
+    }
+
+    // ---- checkpoint & recovery ----
+
+    /// Crash-atomically flushes every dirty page: the images go to the
+    /// double-write journal first, then in place, then the journal is
+    /// truncated. Does **not** touch the WAL — safe at any transaction
+    /// boundary (also mid-recovery).
+    pub fn sync_pages(&self) -> Result<()> {
+        let dirty = self.pool.dirty_pages();
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        let names = self.file_names.lock();
+        let entries: Vec<JournalEntry> = dirty
+            .into_iter()
+            .map(|(file, page, image)| JournalEntry {
+                file_name: names[file.0 as usize].clone(),
+                page,
+                image,
+            })
+            .collect();
+        drop(names);
+        let journal_path = self.dir.join("ckpt.jrnl");
+        journal::write_journal(&journal_path, &entries)?;
+        self.pool.flush_and_sync()?;
+        journal::truncate_journal(&journal_path)?;
+        Ok(())
+    }
+
+    /// The engine's buffer-pressure guard: with the no-steal policy, dirty
+    /// pages accumulate until a flush; this flushes once more than half the
+    /// pool is dirty. Called at transaction boundaries.
+    pub(crate) fn flush_if_pressured(&self) -> Result<()> {
+        if self.pool.dirty_count() * 2 >= self.pool.capacity() {
+            self.sync_pages()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes all data pages, fsyncs every file, and truncates the WAL to
+    /// a fresh checkpoint record.
+    pub fn checkpoint(&self) -> Result<()> {
+        let _x = self.commit_lock.write();
+        self.sync_pages()?;
+        let next_nos: Vec<(u32, u64)> = self
+            .next_no
+            .lock()
+            .iter()
+            .map(|(ty, no)| (*ty, *no))
+            .collect();
+        self.wal.reset_with(&LogRecord::Checkpoint {
+            clock: self.now(),
+            next_atom_nos: next_nos,
+        })?;
+        self.txns_since_ckpt.store(0, Ordering::Release);
+        Ok(())
+    }
+
+    /// Recovery: replays committed transactions from the WAL with
+    /// idempotent application, rebuilds value indexes when anything was
+    /// replayed, and checkpoints.
+    fn recover(&self) -> Result<()> {
+        let records = self.wal.read_all()?;
+        // Restore counters from the last checkpoint (normally record 0).
+        for (_, rec) in &records {
+            if let LogRecord::Checkpoint { clock, next_atom_nos } = rec {
+                self.clock.store(clock.0, Ordering::Release);
+                let mut m = self.next_no.lock();
+                for (ty, no) in next_atom_nos {
+                    let e = m.entry(*ty).or_insert(0);
+                    *e = (*e).max(*no);
+                }
+            }
+        }
+        let committed: HashSet<u64> = records
+            .iter()
+            .filter_map(|(_, r)| match r {
+                LogRecord::Commit { txn } => Some(txn.0),
+                _ => None,
+            })
+            .collect();
+
+        let mut replayed_any = false;
+        for (_, rec) in &records {
+            match rec {
+                LogRecord::InsertVersion { txn, atom, vt, tt_start, tuple }
+                    if committed.contains(&txn.0) =>
+                {
+                    let store = self.store(atom.ty)?;
+                    let already = store.history(atom.no)?.iter().any(|v| {
+                        v.vt == *vt && v.tt.start() == *tt_start && v.tuple == *tuple
+                    });
+                    if !already {
+                        store.insert_version(atom.no, *vt, *tt_start, tuple)?;
+                        replayed_any = true;
+                    }
+                    // Counters advance regardless.
+                    let mut m = self.next_no.lock();
+                    let e = m.entry(atom.ty.0).or_insert(0);
+                    *e = (*e).max(atom.no.0 + 1);
+                    self.clock.fetch_max(tt_start.0, Ordering::AcqRel);
+                }
+                LogRecord::CloseVersion { txn, atom, vt_start, tt_end }
+                    if committed.contains(&txn.0) =>
+                {
+                    let store = self.store(atom.ty)?;
+                    // Only close a version that predates this transaction;
+                    // a same-vt version created *by* this transaction (and
+                    // already applied pre-crash) must not be re-closed.
+                    let target_is_older = store
+                        .current_versions(atom.no)?
+                        .iter()
+                        .any(|v| v.vt.start() == *vt_start && v.tt.start() < *tt_end);
+                    if target_is_older {
+                        store.close_version(atom.no, *vt_start, *tt_end)?;
+                        replayed_any = true;
+                    }
+                    self.clock.fetch_max(tt_end.0, Ordering::AcqRel);
+                }
+                LogRecord::Commit { txn } => {
+                    self.clock.fetch_max(txn.0, Ordering::AcqRel);
+                    // Transaction boundary: safe flush point under pressure.
+                    self.flush_if_pressured()?;
+                }
+                _ => {}
+            }
+        }
+
+        if replayed_any {
+            self.rebuild_indexes()?;
+            self.rebuild_time_indexes()?;
+        }
+        // Leave a clean state: everything applied, log truncated.
+        self.checkpoint()?;
+        Ok(())
+    }
+
+    /// Drops and rebuilds every value index from the stores' current state.
+    fn rebuild_indexes(&self) -> Result<()> {
+        let catalog = self.catalog.read();
+        for t in catalog.atom_types() {
+            let store = self.store(t.id)?;
+            for (i, a) in t.attrs.iter().enumerate() {
+                if !a.indexed {
+                    continue;
+                }
+                let attr = AttrId(i as u16);
+                let idx = self.open_or_create_index(t.id, attr, true)?;
+                store.scan_atoms(&mut |no| {
+                    for v in store.current_versions(no)? {
+                        if let Some(enc) = encode_value(v.tuple.get(i)) {
+                            idx.insert(BKey::new(enc, no.0), no.0)?;
+                        }
+                    }
+                    Ok(true)
+                })?;
+                self.indexes.write().insert((t.id.0, attr.0), idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Physically discards every version whose transaction time ended at
+    /// or before `cutoff` (history pruning / vacuum). Time-slices at
+    /// `tt >= cutoff` are unaffected; earlier slices stop being faithful.
+    /// Finishes with a checkpoint so that WAL replay can never resurrect
+    /// pruned versions. Returns the number of versions removed.
+    pub fn prune_history(&self, cutoff: TimePoint) -> Result<u64> {
+        let _w = self.writer.lock();
+        let mut removed = 0u64;
+        {
+            let _x = self.commit_lock.write();
+            let type_ids: Vec<AtomTypeId> =
+                self.catalog.read().atom_types().iter().map(|t| t.id).collect();
+            for ty in type_ids {
+                let store = self.store(ty)?;
+                let mut atoms = Vec::new();
+                store.scan_atoms(&mut |no| {
+                    atoms.push(no);
+                    Ok(true)
+                })?;
+                for no in atoms {
+                    removed += store.prune(no, cutoff)? as u64;
+                }
+            }
+            if removed > 0 {
+                self.rebuild_time_indexes()?;
+            }
+        }
+        self.checkpoint()?;
+        Ok(removed)
+    }
+
+    /// Test hook: direct access to a value index (for corruption-injection
+    /// tests). Hidden from docs; not part of the public contract.
+    #[doc(hidden)]
+    pub fn with_index_for_test(&self, ty: AtomTypeId, attr: AttrId, f: impl FnOnce(&BTree)) {
+        if let Some(idx) = self.index(ty, attr) {
+            f(&idx);
+        }
+    }
+
+    /// Simulates a crash: the database is dropped **without** the shutdown
+    /// checkpoint, leaving whatever subset of pages the buffer manager
+    /// happened to write back. Recovery on the next open must restore a
+    /// consistent committed state. Test/benchmark hook.
+    pub fn crash(self) {
+        self.skip_checkpoint_on_drop.store(true, Ordering::Release);
+        drop(self);
+    }
+
+    // ---- statistics ----
+
+    /// Buffer pool statistics.
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.pool.stats()
+    }
+
+    /// Resets buffer pool statistics (benchmark hygiene).
+    pub fn reset_buffer_stats(&self) {
+        self.pool.reset_stats()
+    }
+
+    /// Storage statistics per atom type.
+    pub fn store_stats(&self) -> Result<Vec<(String, StoreStats)>> {
+        let catalog = self.catalog.read();
+        let mut out = Vec::new();
+        for t in catalog.atom_types() {
+            out.push((t.name.clone(), self.store(t.id)?.stats()?));
+        }
+        Ok(out)
+    }
+
+    /// Current WAL length in bytes.
+    pub fn wal_len(&self) -> u64 {
+        self.wal.len()
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        if !self.skip_checkpoint_on_drop.load(Ordering::Acquire) {
+            // Best-effort clean shutdown; failures only cost recovery time.
+            let _ = self.checkpoint();
+        }
+    }
+}
+
+fn parse_meta(text: &str) -> Result<StoreKind> {
+    for line in text.lines() {
+        if let Some(v) = line.strip_prefix("store_kind=") {
+            return Ok(match v.trim() {
+                "chain" => StoreKind::Chain,
+                "delta" => StoreKind::Delta,
+                "split" => StoreKind::Split,
+                other => {
+                    return Err(Error::corruption(format!("unknown store kind '{other}' in db.meta")))
+                }
+            });
+        }
+    }
+    Err(Error::corruption("db.meta missing store_kind"))
+}
+
+/// Converts store versions to the DML planner's view of current state.
+pub(crate) fn to_current(vs: Vec<AtomVersion>) -> Vec<crate::dml::CurrentVersion> {
+    vs.into_iter()
+        .map(|v| crate::dml::CurrentVersion { vt: v.vt, tuple: v.tuple })
+        .collect()
+}
+
+/// Re-export used by transactions: a valid-time interval paired with the
+/// full axis, for "valid from now on" style helpers.
+pub fn vt_always() -> Interval {
+    Interval::all()
+}

@@ -1,0 +1,334 @@
+//! Bitemporal DML planning: pure functions that turn a logical mutation
+//! (insert / update / delete over a valid-time extent) into the two store
+//! primitives — *close a current version* and *insert a new version*.
+//!
+//! The algorithms implement the standard bitemporal update semantics:
+//!
+//! * a mutation over valid time `vt'` affects every current version whose
+//!   valid time overlaps `vt'`;
+//! * each affected version's transaction time is closed (it leaves the
+//!   current state but remains in history);
+//! * the non-overlapping *remainders* of affected versions are re-inserted
+//!   unchanged (they are still true outside `vt'`);
+//! * for updates, the new content is inserted over `vt'`; for deletes,
+//!   nothing is;
+//! * finally, value-equal adjacent current versions are **coalesced** —
+//!   instead of two abutting versions with the same tuple, one merged
+//!   version is produced (the extra closes/merges are part of the plan).
+//!
+//! Everything here is pure: the current state comes in as a slice, the plan
+//! comes out as data. The transaction layer executes plans against an
+//! overlay (its uncommitted view) and, at commit, against the version
+//! store; the WAL logs exactly these primitives.
+
+use tcom_kernel::{Error, Interval, Result, TimePoint, Tuple};
+
+/// One current version as the planner sees it: its valid time and tuple.
+/// (Transaction time is irrelevant for planning — everything in the input
+/// is current by definition.)
+#[derive(Clone, Debug, PartialEq)]
+pub struct CurrentVersion {
+    /// Valid-time extent (pairwise disjoint across the input set).
+    pub vt: Interval,
+    /// The tuple.
+    pub tuple: Tuple,
+}
+
+/// A mutation primitive produced by planning.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Primitive {
+    /// Close the current version whose valid time starts at `vt_start`.
+    Close {
+        /// Identifies the version.
+        vt_start: TimePoint,
+    },
+    /// Insert a new current version.
+    Insert {
+        /// Valid-time extent.
+        vt: Interval,
+        /// Content.
+        tuple: Tuple,
+    },
+}
+
+/// The plan for one logical mutation: primitives in execution order
+/// (closes of a region always precede the inserts that replace it).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Plan {
+    /// Primitives in execution order.
+    pub primitives: Vec<Primitive>,
+}
+
+impl Plan {
+    /// True when the mutation is a no-op.
+    pub fn is_empty(&self) -> bool {
+        self.primitives.is_empty()
+    }
+}
+
+/// Applies a plan to a current-version set, producing the new set.
+/// This is the executable specification the property tests check the
+/// planner against, and what the transaction overlay uses.
+pub fn apply_plan(current: &[CurrentVersion], plan: &Plan) -> Result<Vec<CurrentVersion>> {
+    let mut set: Vec<CurrentVersion> = current.to_vec();
+    for p in &plan.primitives {
+        match p {
+            Primitive::Close { vt_start } => {
+                let pos = set
+                    .iter()
+                    .position(|v| v.vt.start() == *vt_start)
+                    .ok_or_else(|| {
+                        Error::internal(format!("plan closes missing version at vt {vt_start:?}"))
+                    })?;
+                set.remove(pos);
+            }
+            Primitive::Insert { vt, tuple } => {
+                if set.iter().any(|v| v.vt.overlaps(vt)) {
+                    return Err(Error::internal(format!(
+                        "plan inserts overlapping version at {vt:?}"
+                    )));
+                }
+                set.push(CurrentVersion { vt: *vt, tuple: tuple.clone() });
+            }
+        }
+    }
+    set.sort_by_key(|v| v.vt.start());
+    Ok(set)
+}
+
+/// Plans the insertion of brand-new content over `vt`.
+///
+/// Fails when `vt` overlaps an existing current version — insertion never
+/// silently overwrites; that is `plan_update`'s contract.
+pub fn plan_insert(current: &[CurrentVersion], vt: Interval, tuple: &Tuple) -> Result<Plan> {
+    if let Some(v) = current.iter().find(|v| v.vt.overlaps(&vt)) {
+        return Err(Error::Txn(format!(
+            "insert over {vt} overlaps current version at {}",
+            v.vt
+        )));
+    }
+    let mut plan = Plan::default();
+    plan.primitives.push(Primitive::Insert { vt, tuple: tuple.clone() });
+    coalesce_into(current, &mut plan)?;
+    Ok(plan)
+}
+
+/// Plans an update: the content over `vt` becomes `tuple`; versions
+/// overlapping `vt` are closed and their remainders re-inserted.
+pub fn plan_update(current: &[CurrentVersion], vt: Interval, tuple: &Tuple) -> Result<Plan> {
+    let mut plan = replace_region(current, vt);
+    plan.primitives.push(Primitive::Insert { vt, tuple: tuple.clone() });
+    coalesce_into(current, &mut plan)?;
+    Ok(plan)
+}
+
+/// Plans a logical deletion over `vt`: overlapping versions are closed and
+/// their remainders re-inserted; nothing replaces the deleted region.
+pub fn plan_delete(current: &[CurrentVersion], vt: Interval) -> Result<Plan> {
+    let mut plan = replace_region(current, vt);
+    coalesce_into(current, &mut plan)?;
+    Ok(plan)
+}
+
+/// Common core: close every current version overlapping `vt` and re-insert
+/// the parts of them lying outside `vt`.
+fn replace_region(current: &[CurrentVersion], vt: Interval) -> Plan {
+    let mut plan = Plan::default();
+    for v in current {
+        if !v.vt.overlaps(&vt) {
+            continue;
+        }
+        plan.primitives.push(Primitive::Close { vt_start: v.vt.start() });
+        let (left, right) = v.vt.subtract(&vt);
+        for rem in [left, right].into_iter().flatten() {
+            plan.primitives.push(Primitive::Insert { vt: rem, tuple: v.tuple.clone() });
+        }
+    }
+    plan
+}
+
+/// Post-pass: merges value-equal adjacent versions in the plan's result
+/// state by appending the necessary extra closes and a merged re-insert.
+///
+/// Implementation: simulate the plan, find adjacent equal-tuple runs, and
+/// rewrite the plan tail so that each run becomes a single version. Only
+/// versions *touched or adjacent to touched regions* can form new runs, but
+/// detecting runs globally is simplest and equally correct.
+fn coalesce_into(current: &[CurrentVersion], plan: &mut Plan) -> Result<()> {
+    let state = apply_plan(current, plan)?;
+    let mut i = 0;
+    while i + 1 < state.len() {
+        let a = &state[i];
+        let b = &state[i + 1];
+        if a.vt.end() == b.vt.start() && a.tuple == b.tuple {
+            // Find the full run [i, j).
+            let mut j = i + 1;
+            while j < state.len()
+                && state[j].vt.start() == state[j - 1].vt.end()
+                && state[j].tuple == a.tuple
+            {
+                j += 1;
+            }
+            let merged = Interval::new(state[i].vt.start(), state[j - 1].vt.end())
+                .expect("run of non-empty intervals");
+            for v in &state[i..j] {
+                plan.primitives.push(Primitive::Close { vt_start: v.vt.start() });
+            }
+            plan.primitives.push(Primitive::Insert { vt: merged, tuple: a.tuple.clone() });
+            // Restart the scan on the new simulated state.
+            return coalesce_into(current, plan);
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcom_kernel::time::{iv, iv_from};
+    use tcom_kernel::Value;
+
+    fn tup(v: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(v)])
+    }
+
+    fn cv(vt: Interval, v: i64) -> CurrentVersion {
+        CurrentVersion { vt, tuple: tup(v) }
+    }
+
+    fn run(current: &[CurrentVersion], plan: &Plan) -> Vec<(Interval, i64)> {
+        apply_plan(current, plan)
+            .unwrap()
+            .into_iter()
+            .map(|v| {
+                let Value::Int(i) = v.tuple.get(0) else { panic!("int") };
+                (v.vt, *i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_into_empty() {
+        let plan = plan_insert(&[], iv_from(5), &tup(1)).unwrap();
+        assert_eq!(run(&[], &plan), vec![(iv_from(5), 1)]);
+    }
+
+    #[test]
+    fn insert_rejects_overlap() {
+        let cur = [cv(iv(0, 10), 1)];
+        assert!(plan_insert(&cur, iv(5, 15), &tup(2)).is_err());
+        // Adjacent is fine.
+        let plan = plan_insert(&cur, iv(10, 20), &tup(2)).unwrap();
+        assert_eq!(run(&cur, &plan), vec![(iv(0, 10), 1), (iv(10, 20), 2)]);
+    }
+
+    #[test]
+    fn insert_coalesces_with_equal_neighbour() {
+        let cur = [cv(iv(0, 10), 1)];
+        let plan = plan_insert(&cur, iv(10, 20), &tup(1)).unwrap();
+        assert_eq!(run(&cur, &plan), vec![(iv(0, 20), 1)]);
+    }
+
+    #[test]
+    fn update_splits_covering_version() {
+        // [0,100)=1, update [30,60) to 2 -> [0,30)=1 [30,60)=2 [60,100)=1
+        let cur = [cv(iv(0, 100), 1)];
+        let plan = plan_update(&cur, iv(30, 60), &tup(2)).unwrap();
+        assert_eq!(
+            run(&cur, &plan),
+            vec![(iv(0, 30), 1), (iv(30, 60), 2), (iv(60, 100), 1)]
+        );
+    }
+
+    #[test]
+    fn update_spanning_multiple_versions() {
+        let cur = [cv(iv(0, 10), 1), cv(iv(10, 20), 2), cv(iv(20, 30), 3)];
+        let plan = plan_update(&cur, iv(5, 25), &tup(9)).unwrap();
+        assert_eq!(
+            run(&cur, &plan),
+            vec![(iv(0, 5), 1), (iv(5, 25), 9), (iv(25, 30), 3)]
+        );
+    }
+
+    #[test]
+    fn update_entire_open_ended_version() {
+        let cur = [cv(iv_from(0), 1)];
+        let plan = plan_update(&cur, iv_from(0), &tup(2)).unwrap();
+        assert_eq!(run(&cur, &plan), vec![(iv_from(0), 2)]);
+        // Plan shape: close then insert.
+        assert_eq!(plan.primitives.len(), 2);
+        assert!(matches!(plan.primitives[0], Primitive::Close { .. }));
+    }
+
+    #[test]
+    fn update_to_same_value_coalesces() {
+        // [0,10)=1 [10,20)=2; update [10,20) to 1 -> single [0,20)=1
+        let cur = [cv(iv(0, 10), 1), cv(iv(10, 20), 2)];
+        let plan = plan_update(&cur, iv(10, 20), &tup(1)).unwrap();
+        assert_eq!(run(&cur, &plan), vec![(iv(0, 20), 1)]);
+    }
+
+    #[test]
+    fn update_coalesces_across_three() {
+        // [0,10)=1 [10,20)=2 [20,30)=1; update middle to 1 -> [0,30)=1
+        let cur = [cv(iv(0, 10), 1), cv(iv(10, 20), 2), cv(iv(20, 30), 1)];
+        let plan = plan_update(&cur, iv(10, 20), &tup(1)).unwrap();
+        assert_eq!(run(&cur, &plan), vec![(iv(0, 30), 1)]);
+    }
+
+    #[test]
+    fn delete_middle_leaves_remainders() {
+        let cur = [cv(iv(0, 100), 1)];
+        let plan = plan_delete(&cur, iv(40, 60)).unwrap();
+        assert_eq!(run(&cur, &plan), vec![(iv(0, 40), 1), (iv(60, 100), 1)]);
+    }
+
+    #[test]
+    fn delete_everything() {
+        let cur = [cv(iv(0, 10), 1), cv(iv(10, 20), 2)];
+        let plan = plan_delete(&cur, iv(0, 20)).unwrap();
+        assert_eq!(run(&cur, &plan), vec![]);
+    }
+
+    #[test]
+    fn delete_nonoverlapping_is_noop() {
+        let cur = [cv(iv(0, 10), 1)];
+        let plan = plan_delete(&cur, iv(50, 60)).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(run(&cur, &plan), vec![(iv(0, 10), 1)]);
+    }
+
+    #[test]
+    fn delete_can_cause_coalescing() {
+        // [0,10)=1 [10,20)=2 [20,30)=1; delete [10,20) -> no merge (gap).
+        let cur = [cv(iv(0, 10), 1), cv(iv(10, 20), 2), cv(iv(20, 30), 1)];
+        let plan = plan_delete(&cur, iv(10, 20)).unwrap();
+        assert_eq!(run(&cur, &plan), vec![(iv(0, 10), 1), (iv(20, 30), 1)]);
+    }
+
+    #[test]
+    fn apply_plan_rejects_bad_plans() {
+        // Closing a missing version.
+        let plan = Plan {
+            primitives: vec![Primitive::Close { vt_start: TimePoint(5) }],
+        };
+        assert!(apply_plan(&[], &plan).is_err());
+        // Inserting an overlap.
+        let plan = Plan {
+            primitives: vec![
+                Primitive::Insert { vt: iv(0, 10), tuple: tup(1) },
+                Primitive::Insert { vt: iv(5, 15), tuple: tup(2) },
+            ],
+        };
+        assert!(apply_plan(&[], &plan).is_err());
+    }
+
+    #[test]
+    fn open_ended_update_tail() {
+        // [0,∞)=1; update [10,∞) to 2 -> [0,10)=1 [10,∞)=2
+        let cur = [cv(iv_from(0), 1)];
+        let plan = plan_update(&cur, iv_from(10), &tup(2)).unwrap();
+        assert_eq!(run(&cur, &plan), vec![(iv(0, 10), 1), (iv_from(10), 2)]);
+    }
+}

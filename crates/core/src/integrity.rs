@@ -1,0 +1,180 @@
+//! Integrity verification — an `fsck` for the temporal store.
+//!
+//! [`Database::verify_integrity`] checks every invariant the engine relies
+//! on and returns a report instead of failing fast, so operators can see
+//! the full damage picture:
+//!
+//! * per atom: current versions have pairwise-disjoint valid times;
+//! * per atom: no version has an empty transaction time, and histories
+//!   contain every current version;
+//! * time-slices are internally consistent: at any version boundary, the
+//!   visible valid-time intervals are pairwise disjoint (no bitemporal
+//!   overlap was ever stored);
+//! * value indexes: every indexed current value has an entry, and every
+//!   entry corresponds to a current value (no ghosts, no misses);
+//! * references: every link in a *current* version resolves to an atom
+//!   that exists (temporal dangling references to deleted atoms are legal
+//!   and reported separately as informational counts).
+
+use crate::db::Database;
+use std::collections::HashSet;
+use tcom_kernel::{AtomId, Error, Result, TimePoint};
+use tcom_storage::keys::{encode_value, BKey};
+
+/// Outcome of an integrity verification pass.
+#[derive(Clone, Debug, Default)]
+pub struct IntegrityReport {
+    /// Atoms inspected.
+    pub atoms_checked: u64,
+    /// Versions inspected.
+    pub versions_checked: u64,
+    /// Hard invariant violations (each a human-readable description).
+    pub violations: Vec<String>,
+    /// Current-version links pointing at atoms with no current version
+    /// (legal — the target was logically deleted — but worth surfacing).
+    pub dangling_current_refs: u64,
+}
+
+impl IntegrityReport {
+    /// True iff no hard violations were found.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl Database {
+    /// Runs a full integrity verification (read-only; takes the commit
+    /// lock per atom, so it can run against a live database).
+    pub fn verify_integrity(&self) -> Result<IntegrityReport> {
+        let mut report = IntegrityReport::default();
+        let type_ids: Vec<_> = self.with_catalog(|c| {
+            c.atom_types().iter().map(|t| (t.id, t.name.clone(), t.attrs.clone())).collect::<Vec<_>>()
+        });
+        for (ty, ty_name, attrs) in &type_ids {
+            let store = self.store(*ty)?;
+            let mut atoms = Vec::new();
+            store.scan_atoms(&mut |no| {
+                atoms.push(no);
+                Ok(true)
+            })?;
+            for no in atoms {
+                let atom = AtomId::new(*ty, no);
+                report.atoms_checked += 1;
+                let history = store.history(no)?;
+                let current = store.current_versions(no)?;
+                report.versions_checked += history.len() as u64;
+
+                // Current versions: pairwise-disjoint valid times.
+                for i in 0..current.len() {
+                    for j in i + 1..current.len() {
+                        if current[i].vt.overlaps(&current[j].vt) {
+                            report.violations.push(format!(
+                                "{atom}: overlapping current valid times {} and {}",
+                                current[i].vt, current[j].vt
+                            ));
+                        }
+                    }
+                }
+                // Histories contain the current versions.
+                for c in &current {
+                    if !history.iter().any(|h| h.vt == c.vt && h.tt == c.tt && h.tuple == c.tuple) {
+                        report.violations.push(format!(
+                            "{atom}: current version vt={} missing from history",
+                            c.vt
+                        ));
+                    }
+                }
+                // Bitemporal consistency at every version boundary.
+                let mut boundaries: Vec<TimePoint> = history
+                    .iter()
+                    .flat_map(|v| {
+                        [Some(v.tt.start()), (!v.tt.end().is_forever()).then(|| v.tt.end())]
+                    })
+                    .flatten()
+                    .collect();
+                boundaries.sort();
+                boundaries.dedup();
+                for t in boundaries {
+                    let slice = store.versions_at(no, t)?;
+                    for i in 0..slice.len() {
+                        for j in i + 1..slice.len() {
+                            if slice[i].vt.overlaps(&slice[j].vt) {
+                                report.violations.push(format!(
+                                    "{atom}: bitemporal overlap at tt={t}: {} vs {}",
+                                    slice[i].vt, slice[j].vt
+                                ));
+                            }
+                        }
+                    }
+                }
+                // Current references resolve.
+                for v in &current {
+                    for r in v.tuple.referenced_atoms() {
+                        if !self.atom_exists(r)? {
+                            report.violations.push(format!(
+                                "{atom}: current version references unknown atom {r}"
+                            ));
+                        } else if self.current_versions(r)?.is_empty() {
+                            report.dangling_current_refs += 1;
+                        }
+                    }
+                }
+            }
+
+            // Value indexes ↔ store agreement.
+            for (i, a) in attrs.iter().enumerate() {
+                if !a.indexed {
+                    continue;
+                }
+                let attr = tcom_kernel::AttrId(i as u16);
+                let Some(idx) = self.index(*ty, attr) else {
+                    report
+                        .violations
+                        .push(format!("{ty_name}.{}: declared index missing", a.name));
+                    continue;
+                };
+                // Expected entries from the store.
+                let mut expected: HashSet<(u64, u64)> = HashSet::new();
+                store.scan_atoms(&mut |no| {
+                    for v in store.current_versions(no)? {
+                        if let Some(enc) = encode_value(v.tuple.get(i)) {
+                            expected.insert((enc, no.0));
+                        }
+                    }
+                    Ok(true)
+                })?;
+                // Actual entries from the index.
+                let mut actual: HashSet<(u64, u64)> = HashSet::new();
+                idx.scan_range(BKey::MIN, BKey::MAX, |k, _| {
+                    actual.insert((k.hi, k.lo));
+                    Ok(true)
+                })?;
+                for missing in expected.difference(&actual) {
+                    report.violations.push(format!(
+                        "{ty_name}.{}: index missing entry for atom {} (enc {})",
+                        a.name, missing.1, missing.0
+                    ));
+                }
+                for ghost in actual.difference(&expected) {
+                    report.violations.push(format!(
+                        "{ty_name}.{}: ghost index entry for atom {} (enc {})",
+                        a.name, ghost.1, ghost.0
+                    ));
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Convenience: verification that fails on the first violation.
+    pub fn assert_integrity(&self) -> Result<()> {
+        let report = self.verify_integrity()?;
+        if let Some(first) = report.violations.first() {
+            return Err(Error::corruption(format!(
+                "integrity check failed ({} violations; first: {first})",
+                report.violations.len()
+            )));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,42 @@
+//! # tcom-core
+//!
+//! The engine of the tcom temporal complex-object database — the paper's
+//! primary contribution realized end-to-end:
+//!
+//! * [`db::Database`] — lifecycle, DDL, bitemporal reads, checkpointing,
+//!   crash recovery (logical idempotent redo);
+//! * [`txn::Txn`] — write transactions with deferred application,
+//!   read-your-writes overlays, and netting;
+//! * [`dml`] — the pure bitemporal planning algorithms (valid-time
+//!   splitting, remainders, coalescing);
+//! * [`molecule`] — complex-object materialization at any bitemporal
+//!   point, plus molecule histories over transaction time;
+//! * [`algebra`] — temporal relational algebra over versioned tuple sets.
+
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod config;
+pub mod db;
+pub mod dml;
+pub mod integrity;
+pub mod journal;
+pub mod molecule;
+pub mod txn;
+
+pub use config::DbConfig;
+pub use db::Database;
+pub use dml::{CurrentVersion, Plan, Primitive};
+pub use integrity::IntegrityReport;
+pub use molecule::{MatAtom, Molecule};
+pub use txn::Txn;
+
+// Re-export the commonly used lower-layer types so that applications can
+// depend on `tcom-core` alone.
+pub use tcom_catalog::{AttrDef, Catalog, MoleculeEdge};
+pub use tcom_kernel::{
+    AtomId, AtomNo, AtomTypeId, AttrId, DataType, Error, Interval, MoleculeTypeId, Result,
+    TemporalElement, TimePoint, Tuple, Value,
+};
+pub use tcom_version::{StoreKind, StoreStats};
+pub use tcom_wal::SyncPolicy;

@@ -1,0 +1,345 @@
+//! Write transactions: deferred application with read-your-writes.
+//!
+//! A [`Txn`] buffers mutation primitives and maintains an *overlay* — the
+//! would-be current state of every touched atom. Nothing reaches the
+//! stores until [`Txn::commit`]:
+//!
+//! 1. the buffered primitives are **netted** (a version inserted and
+//!    closed within the same transaction is elided entirely, so no
+//!    empty-transaction-time version is ever stored);
+//! 2. a fresh transaction-time value `t` is drawn from the engine clock;
+//! 3. `Begin`, the primitives (stamped with `t`), and `Commit` are
+//!    appended to the WAL (fsynced per policy);
+//! 4. the primitives are applied to the version stores and the value
+//!    indexes under the commit lock.
+//!
+//! Dropping an uncommitted transaction aborts it: since nothing was
+//! applied, abort is free (allocated atom numbers are burned, which is
+//! harmless and standard).
+
+use crate::db::{to_current, Database};
+use crate::dml::{self, CurrentVersion, Plan, Primitive};
+use parking_lot::MutexGuard;
+use std::collections::HashMap;
+use tcom_kernel::{AtomId, AtomTypeId, Error, Interval, Result, TimePoint, Tuple, TxnId};
+use tcom_wal::LogRecord;
+
+/// One buffered primitive, tagged with its atom.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct TaggedOp {
+    pub atom: AtomId,
+    pub op: Primitive,
+}
+
+/// A write transaction.
+pub struct Txn<'db> {
+    db: &'db Database,
+    _writer: MutexGuard<'db, ()>,
+    ops: Vec<TaggedOp>,
+    /// Overlay current state of touched atoms.
+    overlay: HashMap<AtomId, Vec<CurrentVersion>>,
+    /// Pre-transaction current tuples of touched atoms (for index deltas).
+    pre: HashMap<AtomId, Vec<Tuple>>,
+}
+
+impl<'db> Txn<'db> {
+    pub(crate) fn new(db: &'db Database) -> Txn<'db> {
+        Txn {
+            db,
+            _writer: db.writer.lock(),
+            ops: Vec::new(),
+            overlay: HashMap::new(),
+            pre: HashMap::new(),
+        }
+    }
+
+    /// The transaction's view of an atom's current versions
+    /// (read-your-writes).
+    pub fn current_versions(&mut self, atom: AtomId) -> Result<Vec<CurrentVersion>> {
+        if let Some(v) = self.overlay.get(&atom) {
+            return Ok(v.clone());
+        }
+        let base = to_current(self.db.store(atom.ty)?.current_versions(atom.no)?);
+        self.pre
+            .insert(atom, base.iter().map(|v| v.tuple.clone()).collect());
+        self.overlay.insert(atom, base.clone());
+        Ok(base)
+    }
+
+    /// The transaction's view of the tuple valid at `vt`, if any.
+    pub fn current_tuple(&mut self, atom: AtomId, vt: TimePoint) -> Result<Option<Tuple>> {
+        Ok(self
+            .current_versions(atom)?
+            .into_iter()
+            .find(|v| v.vt.contains(vt))
+            .map(|v| v.tuple))
+    }
+
+    fn check_tuple(&self, ty: AtomTypeId, tuple: &Tuple) -> Result<()> {
+        self.db.with_catalog(|c| c.atom_type(ty)?.check_tuple(tuple))
+    }
+
+    /// Checks that every atom referenced by `tuple` exists (in this
+    /// transaction's view or committed state).
+    fn check_references(&mut self, tuple: &Tuple) -> Result<()> {
+        let refs: Vec<AtomId> = tuple.referenced_atoms().collect();
+        for r in refs {
+            let known_here = self.overlay.contains_key(&r);
+            if !known_here && !self.db.atom_exists(r)? {
+                return Err(Error::Txn(format!("reference to unknown atom {r}")));
+            }
+        }
+        Ok(())
+    }
+
+    fn record_plan(&mut self, atom: AtomId, plan: Plan) -> Result<()> {
+        let cur = self.current_versions(atom)?;
+        let next = dml::apply_plan(&cur, &plan)?;
+        self.overlay.insert(atom, next);
+        self.ops
+            .extend(plan.primitives.into_iter().map(|op| TaggedOp { atom, op }));
+        Ok(())
+    }
+
+    /// Creates a new atom valid over `vt`, returning its id.
+    pub fn insert_atom(&mut self, ty: AtomTypeId, vt: Interval, tuple: Tuple) -> Result<AtomId> {
+        self.check_tuple(ty, &tuple)?;
+        self.check_references(&tuple)?;
+        let atom = AtomId::new(ty, self.db.alloc_atom_no(ty));
+        self.pre.insert(atom, Vec::new());
+        self.overlay.insert(atom, Vec::new());
+        let plan = dml::plan_insert(&[], vt, &tuple)?;
+        self.record_plan(atom, plan)
+            .map(|_| atom)
+    }
+
+    /// Adds a version of an *existing* atom over a valid-time extent not
+    /// covered by any current version.
+    pub fn insert_version(&mut self, atom: AtomId, vt: Interval, tuple: Tuple) -> Result<()> {
+        self.check_tuple(atom.ty, &tuple)?;
+        self.check_references(&tuple)?;
+        self.require_exists(atom)?;
+        let cur = self.current_versions(atom)?;
+        let plan = dml::plan_insert(&cur, vt, &tuple)?;
+        self.record_plan(atom, plan)
+    }
+
+    /// Sets the atom's content over `vt` (bitemporal update with splitting
+    /// and coalescing).
+    pub fn update(&mut self, atom: AtomId, vt: Interval, tuple: Tuple) -> Result<()> {
+        self.check_tuple(atom.ty, &tuple)?;
+        self.check_references(&tuple)?;
+        self.require_exists(atom)?;
+        let cur = self.current_versions(atom)?;
+        let plan = dml::plan_update(&cur, vt, &tuple)?;
+        self.record_plan(atom, plan)
+    }
+
+    /// Logically deletes the atom's content over `vt`.
+    pub fn delete(&mut self, atom: AtomId, vt: Interval) -> Result<()> {
+        self.require_exists(atom)?;
+        let cur = self.current_versions(atom)?;
+        let plan = dml::plan_delete(&cur, vt)?;
+        self.record_plan(atom, plan)
+    }
+
+    fn require_exists(&mut self, atom: AtomId) -> Result<()> {
+        if self.overlay.contains_key(&atom) || self.db.atom_exists(atom)? {
+            Ok(())
+        } else {
+            Err(Error::AtomNotFound(atom.to_string()))
+        }
+    }
+
+    /// Number of buffered primitives.
+    pub fn pending_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Commits: logs and applies every buffered primitive at a single new
+    /// transaction time, which is returned.
+    pub fn commit(mut self) -> Result<TimePoint> {
+        let ops = net_ops(std::mem::take(&mut self.ops));
+        if ops.is_empty() {
+            return Ok(self.db.now());
+        }
+        // No-steal pressure guard: flush *before* this transaction's
+        // writes enter the pool, so the pool always has room for one
+        // transaction's write set.
+        self.db.flush_if_pressured()?;
+        let tt = self.db.bump_clock();
+        let txn = TxnId(tt.0);
+
+        // 1. WAL first.
+        let wal = self.db.wal();
+        wal.append(&LogRecord::Begin { txn })?;
+        for TaggedOp { atom, op } in &ops {
+            match op {
+                Primitive::Close { vt_start } => {
+                    wal.append(&LogRecord::CloseVersion {
+                        txn,
+                        atom: *atom,
+                        vt_start: *vt_start,
+                        tt_end: tt,
+                    })?;
+                }
+                Primitive::Insert { vt, tuple } => {
+                    wal.append(&LogRecord::InsertVersion {
+                        txn,
+                        atom: *atom,
+                        vt: *vt,
+                        tt_start: tt,
+                        tuple: tuple.clone(),
+                    })?;
+                }
+            }
+        }
+        wal.append_commit(&LogRecord::Commit { txn })?;
+
+        // 2. Apply under the commit lock (readers excluded briefly).
+        {
+            let _x = self.db.commit_lock.write();
+            for TaggedOp { atom, op } in &ops {
+                let store = self.db.store(atom.ty)?;
+                match op {
+                    Primitive::Close { vt_start } => {
+                        let closed = store.close_version(atom.no, *vt_start, tt)?;
+                        if !closed {
+                            return Err(Error::internal(format!(
+                                "commit: close of missing version {atom} @vt {vt_start:?}"
+                            )));
+                        }
+                    }
+                    Primitive::Insert { vt, tuple } => {
+                        store.insert_version(atom.no, *vt, tt, tuple)?;
+                    }
+                }
+            }
+            // 3. Time index: every atom with applied primitives changed at tt.
+            let changed: std::collections::HashSet<AtomId> =
+                ops.iter().map(|t| t.atom).collect();
+            for atom in changed {
+                self.db.note_change(atom, tt)?;
+            }
+            // 4. Value indexes: per touched atom, diff before/after values.
+            let touched: Vec<AtomId> = self.overlay.keys().copied().collect();
+            for atom in touched {
+                let before = self.pre.get(&atom).cloned().unwrap_or_default();
+                let after: Vec<Tuple> = self.overlay[&atom]
+                    .iter()
+                    .map(|v| v.tuple.clone())
+                    .collect();
+                self.db.update_indexes_for(atom, &before, &after)?;
+            }
+        }
+        self.db.note_commit()?;
+        Ok(tt)
+    }
+
+    /// Explicitly abandons the transaction (equivalent to dropping it).
+    pub fn abort(mut self) {
+        self.ops.clear();
+    }
+}
+
+/// Nets a primitive sequence: an `Insert` whose version is later `Close`d
+/// within the same transaction is removed together with that `Close`
+/// (such a version would have an empty transaction-time extent and must
+/// never be stored or logged).
+pub(crate) fn net_ops(ops: Vec<TaggedOp>) -> Vec<TaggedOp> {
+    // Track, per (atom, vt.start), the index of the pending in-txn insert.
+    let mut result: Vec<Option<TaggedOp>> = Vec::with_capacity(ops.len());
+    let mut pending_insert: HashMap<(AtomId, TimePoint), usize> = HashMap::new();
+    for t in ops {
+        match &t.op {
+            Primitive::Insert { vt, .. } => {
+                pending_insert.insert((t.atom, vt.start()), result.len());
+                result.push(Some(t));
+            }
+            Primitive::Close { vt_start } => {
+                if let Some(idx) = pending_insert.remove(&(t.atom, *vt_start)) {
+                    result[idx] = None; // elide the pair
+                } else {
+                    result.push(Some(t));
+                }
+            }
+        }
+    }
+    // Apply closes before inserts at equal safety: order among survivors is
+    // already consistent (every surviving close targets a pre-txn version,
+    // every surviving insert is final state), but keep closes first so a
+    // re-inserted vt range never transiently overlaps.
+    let survivors: Vec<TaggedOp> = result.into_iter().flatten().collect();
+    let (closes, inserts): (Vec<_>, Vec<_>) = survivors
+        .into_iter()
+        .partition(|t| matches!(t.op, Primitive::Close { .. }));
+    closes.into_iter().chain(inserts).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcom_kernel::time::{iv, iv_from};
+    use tcom_kernel::{AtomNo, Value};
+
+    fn aid(no: u64) -> AtomId {
+        AtomId::new(AtomTypeId(0), AtomNo(no))
+    }
+
+    fn tup(v: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(v)])
+    }
+
+    fn ins(atom: AtomId, vt: Interval, v: i64) -> TaggedOp {
+        TaggedOp { atom, op: Primitive::Insert { vt, tuple: tup(v) } }
+    }
+
+    fn close(atom: AtomId, vt_start: u64) -> TaggedOp {
+        TaggedOp { atom, op: Primitive::Close { vt_start: TimePoint(vt_start) } }
+    }
+
+    #[test]
+    fn net_elides_insert_close_pairs() {
+        // insert v1 @0, close @0 (pre-txn), insert v2 @0, close @0 (hits v2), insert v3 @0
+        let ops = vec![
+            close(aid(1), 0),        // closes a pre-txn version: survives
+            ins(aid(1), iv_from(0), 1),
+            close(aid(1), 0),        // closes the in-txn insert: both elided
+            ins(aid(1), iv_from(0), 2),
+        ];
+        let net = net_ops(ops);
+        assert_eq!(net.len(), 2);
+        assert!(matches!(net[0].op, Primitive::Close { vt_start: TimePoint(0) }));
+        assert!(matches!(&net[1].op, Primitive::Insert { tuple, .. } if *tuple == tup(2)));
+    }
+
+    #[test]
+    fn net_keeps_unrelated_ops() {
+        let ops = vec![
+            ins(aid(1), iv(0, 10), 1),
+            ins(aid(2), iv(0, 10), 2),
+            close(aid(3), 5),
+        ];
+        let net = net_ops(ops.clone());
+        assert_eq!(net.len(), 3);
+        // closes first
+        assert!(matches!(net[0].op, Primitive::Close { .. }));
+    }
+
+    #[test]
+    fn net_distinguishes_atoms() {
+        // close(atom2, 0) must not elide insert(atom1, 0)
+        let ops = vec![ins(aid(1), iv_from(0), 1), close(aid(2), 0)];
+        let net = net_ops(ops);
+        assert_eq!(net.len(), 2);
+    }
+
+    #[test]
+    fn net_fully_cancelling_txn() {
+        let ops = vec![
+            ins(aid(1), iv_from(0), 1),
+            close(aid(1), 0),
+        ];
+        assert!(net_ops(ops).is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! The engine-wide error type.
+//!
+//! One flat enum is used across all crates: a storage engine has fairly few
+//! error *categories* and threading a single `Result` alias through the
+//! stack keeps `?` ergonomic everywhere.
+
+use std::fmt;
+use std::io;
+
+/// Engine-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// All failure modes of the engine.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A page, record or log entry failed validation (bad magic, CRC, bounds).
+    Corruption(String),
+    /// An operation referenced a schema object that does not exist.
+    UnknownSchemaObject(String),
+    /// A schema definition is invalid (duplicate names, bad link target…).
+    InvalidSchema(String),
+    /// A value did not match the declared attribute type.
+    TypeMismatch(String),
+    /// An atom id did not resolve to a stored atom.
+    AtomNotFound(String),
+    /// A record did not fit on a page / exceeded the maximum record size.
+    RecordTooLarge(usize),
+    /// The buffer pool had no evictable frame (everything pinned).
+    BufferExhausted,
+    /// A transaction-level violation (write conflict, commit on aborted txn…).
+    Txn(String),
+    /// Query-language parse error with position information.
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// 1-based source column.
+        col: u32,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Query is syntactically valid but semantically wrong (unknown names,
+    /// type errors in predicates…).
+    Query(String),
+    /// Catch-all invariant violation; indicates a bug, not bad user input.
+    Internal(String),
+}
+
+impl Error {
+    /// Shorthand for corruption errors.
+    pub fn corruption(msg: impl Into<String>) -> Error {
+        Error::Corruption(msg.into())
+    }
+
+    /// Shorthand for internal invariant violations.
+    pub fn internal(msg: impl Into<String>) -> Error {
+        Error::Internal(msg.into())
+    }
+
+    /// Shorthand for query semantic errors.
+    pub fn query(msg: impl Into<String>) -> Error {
+        Error::Query(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Corruption(m) => write!(f, "corruption detected: {m}"),
+            Error::UnknownSchemaObject(m) => write!(f, "unknown schema object: {m}"),
+            Error::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
+            Error::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            Error::AtomNotFound(m) => write!(f, "atom not found: {m}"),
+            Error::RecordTooLarge(n) => write!(f, "record too large: {n} bytes"),
+            Error::BufferExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
+            Error::Txn(m) => write!(f, "transaction error: {m}"),
+            Error::Parse { line, col, msg } => write!(f, "parse error at {line}:{col}: {msg}"),
+            Error::Query(m) => write!(f, "query error: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<Error> = vec![
+            Error::Io(io::Error::other("boom")),
+            Error::corruption("bad magic"),
+            Error::UnknownSchemaObject("emp".into()),
+            Error::InvalidSchema("dup".into()),
+            Error::TypeMismatch("int vs text".into()),
+            Error::AtomNotFound("a1.2".into()),
+            Error::RecordTooLarge(99999),
+            Error::BufferExhausted,
+            Error::Txn("conflict".into()),
+            Error::Parse { line: 1, col: 5, msg: "expected ident".into() },
+            Error::query("unknown attribute"),
+            Error::internal("unreachable"),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        fn f() -> Result<()> {
+            Err(io::Error::new(io::ErrorKind::NotFound, "gone"))?;
+            Ok(())
+        }
+        assert!(matches!(f(), Err(Error::Io(_))));
+    }
+}

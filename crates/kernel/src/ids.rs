@@ -1,0 +1,202 @@
+//! Identifier newtypes shared across the engine.
+//!
+//! Every identifier is a transparent newtype so that the type system keeps
+//! page ids, atom numbers, type ids etc. from being mixed up — a real hazard
+//! in a storage engine where everything is ultimately a `u32`/`u64`.
+
+use std::fmt;
+
+/// Identifies an atom type (the complex-object analogue of a table).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AtomTypeId(pub u32);
+
+/// Identifies an attribute within an atom type by ordinal position.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AttrId(pub u16);
+
+/// The per-type sequence number of an atom. Together with its
+/// [`AtomTypeId`] it forms the globally unique [`AtomId`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AtomNo(pub u64);
+
+/// Globally unique, immutable identity of an atom (never reused; survives
+/// all updates — versions share the atom id).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AtomId {
+    /// The atom's type.
+    pub ty: AtomTypeId,
+    /// The per-type sequence number.
+    pub no: AtomNo,
+}
+
+impl AtomId {
+    /// Composes an atom id from its parts.
+    pub fn new(ty: AtomTypeId, no: AtomNo) -> AtomId {
+        AtomId { ty, no }
+    }
+
+    /// Packs the id into a single `u64` key for index use:
+    /// `type_id` in the high 16 bits, atom number in the low 48.
+    ///
+    /// Panics in debug builds if either component is out of range; the
+    /// engine's id allocators keep them in range by construction.
+    pub fn pack(self) -> u64 {
+        debug_assert!(self.ty.0 < (1 << 16));
+        debug_assert!(self.no.0 < (1 << 48));
+        ((self.ty.0 as u64) << 48) | (self.no.0 & ((1 << 48) - 1))
+    }
+
+    /// Inverse of [`AtomId::pack`].
+    pub fn unpack(key: u64) -> AtomId {
+        AtomId {
+            ty: AtomTypeId((key >> 48) as u32),
+            no: AtomNo(key & ((1 << 48) - 1)),
+        }
+    }
+}
+
+impl fmt::Debug for AtomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}.{}", self.ty.0, self.no.0)
+    }
+}
+
+impl fmt::Display for AtomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifies a molecule type (a named complex-object structure).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MoleculeTypeId(pub u32);
+
+/// A page number within one storage file.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Sentinel meaning "no page" in on-disk link fields.
+    pub const INVALID: PageId = PageId(u32::MAX);
+
+    /// True iff this is the invalid sentinel.
+    pub fn is_invalid(self) -> bool {
+        self == PageId::INVALID
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_invalid() {
+            write!(f, "p⊥")
+        } else {
+            write!(f, "p{}", self.0)
+        }
+    }
+}
+
+/// Slot index within a slotted page.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SlotId(pub u16);
+
+/// Physical record address: `(page, slot)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId {
+    /// Containing page.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: SlotId,
+}
+
+impl RecordId {
+    /// Sentinel meaning "no record" in on-disk link fields.
+    pub const INVALID: RecordId = RecordId {
+        page: PageId::INVALID,
+        slot: SlotId(u16::MAX),
+    };
+
+    /// Composes a record id.
+    pub fn new(page: PageId, slot: SlotId) -> RecordId {
+        RecordId { page, slot }
+    }
+
+    /// True iff this is the invalid sentinel.
+    pub fn is_invalid(self) -> bool {
+        self.page.is_invalid()
+    }
+
+    /// Packs into a `u64` for index payloads (`page` high, `slot` low).
+    pub fn pack(self) -> u64 {
+        ((self.page.0 as u64) << 16) | self.slot.0 as u64
+    }
+
+    /// Inverse of [`RecordId::pack`].
+    pub fn unpack(v: u64) -> RecordId {
+        RecordId {
+            page: PageId((v >> 16) as u32),
+            slot: SlotId((v & 0xFFFF) as u16),
+        }
+    }
+}
+
+impl fmt::Debug for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_invalid() {
+            write!(f, "r⊥")
+        } else {
+            write!(f, "r{}:{}", self.page.0, self.slot.0)
+        }
+    }
+}
+
+/// Transaction identifier (the engine's commit counter doubles as the
+/// transaction-time clock, so `TxnId` values are comparable with
+/// transaction-time [`crate::time::TimePoint`]s).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TxnId(pub u64);
+
+/// Log sequence number within the write-ahead log.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Lsn(pub u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_id_pack_roundtrip() {
+        let id = AtomId::new(AtomTypeId(7), AtomNo(123_456_789));
+        assert_eq!(AtomId::unpack(id.pack()), id);
+        let hi = AtomId::new(AtomTypeId(65_535), AtomNo((1 << 48) - 1));
+        assert_eq!(AtomId::unpack(hi.pack()), hi);
+        let lo = AtomId::new(AtomTypeId(0), AtomNo(0));
+        assert_eq!(AtomId::unpack(lo.pack()), lo);
+    }
+
+    #[test]
+    fn atom_id_pack_orders_by_type_then_no() {
+        let a = AtomId::new(AtomTypeId(1), AtomNo(999)).pack();
+        let b = AtomId::new(AtomTypeId(2), AtomNo(0)).pack();
+        assert!(a < b);
+        let c = AtomId::new(AtomTypeId(2), AtomNo(1)).pack();
+        assert!(b < c);
+    }
+
+    #[test]
+    fn record_id_pack_roundtrip() {
+        let r = RecordId::new(PageId(42), SlotId(17));
+        assert_eq!(RecordId::unpack(r.pack()), r);
+        assert!(RecordId::INVALID.is_invalid());
+        assert!(!r.is_invalid());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            format!("{}", AtomId::new(AtomTypeId(3), AtomNo(9))),
+            "a3.9"
+        );
+        assert_eq!(format!("{:?}", PageId::INVALID), "p⊥");
+        assert_eq!(format!("{:?}", RecordId::new(PageId(1), SlotId(2))), "r1:2");
+    }
+}

@@ -1,0 +1,22 @@
+//! # tcom-kernel
+//!
+//! Foundation types shared by every crate of the `tcom` temporal
+//! complex-object database engine: the temporal domain ([`time`]), the
+//! value model ([`value`]), identifier newtypes ([`ids`]), the engine-wide
+//! error type ([`error`]) and the binary record codec ([`codec`]).
+//!
+//! Nothing in this crate performs I/O; it is pure data-model code with
+//! exhaustive unit and property tests.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod ids;
+pub mod time;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ids::{AtomId, AtomNo, AtomTypeId, AttrId, Lsn, MoleculeTypeId, PageId, RecordId, SlotId, TxnId};
+pub use time::{BitemporalStamp, Interval, IntervalRelation, TemporalElement, TimePoint};
+pub use value::{DataType, Tuple, Value};

@@ -1,0 +1,124 @@
+//! The TQL abstract syntax tree.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! query     := SELECT targets FROM source [WHERE expr]
+//!              [ASOF TT <int>] [VALID AT <int> | VALID IN '[' <int> ',' <int> ')'|']' ]
+//!              [LIMIT <int>]
+//! targets   := '*' | MOLECULE | HISTORY | proj (',' proj)*
+//! proj      := ident ['.' ident]
+//! source    := ident [ident]            -- atom-type (or molecule-type) name + alias
+//! expr      := or; standard precedence OR < AND < NOT < cmp
+//! cmp       := operand (=|!=|<|<=|>|>=) operand | operand IS [NOT] NULL
+//! operand   := literal | ident '.' ident | ident
+//! ```
+//!
+//! Temporal semantics:
+//! * no `ASOF TT` → the current database state;
+//! * no `VALID` clause → every valid-time slice qualifies (one result row
+//!   per version);
+//! * `VALID AT t` → only versions whose valid time covers `t`;
+//! * `VALID IN [a, b)` → versions overlapping the window, with their valid
+//!   times clipped to it.
+
+use tcom_kernel::{TimePoint, Value};
+
+/// A parsed query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// What is returned.
+    pub targets: Targets,
+    /// Source type name (atom type, or molecule type for `SELECT MOLECULE`).
+    pub source: String,
+    /// Optional alias for the source (defaults to the source name).
+    pub alias: Option<String>,
+    /// Optional predicate.
+    pub filter: Option<Expr>,
+    /// Optional transaction-time slice.
+    pub asof_tt: Option<TimePoint>,
+    /// Optional valid-time constraint.
+    pub valid: Valid,
+    /// Optional result limit.
+    pub limit: Option<usize>,
+}
+
+/// The `SELECT` clause.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Targets {
+    /// `*` — every attribute of the source.
+    All,
+    /// Explicit projections.
+    Projs(Vec<Proj>),
+    /// `MOLECULE` — materialized complex objects.
+    Molecule,
+    /// `HISTORY` — full version histories of qualifying atoms.
+    History,
+}
+
+/// One projection item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Proj {
+    /// Qualifier (alias), if written.
+    pub qualifier: Option<String>,
+    /// Attribute name.
+    pub attr: String,
+}
+
+/// Valid-time constraint of a query.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum Valid {
+    /// No constraint: all valid-time slices.
+    #[default]
+    Any,
+    /// `VALID AT t`.
+    At(TimePoint),
+    /// `VALID IN [a, b)`.
+    In(TimePoint, TimePoint),
+}
+
+/// Predicate expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Comparison of two operands.
+    Cmp(Operand, CmpOp, Operand),
+    /// `x IS NULL` / `x IS NOT NULL`.
+    IsNull(Operand, bool),
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`, `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A comparison operand.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operand {
+    /// Literal value.
+    Lit(Value),
+    /// Attribute reference (optionally qualified).
+    Attr {
+        /// Qualifier (alias), if written.
+        qualifier: Option<String>,
+        /// Attribute name.
+        attr: String,
+    },
+}

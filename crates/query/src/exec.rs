@@ -1,0 +1,454 @@
+//! Semantic analysis, access-path planning and execution of TQL queries.
+
+use crate::ast::{CmpOp, Expr, Operand, Proj, Query, Targets, Valid};
+use std::cmp::Ordering;
+use tcom_catalog::AtomTypeDef;
+use tcom_core::{Database, Molecule};
+use tcom_kernel::{AtomId, AttrId, Error, Interval, Result, TimePoint, Tuple, Value};
+use tcom_storage::keys::encode_value;
+use tcom_version::record::AtomVersion;
+
+/// One result row of an atom query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// The atom the row came from.
+    pub atom: AtomId,
+    /// Projected values.
+    pub values: Vec<Value>,
+    /// Valid time of the contributing version (clipped to a `VALID IN`
+    /// window when one was given).
+    pub vt: Interval,
+    /// Transaction time of the contributing version.
+    pub tt: Interval,
+}
+
+/// The result of a query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryOutput {
+    /// `SELECT *` / projection queries.
+    Rows {
+        /// Column names, aligned with every row's values.
+        columns: Vec<String>,
+        /// The rows.
+        rows: Vec<Row>,
+    },
+    /// `SELECT MOLECULE` queries.
+    Molecules(Vec<Molecule>),
+    /// `SELECT HISTORY` queries: per qualifying atom, its qualifying
+    /// versions (newest first).
+    Histories(Vec<(AtomId, Vec<AtomVersion>)>),
+}
+
+impl QueryOutput {
+    /// Number of rows / molecules / histories.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryOutput::Rows { rows, .. } => rows.len(),
+            QueryOutput::Molecules(m) => m.len(),
+            QueryOutput::Histories(h) => h.len(),
+        }
+    }
+
+    /// True when the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The chosen access path (exposed for EXPLAIN-style inspection and the
+/// access-path experiments).
+#[derive(Clone, Debug, PartialEq)]
+pub enum AccessPath {
+    /// Full scan over the atom directory.
+    Scan,
+    /// Value-index range probe on an indexed attribute
+    /// (`[lo_enc, hi_enc]`, inclusive, order-preserving encoding).
+    IndexRange {
+        /// The probed attribute.
+        attr: AttrId,
+        /// Inclusive encoded lower bound.
+        lo: u64,
+        /// Inclusive encoded upper bound.
+        hi: u64,
+    },
+}
+
+/// Execution options (benchmark hooks).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOptions {
+    /// Forbid index use (forces directory scans) — the E7 baseline.
+    pub force_scan: bool,
+}
+
+/// A fully analyzed, executable query.
+pub struct Prepared {
+    query: Query,
+    type_def: AtomTypeDef,
+    /// For molecule queries: the molecule type id; atoms otherwise.
+    mol_type: Option<tcom_kernel::MoleculeTypeId>,
+    /// The chosen access path.
+    pub access: AccessPath,
+}
+
+/// Parses, analyzes and plans a query against `db`'s catalog.
+pub fn prepare(db: &Database, text: &str) -> Result<Prepared> {
+    prepare_with(db, text, ExecOptions::default())
+}
+
+/// [`prepare`] with options.
+pub fn prepare_with(db: &Database, text: &str, opts: ExecOptions) -> Result<Prepared> {
+    let query = crate::parser::parse(text)?;
+    analyze(db, query, opts)
+}
+
+/// Parses, plans and executes in one step.
+pub fn execute(db: &Database, text: &str) -> Result<QueryOutput> {
+    execute_with(db, text, ExecOptions::default())
+}
+
+/// [`execute`] with options.
+pub fn execute_with(db: &Database, text: &str, opts: ExecOptions) -> Result<QueryOutput> {
+    let p = prepare_with(db, text, opts)?;
+    p.run(db)
+}
+
+fn analyze(db: &Database, query: Query, opts: ExecOptions) -> Result<Prepared> {
+    // Resolve the source: molecule queries name a molecule type; everything
+    // else names an atom type.
+    let (type_def, mol_type) = if query.targets == Targets::Molecule {
+        let (mol_id, root_ty) = db.with_catalog(|c| -> Result<_> {
+            let m = c.molecule_type_by_name(&query.source)?;
+            Ok((m.id, m.root))
+        })?;
+        let def = db.with_catalog(|c| c.atom_type(root_ty).cloned())?;
+        (def, Some(mol_id))
+    } else {
+        let def = db.with_catalog(|c| c.atom_type_by_name(&query.source).cloned())?;
+        (def, None)
+    };
+    if mol_type.is_some() && matches!(query.valid, Valid::In(_, _)) {
+        return Err(Error::query(
+            "molecule queries need a point valid time (VALID AT), not a window",
+        ));
+    }
+    // Validate every attribute reference.
+    let alias = query.alias.clone().unwrap_or_else(|| query.source.clone());
+    let check_qualifier = |q: &Option<String>| -> Result<()> {
+        match q {
+            None => Ok(()),
+            Some(q) if *q == alias || q == "root" => Ok(()),
+            Some(q) => Err(Error::query(format!("unknown qualifier '{q}'"))),
+        }
+    };
+    let check_attr = |name: &str| -> Result<AttrId> {
+        type_def
+            .attr_by_name(name)
+            .map(|(id, _)| id)
+            .ok_or_else(|| {
+                Error::query(format!("unknown attribute '{}.{name}'", type_def.name))
+            })
+    };
+    if let Targets::Projs(projs) = &query.targets {
+        for p in projs {
+            check_qualifier(&p.qualifier)?;
+            check_attr(&p.attr)?;
+        }
+    }
+    if let Some(filter) = &query.filter {
+        validate_expr(filter, &check_qualifier, &check_attr)?;
+    }
+
+    // Access-path selection: an index probe is possible when the query
+    // targets the *current* state (value indexes cover current versions
+    // only — so time-travel and HISTORY queries must scan) and a top-level
+    // AND conjunct compares an indexed attribute to an encodable literal.
+    let mut access = AccessPath::Scan;
+    if !opts.force_scan && query.asof_tt.is_none() && query.targets != Targets::History {
+        if let Some(filter) = &query.filter {
+            if let Some(path) = find_index_conjunct(filter, &type_def) {
+                access = path;
+            }
+        }
+    }
+    Ok(Prepared { query, type_def, mol_type, access })
+}
+
+fn validate_expr(
+    e: &Expr,
+    check_q: &impl Fn(&Option<String>) -> Result<()>,
+    check_a: &impl Fn(&str) -> Result<AttrId>,
+) -> Result<()> {
+    let check_operand = |o: &Operand| -> Result<()> {
+        if let Operand::Attr { qualifier, attr } = o {
+            check_q(qualifier)?;
+            check_a(attr)?;
+        }
+        Ok(())
+    };
+    match e {
+        Expr::Or(a, b) | Expr::And(a, b) => {
+            validate_expr(a, check_q, check_a)?;
+            validate_expr(b, check_q, check_a)
+        }
+        Expr::Not(a) => validate_expr(a, check_q, check_a),
+        Expr::Cmp(l, _, r) => {
+            check_operand(l)?;
+            check_operand(r)
+        }
+        Expr::IsNull(o, _) => check_operand(o),
+    }
+}
+
+/// Walks the top-level AND chain for an indexable conjunct.
+fn find_index_conjunct(e: &Expr, ty: &AtomTypeDef) -> Option<AccessPath> {
+    match e {
+        Expr::And(a, b) => find_index_conjunct(a, ty).or_else(|| find_index_conjunct(b, ty)),
+        Expr::Cmp(l, op, r) => {
+            // Normalize to attr <op> literal.
+            let (attr_name, op, lit) = match (l, r) {
+                (Operand::Attr { attr, .. }, Operand::Lit(v)) => (attr, *op, v),
+                (Operand::Lit(v), Operand::Attr { attr, .. }) => (attr, flip(*op), v),
+                _ => return None,
+            };
+            let (attr_id, def) = ty.attr_by_name(attr_name)?;
+            if !def.indexed {
+                return None;
+            }
+            let enc = encode_value(lit)?;
+            let path = match op {
+                CmpOp::Eq => AccessPath::IndexRange { attr: attr_id, lo: enc, hi: enc },
+                CmpOp::Lt => AccessPath::IndexRange {
+                    attr: attr_id,
+                    lo: 0,
+                    hi: enc.checked_sub(1)?,
+                },
+                CmpOp::Le => AccessPath::IndexRange { attr: attr_id, lo: 0, hi: enc },
+                CmpOp::Gt => AccessPath::IndexRange {
+                    attr: attr_id,
+                    lo: enc.checked_add(1)?,
+                    hi: u64::MAX,
+                },
+                CmpOp::Ge => AccessPath::IndexRange { attr: attr_id, lo: enc, hi: u64::MAX },
+                CmpOp::Ne => return None,
+            };
+            Some(path)
+        }
+        _ => None,
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+/// Three-valued predicate evaluation; a row qualifies iff `Some(true)`.
+pub(crate) fn eval(e: &Expr, tuple: &Tuple, ty: &AtomTypeDef) -> Option<bool> {
+    match e {
+        Expr::Or(a, b) => match (eval(a, tuple, ty), eval(b, tuple, ty)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        Expr::And(a, b) => match (eval(a, tuple, ty), eval(b, tuple, ty)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        Expr::Not(a) => eval(a, tuple, ty).map(|b| !b),
+        Expr::Cmp(l, op, r) => {
+            let lv = operand_value(l, tuple, ty)?;
+            let rv = operand_value(r, tuple, ty)?;
+            match op {
+                CmpOp::Eq => lv.eq_sql(&rv),
+                CmpOp::Ne => lv.eq_sql(&rv).map(|b| !b),
+                _ => {
+                    let ord = lv.partial_cmp_sql(&rv)?;
+                    Some(match op {
+                        CmpOp::Lt => ord == Ordering::Less,
+                        CmpOp::Le => ord != Ordering::Greater,
+                        CmpOp::Gt => ord == Ordering::Greater,
+                        CmpOp::Ge => ord != Ordering::Less,
+                        _ => unreachable!(),
+                    })
+                }
+            }
+        }
+        Expr::IsNull(o, negated) => {
+            let v = match o {
+                Operand::Lit(v) => v.clone(),
+                Operand::Attr { attr, .. } => {
+                    let (id, _) = ty.attr_by_name(attr)?;
+                    tuple.get(id.0 as usize).clone()
+                }
+            };
+            Some(v.is_null() != *negated)
+        }
+    }
+}
+
+/// Resolves an operand to a value; `None` propagates NULL/unknown.
+fn operand_value(o: &Operand, tuple: &Tuple, ty: &AtomTypeDef) -> Option<Value> {
+    match o {
+        Operand::Lit(Value::Null) => None,
+        Operand::Lit(v) => Some(v.clone()),
+        Operand::Attr { attr, .. } => {
+            let (id, _) = ty.attr_by_name(attr)?;
+            let v = tuple.get(id.0 as usize);
+            if v.is_null() {
+                None
+            } else {
+                Some(v.clone())
+            }
+        }
+    }
+}
+
+impl Prepared {
+    /// Executes the prepared query.
+    pub fn run(&self, db: &Database) -> Result<QueryOutput> {
+        match &self.query.targets {
+            Targets::Molecule => self.run_molecules(db),
+            Targets::History => self.run_histories(db),
+            _ => self.run_rows(db),
+        }
+    }
+
+    /// The candidate atoms per the access path.
+    fn candidates(&self, db: &Database) -> Result<Vec<AtomId>> {
+        match &self.access {
+            AccessPath::Scan => db.all_atoms(self.type_def.id),
+            AccessPath::IndexRange { attr, lo, hi } => db.index_range_inclusive(
+                self.type_def.id,
+                *attr,
+                *lo,
+                *hi,
+            ),
+        }
+    }
+
+    /// Versions of one atom visible to this query, with valid-time clipping.
+    fn versions(&self, db: &Database, atom: AtomId) -> Result<Vec<AtomVersion>> {
+        let vs = match self.query.asof_tt {
+            Some(tt) => db.versions_at(atom, tt)?,
+            None => db.current_versions(atom)?,
+        };
+        Ok(self.clip_valid(vs))
+    }
+
+    fn clip_valid(&self, vs: Vec<AtomVersion>) -> Vec<AtomVersion> {
+        match self.query.valid {
+            Valid::Any => vs,
+            Valid::At(t) => vs.into_iter().filter(|v| v.vt.contains(t)).collect(),
+            Valid::In(a, b) => {
+                let w = Interval::new(a, b).expect("validated window");
+                vs.into_iter()
+                    .filter_map(|mut v| {
+                        v.vt = v.vt.intersect(&w)?;
+                        Some(v)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn matches(&self, tuple: &Tuple) -> bool {
+        match &self.query.filter {
+            None => true,
+            Some(f) => eval(f, tuple, &self.type_def) == Some(true),
+        }
+    }
+
+    fn run_rows(&self, db: &Database) -> Result<QueryOutput> {
+        let (columns, positions): (Vec<String>, Vec<usize>) = match &self.query.targets {
+            Targets::All => (
+                self.type_def.attrs.iter().map(|a| a.name.clone()).collect(),
+                (0..self.type_def.arity()).collect(),
+            ),
+            Targets::Projs(projs) => {
+                let mut cols = Vec::new();
+                let mut pos = Vec::new();
+                for Proj { attr, .. } in projs {
+                    let (id, _) = self
+                        .type_def
+                        .attr_by_name(attr)
+                        .expect("validated in analyze");
+                    cols.push(attr.clone());
+                    pos.push(id.0 as usize);
+                }
+                (cols, pos)
+            }
+            _ => unreachable!("handled in run()"),
+        };
+        let limit = self.query.limit.unwrap_or(usize::MAX);
+        let mut rows = Vec::new();
+        'outer: for atom in self.candidates(db)? {
+            for v in self.versions(db, atom)? {
+                if !self.matches(&v.tuple) {
+                    continue;
+                }
+                rows.push(Row {
+                    atom,
+                    values: positions.iter().map(|&i| v.tuple.get(i).clone()).collect(),
+                    vt: v.vt,
+                    tt: v.tt,
+                });
+                if rows.len() >= limit {
+                    break 'outer;
+                }
+            }
+        }
+        Ok(QueryOutput::Rows { columns, rows })
+    }
+
+    fn run_molecules(&self, db: &Database) -> Result<QueryOutput> {
+        let mol = self.mol_type.expect("molecule query");
+        let tt = self.query.asof_tt.unwrap_or_else(|| db.now());
+        let vt = match self.query.valid {
+            Valid::At(t) => t,
+            // Documented default: molecule queries without a VALID clause
+            // materialize at valid time 0.
+            Valid::Any => TimePoint(0),
+            Valid::In(_, _) => unreachable!("rejected in analyze"),
+        };
+        let limit = self.query.limit.unwrap_or(usize::MAX);
+        let mut out = Vec::new();
+        for root in self.candidates(db)? {
+            let Some(version) = db.version_at(root, tt, vt)? else {
+                continue;
+            };
+            if !self.matches(&version.tuple) {
+                continue;
+            }
+            if let Some(m) = db.materialize(mol, root, tt, vt)? {
+                out.push(m);
+                if out.len() >= limit {
+                    break;
+                }
+            }
+        }
+        Ok(QueryOutput::Molecules(out))
+    }
+
+    fn run_histories(&self, db: &Database) -> Result<QueryOutput> {
+        let limit = self.query.limit.unwrap_or(usize::MAX);
+        let mut out = Vec::new();
+        for atom in self.candidates(db)? {
+            let hist = self.clip_valid(db.history(atom)?);
+            let qualifying: Vec<AtomVersion> =
+                hist.into_iter().filter(|v| self.matches(&v.tuple)).collect();
+            if !qualifying.is_empty() {
+                out.push((atom, qualifying));
+                if out.len() >= limit {
+                    break;
+                }
+            }
+        }
+        Ok(QueryOutput::Histories(out))
+    }
+}

@@ -1,0 +1,29 @@
+//! # tcom-query
+//!
+//! TQL — the declarative temporal query language of the tcom engine:
+//! lexer ([`token`]), recursive-descent parser ([`parser`] / [`ast`]),
+//! semantic analysis, access-path planning and execution ([`exec`]).
+//!
+//! ```text
+//! SELECT e.name, e.salary FROM emp e
+//! WHERE e.salary >= 100 AND NOT e.name = 'bob'
+//! ASOF TT 5            -- transaction-time travel
+//! VALID IN [10, 20)    -- valid-time window (results clipped)
+//! LIMIT 50
+//! ```
+//!
+//! `SELECT MOLECULE FROM <molecule-type> WHERE root.<attr> ...` returns
+//! materialized complex objects; `SELECT HISTORY FROM <type> ...` returns
+//! version histories of qualifying atoms.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod exec;
+pub mod parser;
+pub mod stmt;
+pub mod token;
+
+pub use exec::{execute, execute_with, prepare, prepare_with, AccessPath, ExecOptions, Prepared, QueryOutput, Row};
+pub use parser::parse;
+pub use stmt::{parse_statement, run_statement, Statement, StatementOutput};

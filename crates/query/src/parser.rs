@@ -1,0 +1,361 @@
+//! Recursive-descent parser for TQL.
+
+use crate::ast::*;
+use crate::token::{lex, Kw, Sym, Tok, Token};
+use tcom_kernel::{Error, Result, TimePoint, Value};
+
+/// Parses one TQL query.
+pub fn parse(src: &str) -> Result<Query> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        let t = &self.tokens[self.pos];
+        Error::Parse { line: t.line, col: t.col, msg: msg.into() }
+    }
+
+    fn eat_kw(&mut self, kw: Kw) -> bool {
+        if self.peek() == &Tok::Kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Kw) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: Sym) -> bool {
+        if self.peek() == &Tok::Sym(sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: Sym) -> Result<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {sym:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64> {
+        match *self.peek() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(i)
+            }
+            ref other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn time(&mut self) -> Result<TimePoint> {
+        let i = self.int()?;
+        if i < 0 {
+            return Err(self.err("time points must be non-negative"));
+        }
+        Ok(TimePoint(i as u64))
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.peek() == &Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_kw(Kw::Select)?;
+        let targets = self.targets()?;
+        self.expect_kw(Kw::From)?;
+        let source = self.ident()?;
+        let alias = match self.peek() {
+            Tok::Ident(_) => Some(self.ident()?),
+            _ => None,
+        };
+        let filter = if self.eat_kw(Kw::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut asof_tt = None;
+        let mut valid = Valid::Any;
+        let mut limit = None;
+        loop {
+            if self.eat_kw(Kw::Asof) {
+                self.expect_kw(Kw::Tt)?;
+                asof_tt = Some(self.time()?);
+            } else if self.eat_kw(Kw::Valid) {
+                if self.eat_kw(Kw::At) {
+                    valid = Valid::At(self.time()?);
+                } else if self.eat_kw(Kw::In) {
+                    self.expect_sym(Sym::LBracket)?;
+                    let a = self.time()?;
+                    self.expect_sym(Sym::Comma)?;
+                    let b = self.time()?;
+                    // Accept both `)` and `]`; the interval is half-open
+                    // either way (documented).
+                    if !self.eat_sym(Sym::RParen) {
+                        self.expect_sym(Sym::RBracket)?;
+                    }
+                    if a >= b {
+                        return Err(self.err("empty VALID IN window"));
+                    }
+                    valid = Valid::In(a, b);
+                } else {
+                    return Err(self.err("expected AT or IN after VALID"));
+                }
+            } else if self.eat_kw(Kw::Limit) {
+                let n = self.int()?;
+                if n < 0 {
+                    return Err(self.err("LIMIT must be non-negative"));
+                }
+                limit = Some(n as usize);
+            } else {
+                break;
+            }
+        }
+        Ok(Query { targets, source, alias, filter, asof_tt, valid, limit })
+    }
+
+    fn targets(&mut self) -> Result<Targets> {
+        if self.eat_sym(Sym::Star) {
+            return Ok(Targets::All);
+        }
+        if self.eat_kw(Kw::Molecule) {
+            return Ok(Targets::Molecule);
+        }
+        if self.eat_kw(Kw::History) {
+            return Ok(Targets::History);
+        }
+        let mut projs = vec![self.proj()?];
+        while self.eat_sym(Sym::Comma) {
+            projs.push(self.proj()?);
+        }
+        Ok(Targets::Projs(projs))
+    }
+
+    fn proj(&mut self) -> Result<Proj> {
+        let first = self.ident()?;
+        if self.eat_sym(Sym::Dot) {
+            let attr = self.ident()?;
+            Ok(Proj { qualifier: Some(first), attr })
+        } else {
+            Ok(Proj { qualifier: None, attr: first })
+        }
+    }
+
+    // expr := and (OR and)*
+    fn expr(&mut self) -> Result<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat_kw(Kw::Or) {
+            let rhs = self.and_expr()?;
+            e = Expr::Or(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut e = self.not_expr()?;
+        while self.eat_kw(Kw::And) {
+            let rhs = self.not_expr()?;
+            e = Expr::And(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw(Kw::Not) {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        if self.eat_sym(Sym::LParen) {
+            let e = self.expr()?;
+            self.expect_sym(Sym::RParen)?;
+            return Ok(e);
+        }
+        let lhs = self.operand()?;
+        if self.eat_kw(Kw::Is) {
+            let negated = self.eat_kw(Kw::Not);
+            self.expect_kw(Kw::Null)?;
+            return Ok(Expr::IsNull(lhs, negated));
+        }
+        let op = match self.peek() {
+            Tok::Sym(Sym::Eq) => CmpOp::Eq,
+            Tok::Sym(Sym::Ne) => CmpOp::Ne,
+            Tok::Sym(Sym::Lt) => CmpOp::Lt,
+            Tok::Sym(Sym::Le) => CmpOp::Le,
+            Tok::Sym(Sym::Gt) => CmpOp::Gt,
+            Tok::Sym(Sym::Ge) => CmpOp::Ge,
+            other => return Err(self.err(format!("expected comparison operator, found {other:?}"))),
+        };
+        self.bump();
+        let rhs = self.operand()?;
+        Ok(Expr::Cmp(lhs, op, rhs))
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Operand::Lit(Value::Int(i)))
+            }
+            Tok::Float(f) => {
+                self.bump();
+                Ok(Operand::Lit(Value::Float(f)))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Operand::Lit(Value::Text(s)))
+            }
+            Tok::Kw(Kw::True) => {
+                self.bump();
+                Ok(Operand::Lit(Value::Bool(true)))
+            }
+            Tok::Kw(Kw::False) => {
+                self.bump();
+                Ok(Operand::Lit(Value::Bool(false)))
+            }
+            Tok::Kw(Kw::Null) => {
+                self.bump();
+                Ok(Operand::Lit(Value::Null))
+            }
+            Tok::Ident(first) => {
+                self.bump();
+                if self.eat_sym(Sym::Dot) {
+                    let attr = self.ident()?;
+                    Ok(Operand::Attr { qualifier: Some(first), attr })
+                } else {
+                    Ok(Operand::Attr { qualifier: None, attr: first })
+                }
+            }
+            other => Err(self.err(format!("expected operand, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_query() {
+        let q = parse(
+            "SELECT e.name, e.salary FROM emp e \
+             WHERE e.salary >= 100 AND NOT e.name = 'bob' \
+             ASOF TT 5 VALID AT 10 LIMIT 20",
+        )
+        .unwrap();
+        assert_eq!(q.source, "emp");
+        assert_eq!(q.alias.as_deref(), Some("e"));
+        assert_eq!(q.asof_tt, Some(TimePoint(5)));
+        assert_eq!(q.valid, Valid::At(TimePoint(10)));
+        assert_eq!(q.limit, Some(20));
+        let Targets::Projs(ps) = &q.targets else { panic!("projs") };
+        assert_eq!(ps.len(), 2);
+        assert!(matches!(q.filter, Some(Expr::And(_, _))));
+    }
+
+    #[test]
+    fn star_molecule_history() {
+        assert_eq!(parse("SELECT * FROM emp").unwrap().targets, Targets::All);
+        assert_eq!(
+            parse("SELECT MOLECULE FROM dept_mol WHERE root.name = 'r'").unwrap().targets,
+            Targets::Molecule
+        );
+        assert_eq!(parse("SELECT HISTORY FROM emp").unwrap().targets, Targets::History);
+    }
+
+    #[test]
+    fn valid_in_window() {
+        let q = parse("SELECT * FROM emp VALID IN [3, 9)").unwrap();
+        assert_eq!(q.valid, Valid::In(TimePoint(3), TimePoint(9)));
+        let q = parse("SELECT * FROM emp VALID IN [3, 9]").unwrap();
+        assert_eq!(q.valid, Valid::In(TimePoint(3), TimePoint(9)));
+        assert!(parse("SELECT * FROM emp VALID IN [9, 3)").is_err());
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a = 1 OR b = 2 AND c = 3  ==  a = 1 OR (b = 2 AND c = 3)
+        let q = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        let Some(Expr::Or(lhs, rhs)) = q.filter else { panic!("or at top") };
+        assert!(matches!(*lhs, Expr::Cmp(_, _, _)));
+        assert!(matches!(*rhs, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn parens_and_is_null() {
+        let q = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c IS NOT NULL").unwrap();
+        let Some(Expr::And(lhs, rhs)) = q.filter else { panic!("and at top") };
+        assert!(matches!(*lhs, Expr::Or(_, _)));
+        assert!(matches!(*rhs, Expr::IsNull(_, true)));
+        let q = parse("SELECT * FROM t WHERE a IS NULL").unwrap();
+        assert!(matches!(q.filter, Some(Expr::IsNull(_, false))));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM emp WHERE").is_err());
+        assert!(parse("SELECT * FROM emp trailing junk =").is_err());
+        assert!(parse("SELECT * FROM emp ASOF 5").is_err());
+        assert!(parse("SELECT * FROM emp VALID 5").is_err());
+        assert!(parse("SELECT * FROM emp LIMIT -1").is_err());
+        assert!(parse("SELECT * FROM emp ASOF TT -4").is_err());
+    }
+
+    #[test]
+    fn literal_operands() {
+        let q = parse("SELECT * FROM t WHERE a = 3.5 OR b = TRUE OR c = NULL OR d = 'x'").unwrap();
+        assert!(q.filter.is_some());
+    }
+}

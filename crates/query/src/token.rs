@@ -1,0 +1,361 @@
+//! The TQL lexer.
+//!
+//! TQL (Temporal Query Language) is the small declarative surface of the
+//! engine. The lexer produces position-annotated tokens; keywords are
+//! case-insensitive, identifiers and string literals are case-sensitive.
+
+use tcom_kernel::{Error, Result};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier (type, alias or attribute name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (with `''` escaping).
+    Str(String),
+    /// Keyword (uppercased).
+    Kw(Kw),
+    /// Punctuation / operator.
+    Sym(Sym),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords.
+#[allow(missing_docs)] // variant names are the documentation
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kw {
+    Select,
+    From,
+    Where,
+    And,
+    Or,
+    Not,
+    Asof,
+    Tt,
+    Valid,
+    At,
+    In,
+    History,
+    Molecule,
+    Limit,
+    True,
+    False,
+    Null,
+    Is,
+}
+
+/// Symbols and operators.
+#[allow(missing_docs)] // variant names are the documentation
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sym {
+    Comma,
+    Dot,
+    Star,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// `@` — atom-reference sigil (DML literals).
+    AtRef,
+    /// `{` — reference-set literal open.
+    LBrace,
+    /// `}` — reference-set literal close.
+    RBrace,
+}
+
+/// A token plus its 1-based source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Source line.
+    pub line: u32,
+    /// Source column.
+    pub col: u32,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Set right after an `@` so that `@1.5` lexes as Int-Dot-Int (an atom
+    /// reference), never as a float literal.
+    after_at: bool,
+}
+
+/// Tokenizes TQL source text.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1, after_at: false };
+    let mut out = Vec::new();
+    loop {
+        let t = lx.next_token()?;
+        let eof = t.tok == Tok::Eof;
+        out.push(t);
+        if eof {
+            return Ok(out);
+        }
+    }
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Parse { line: self.line, col: self.col, msg: msg.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                // `--` line comments
+                Some(b'-') if self.src.get(self.pos + 1) == Some(&b'-') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_ws();
+        let in_ref = std::mem::take(&mut self.after_at);
+        let (line, col) = (self.line, self.col);
+        let mk = |tok| Token { tok, line, col };
+        let Some(c) = self.peek() else {
+            return Ok(mk(Tok::Eof));
+        };
+        // Symbols
+        let sym = |s: &mut Self, n: usize, sym| {
+            for _ in 0..n {
+                s.bump();
+            }
+            Ok(mk(Tok::Sym(sym)))
+        };
+        match c {
+            b',' => return sym(self, 1, Sym::Comma),
+            b'.' => return sym(self, 1, Sym::Dot),
+            b'*' => return sym(self, 1, Sym::Star),
+            b'(' => return sym(self, 1, Sym::LParen),
+            b')' => return sym(self, 1, Sym::RParen),
+            b'[' => return sym(self, 1, Sym::LBracket),
+            b']' => return sym(self, 1, Sym::RBracket),
+            b'=' => return sym(self, 1, Sym::Eq),
+            b'!' if self.src.get(self.pos + 1) == Some(&b'=') => return sym(self, 2, Sym::Ne),
+            b'<' if self.src.get(self.pos + 1) == Some(&b'>') => return sym(self, 2, Sym::Ne),
+            b'<' if self.src.get(self.pos + 1) == Some(&b'=') => return sym(self, 2, Sym::Le),
+            b'<' => return sym(self, 1, Sym::Lt),
+            b'>' if self.src.get(self.pos + 1) == Some(&b'=') => return sym(self, 2, Sym::Ge),
+            b'>' => return sym(self, 1, Sym::Gt),
+            b'@' => {
+                self.after_at = true;
+                return sym(self, 1, Sym::AtRef);
+            }
+            b'{' => return sym(self, 1, Sym::LBrace),
+            b'}' => return sym(self, 1, Sym::RBrace),
+            _ => {}
+        }
+        // String literal
+        if c == b'\'' {
+            self.bump();
+            let mut s = String::new();
+            loop {
+                match self.bump() {
+                    None => return Err(self.err("unterminated string literal")),
+                    Some(b'\'') => {
+                        if self.peek() == Some(b'\'') {
+                            self.bump();
+                            s.push('\'');
+                        } else {
+                            return Ok(mk(Tok::Str(s)));
+                        }
+                    }
+                    Some(c) => s.push(c as char),
+                }
+            }
+        }
+        // Number (with optional leading minus handled by the parser as an
+        // operator-free negative literal: `-12`)
+        if c.is_ascii_digit() || (c == b'-' && self.src.get(self.pos + 1).is_some_and(|d| d.is_ascii_digit())) {
+            let start = self.pos;
+            if c == b'-' {
+                self.bump();
+            }
+            let mut is_float = false;
+            while let Some(d) = self.peek() {
+                if d.is_ascii_digit() {
+                    self.bump();
+                } else if !in_ref
+                    && d == b'.'
+                    && self.src.get(self.pos + 1).is_some_and(|x| x.is_ascii_digit())
+                {
+                    is_float = true;
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+            return if is_float {
+                text.parse::<f64>()
+                    .map(|f| mk(Tok::Float(f)))
+                    .map_err(|_| self.err(format!("bad float literal '{text}'")))
+            } else {
+                text.parse::<i64>()
+                    .map(|i| mk(Tok::Int(i)))
+                    .map_err(|_| self.err(format!("bad integer literal '{text}'")))
+            };
+        }
+        // Identifier / keyword
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while let Some(d) = self.peek() {
+                if d.is_ascii_alphanumeric() || d == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+            let kw = match text.to_ascii_uppercase().as_str() {
+                "SELECT" => Some(Kw::Select),
+                "FROM" => Some(Kw::From),
+                "WHERE" => Some(Kw::Where),
+                "AND" => Some(Kw::And),
+                "OR" => Some(Kw::Or),
+                "NOT" => Some(Kw::Not),
+                "ASOF" => Some(Kw::Asof),
+                "TT" => Some(Kw::Tt),
+                "VALID" => Some(Kw::Valid),
+                "AT" => Some(Kw::At),
+                "IN" => Some(Kw::In),
+                "HISTORY" => Some(Kw::History),
+                "MOLECULE" => Some(Kw::Molecule),
+                "LIMIT" => Some(Kw::Limit),
+                "TRUE" => Some(Kw::True),
+                "FALSE" => Some(Kw::False),
+                "NULL" => Some(Kw::Null),
+                "IS" => Some(Kw::Is),
+                _ => None,
+            };
+            return Ok(mk(match kw {
+                Some(k) => Tok::Kw(k),
+                None => Tok::Ident(text.to_owned()),
+            }));
+        }
+        Err(self.err(format!("unexpected character '{}'", c as char)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_query_tokens() {
+        let ts = toks("SELECT e.name FROM emp e WHERE e.salary >= 100");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Kw(Kw::Select),
+                Tok::Ident("e".into()),
+                Tok::Sym(Sym::Dot),
+                Tok::Ident("name".into()),
+                Tok::Kw(Kw::From),
+                Tok::Ident("emp".into()),
+                Tok::Ident("e".into()),
+                Tok::Kw(Kw::Where),
+                Tok::Ident("e".into()),
+                Tok::Sym(Sym::Dot),
+                Tok::Ident("salary".into()),
+                Tok::Sym(Sym::Ge),
+                Tok::Int(100),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(toks("select")[0], Tok::Kw(Kw::Select));
+        assert_eq!(toks("SeLeCt")[0], Tok::Kw(Kw::Select));
+        assert_eq!(toks("selectx")[0], Tok::Ident("selectx".into()));
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(toks("42")[0], Tok::Int(42));
+        assert_eq!(toks("-42")[0], Tok::Int(-42));
+        assert_eq!(toks("3.5")[0], Tok::Float(3.5));
+        assert_eq!(toks("'it''s'")[0], Tok::Str("it's".into()));
+        assert_eq!(toks("TRUE NULL")[..2], [Tok::Kw(Kw::True), Tok::Kw(Kw::Null)]);
+    }
+
+    #[test]
+    fn operators_and_comments() {
+        assert_eq!(
+            toks("= != <> < <= > >= -- comment\n [ ]"),
+            vec![
+                Tok::Sym(Sym::Eq),
+                Tok::Sym(Sym::Ne),
+                Tok::Sym(Sym::Ne),
+                Tok::Sym(Sym::Lt),
+                Tok::Sym(Sym::Le),
+                Tok::Sym(Sym::Gt),
+                Tok::Sym(Sym::Ge),
+                Tok::Sym(Sym::LBracket),
+                Tok::Sym(Sym::RBracket),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = lex("SELECT #").unwrap_err();
+        match e {
+            Error::Parse { line, col, .. } => {
+                assert_eq!(line, 1);
+                assert_eq!(col, 8);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(lex("'unterminated").is_err());
+    }
+}

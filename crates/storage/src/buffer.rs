@@ -1,0 +1,571 @@
+//! The buffer manager: a fixed pool of page frames shared by every file of
+//! the database, with clock (second-chance) replacement.
+//!
+//! * Pages are addressed by `(FileId, PageId)`; files register their
+//!   [`DiskManager`] with the pool.
+//! * [`BufferPool::fetch_read`] / [`BufferPool::fetch_write`] return RAII
+//!   guards that pin the frame; unpinning happens on drop. Pinned frames
+//!   are never evicted.
+//! * Write guards mark the frame dirty; dirty frames are written back on
+//!   eviction ("steal") and by [`BufferPool::flush_all`]. Crash consistency
+//!   is the WAL's job (logical, idempotent redo), so stealing is safe.
+//! * The pool counts hits, misses, evictions and write-backs —
+//!   the currency of experiment E9 (buffer-size sensitivity).
+
+use crate::disk::DiskManager;
+use crate::page::{Page, PageKind};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use tcom_kernel::{Error, PageId, Result};
+
+/// Identifies a registered file within the pool.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FileId(pub u32);
+
+type Key = (FileId, PageId);
+
+struct Frame {
+    page: RwLock<Page>,
+    pin: AtomicU32,
+    dirty: AtomicBool,
+    refbit: AtomicBool,
+}
+
+struct Inner {
+    table: HashMap<Key, usize>,
+    /// Reverse mapping: which key occupies each frame (`None` = free).
+    tags: Vec<Option<Key>>,
+    hand: usize,
+}
+
+/// Cumulative buffer pool statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BufferStats {
+    /// Fetches satisfied from the pool.
+    pub hits: u64,
+    /// Fetches requiring a disk read.
+    pub misses: u64,
+    /// Frames reclaimed by the clock.
+    pub evictions: u64,
+    /// Dirty frames written back (on eviction or flush).
+    pub writebacks: u64,
+}
+
+/// The shared buffer pool.
+pub struct BufferPool {
+    frames: Box<[Frame]>,
+    inner: Mutex<Inner>,
+    files: RwLock<Vec<Arc<DiskManager>>>,
+    /// Whether eviction may write back ("steal") dirty frames. The engine
+    /// disables stealing: dirty pages then reach disk only through
+    /// journal-protected flushes, which is what makes logical redo-only
+    /// recovery sound (the on-disk state is always a transaction-boundary
+    /// snapshot).
+    steal: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+}
+
+impl BufferPool {
+    /// Creates a pool with `capacity` frames (min 2) that may steal
+    /// (write back dirty frames on eviction).
+    pub fn new(capacity: usize) -> Arc<BufferPool> {
+        Self::with_policy(capacity, true)
+    }
+
+    /// Creates a pool that never evicts dirty frames (no-steal). Fetches
+    /// fail with [`Error::BufferExhausted`] when every frame is dirty or
+    /// pinned; the owner must flush at safe points.
+    pub fn new_no_steal(capacity: usize) -> Arc<BufferPool> {
+        Self::with_policy(capacity, false)
+    }
+
+    fn with_policy(capacity: usize, steal: bool) -> Arc<BufferPool> {
+        let capacity = capacity.max(2);
+        let frames: Vec<Frame> = (0..capacity)
+            .map(|_| Frame {
+                page: RwLock::new(Page::default()),
+                pin: AtomicU32::new(0),
+                dirty: AtomicBool::new(false),
+                refbit: AtomicBool::new(false),
+            })
+            .collect();
+        Arc::new(BufferPool {
+            frames: frames.into_boxed_slice(),
+            inner: Mutex::new(Inner {
+                table: HashMap::new(),
+                tags: vec![None; capacity],
+                hand: 0,
+            }),
+            files: RwLock::new(Vec::new()),
+            steal,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            writebacks: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Registers a file; subsequent fetches address it by the returned id.
+    pub fn register_file(&self, dm: Arc<DiskManager>) -> FileId {
+        let mut files = self.files.write();
+        files.push(dm);
+        FileId(files.len() as u32 - 1)
+    }
+
+    fn disk(&self, file: FileId) -> Arc<DiskManager> {
+        self.files.read()[file.0 as usize].clone()
+    }
+
+    /// Page count of a registered file (delegates to its disk manager).
+    pub fn file_page_count(&self, file: FileId) -> u32 {
+        self.disk(file).page_count()
+    }
+
+    /// Physical (reads, writes) of a registered file since it was opened.
+    pub fn file_io_counts(&self, file: FileId) -> (u64, u64) {
+        self.disk(file).io_counts()
+    }
+
+    /// Snapshot of the statistics counters.
+    pub fn stats(&self) -> BufferStats {
+        BufferStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the statistics counters (benchmark warm-up hygiene).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.writebacks.store(0, Ordering::Relaxed);
+    }
+
+    /// Locates or loads the page, returning its pinned frame index.
+    fn pin_frame(&self, file: FileId, page: PageId, load: bool) -> Result<usize> {
+        let mut inner = self.inner.lock();
+        if let Some(&idx) = inner.table.get(&(file, page)) {
+            self.frames[idx].pin.fetch_add(1, Ordering::AcqRel);
+            self.frames[idx].refbit.store(true, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(idx);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let idx = self.find_victim(&mut inner)?;
+        // Evict the previous occupant.
+        if let Some(old) = inner.tags[idx].take() {
+            inner.table.remove(&old);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if self.frames[idx].dirty.swap(false, Ordering::AcqRel) {
+                let mut guard = self.frames[idx].page.write();
+                self.disk(old.0).write_page(old.1, &mut guard)?;
+                self.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Install the new occupant, pinned so nobody steals it while we load.
+        self.frames[idx].pin.store(1, Ordering::Release);
+        self.frames[idx].refbit.store(true, Ordering::Relaxed);
+        inner.tags[idx] = Some((file, page));
+        inner.table.insert((file, page), idx);
+        drop(inner);
+        {
+            let mut guard = self.frames[idx].page.write();
+            if load {
+                *guard = self.disk(file).read_page(page)?;
+            } else {
+                *guard = Page::default();
+            }
+        }
+        Ok(idx)
+    }
+
+    /// Clock sweep for an unpinned frame.
+    fn find_victim(&self, inner: &mut Inner) -> Result<usize> {
+        let n = self.frames.len();
+        // Two full sweeps: the first clears reference bits, the second takes
+        // any unpinned frame.
+        for _ in 0..2 * n {
+            let idx = inner.hand;
+            inner.hand = (inner.hand + 1) % n;
+            let frame = &self.frames[idx];
+            if frame.pin.load(Ordering::Acquire) != 0 {
+                continue;
+            }
+            if !self.steal && frame.dirty.load(Ordering::Acquire) {
+                continue;
+            }
+            if frame.refbit.swap(false, Ordering::Relaxed) {
+                continue;
+            }
+            return Ok(idx);
+        }
+        // Final pass: ignore reference bits entirely.
+        for idx in 0..n {
+            let frame = &self.frames[idx];
+            if frame.pin.load(Ordering::Acquire) != 0 {
+                continue;
+            }
+            if !self.steal && frame.dirty.load(Ordering::Acquire) {
+                continue;
+            }
+            return Ok(idx);
+        }
+        Err(Error::BufferExhausted)
+    }
+
+    /// Fetches a page for reading.
+    pub fn fetch_read(&self, file: FileId, page: PageId) -> Result<PageRef<'_>> {
+        let idx = self.pin_frame(file, page, true)?;
+        Ok(PageRef {
+            pool: self,
+            idx,
+            guard: self.frames[idx].page.read(),
+        })
+    }
+
+    /// Fetches a page for writing; the frame is marked dirty.
+    pub fn fetch_write(&self, file: FileId, page: PageId) -> Result<PageMut<'_>> {
+        let idx = self.pin_frame(file, page, true)?;
+        self.frames[idx].dirty.store(true, Ordering::Release);
+        Ok(PageMut {
+            pool: self,
+            idx,
+            guard: self.frames[idx].page.write(),
+        })
+    }
+
+    /// Allocates a new page in `file`, formatted with `kind`, and returns it
+    /// pinned for writing.
+    pub fn create(&self, file: FileId, kind: PageKind) -> Result<(PageId, PageMut<'_>)> {
+        let page_id = self.disk(file).allocate_page()?;
+        let idx = self.pin_frame(file, page_id, false)?;
+        self.frames[idx].dirty.store(true, Ordering::Release);
+        let mut guard = self.frames[idx].page.write();
+        *guard = Page::new(kind);
+        Ok((page_id, PageMut { pool: self, idx, guard }))
+    }
+
+    /// Writes every dirty frame back to its file (does **not** sync).
+    pub fn flush_all(&self) -> Result<()> {
+        let inner = self.inner.lock();
+        for (idx, tag) in inner.tags.iter().enumerate() {
+            if let Some((file, page)) = tag {
+                if self.frames[idx].dirty.swap(false, Ordering::AcqRel) {
+                    let mut guard = self.frames[idx].page.write();
+                    self.disk(*file).write_page(*page, &mut guard)?;
+                    self.writebacks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes all dirty frames and fsyncs every registered file — the
+    /// checkpoint primitive.
+    pub fn flush_and_sync(&self) -> Result<()> {
+        self.flush_all()?;
+        for dm in self.files.read().iter() {
+            dm.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Number of dirty frames (pressure signal for no-steal owners).
+    pub fn dirty_count(&self) -> usize {
+        self.frames
+            .iter()
+            .filter(|f| f.dirty.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Snapshots every dirty frame as a sealed page image
+    /// (`(file, page, bytes)`), for the checkpoint double-write journal.
+    pub fn dirty_pages(&self) -> Vec<(FileId, PageId, Box<[u8; crate::page::PAGE_SIZE]>)> {
+        let inner = self.inner.lock();
+        let mut out = Vec::new();
+        for (idx, tag) in inner.tags.iter().enumerate() {
+            if let Some((file, page)) = tag {
+                if self.frames[idx].dirty.load(Ordering::Acquire) {
+                    let guard = self.frames[idx].page.read();
+                    let mut img = guard.clone();
+                    img.seal();
+                    out.push((*file, *page, Box::new(*img.bytes())));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Shared (read) guard over a pinned page.
+pub struct PageRef<'a> {
+    pool: &'a BufferPool,
+    idx: usize,
+    guard: RwLockReadGuard<'a, Page>,
+}
+
+impl Deref for PageRef<'_> {
+    type Target = Page;
+    fn deref(&self) -> &Page {
+        &self.guard
+    }
+}
+
+impl Drop for PageRef<'_> {
+    fn drop(&mut self) {
+        self.pool.frames[self.idx].pin.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Exclusive (write) guard over a pinned page.
+pub struct PageMut<'a> {
+    pool: &'a BufferPool,
+    idx: usize,
+    guard: RwLockWriteGuard<'a, Page>,
+}
+
+impl Deref for PageMut<'_> {
+    type Target = Page;
+    fn deref(&self) -> &Page {
+        &self.guard
+    }
+}
+
+impl DerefMut for PageMut<'_> {
+    fn deref_mut(&mut self) -> &mut Page {
+        &mut self.guard
+    }
+}
+
+impl Drop for PageMut<'_> {
+    fn drop(&mut self) {
+        self.pool.frames[self.idx].pin.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("tcom-buf-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn pool_with_file(name: &str, frames: usize) -> (Arc<BufferPool>, FileId, PathBuf) {
+        let path = tmpfile(name);
+        let dm = Arc::new(DiskManager::open(&path).unwrap());
+        let pool = BufferPool::new(frames);
+        let file = pool.register_file(dm);
+        (pool, file, path)
+    }
+
+    #[test]
+    fn create_write_read_through_pool() {
+        let (pool, file, path) = pool_with_file("cwr", 8);
+        let pid = {
+            let (pid, mut page) = pool.create(file, PageKind::Slotted).unwrap();
+            page.write_u64(100, 4242);
+            pid
+        };
+        {
+            let page = pool.fetch_read(file, pid).unwrap();
+            assert_eq!(page.read_u64(100), 4242);
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits, 1); // the fetch_read hit the created frame
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let (pool, file, path) = pool_with_file("evict", 2);
+        let mut ids = Vec::new();
+        for i in 0..6u64 {
+            let (pid, mut page) = pool.create(file, PageKind::Slotted).unwrap();
+            page.write_u64(64, i * 11);
+            ids.push(pid);
+        }
+        // Re-read everything; only 2 frames exist so most reads come from disk.
+        for (i, pid) in ids.iter().enumerate() {
+            let page = pool.fetch_read(file, *pid).unwrap();
+            assert_eq!(page.read_u64(64), i as u64 * 11);
+        }
+        let s = pool.stats();
+        assert!(s.evictions >= 4, "stats: {s:?}");
+        assert!(s.writebacks >= 4, "stats: {s:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let (pool, file, path) = pool_with_file("pin", 2);
+        let (pid_a, mut a) = pool.create(file, PageKind::Slotted).unwrap();
+        a.write_u64(64, 1);
+        // Hold the guard (pin) while forcing traffic through the other frame.
+        for _ in 0..5 {
+            let (_pid, mut p) = pool.create(file, PageKind::Slotted).unwrap();
+            p.write_u64(64, 9);
+        }
+        a.write_u64(72, 2);
+        drop(a);
+        let back = pool.fetch_read(file, pid_a).unwrap();
+        assert_eq!(back.read_u64(64), 1);
+        assert_eq!(back.read_u64(72), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn exhaustion_when_everything_pinned() {
+        let (pool, file, path) = pool_with_file("exhaust", 2);
+        let (_p1, g1) = pool.create(file, PageKind::Slotted).unwrap();
+        let (_p2, g2) = pool.create(file, PageKind::Slotted).unwrap();
+        let r = pool.create(file, PageKind::Slotted);
+        assert!(matches!(r, Err(Error::BufferExhausted)));
+        drop((g1, g2));
+        assert!(pool.create(file, PageKind::Slotted).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flush_and_sync_persists() {
+        let path = tmpfile("flush");
+        let pid;
+        {
+            let dm = Arc::new(DiskManager::open(&path).unwrap());
+            let pool = BufferPool::new(4);
+            let file = pool.register_file(dm);
+            let (p, mut page) = pool.create(file, PageKind::Slotted).unwrap();
+            page.write_u64(64, 31337);
+            pid = p;
+            drop(page);
+            pool.flush_and_sync().unwrap();
+        }
+        let dm = DiskManager::open(&path).unwrap();
+        assert_eq!(dm.read_page(pid).unwrap().read_u64(64), 31337);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn hit_ratio_reflects_locality() {
+        let (pool, file, path) = pool_with_file("ratio", 4);
+        let (pid, g) = pool.create(file, PageKind::Slotted).unwrap();
+        drop(g);
+        pool.reset_stats();
+        for _ in 0..100 {
+            let _ = pool.fetch_read(file, pid).unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits, 100);
+        assert_eq!(s.misses, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn no_steal_never_evicts_dirty_frames() {
+        let path = tmpfile("nosteal");
+        let dm = Arc::new(DiskManager::open(&path).unwrap());
+        let pool = BufferPool::new_no_steal(4);
+        let file = pool.register_file(dm.clone());
+        // Dirty 3 of 4 frames (unpinned).
+        let mut pids = Vec::new();
+        for i in 0..3u64 {
+            let (pid, mut p) = pool.create(file, PageKind::Slotted).unwrap();
+            p.write_u64(64, i);
+            pids.push(pid);
+        }
+        // A 4th create uses the last clean frame…
+        let (_p4, g4) = pool.create(file, PageKind::Slotted).unwrap();
+        drop(g4);
+        // …after which every frame is dirty: nothing is evictable, and
+        // crucially nothing was written to disk behind our back.
+        assert!(matches!(
+            pool.create(file, PageKind::Slotted),
+            Err(Error::BufferExhausted)
+        ));
+        assert_eq!(pool.stats().writebacks, 0, "no-steal must not write back");
+        assert_eq!(dm.io_counts().1, 0, "no physical writes before flush");
+        assert_eq!(pool.dirty_count(), 4);
+        // A flush cleans the frames; traffic flows again.
+        pool.flush_all().unwrap();
+        assert_eq!(pool.dirty_count(), 0);
+        let (_p5, g5) = pool.create(file, PageKind::Slotted).unwrap();
+        drop(g5);
+        // Dirty data survived the eviction pressure.
+        for (i, pid) in pids.iter().enumerate() {
+            let page = pool.fetch_read(file, *pid).unwrap();
+            assert_eq!(page.read_u64(64), i as u64);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dirty_pages_snapshot_is_sealed_and_complete() {
+        let (pool, file, path) = pool_with_file("snapshot", 8);
+        let (pid_a, mut a) = pool.create(file, PageKind::Slotted).unwrap();
+        a.write_u64(64, 111);
+        drop(a);
+        let (pid_b, mut b) = pool.create(file, PageKind::Meta).unwrap();
+        b.write_u64(64, 222);
+        drop(b);
+        let snap = pool.dirty_pages();
+        assert_eq!(snap.len(), 2);
+        for (f, pid, image) in &snap {
+            assert_eq!(*f, file);
+            // Images are sealed: checksums verify.
+            let page = Page::from_bytes(image.clone());
+            page.verify().expect("sealed image");
+            let want = if *pid == pid_a { 111 } else { 222 };
+            assert_eq!(page.read_u64(64), want);
+            assert!(*pid == pid_a || *pid == pid_b);
+        }
+        // Snapshotting does not clean the frames.
+        assert_eq!(pool.dirty_count(), 2);
+        pool.flush_all().unwrap();
+        assert!(pool.dirty_pages().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_readers_share_frames() {
+        let (pool, file, path) = pool_with_file("conc", 8);
+        let mut pids = Vec::new();
+        for i in 0..8u64 {
+            let (pid, mut p) = pool.create(file, PageKind::Slotted).unwrap();
+            p.write_u64(64, i);
+            pids.push(pid);
+        }
+        pool.flush_all().unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = &pool;
+                let pids = &pids;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        for (i, pid) in pids.iter().enumerate() {
+                            let page = pool.fetch_read(file, *pid).unwrap();
+                            assert_eq!(page.read_u64(64), i as u64);
+                        }
+                    }
+                });
+            }
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,27 @@
+//! # tcom-storage
+//!
+//! The paged storage substrate of the tcom engine: a disk manager with
+//! checksummed 8 KiB pages ([`disk`]), slotted data pages ([`slotted`]), a
+//! shared clock-replacement buffer pool ([`buffer`]), heap files ([`heap`])
+//! and a disk-resident B⁺-tree ([`btree`]) used for atom directories, value
+//! indexes and the time index.
+//!
+//! This crate substitutes for the 1992 PRIMA storage system the paper ran
+//! on: it preserves the behaviours the evaluation depends on — page-granular
+//! I/O, buffer locality, and access-path cost structure.
+
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod buffer;
+pub mod disk;
+pub mod heap;
+pub mod keys;
+pub mod page;
+pub mod slotted;
+
+pub use buffer::{BufferPool, BufferStats, FileId, PageMut, PageRef};
+pub use disk::DiskManager;
+pub use heap::HeapFile;
+pub use page::{Page, PageKind, PAGE_SIZE};
+pub use slotted::{SlottedPage, SlottedRef, MAX_RECORD};

@@ -1,0 +1,225 @@
+//! Fixed-size page frames.
+//!
+//! All on-disk structures are built from [`PAGE_SIZE`]-byte pages. A page is
+//! a plain byte array; typed layouts (slotted data pages, B⁺-tree nodes)
+//! interpret the bytes. The first [`PAGE_HEADER_LEN`] bytes of every page
+//! hold a common header:
+//!
+//! ```text
+//! offset 0  u32  checksum (crc32c of bytes[4..PAGE_SIZE])
+//! offset 4  u8   page kind tag
+//! offset 5  u8   format version
+//! offset 6  u16  reserved
+//! ```
+//!
+//! The checksum is computed on write-out and verified on read-in by the
+//! disk manager, so torn or corrupted pages surface as
+//! [`tcom_kernel::Error::Corruption`] instead of silent garbage.
+
+use tcom_kernel::codec::crc32c;
+use tcom_kernel::{Error, Result};
+
+/// Size of every page in bytes (8 KiB, the classic DBMS default).
+pub const PAGE_SIZE: usize = 8192;
+
+/// Bytes reserved for the common page header.
+pub const PAGE_HEADER_LEN: usize = 8;
+
+/// Discriminates page layouts; stored in the common header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum PageKind {
+    /// Unused / freshly allocated.
+    Free = 0,
+    /// Slotted data page holding variable-length records.
+    Slotted = 1,
+    /// B⁺-tree leaf node.
+    BTreeLeaf = 2,
+    /// B⁺-tree internal node.
+    BTreeInternal = 3,
+    /// File meta page (page 0 of index and heap files).
+    Meta = 4,
+}
+
+impl PageKind {
+    /// Parses the tag byte.
+    pub fn from_u8(v: u8) -> Result<PageKind> {
+        Ok(match v {
+            0 => PageKind::Free,
+            1 => PageKind::Slotted,
+            2 => PageKind::BTreeLeaf,
+            3 => PageKind::BTreeInternal,
+            4 => PageKind::Meta,
+            t => return Err(Error::corruption(format!("unknown page kind {t}"))),
+        })
+    }
+}
+
+/// An in-memory page image.
+///
+/// Heap-allocated to keep buffer-frame moves cheap and the stack small.
+pub struct Page {
+    bytes: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// A zeroed page of the given kind.
+    pub fn new(kind: PageKind) -> Page {
+        let mut p = Page {
+            bytes: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("exact size"),
+        };
+        p.set_kind(kind);
+        p.bytes[5] = 1; // format version
+        p
+    }
+
+    /// Wraps raw bytes read from disk (checksum verified by the caller).
+    pub fn from_bytes(bytes: Box<[u8; PAGE_SIZE]>) -> Page {
+        Page { bytes }
+    }
+
+    /// Full page bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.bytes
+    }
+
+    /// Full page bytes, mutable.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.bytes
+    }
+
+    /// The payload area after the common header.
+    #[inline]
+    pub fn body(&self) -> &[u8] {
+        &self.bytes[PAGE_HEADER_LEN..]
+    }
+
+    /// The payload area after the common header, mutable.
+    #[inline]
+    pub fn body_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes[PAGE_HEADER_LEN..]
+    }
+
+    /// This page's kind tag.
+    pub fn kind(&self) -> Result<PageKind> {
+        PageKind::from_u8(self.bytes[4])
+    }
+
+    /// Sets the kind tag.
+    pub fn set_kind(&mut self, kind: PageKind) {
+        self.bytes[4] = kind as u8;
+    }
+
+    /// Recomputes and stores the checksum; called by the disk manager
+    /// immediately before write-out.
+    pub fn seal(&mut self) {
+        let sum = crc32c(&self.bytes[4..]);
+        self.bytes[0..4].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    /// Verifies the stored checksum; called by the disk manager after
+    /// read-in.
+    pub fn verify(&self) -> Result<()> {
+        let stored = u32::from_le_bytes(self.bytes[0..4].try_into().expect("4 bytes"));
+        let actual = crc32c(&self.bytes[4..]);
+        if stored != actual {
+            return Err(Error::corruption(format!(
+                "page checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )));
+        }
+        Ok(())
+    }
+
+    // --- little-endian scalar accessors used by the typed layouts ---
+
+    /// Reads a `u16` at absolute offset `off`.
+    #[inline]
+    pub fn read_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.bytes[off..off + 2].try_into().expect("2 bytes"))
+    }
+
+    /// Writes a `u16` at absolute offset `off`.
+    #[inline]
+    pub fn write_u16(&mut self, off: usize, v: u16) {
+        self.bytes[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a `u32` at absolute offset `off`.
+    #[inline]
+    pub fn read_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.bytes[off..off + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Writes a `u32` at absolute offset `off`.
+    #[inline]
+    pub fn write_u32(&mut self, off: usize, v: u32) {
+        self.bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a `u64` at absolute offset `off`.
+    #[inline]
+    pub fn read_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.bytes[off..off + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes a `u64` at absolute offset `off`.
+    #[inline]
+    pub fn write_u64(&mut self, off: usize, v: u64) {
+        self.bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl Clone for Page {
+    fn clone(&self) -> Page {
+        Page { bytes: self.bytes.clone() }
+    }
+}
+
+impl Default for Page {
+    fn default() -> Page {
+        Page::new(PageKind::Free)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_page_has_kind_and_version() {
+        let p = Page::new(PageKind::Slotted);
+        assert_eq!(p.kind().unwrap(), PageKind::Slotted);
+        assert_eq!(p.bytes()[5], 1);
+    }
+
+    #[test]
+    fn seal_verify_roundtrip() {
+        let mut p = Page::new(PageKind::Meta);
+        p.write_u64(100, 0xDEADBEEF);
+        p.seal();
+        p.verify().unwrap();
+        // Flip a body bit -> verify fails.
+        p.bytes_mut()[200] ^= 1;
+        assert!(p.verify().is_err());
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        let mut p = Page::new(PageKind::Free);
+        p.write_u16(10, 0xBEEF);
+        p.write_u32(12, 0xCAFEBABE);
+        p.write_u64(16, u64::MAX - 3);
+        assert_eq!(p.read_u16(10), 0xBEEF);
+        assert_eq!(p.read_u32(12), 0xCAFEBABE);
+        assert_eq!(p.read_u64(16), u64::MAX - 3);
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut p = Page::new(PageKind::Free);
+        p.bytes_mut()[4] = 99;
+        assert!(p.kind().is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! V1 — `ChainStore`: full-copy backward version chains.
+//!
+//! Every version is stored in full. Versions of one atom form a backward
+//! chain (newest first); the atom directory points at the newest record.
+//!
+//! * Current access: directory lookup + a short walk over the leading
+//!   (tt-open) records — O(1) in history length as long as the number of
+//!   *current* valid-time slices is small, **but** the leading records of
+//!   different atoms share pages with old versions, so page locality
+//!   degrades as histories grow (the effect experiments E1/E9 measure).
+//! * Past access at transaction time `t`: walk the chain until records
+//!   older than `t` stop appearing.
+//! * Storage: no delta savings; every update stores a full tuple.
+
+use crate::record::{AtomVersion, Payload, VersionRecord};
+use crate::store::{dir_get, dir_scan, dir_set, filter_at_tt, sort_by_vt, sort_history, StoreKind, StoreStats, VersionStore};
+use std::sync::Arc;
+use tcom_kernel::{AtomNo, Error, Interval, RecordId, Result, TimePoint, Tuple};
+use tcom_storage::btree::BTree;
+use tcom_storage::buffer::{BufferPool, FileId};
+use tcom_storage::heap::HeapFile;
+
+/// Full-copy version-chain store.
+pub struct ChainStore {
+    heap: HeapFile,
+    dir: BTree,
+}
+
+impl ChainStore {
+    /// Formats a fresh store over two pre-registered files.
+    pub fn create(pool: Arc<BufferPool>, heap_file: FileId, dir_file: FileId) -> Result<ChainStore> {
+        Ok(ChainStore {
+            heap: HeapFile::create(pool.clone(), heap_file)?,
+            dir: BTree::create(pool, dir_file)?,
+        })
+    }
+
+    /// Opens an existing store.
+    pub fn open(pool: Arc<BufferPool>, heap_file: FileId, dir_file: FileId) -> Result<ChainStore> {
+        Ok(ChainStore {
+            heap: HeapFile::open(pool.clone(), heap_file)?,
+            dir: BTree::open(pool, dir_file)?,
+        })
+    }
+
+    /// Walks an atom's chain, newest first, decoding every record.
+    /// `f` returning `false` stops the walk.
+    fn walk(
+        &self,
+        no: AtomNo,
+        mut f: impl FnMut(RecordId, &VersionRecord) -> Result<bool>,
+    ) -> Result<()> {
+        let mut cur = dir_get(&self.dir, no)?.filter(|r| !r.is_invalid());
+        while let Some(rid) = cur {
+            let rec = self
+                .heap
+                .with_record(rid, VersionRecord::decode)??;
+            if rec.atom_no != no {
+                return Err(Error::corruption(format!(
+                    "chain of atom {} reached record of atom {} at {rid:?}",
+                    no.0, rec.atom_no.0
+                )));
+            }
+            if !f(rid, &rec)? {
+                return Ok(());
+            }
+            cur = (!rec.prev.is_invalid()).then_some(rec.prev);
+        }
+        Ok(())
+    }
+
+    fn tuple_of(rec: &VersionRecord) -> Result<&Tuple> {
+        match &rec.payload {
+            Payload::Full(t) => Ok(t),
+            Payload::Delta(_) => Err(Error::corruption("delta record in full-copy chain store")),
+        }
+    }
+}
+
+impl VersionStore for ChainStore {
+    fn kind(&self) -> StoreKind {
+        StoreKind::Chain
+    }
+
+    fn exists(&self, no: AtomNo) -> Result<bool> {
+        Ok(dir_get(&self.dir, no)?.is_some())
+    }
+
+    fn insert_version(
+        &self,
+        no: AtomNo,
+        vt: Interval,
+        tt_start: TimePoint,
+        tuple: &Tuple,
+    ) -> Result<()> {
+        let prev = dir_get(&self.dir, no)?.unwrap_or(RecordId::INVALID);
+        let rec = VersionRecord {
+            atom_no: no,
+            vt,
+            tt: Interval::from(tt_start),
+            prev,
+            payload: Payload::Full(tuple.clone()),
+        };
+        let rid = self.heap.insert(&rec.encode())?;
+        dir_set(&self.dir, no, rid)?;
+        Ok(())
+    }
+
+    fn close_version(&self, no: AtomNo, vt_start: TimePoint, tt_end: TimePoint) -> Result<bool> {
+        let mut target: Option<(RecordId, VersionRecord)> = None;
+        self.walk(no, |rid, rec| {
+            if rec.is_current() && rec.vt.start() == vt_start {
+                target = Some((rid, rec.clone()));
+                return Ok(false);
+            }
+            Ok(true)
+        })?;
+        let Some((rid, mut rec)) = target else {
+            return Ok(false);
+        };
+        rec.tt = Interval::new(rec.tt.start(), tt_end)
+            .ok_or_else(|| Error::internal("tt close before tt start"))?;
+        let new_rid = self.heap.update(rid, &rec.encode())?;
+        debug_assert_eq!(new_rid, rid, "closing a version shrinks its record");
+        Ok(true)
+    }
+
+    fn current_versions(&self, no: AtomNo) -> Result<Vec<AtomVersion>> {
+        let mut out = Vec::new();
+        self.walk(no, |_, rec| {
+            if rec.is_current() {
+                out.push(AtomVersion {
+                    vt: rec.vt,
+                    tt: rec.tt,
+                    tuple: Self::tuple_of(rec)?.clone(),
+                });
+            }
+            Ok(true)
+        })?;
+        Ok(sort_by_vt(out))
+    }
+
+    fn versions_at(&self, no: AtomNo, tt: TimePoint) -> Result<Vec<AtomVersion>> {
+        Ok(sort_by_vt(filter_at_tt(self.history(no)?, tt)))
+    }
+
+    fn history(&self, no: AtomNo) -> Result<Vec<AtomVersion>> {
+        let mut out = Vec::new();
+        self.walk(no, |_, rec| {
+            out.push(AtomVersion {
+                vt: rec.vt,
+                tt: rec.tt,
+                tuple: Self::tuple_of(rec)?.clone(),
+            });
+            Ok(true)
+        })?;
+        Ok(sort_history(out))
+    }
+
+    fn scan_atoms(&self, f: &mut dyn FnMut(AtomNo) -> Result<bool>) -> Result<()> {
+        dir_scan(&self.dir, f)
+    }
+
+    fn prune(&self, no: AtomNo, cutoff: TimePoint) -> Result<usize> {
+        // Collect the whole chain, partition, delete prunable records and
+        // rebuild the kept chain (oldest→newest so relocations can never
+        // invalidate an already-written pointer).
+        let mut all: Vec<(RecordId, VersionRecord)> = Vec::new();
+        self.walk(no, |rid, rec| {
+            all.push((rid, rec.clone()));
+            Ok(true)
+        })?;
+        let (pruned, kept): (Vec<_>, Vec<_>) =
+            all.into_iter().partition(|(_, r)| r.tt.end() <= cutoff);
+        if pruned.is_empty() {
+            return Ok(0);
+        }
+        for (rid, _) in &pruned {
+            self.heap.delete(*rid)?;
+        }
+        let mut new_prev = RecordId::INVALID;
+        for (rid, mut rec) in kept.into_iter().rev() {
+            rec.prev = new_prev;
+            new_prev = self.heap.update(rid, &rec.encode())?;
+        }
+        dir_set(&self.dir, no, new_prev)?;
+        Ok(pruned.len())
+    }
+
+    fn stats(&self) -> Result<StoreStats> {
+        let mut versions = 0u64;
+        let mut bytes = 0u64;
+        self.heap.scan(|_, rec| {
+            versions += 1;
+            bytes += rec.len() as u64;
+            Ok(true)
+        })?;
+        Ok(StoreStats {
+            atoms: self.dir.len()?,
+            versions,
+            heap_pages: self.heap.data_pages() as u64,
+            record_bytes: bytes,
+            dir_height: self.dir.height()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcom_kernel::time::{iv, iv_from};
+    use tcom_kernel::Value;
+    use tcom_storage::disk::DiskManager;
+
+    fn store(name: &str) -> (ChainStore, Vec<std::path::PathBuf>) {
+        let pool = BufferPool::new(64);
+        let mut paths = Vec::new();
+        let mut files = Vec::new();
+        for suffix in ["heap", "dir"] {
+            let p = std::env::temp_dir().join(format!(
+                "tcom-chain-{}-{}-{}",
+                std::process::id(),
+                name,
+                suffix
+            ));
+            let _ = std::fs::remove_file(&p);
+            files.push(pool.register_file(Arc::new(DiskManager::open(&p).unwrap())));
+            paths.push(p);
+        }
+        (ChainStore::create(pool, files[0], files[1]).unwrap(), paths)
+    }
+
+    fn tup(v: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(v), Value::from("payload")])
+    }
+
+    fn cleanup(paths: &[std::path::PathBuf]) {
+        for p in paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn insert_and_read_current() {
+        let (s, paths) = store("cur");
+        let no = AtomNo(1);
+        assert!(!s.exists(no).unwrap());
+        s.insert_version(no, iv_from(0), TimePoint(1), &tup(10)).unwrap();
+        assert!(s.exists(no).unwrap());
+        let cur = s.current_versions(no).unwrap();
+        assert_eq!(cur.len(), 1);
+        assert_eq!(cur[0].tuple, tup(10));
+        assert_eq!(cur[0].tt, iv_from(1));
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn update_sequence_builds_history() {
+        let (s, paths) = store("hist");
+        let no = AtomNo(7);
+        // tt=1: value 10; tt=2: close and write 20; tt=3: close and write 30.
+        s.insert_version(no, iv_from(0), TimePoint(1), &tup(10)).unwrap();
+        assert!(s.close_version(no, TimePoint(0), TimePoint(2)).unwrap());
+        s.insert_version(no, iv_from(0), TimePoint(2), &tup(20)).unwrap();
+        assert!(s.close_version(no, TimePoint(0), TimePoint(3)).unwrap());
+        s.insert_version(no, iv_from(0), TimePoint(3), &tup(30)).unwrap();
+
+        let cur = s.current_versions(no).unwrap();
+        assert_eq!(cur.len(), 1);
+        assert_eq!(cur[0].tuple, tup(30));
+
+        // Time-slice at tt=1 and tt=2.
+        let v1 = s.versions_at(no, TimePoint(1)).unwrap();
+        assert_eq!(v1.len(), 1);
+        assert_eq!(v1[0].tuple, tup(10));
+        let v2 = s.versions_at(no, TimePoint(2)).unwrap();
+        assert_eq!(v2[0].tuple, tup(20));
+        // Before creation: nothing.
+        assert!(s.versions_at(no, TimePoint(0)).unwrap().is_empty());
+
+        let h = s.history(no).unwrap();
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[0].tuple, tup(30)); // newest first
+        assert_eq!(h[2].tuple, tup(10));
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn close_unknown_version_returns_false() {
+        let (s, paths) = store("nf");
+        let no = AtomNo(3);
+        assert!(!s.close_version(no, TimePoint(0), TimePoint(5)).unwrap());
+        s.insert_version(no, iv(0, 10), TimePoint(1), &tup(1)).unwrap();
+        // wrong vt start
+        assert!(!s.close_version(no, TimePoint(5), TimePoint(5)).unwrap());
+        // right vt start
+        assert!(s.close_version(no, TimePoint(0), TimePoint(5)).unwrap());
+        // already closed: idempotent false
+        assert!(!s.close_version(no, TimePoint(0), TimePoint(6)).unwrap());
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn multiple_current_vt_slices() {
+        let (s, paths) = store("slices");
+        let no = AtomNo(9);
+        s.insert_version(no, iv(0, 10), TimePoint(1), &tup(1)).unwrap();
+        s.insert_version(no, iv(10, 20), TimePoint(1), &tup(2)).unwrap();
+        s.insert_version(no, iv_from(20), TimePoint(2), &tup(3)).unwrap();
+        let cur = s.current_versions(no).unwrap();
+        assert_eq!(cur.len(), 3);
+        assert_eq!(cur[0].vt, iv(0, 10)); // sorted by vt
+        assert_eq!(cur[2].vt, iv_from(20));
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn scan_atoms_in_order() {
+        let (s, paths) = store("scan");
+        for no in [5u64, 1, 9, 3] {
+            s.insert_version(AtomNo(no), iv_from(0), TimePoint(1), &tup(no as i64))
+                .unwrap();
+        }
+        let mut seen = Vec::new();
+        s.scan_atoms(&mut |no| {
+            seen.push(no.0);
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(seen, vec![1, 3, 5, 9]);
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn stats_reflect_growth() {
+        let (s, paths) = store("stats");
+        for i in 0..50u64 {
+            s.insert_version(AtomNo(i), iv_from(0), TimePoint(1), &tup(i as i64))
+                .unwrap();
+        }
+        for i in 0..50u64 {
+            s.close_version(AtomNo(i), TimePoint(0), TimePoint(2)).unwrap();
+            s.insert_version(AtomNo(i), iv_from(0), TimePoint(2), &tup(-(i as i64)))
+                .unwrap();
+        }
+        let st = s.stats().unwrap();
+        assert_eq!(st.atoms, 50);
+        assert_eq!(st.versions, 100);
+        assert!(st.record_bytes > 0);
+        assert!(st.heap_pages >= 1);
+        cleanup(&paths);
+    }
+}

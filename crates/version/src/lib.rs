@@ -1,0 +1,28 @@
+//! # tcom-version
+//!
+//! Temporal version management: the three competing storage formats for
+//! atom version histories that the paper's realization evaluates.
+//!
+//! * [`chain::ChainStore`] (V1) — full-copy backward version chains;
+//! * [`delta::DeltaStore`] (V2) — full current versions, closed versions
+//!   compressed to attribute-level backward deltas;
+//! * [`split::SplitStore`] (V3) — clustered current store plus append-only,
+//!   closing-time-ordered history store.
+//!
+//! All three implement [`store::VersionStore`] and answer identical
+//! bitemporal visibility queries; the `equivalence` integration test
+//! verifies this against a naive executable model under random histories.
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod delta;
+pub mod record;
+pub mod split;
+pub mod store;
+
+pub use chain::ChainStore;
+pub use delta::DeltaStore;
+pub use record::{AtomVersion, Payload, TupleDelta, VersionRecord};
+pub use split::SplitStore;
+pub use store::{StoreKind, StoreStats, VersionStore, VersionStoreExt};

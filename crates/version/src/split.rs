@@ -1,0 +1,501 @@
+//! V3 — `SplitStore`: separate current store and append-only history store.
+//!
+//! The defining property: **current-version access never touches history
+//! pages.** All current (tt-open) versions of an atom live in a single
+//! *current-set* record in the current heap; closing a version moves it
+//! into the append-only history heap, whose per-atom backward chains are
+//! ordered by closing time. Current pages therefore stay dense no matter
+//! how long histories grow — the locality effect E1/E9 measure.
+//!
+//! A useful corollary of append-at-close ordering: walking an atom's
+//! history chain visits records in descending `tt.end`, so a past
+//! time-slice at transaction time `t` can stop at the first record with
+//! `tt.end <= t` — cost proportional to the *distance into the past*, not
+//! to total history length.
+
+use crate::record::{AtomVersion, Payload, VersionRecord};
+use crate::store::{dir_get, dir_scan, dir_set, sort_by_vt, sort_history, StoreKind, StoreStats, VersionStore};
+use std::sync::Arc;
+use tcom_kernel::codec::{Decoder, Encoder};
+use tcom_kernel::{AtomNo, Error, Interval, RecordId, Result, TimePoint, Tuple};
+use tcom_storage::btree::BTree;
+use tcom_storage::buffer::{BufferPool, FileId};
+use tcom_storage::heap::HeapFile;
+
+/// All current versions of one atom, clustered in one record.
+#[derive(Clone, Debug, PartialEq, Default)]
+struct CurrentSet {
+    entries: Vec<(Interval, TimePoint, Tuple)>, // (vt, tt_start, tuple)
+}
+
+impl CurrentSet {
+    fn encode(&self, no: AtomNo) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(64);
+        e.put_u64(no.0);
+        e.put_u64(self.entries.len() as u64);
+        for (vt, tt_start, tuple) in &self.entries {
+            e.put_interval(vt);
+            e.put_time(*tt_start);
+            e.put_tuple(tuple);
+        }
+        e.finish()
+    }
+
+    fn decode(bytes: &[u8], expect_no: AtomNo) -> Result<CurrentSet> {
+        let mut d = Decoder::new(bytes);
+        let no = AtomNo(d.get_u64()?);
+        if no != expect_no {
+            return Err(Error::corruption(format!(
+                "current-set record of atom {} found while reading atom {}",
+                no.0, expect_no.0
+            )));
+        }
+        let n = d.get_u64()? as usize;
+        if n > d.remaining() {
+            return Err(Error::corruption("current-set entry count exceeds buffer"));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let vt = d.get_interval()?;
+            let tt_start = d.get_time()?;
+            let tuple = d.get_tuple()?;
+            entries.push((vt, tt_start, tuple));
+        }
+        if !d.is_exhausted() {
+            return Err(Error::corruption("trailing bytes in current-set record"));
+        }
+        Ok(CurrentSet { entries })
+    }
+}
+
+/// Split current/history store.
+pub struct SplitStore {
+    cur_heap: HeapFile,
+    cur_dir: BTree,
+    hist_heap: HeapFile,
+    hist_dir: BTree,
+}
+
+impl SplitStore {
+    /// Formats a fresh store over four pre-registered files.
+    pub fn create(
+        pool: Arc<BufferPool>,
+        cur_heap: FileId,
+        cur_dir: FileId,
+        hist_heap: FileId,
+        hist_dir: FileId,
+    ) -> Result<SplitStore> {
+        Ok(SplitStore {
+            cur_heap: HeapFile::create(pool.clone(), cur_heap)?,
+            cur_dir: BTree::create(pool.clone(), cur_dir)?,
+            hist_heap: HeapFile::create(pool.clone(), hist_heap)?,
+            hist_dir: BTree::create(pool, hist_dir)?,
+        })
+    }
+
+    /// Opens an existing store.
+    pub fn open(
+        pool: Arc<BufferPool>,
+        cur_heap: FileId,
+        cur_dir: FileId,
+        hist_heap: FileId,
+        hist_dir: FileId,
+    ) -> Result<SplitStore> {
+        Ok(SplitStore {
+            cur_heap: HeapFile::open(pool.clone(), cur_heap)?,
+            cur_dir: BTree::open(pool.clone(), cur_dir)?,
+            hist_heap: HeapFile::open(pool.clone(), hist_heap)?,
+            hist_dir: BTree::open(pool, hist_dir)?,
+        })
+    }
+
+    fn load_current(&self, no: AtomNo) -> Result<Option<(RecordId, CurrentSet)>> {
+        match dir_get(&self.cur_dir, no)? {
+            None => Ok(None),
+            Some(rid) => {
+                let set = self
+                    .cur_heap
+                    .with_record(rid, |b| CurrentSet::decode(b, no))??;
+                Ok(Some((rid, set)))
+            }
+        }
+    }
+
+    fn store_current(&self, no: AtomNo, rid: Option<RecordId>, set: &CurrentSet) -> Result<()> {
+        let bytes = set.encode(no);
+        let new_rid = match rid {
+            Some(rid) => self.cur_heap.update(rid, &bytes)?,
+            None => self.cur_heap.insert(&bytes)?,
+        };
+        if rid != Some(new_rid) {
+            dir_set(&self.cur_dir, no, new_rid)?;
+        }
+        Ok(())
+    }
+
+    /// Walks the history chain (descending `tt.end`). `f` returning `false`
+    /// stops early.
+    fn walk_history(
+        &self,
+        no: AtomNo,
+        mut f: impl FnMut(&VersionRecord) -> Result<bool>,
+    ) -> Result<()> {
+        let mut cur = dir_get(&self.hist_dir, no)?.filter(|r| !r.is_invalid());
+        while let Some(rid) = cur {
+            let rec = self
+                .hist_heap
+                .with_record(rid, VersionRecord::decode)??;
+            if rec.atom_no != no {
+                return Err(Error::corruption(format!(
+                    "history chain of atom {} reached record of atom {}",
+                    no.0, rec.atom_no.0
+                )));
+            }
+            if !f(&rec)? {
+                return Ok(());
+            }
+            cur = (!rec.prev.is_invalid()).then_some(rec.prev);
+        }
+        Ok(())
+    }
+}
+
+impl VersionStore for SplitStore {
+    fn kind(&self) -> StoreKind {
+        StoreKind::Split
+    }
+
+    fn exists(&self, no: AtomNo) -> Result<bool> {
+        Ok(dir_get(&self.cur_dir, no)?.is_some() || dir_get(&self.hist_dir, no)?.is_some())
+    }
+
+    fn insert_version(
+        &self,
+        no: AtomNo,
+        vt: Interval,
+        tt_start: TimePoint,
+        tuple: &Tuple,
+    ) -> Result<()> {
+        let (rid, mut set) = match self.load_current(no)? {
+            Some((rid, set)) => (Some(rid), set),
+            None => (None, CurrentSet::default()),
+        };
+        set.entries.push((vt, tt_start, tuple.clone()));
+        set.entries.sort_by_key(|(vt, _, _)| vt.start());
+        self.store_current(no, rid, &set)
+    }
+
+    fn close_version(&self, no: AtomNo, vt_start: TimePoint, tt_end: TimePoint) -> Result<bool> {
+        let Some((rid, mut set)) = self.load_current(no)? else {
+            return Ok(false);
+        };
+        let Some(pos) = set.entries.iter().position(|(vt, _, _)| vt.start() == vt_start) else {
+            return Ok(false);
+        };
+        let (vt, tt_start, tuple) = set.entries.remove(pos);
+        // Append the closed version to the history chain.
+        let tt = Interval::new(tt_start, tt_end)
+            .ok_or_else(|| Error::internal("tt close before tt start"))?;
+        let prev = dir_get(&self.hist_dir, no)?.unwrap_or(RecordId::INVALID);
+        let rec = VersionRecord {
+            atom_no: no,
+            vt,
+            tt,
+            prev,
+            payload: Payload::Full(tuple),
+        };
+        let hist_rid = self.hist_heap.insert(&rec.encode())?;
+        dir_set(&self.hist_dir, no, hist_rid)?;
+        // Shrink the current set (kept even when empty: the directory entry
+        // marks the atom as existing).
+        self.store_current(no, Some(rid), &set)?;
+        Ok(true)
+    }
+
+    fn current_versions(&self, no: AtomNo) -> Result<Vec<AtomVersion>> {
+        let Some((_, set)) = self.load_current(no)? else {
+            return Ok(Vec::new());
+        };
+        Ok(sort_by_vt(
+            set.entries
+                .into_iter()
+                .map(|(vt, tt_start, tuple)| AtomVersion {
+                    vt,
+                    tt: Interval::from(tt_start),
+                    tuple,
+                })
+                .collect(),
+        ))
+    }
+
+    fn versions_at(&self, no: AtomNo, tt: TimePoint) -> Result<Vec<AtomVersion>> {
+        let mut out: Vec<AtomVersion> = self
+            .current_versions(no)?
+            .into_iter()
+            .filter(|v| v.tt.contains(tt))
+            .collect();
+        // History chain: descending tt.end allows early termination.
+        self.walk_history(no, |rec| {
+            if rec.tt.end() <= tt {
+                return Ok(false); // everything older closed even earlier
+            }
+            if rec.tt.contains(tt) {
+                if let Payload::Full(t) = &rec.payload {
+                    out.push(AtomVersion { vt: rec.vt, tt: rec.tt, tuple: t.clone() });
+                } else {
+                    return Err(Error::corruption("delta record in split history store"));
+                }
+            }
+            Ok(true)
+        })?;
+        Ok(sort_by_vt(out))
+    }
+
+    fn history(&self, no: AtomNo) -> Result<Vec<AtomVersion>> {
+        let mut out = self.current_versions(no)?;
+        self.walk_history(no, |rec| {
+            if let Payload::Full(t) = &rec.payload {
+                out.push(AtomVersion { vt: rec.vt, tt: rec.tt, tuple: t.clone() });
+                Ok(true)
+            } else {
+                Err(Error::corruption("delta record in split history store"))
+            }
+        })?;
+        Ok(sort_history(out))
+    }
+
+    fn scan_atoms(&self, f: &mut dyn FnMut(AtomNo) -> Result<bool>) -> Result<()> {
+        // Every atom ever inserted has a current-set record (possibly empty),
+        // so the current directory is the authoritative atom list.
+        dir_scan(&self.cur_dir, f)
+    }
+
+    fn prune(&self, no: AtomNo, cutoff: TimePoint) -> Result<usize> {
+        // History chains are ordered by descending tt.end, so prunable
+        // records form a contiguous tail; collect the kept prefix and
+        // rebuild it (oldest→newest) with the tail cut off.
+        let mut kept: Vec<(RecordId, VersionRecord)> = Vec::new();
+        let mut prune_rids: Vec<RecordId> = Vec::new();
+        let mut cur = dir_get(&self.hist_dir, no)?.filter(|r| !r.is_invalid());
+        while let Some(rid) = cur {
+            let rec = self
+                .hist_heap
+                .with_record(rid, VersionRecord::decode)??;
+            let next = (!rec.prev.is_invalid()).then_some(rec.prev);
+            if rec.tt.end() <= cutoff {
+                prune_rids.push(rid);
+            } else {
+                kept.push((rid, rec));
+            }
+            cur = next;
+        }
+        if prune_rids.is_empty() {
+            return Ok(0);
+        }
+        for rid in &prune_rids {
+            self.hist_heap.delete(*rid)?;
+        }
+        let mut new_prev = RecordId::INVALID;
+        for (rid, mut rec) in kept.into_iter().rev() {
+            rec.prev = new_prev;
+            new_prev = self.hist_heap.update(rid, &rec.encode())?;
+        }
+        if new_prev.is_invalid() {
+            // No history left: drop the directory entry by pointing it at
+            // INVALID (dir entries are never removed; INVALID ends walks).
+            dir_set(&self.hist_dir, no, RecordId::INVALID)?;
+        } else {
+            dir_set(&self.hist_dir, no, new_prev)?;
+        }
+        Ok(prune_rids.len())
+    }
+
+    fn stats(&self) -> Result<StoreStats> {
+        let mut versions = 0u64;
+        let mut bytes = 0u64;
+        self.cur_heap.scan(|_, rec| {
+            // One current-set record may hold several versions; decode the
+            // entry count cheaply (skip the atom_no varint, read n).
+            let mut d = Decoder::new(rec);
+            let _ = d.get_u64()?;
+            versions += d.get_u64()?;
+            bytes += rec.len() as u64;
+            Ok(true)
+        })?;
+        self.hist_heap.scan(|_, rec| {
+            versions += 1;
+            bytes += rec.len() as u64;
+            Ok(true)
+        })?;
+        Ok(StoreStats {
+            atoms: self.cur_dir.len()?,
+            versions,
+            heap_pages: (self.cur_heap.data_pages() + self.hist_heap.data_pages()) as u64,
+            record_bytes: bytes,
+            dir_height: self.cur_dir.height()?,
+        })
+    }
+}
+
+impl SplitStore {
+    /// Diagnostic: data pages of (current heap, history heap) — the
+    /// locality argument in numbers.
+    pub fn heap_shape(&self) -> (u32, u32) {
+        (self.cur_heap.data_pages(), self.hist_heap.data_pages())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcom_kernel::time::{iv, iv_from};
+    use tcom_kernel::Value;
+    use tcom_storage::disk::DiskManager;
+
+    fn store(name: &str) -> (SplitStore, Vec<std::path::PathBuf>) {
+        let pool = BufferPool::new(64);
+        let mut paths = Vec::new();
+        let mut files = Vec::new();
+        for suffix in ["ch", "cd", "hh", "hd"] {
+            let p = std::env::temp_dir().join(format!(
+                "tcom-split-{}-{}-{}",
+                std::process::id(),
+                name,
+                suffix
+            ));
+            let _ = std::fs::remove_file(&p);
+            files.push(pool.register_file(Arc::new(DiskManager::open(&p).unwrap())));
+            paths.push(p);
+        }
+        (
+            SplitStore::create(pool, files[0], files[1], files[2], files[3]).unwrap(),
+            paths,
+        )
+    }
+
+    fn cleanup(paths: &[std::path::PathBuf]) {
+        for p in paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    fn tup(v: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(v), Value::from("some payload text")])
+    }
+
+    fn run_updates(s: &SplitStore, no: AtomNo, n: u64) {
+        s.insert_version(no, iv_from(0), TimePoint(1), &tup(0)).unwrap();
+        for t in 1..n {
+            s.close_version(no, TimePoint(0), TimePoint(t + 1)).unwrap();
+            s.insert_version(no, iv_from(0), TimePoint(t + 1), &tup(t as i64))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn current_and_slices() {
+        let (s, paths) = store("cur");
+        let no = AtomNo(1);
+        run_updates(&s, no, 10);
+        let cur = s.current_versions(no).unwrap();
+        assert_eq!(cur.len(), 1);
+        assert_eq!(cur[0].tuple, tup(9));
+        for t in 1..=10u64 {
+            let vs = s.versions_at(no, TimePoint(t)).unwrap();
+            assert_eq!(vs.len(), 1, "tt={t}");
+            assert_eq!(vs[0].tuple, tup(t as i64 - 1));
+        }
+        assert!(s.versions_at(no, TimePoint(0)).unwrap().is_empty());
+        assert_eq!(s.history(no).unwrap().len(), 10);
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn logical_delete_empties_current() {
+        let (s, paths) = store("del");
+        let no = AtomNo(2);
+        s.insert_version(no, iv_from(0), TimePoint(1), &tup(5)).unwrap();
+        assert!(s.close_version(no, TimePoint(0), TimePoint(3)).unwrap());
+        assert!(s.current_versions(no).unwrap().is_empty());
+        assert!(s.exists(no).unwrap(), "deleted atom still exists historically");
+        // Still visible in the past.
+        let vs = s.versions_at(no, TimePoint(2)).unwrap();
+        assert_eq!(vs.len(), 1);
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn current_heap_stays_small() {
+        let (s, paths) = store("locality");
+        for no in 0..50u64 {
+            run_updates(&s, AtomNo(no), 20);
+        }
+        let (cur_pages, hist_pages) = s.heap_shape();
+        assert!(
+            hist_pages > cur_pages * 2,
+            "history should dominate: cur={cur_pages} hist={hist_pages}"
+        );
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn multiple_vt_slices() {
+        let (s, paths) = store("slices");
+        let no = AtomNo(3);
+        s.insert_version(no, iv(0, 10), TimePoint(1), &tup(1)).unwrap();
+        s.insert_version(no, iv(10, 20), TimePoint(2), &tup(2)).unwrap();
+        s.insert_version(no, iv_from(20), TimePoint(3), &tup(3)).unwrap();
+        let cur = s.current_versions(no).unwrap();
+        assert_eq!(cur.len(), 3);
+        assert_eq!(cur[0].vt, iv(0, 10));
+        // Close the middle slice.
+        assert!(s.close_version(no, TimePoint(10), TimePoint(5)).unwrap());
+        assert_eq!(s.current_versions(no).unwrap().len(), 2);
+        // At tt=4, all three were visible.
+        assert_eq!(s.versions_at(no, TimePoint(4)).unwrap().len(), 3);
+        // At tt=5, only two.
+        assert_eq!(s.versions_at(no, TimePoint(5)).unwrap().len(), 2);
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn close_false_cases() {
+        let (s, paths) = store("false");
+        let no = AtomNo(4);
+        assert!(!s.close_version(no, TimePoint(0), TimePoint(1)).unwrap());
+        s.insert_version(no, iv_from(0), TimePoint(1), &tup(0)).unwrap();
+        assert!(!s.close_version(no, TimePoint(42), TimePoint(2)).unwrap());
+        assert!(s.close_version(no, TimePoint(0), TimePoint(2)).unwrap());
+        assert!(!s.close_version(no, TimePoint(0), TimePoint(3)).unwrap());
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn stats_count_both_areas() {
+        let (s, paths) = store("stats");
+        for no in 0..10u64 {
+            run_updates(&s, AtomNo(no), 5);
+        }
+        let st = s.stats().unwrap();
+        assert_eq!(st.atoms, 10);
+        assert_eq!(st.versions, 50);
+        assert!(st.record_bytes > 0);
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn scan_lists_deleted_atoms_too() {
+        let (s, paths) = store("scan");
+        s.insert_version(AtomNo(1), iv_from(0), TimePoint(1), &tup(1)).unwrap();
+        s.insert_version(AtomNo(2), iv_from(0), TimePoint(1), &tup(2)).unwrap();
+        s.close_version(AtomNo(1), TimePoint(0), TimePoint(2)).unwrap();
+        let mut seen = Vec::new();
+        s.scan_atoms(&mut |no| {
+            seen.push(no.0);
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(seen, vec![1, 2]);
+        cleanup(&paths);
+    }
+}

@@ -1,0 +1,28 @@
+//! # tcom-wal
+//!
+//! Write-ahead logging and recovery support for the tcom engine.
+//!
+//! The engine uses **logical, redo-only** logging: every committed
+//! transaction's mutation primitives (`InsertVersion`, `CloseVersion`) are
+//! appended to the log before its commit record. Recovery replays the
+//! primitives of committed transactions in log order; replay is
+//! **idempotent** at the engine level (an already-applied insert is
+//! detected by its `(atom, vt, tt_start)` stamp, and closing an
+//! already-closed version is a no-op), so the buffer manager may steal
+//! (write back dirty pages) at any time without undo.
+//!
+//! Checkpointing truncates the log after flushing and fsyncing all data
+//! files; the checkpoint record carries the engine clock and per-type atom
+//! counters so they survive without a separate metadata file.
+//!
+//! Format: a sequence of `[len: u32][crc32c: u32][payload]` frames. A
+//! torn final frame (crash mid-append) fails its CRC or length check and
+//! cleanly ends recovery — this is exercised by tests.
+
+#![warn(missing_docs)]
+
+pub mod record;
+pub mod wal;
+
+pub use record::LogRecord;
+pub use wal::{SyncPolicy, Wal};

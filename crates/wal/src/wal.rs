@@ -1,0 +1,295 @@
+//! The log manager: framed appends, crash-tolerant reads, truncation.
+
+use crate::record::LogRecord;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use tcom_kernel::codec::crc32c;
+use tcom_kernel::{Lsn, Result};
+
+/// When the log file is fsynced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncPolicy {
+    /// fsync on every commit (full durability; the default).
+    OnCommit,
+    /// fsync only at checkpoints (benchmarks; loses the tail on power
+    /// failure but never corrupts).
+    OnCheckpoint,
+}
+
+struct Inner {
+    file: File,
+    /// Next append offset == current log length in bytes.
+    end: u64,
+}
+
+/// An append-only write-ahead log.
+pub struct Wal {
+    inner: Mutex<Inner>,
+    path: PathBuf,
+    policy: SyncPolicy,
+}
+
+impl Wal {
+    /// Opens (creating if missing) the log at `path`.
+    ///
+    /// A torn tail from a previous crash is detected lazily by
+    /// [`Wal::read_all`]; `open` truncates the file to the last valid
+    /// frame boundary so new appends never interleave with garbage.
+    pub fn open(path: impl AsRef<Path>, policy: SyncPolicy) -> Result<Wal> {
+        let path = path.as_ref().to_owned();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        // Find the end of the valid prefix.
+        let valid_end = scan_valid_prefix(&mut file)?.1;
+        file.set_len(valid_end)?;
+        file.seek(SeekFrom::Start(valid_end))?;
+        Ok(Wal {
+            inner: Mutex::new(Inner { file, end: valid_end }),
+            path,
+            policy,
+        })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current log length in bytes.
+    pub fn len(&self) -> u64 {
+        self.inner.lock().expect("wal lock").end
+    }
+
+    /// True iff the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a record, returning its LSN (byte offset of the frame).
+    pub fn append(&self, rec: &LogRecord) -> Result<Lsn> {
+        let payload = rec.encode();
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32c(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let mut inner = self.inner.lock().expect("wal lock");
+        let lsn = Lsn(inner.end);
+        inner.file.write_all(&frame)?;
+        inner.end += frame.len() as u64;
+        Ok(lsn)
+    }
+
+    /// Appends a commit record and syncs per policy.
+    pub fn append_commit(&self, rec: &LogRecord) -> Result<Lsn> {
+        let lsn = self.append(rec)?;
+        if self.policy == SyncPolicy::OnCommit {
+            self.sync()?;
+        }
+        Ok(lsn)
+    }
+
+    /// Forces the log to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.inner.lock().expect("wal lock").file.sync_data()?;
+        Ok(())
+    }
+
+    /// Reads every valid record from the start of the log. A torn tail
+    /// (bad length or CRC) ends the scan cleanly.
+    pub fn read_all(&self) -> Result<Vec<(Lsn, LogRecord)>> {
+        let mut inner = self.inner.lock().expect("wal lock");
+        let (records, _) = scan_valid_prefix(&mut inner.file)?;
+        let end = inner.end;
+        inner.file.seek(SeekFrom::Start(end))?;
+        Ok(records)
+    }
+
+    /// Truncates the log to empty, then appends `first` (typically a
+    /// checkpoint record) and syncs. The caller must have flushed and
+    /// synced all data files *before* calling this.
+    pub fn reset_with(&self, first: &LogRecord) -> Result<Lsn> {
+        {
+            let mut inner = self.inner.lock().expect("wal lock");
+            inner.file.set_len(0)?;
+            inner.file.seek(SeekFrom::Start(0))?;
+            inner.end = 0;
+        }
+        let lsn = self.append(first)?;
+        self.sync()?;
+        Ok(lsn)
+    }
+}
+
+/// Scans the file from the start, returning all valid records and the byte
+/// offset one past the last valid frame.
+fn scan_valid_prefix(file: &mut File) -> Result<(Vec<(Lsn, LogRecord)>, u64)> {
+    let file_len = file.metadata()?.len();
+    file.seek(SeekFrom::Start(0))?;
+    let mut buf = Vec::with_capacity(file_len as usize);
+    file.read_to_end(&mut buf)?;
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if pos + 8 > buf.len() {
+            break;
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if pos + 8 + len > buf.len() {
+            break; // torn frame
+        }
+        let payload = &buf[pos + 8..pos + 8 + len];
+        if crc32c(payload) != crc {
+            break; // corrupt frame — treat as end of log
+        }
+        match LogRecord::decode(payload) {
+            Ok(rec) => records.push((Lsn(pos as u64), rec)),
+            Err(_) => break,
+        }
+        pos += 8 + len;
+    }
+    Ok((records, pos as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcom_kernel::{TimePoint, TxnId};
+
+    fn tmplog(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("tcom-wal-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let path = tmplog("rt");
+        let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
+        assert!(wal.is_empty());
+        let recs = vec![
+            LogRecord::Begin { txn: TxnId(1) },
+            LogRecord::CloseVersion {
+                txn: TxnId(1),
+                atom: tcom_kernel::AtomId::new(tcom_kernel::AtomTypeId(0), tcom_kernel::AtomNo(5)),
+                vt_start: TimePoint(0),
+                tt_end: TimePoint(9),
+            },
+            LogRecord::Commit { txn: TxnId(1) },
+        ];
+        let mut lsns = Vec::new();
+        for r in &recs {
+            lsns.push(wal.append(r).unwrap());
+        }
+        wal.sync().unwrap();
+        let back = wal.read_all().unwrap();
+        assert_eq!(back.len(), 3);
+        for ((lsn, rec), (want_lsn, want_rec)) in back.iter().zip(lsns.iter().zip(&recs)) {
+            assert_eq!(lsn, want_lsn);
+            assert_eq!(rec, want_rec);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let path = tmplog("reopen");
+        {
+            let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
+            wal.append(&LogRecord::Begin { txn: TxnId(9) }).unwrap();
+            wal.append_commit(&LogRecord::Commit { txn: TxnId(9) }).unwrap();
+        }
+        let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
+        let back = wal.read_all().unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].1, LogRecord::Commit { txn: TxnId(9) });
+        // Appends continue after the existing records.
+        wal.append(&LogRecord::Begin { txn: TxnId(10) }).unwrap();
+        assert_eq!(wal.read_all().unwrap().len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let path = tmplog("torn");
+        {
+            let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
+            wal.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
+            wal.append(&LogRecord::Commit { txn: TxnId(1) }).unwrap();
+            wal.sync().unwrap();
+        }
+        // Simulate a crash mid-append: garbage half-frame at the end.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[200, 0, 0, 0, 0xDE, 0xAD]).unwrap();
+        }
+        let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
+        let back = wal.read_all().unwrap();
+        assert_eq!(back.len(), 2, "torn tail must not surface");
+        // New appends land cleanly after the valid prefix.
+        wal.append(&LogRecord::Begin { txn: TxnId(2) }).unwrap();
+        assert_eq!(wal.read_all().unwrap().len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_middle_frame_truncates_from_there() {
+        let path = tmplog("corrupt");
+        {
+            let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
+            for i in 0..5 {
+                wal.append(&LogRecord::Begin { txn: TxnId(i) }).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // Flip a byte in the middle of the file.
+        {
+            let data = std::fs::read(&path).unwrap();
+            let mut data = data;
+            let mid = data.len() / 2;
+            data[mid] ^= 0x55;
+            std::fs::write(&path, &data).unwrap();
+        }
+        let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
+        let back = wal.read_all().unwrap();
+        assert!(back.len() < 5, "records after the corruption are dropped");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reset_with_checkpoint() {
+        let path = tmplog("reset");
+        let wal = Wal::open(&path, SyncPolicy::OnCheckpoint).unwrap();
+        for i in 0..100 {
+            wal.append(&LogRecord::Begin { txn: TxnId(i) }).unwrap();
+        }
+        let before = wal.len();
+        wal.reset_with(&LogRecord::Checkpoint {
+            clock: TimePoint(55),
+            next_atom_nos: vec![(0, 10)],
+        })
+        .unwrap();
+        assert!(wal.len() < before);
+        let back = wal.read_all().unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(matches!(back[0].1, LogRecord::Checkpoint { clock: TimePoint(55), .. }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lsn_is_byte_offset() {
+        let path = tmplog("lsn");
+        let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
+        let a = wal.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
+        let b = wal.append(&LogRecord::Begin { txn: TxnId(2) }).unwrap();
+        assert_eq!(a, Lsn(0));
+        assert!(b > a);
+        let _ = std::fs::remove_file(&path);
+    }
+}

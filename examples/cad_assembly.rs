@@ -1,0 +1,128 @@
+//! CAD bill-of-materials: recursive part-of molecules with engineering
+//! change history.
+//!
+//! Demonstrates: self-referential atom types, recursive molecule types
+//! with depth bounds and cycle guards, BOM explosion at any transaction
+//! time, and mass roll-ups over materialized assemblies.
+//!
+//! ```text
+//! cargo run --example cad_assembly
+//! ```
+
+use tcom::prelude::*;
+
+/// Sums the mass attribute over a materialized subtree.
+fn total_mass(atom: &MatAtom) -> i64 {
+    let mut sum = 0i64;
+    atom.visit(&mut |a| {
+        if let Value::Int(m) = a.version.tuple.get(1) {
+            sum += m;
+        }
+    });
+    sum
+}
+
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join(format!("tcom-cad-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::open(&dir, DbConfig::default())?;
+
+    // A self-referential part type (its own id is 0, the first type).
+    let part = db.define_atom_type(
+        "part",
+        vec![
+            AttrDef::new("name", DataType::Text).not_null(),
+            AttrDef::new("mass_g", DataType::Int),
+            AttrDef::new("components", DataType::RefSet(AtomTypeId(0))),
+        ],
+    )?;
+    let bom = db.define_molecule_type(
+        "bom",
+        part,
+        vec![MoleculeEdge { from: part, attr: AttrId(2), to: part }],
+        Some(16),
+    )?;
+
+    // Build a small drone assembly.
+    let mut txn = db.begin();
+    let mk = |txn: &mut Txn<'_>, name: &str, mass: i64, kids: Vec<AtomId>| {
+        txn.insert_atom(
+            part,
+            Interval::all(),
+            Tuple::new(vec![Value::from(name), Value::Int(mass), Value::ref_set(kids)]),
+        )
+    };
+    let rotor = mk(&mut txn, "rotor", 12, vec![])?;
+    let motor = mk(&mut txn, "motor", 55, vec![rotor])?;
+    let esc = mk(&mut txn, "esc", 9, vec![])?;
+    let arm = mk(&mut txn, "arm", 30, vec![motor, esc])?;
+    let battery = mk(&mut txn, "battery", 180, vec![])?;
+    let frame = mk(&mut txn, "frame", 95, vec![])?;
+    let fc = mk(&mut txn, "flight-controller", 8, vec![])?;
+    let drone = mk(&mut txn, "drone", 0, vec![frame, battery, fc, arm])?;
+    let t0 = txn.commit()?;
+
+    let m = db.materialize_current(bom, drone, TimePoint(0))?.expect("drone");
+    println!(
+        "initial BOM: {} parts, depth {}, total mass {} g (recorded at tt={t0})",
+        m.size(),
+        m.root.depth(),
+        total_mass(&m.root)
+    );
+
+    // Engineering change 1: lighter battery.
+    let mut txn = db.begin();
+    txn.update(
+        battery,
+        Interval::all(),
+        Tuple::new(vec![Value::from("battery"), Value::Int(150), Value::ref_set([])]),
+    )?;
+    let t1 = txn.commit()?;
+
+    // Engineering change 2: the arm gains a vibration damper.
+    let mut txn = db.begin();
+    let damper = mk(&mut txn, "damper", 4, vec![])?;
+    txn.update(
+        arm,
+        Interval::all(),
+        Tuple::new(vec![Value::from("arm"), Value::Int(30), Value::ref_set([motor, esc, damper])]),
+    )?;
+    let t2 = txn.commit()?;
+
+    // BOM explosion at every revision.
+    for (label, tt) in [("rev A", t0), ("rev B", t1), ("rev C", t2)] {
+        let m = db.materialize(bom, drone, tt, TimePoint(0))?.expect("drone");
+        println!(
+            "{label} (tt={tt}): {} parts, total mass {} g",
+            m.size(),
+            total_mass(&m.root)
+        );
+    }
+
+    // Where is the damper used? Walk the current molecule.
+    let m = db.materialize_current(bom, drone, TimePoint(0))?.expect("drone");
+    let mut parents: Vec<(String, String)> = Vec::new();
+    m.root.visit(&mut |a| {
+        for (_, kids) in &a.children {
+            for k in kids {
+                parents.push((
+                    format!("{}", k.version.tuple.get(0)),
+                    format!("{}", a.version.tuple.get(0)),
+                ));
+            }
+        }
+    });
+    println!("\nwhere-used (current):");
+    for (child, parent) in parents.iter().filter(|(c, _)| c.contains("damper")) {
+        println!("  {child} is used in {parent}");
+    }
+
+    // The arm's own engineering-change history.
+    println!("\narm history:");
+    for v in db.history(arm)? {
+        println!("  tt={}: components={}", v.tt, v.tuple.get(2));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: create a database, insert and update an atom, travel
+//! through transaction time, and run a TQL query.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use tcom::prelude::*;
+
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join(format!("tcom-quickstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::open(&dir, DbConfig::default())?;
+
+    // 1. Schema: an employee type with an indexed salary.
+    let emp = db.define_atom_type(
+        "emp",
+        vec![
+            AttrDef::new("name", DataType::Text).not_null(),
+            AttrDef::new("salary", DataType::Int).indexed(),
+        ],
+    )?;
+
+    // 2. Insert Ann (valid for all time), commit — transaction time 1.
+    let mut txn = db.begin();
+    let ann = txn.insert_atom(
+        emp,
+        Interval::all(),
+        Tuple::new(vec![Value::from("ann"), Value::Int(100)]),
+    )?;
+    let t1 = txn.commit()?;
+    println!("inserted ann at transaction time {t1}");
+
+    // 3. Give Ann a raise — transaction time 2.
+    let mut txn = db.begin();
+    txn.update(
+        ann,
+        Interval::all(),
+        Tuple::new(vec![Value::from("ann"), Value::Int(150)]),
+    )?;
+    let t2 = txn.commit()?;
+    println!("raised ann's salary at transaction time {t2}");
+
+    // 4. The present…
+    let now = db.current_tuple(ann, TimePoint(0))?.expect("ann exists");
+    println!("now:        {now:?}");
+
+    // …and the past: what did the database say at transaction time 1?
+    let then = db.version_at(ann, t1, TimePoint(0))?.expect("ann existed");
+    println!("as of t={t1}: {:?}", then.tuple);
+
+    // 5. The full recorded history.
+    for (i, v) in db.history(ann)?.iter().enumerate() {
+        println!("history[{i}]: vt={} tt={} tuple={:?}", v.vt, v.tt, v.tuple);
+    }
+
+    // 6. The same questions in TQL.
+    let out = execute(&db, "SELECT name, salary FROM emp WHERE salary > 120")?;
+    println!("TQL current: {out:?}");
+    let out = execute(&db, "SELECT name, salary FROM emp ASOF TT 1")?;
+    println!("TQL as-of-1: {out:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Transaction-time auditing: "what did the database say, and when?"
+//!
+//! A compliance-style scenario: account balances change, a correction is
+//! issued retroactively (valid-time update in the past), and an auditor
+//! reconstructs both the *actual* timeline (valid time) and the *recorded*
+//! timeline (transaction time), including what was believed at each point.
+//!
+//! Also demonstrates crash recovery: the process "crashes" with committed
+//! work only in the WAL, and the reopened database recovers it.
+//!
+//! ```text
+//! cargo run --example time_travel_audit
+//! ```
+
+use tcom::prelude::*;
+
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join(format!("tcom-audit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let account;
+    let (t1, t2, t3);
+    {
+        let db = Database::open(&dir, DbConfig::default())?;
+        let acct = db.define_atom_type(
+            "account",
+            vec![
+                AttrDef::new("owner", DataType::Text).not_null(),
+                AttrDef::new("balance", DataType::Int).indexed(),
+            ],
+        )?;
+
+        // Month 0: account opened with 1000.
+        let mut txn = db.begin();
+        account = txn.insert_atom(
+            acct,
+            iv_from(0),
+            Tuple::new(vec![Value::from("acme corp"), Value::Int(1000)]),
+        )?;
+        t1 = txn.commit()?;
+
+        // Recorded later: from month 5 on the balance was 1400.
+        let mut txn = db.begin();
+        txn.update(
+            account,
+            iv_from(5),
+            Tuple::new(vec![Value::from("acme corp"), Value::Int(1400)]),
+        )?;
+        t2 = txn.commit()?;
+
+        // A retroactive correction: months 2..5 should have read 900
+        // (a missed withdrawal). Valid-time update in the past.
+        let mut txn = db.begin();
+        txn.update(
+            account,
+            iv(2, 5),
+            Tuple::new(vec![Value::from("acme corp"), Value::Int(900)]),
+        )?;
+        t3 = txn.commit()?;
+
+        println!("recorded at tt: open={t1}, update={t2}, correction={t3}");
+
+        // The believed balance timeline at each recording point:
+        for tt in [t1, t2, t3] {
+            println!("\nbelieved timeline as of tt={tt}:");
+            for v in db.versions_at(account, tt)? {
+                println!("  vt {} -> {}", v.vt, v.tuple.get(1));
+            }
+        }
+
+        // Audit question: what did we *report* for month 3 at tt=t2, and
+        // what do we know now?
+        let then = db.version_at(account, t2, TimePoint(3))?.expect("existed");
+        let now = db.current_tuple(account, TimePoint(3))?.expect("exists");
+        println!("\nmonth-3 balance reported at tt={t2}: {}", then.tuple.get(1));
+        println!("month-3 balance as known today:     {}", now.get(1));
+
+        // Full audit trail, newest first.
+        println!("\nfull audit trail:");
+        for v in db.history(account)? {
+            println!("  recorded tt={} valid vt={} balance={}", v.tt, v.vt, v.tuple.get(1));
+        }
+
+        // Crash with the last transaction only in the WAL.
+        db.crash();
+        println!("\n-- process crashed (no clean shutdown) --");
+    }
+
+    // Recovery: everything committed survives.
+    let db = Database::open(&dir, DbConfig::default())?;
+    let recovered = db.history(account)?;
+    println!("after recovery: {} recorded versions, clock={}", recovered.len(), db.now());
+    assert_eq!(db.now(), t3);
+    let month3 = db.current_tuple(account, TimePoint(3))?.expect("exists");
+    assert_eq!(month3.get(1), &Value::Int(900));
+    println!("month-3 corrected balance intact: {}", month3.get(1));
+
+    // TQL over the recovered store.
+    let out = execute(&db, "SELECT HISTORY FROM account a WHERE a.balance < 1000")?;
+    if let QueryOutput::Histories(hs) = out {
+        println!("TQL: {} account(s) ever had a sub-1000 balance on record", hs.len());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! A tour of TQL: the whole lifecycle — schema, data, evolution, time
+//! travel, molecules — driven purely through statements, the way the
+//! `tcom-shell` does it.
+//!
+//! ```text
+//! cargo run --example tql_tour
+//! ```
+
+use tcom::prelude::*;
+use tcom::query::{run_statement, StatementOutput};
+
+fn run(db: &Database, stmt: &str) -> Result<StatementOutput> {
+    println!("tql> {stmt}");
+    let out = run_statement(db, stmt)?;
+    match &out {
+        StatementOutput::Query(QueryOutput::Rows { columns, rows }) => {
+            println!("     {}", columns.join(" | "));
+            for r in rows {
+                let vals: Vec<String> = r.values.iter().map(|v| v.to_string()).collect();
+                println!("     {}  (vt {}, tt {})", vals.join(" | "), r.vt, r.tt);
+            }
+        }
+        StatementOutput::Query(QueryOutput::Molecules(ms)) => {
+            for m in ms {
+                println!("     molecule @{}: {} atoms", m.root.id, m.size());
+            }
+        }
+        StatementOutput::Query(QueryOutput::Histories(hs)) => {
+            for (atom, vs) in hs {
+                println!("     {atom}: {} versions", vs.len());
+            }
+        }
+        other => println!("     {other:?}"),
+    }
+    Ok(out)
+}
+
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join(format!("tcom-tour-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::open(&dir, DbConfig::default())?;
+
+    // ---- schema, purely declarative -----------------------------------
+    run(&db, "CREATE TYPE proj (title TEXT NOT NULL, budget INT INDEXED)")?;
+    run(&db, "CREATE TYPE emp (name TEXT NOT NULL, salary INT INDEXED, works_on REFSET(proj))")?;
+    run(&db, "CREATE TYPE dept (name TEXT NOT NULL, employs REFSET(emp))")?;
+    run(&db, "CREATE MOLECULE org ROOT dept (dept.employs TO emp, emp.works_on TO proj)")?;
+
+    // ---- data ----------------------------------------------------------
+    let StatementOutput::Inserted(apollo, _) =
+        run(&db, "INSERT INTO proj (title, budget) VALUES ('apollo', 900)")?
+    else { unreachable!() };
+    let StatementOutput::Inserted(gemini, _) =
+        run(&db, "INSERT INTO proj (title, budget) VALUES ('gemini', 400)")?
+    else { unreachable!() };
+    let StatementOutput::Inserted(ann, _) = run(
+        &db,
+        &format!(
+            "INSERT INTO emp (name, salary, works_on) VALUES ('ann', 100, {{@{}.{}, @{}.{}}})",
+            apollo.ty.0, apollo.no.0, gemini.ty.0, gemini.no.0
+        ),
+    )?
+    else { unreachable!() };
+    run(
+        &db,
+        &format!(
+            "INSERT INTO emp (name, salary, works_on) VALUES ('bob', 90, {{@{}.{}}}) VALID IN [0, 24)",
+            apollo.ty.0, apollo.no.0
+        ),
+    )?;
+    run(
+        &db,
+        &format!(
+            "INSERT INTO dept (name, employs) VALUES ('research', {{@{}.{}, @{}.1}})",
+            ann.ty.0, ann.no.0, ann.ty.0
+        ),
+    )?;
+
+    // ---- evolution ------------------------------------------------------
+    run(&db, "UPDATE emp SET salary = 130 WHERE name = 'ann' VALID FROM 12")?;
+    run(&db, "UPDATE proj SET budget = 1200 WHERE title = 'apollo'")?;
+    run(&db, "DELETE FROM emp WHERE name = 'bob'")?;
+
+    // ---- queries across time --------------------------------------------
+    run(&db, "SELECT name, salary FROM emp VALID AT 20")?;
+    run(&db, "SELECT name, salary FROM emp VALID AT 20 ASOF TT 5")?;
+    run(&db, "SELECT name, salary FROM emp WHERE salary >= 100 VALID IN [0, 24)")?;
+    run(&db, "SELECT HISTORY FROM emp e WHERE e.name = 'bob'")?;
+    run(&db, "SELECT MOLECULE FROM org WHERE root.name = 'research' VALID AT 20")?;
+    run(&db, "SELECT MOLECULE FROM org WHERE root.name = 'research' VALID AT 20 ASOF TT 5")?;
+
+    // ---- the safety nets -------------------------------------------------
+    db.assert_integrity()?;
+    println!("integrity: ok");
+    let removed = db.prune_history(TimePoint(7))?;
+    println!("pruned {removed} pre-tt-7 versions");
+    db.assert_integrity()?;
+    println!("integrity after prune: ok");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

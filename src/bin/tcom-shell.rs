@@ -1,0 +1,203 @@
+//! `tcom-shell` — an interactive TQL shell over a tcom database.
+//!
+//! ```text
+//! cargo run --bin tcom-shell -- /path/to/db [--store chain|delta|split]
+//! ```
+//!
+//! Statements end with `;` and may span lines. Meta commands:
+//!
+//! ```text
+//! .help                 this text
+//! .types                list atom types and attributes
+//! .molecules            list molecule types
+//! .stats                storage + buffer statistics
+//! .checkpoint           flush everything and truncate the WAL
+//! .now                  current transaction-time clock
+//! .quit                 exit (clean shutdown checkpoint)
+//! ```
+
+use std::io::{BufRead, Write};
+use tcom::prelude::*;
+use tcom_query::{run_statement, StatementOutput};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: tcom-shell <db-dir> [--store chain|delta|split]");
+        std::process::exit(2);
+    };
+    let mut config = DbConfig::default();
+    if let Some(i) = args.iter().position(|a| a == "--store") {
+        config = config.store_kind(match args.get(i + 1).map(String::as_str) {
+            Some("chain") => StoreKind::Chain,
+            Some("delta") => StoreKind::Delta,
+            Some("split") | None => StoreKind::Split,
+            Some(other) => {
+                eprintln!("unknown store kind '{other}'");
+                std::process::exit(2);
+            }
+        });
+    }
+    let db = match Database::open(path, config) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "tcom shell — {} (store: {}, clock: {})",
+        path,
+        db.config().store_kind,
+        db.now()
+    );
+    println!("statements end with ';' — try .help");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("tql> ");
+        } else {
+            print!("...> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !meta_command(&db, trimmed) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let stmt = buffer.trim().trim_end_matches(';').to_owned();
+        buffer.clear();
+        if stmt.is_empty() {
+            continue;
+        }
+        match run_statement(&db, &stmt) {
+            Ok(out) => print_output(out),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    println!("bye");
+}
+
+/// Returns `false` to exit the shell.
+fn meta_command(db: &Database, cmd: &str) -> bool {
+    match cmd {
+        ".quit" | ".exit" | ".q" => return false,
+        ".help" => {
+            println!(
+                ".types .molecules .stats .checkpoint .now .quit\n\
+                 SELECT … | CREATE TYPE … | CREATE MOLECULE … |\n\
+                 INSERT INTO … | UPDATE … SET … | DELETE FROM … (end with ';')"
+            );
+        }
+        ".types" => db.with_catalog(|c| {
+            for t in c.atom_types() {
+                println!("type {} (#{})", t.name, t.id.0);
+                for (i, a) in t.attrs.iter().enumerate() {
+                    println!(
+                        "  {i}: {} {}{}{}",
+                        a.name,
+                        a.ty,
+                        if a.not_null { " NOT NULL" } else { "" },
+                        if a.indexed { " INDEXED" } else { "" },
+                    );
+                }
+            }
+        }),
+        ".molecules" => db.with_catalog(|c| {
+            for m in c.molecule_types() {
+                let root = c.atom_type(m.root).map(|t| t.name.clone()).unwrap_or_default();
+                println!("molecule {} (root {root}, {} edges)", m.name, m.edges.len());
+            }
+        }),
+        ".stats" => {
+            match db.store_stats() {
+                Ok(stats) => {
+                    for (name, st) in stats {
+                        println!(
+                            "{name}: {} atoms, {} versions, {} pages, {} bytes",
+                            st.atoms, st.versions, st.heap_pages, st.record_bytes
+                        );
+                    }
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+            let b = db.buffer_stats();
+            println!(
+                "buffer: {} hits, {} misses, {} evictions; wal: {} bytes",
+                b.hits,
+                b.misses,
+                b.evictions,
+                db.wal_len()
+            );
+        }
+        ".checkpoint" => match db.checkpoint() {
+            Ok(()) => println!("checkpointed"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ".now" => println!("{}", db.now()),
+        other => eprintln!("unknown command {other} — try .help"),
+    }
+    true
+}
+
+fn print_output(out: StatementOutput) {
+    match out {
+        StatementOutput::Query(QueryOutput::Rows { columns, rows }) => {
+            println!("{} | vt | tt", columns.join(" | "));
+            for r in &rows {
+                let vals: Vec<String> = r.values.iter().map(|v| v.to_string()).collect();
+                println!("{} | {} | {}", vals.join(" | "), r.vt, r.tt);
+            }
+            println!("({} row{})", rows.len(), if rows.len() == 1 { "" } else { "s" });
+        }
+        StatementOutput::Query(QueryOutput::Molecules(ms)) => {
+            for m in &ms {
+                println!("molecule @{} ({} atoms):", m.root.id, m.size());
+                print_mat_atom(&m.root, 1);
+            }
+            println!("({} molecule{})", ms.len(), if ms.len() == 1 { "" } else { "s" });
+        }
+        StatementOutput::Query(QueryOutput::Histories(hs)) => {
+            for (atom, versions) in &hs {
+                println!("{atom}:");
+                for v in versions {
+                    let vals: Vec<String> = v.tuple.values().iter().map(|x| x.to_string()).collect();
+                    println!("  vt={} tt={} [{}]", v.vt, v.tt, vals.join(", "));
+                }
+            }
+            println!("({} atom{})", hs.len(), if hs.len() == 1 { "" } else { "s" });
+        }
+        StatementOutput::TypeCreated(id) => println!("type #{} created", id.0),
+        StatementOutput::MoleculeCreated(id) => println!("molecule #{} created", id.0),
+        StatementOutput::Inserted(atom, tt) => println!("inserted {atom} at tt={tt}"),
+        StatementOutput::Modified(n, tt) => println!("{n} atom(s) modified at tt={tt}"),
+    }
+}
+
+fn print_mat_atom(a: &MatAtom, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let vals: Vec<String> = a.version.tuple.values().iter().map(|v| v.to_string()).collect();
+    println!("{pad}{} [{}] vt={}", a.id, vals.join(", "), a.version.vt);
+    for (_, kids) in &a.children {
+        for k in kids {
+            print_mat_atom(k, indent + 1);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # tcom — a temporal complex-object database engine
+//!
+//! A from-scratch Rust realization of the temporal complex-object data
+//! model in the tradition of Käfer & Schöning's SIGMOD '92 paper: typed
+//! *atoms* with link attributes, dynamically derived *molecules* (complex
+//! objects), and full **bitemporal** versioning (valid time × transaction
+//! time) on a paged storage engine with three competing temporal storage
+//! formats.
+//!
+//! ```no_run
+//! use tcom::prelude::*;
+//!
+//! let db = Database::open("./mydb", DbConfig::default())?;
+//! let emp = db.define_atom_type(
+//!     "emp",
+//!     vec![
+//!         AttrDef::new("name", DataType::Text).not_null(),
+//!         AttrDef::new("salary", DataType::Int).indexed(),
+//!     ],
+//! )?;
+//! let mut txn = db.begin();
+//! let ann = txn.insert_atom(
+//!     emp,
+//!     Interval::all(),
+//!     Tuple::new(vec![Value::from("ann"), Value::Int(100)]),
+//! )?;
+//! txn.commit()?;
+//!
+//! // Time travel: the state as of transaction time 1.
+//! let v = db.version_at(ann, TimePoint(1), TimePoint(0))?;
+//! assert!(v.is_some());
+//! # tcom::Result::Ok(())
+//! ```
+//!
+//! The crates underneath, re-exported here:
+//!
+//! * [`kernel`] — time model, values, ids, codec;
+//! * [`storage`] — pages, buffer pool, heap files, B⁺-trees;
+//! * [`catalog`] — atom types, molecule types;
+//! * [`version`] — the three temporal storage formats;
+//! * [`wal`] — write-ahead logging;
+//! * [`core`] — the engine (transactions, molecules, temporal algebra);
+//! * [`query`] — TQL, the temporal query language.
+
+pub use tcom_catalog as catalog;
+pub use tcom_core as core;
+pub use tcom_kernel as kernel;
+pub use tcom_query as query;
+pub use tcom_storage as storage;
+pub use tcom_version as version;
+pub use tcom_wal as wal;
+
+pub use tcom_kernel::{Error, Result};
+
+/// Everything an application typically needs.
+pub mod prelude {
+    pub use tcom_catalog::{AttrDef, MoleculeEdge};
+    pub use tcom_core::{Database, DbConfig, MatAtom, Molecule, StoreKind, Txn};
+    pub use tcom_kernel::time::{iv, iv_from};
+    pub use tcom_kernel::{
+        AtomId, AtomTypeId, AttrId, DataType, Interval, MoleculeTypeId, Result, TemporalElement,
+        TimePoint, Tuple, Value,
+    };
+    pub use tcom_query::{execute, execute_with, ExecOptions, QueryOutput};
+    pub use tcom_wal::SyncPolicy;
+}

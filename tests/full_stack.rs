@@ -1,0 +1,282 @@
+//! Full-stack integration tests: every layer from TQL down to the disk
+//! manager exercised together through the facade crate.
+
+use tcom::prelude::*;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("tcom-fs-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// A complete lifecycle: schema → load → evolve → query (all temporal
+/// modes) → crash → recover → query again — for every storage format.
+#[test]
+fn lifecycle_every_store_kind() {
+    for kind in [StoreKind::Chain, StoreKind::Delta, StoreKind::Split] {
+        let dir = tmpdir(&format!("life-{kind}"));
+        let (emp_ty, ann);
+        {
+            let db = Database::open(&dir, DbConfig::default().store_kind(kind)).unwrap();
+            emp_ty = db
+                .define_atom_type(
+                    "emp",
+                    vec![
+                        AttrDef::new("name", DataType::Text).not_null(),
+                        AttrDef::new("salary", DataType::Int).indexed(),
+                    ],
+                )
+                .unwrap();
+            let mut txn = db.begin();
+            ann = txn
+                .insert_atom(emp_ty, Interval::all(), Tuple::new(vec![Value::from("ann"), Value::Int(100)]))
+                .unwrap();
+            for i in 0..9i64 {
+                txn.insert_atom(
+                    emp_ty,
+                    Interval::all(),
+                    Tuple::new(vec![Value::from(format!("e{i}")), Value::Int(100 + i)]),
+                )
+                .unwrap();
+            }
+            txn.commit().unwrap();
+            let mut txn = db.begin();
+            txn.update(ann, iv_from(50), Tuple::new(vec![Value::from("ann"), Value::Int(200)]))
+                .unwrap();
+            txn.commit().unwrap();
+
+            // TQL across temporal modes.
+            let out = execute(&db, "SELECT name, salary FROM emp WHERE salary >= 200 VALID AT 60").unwrap();
+            assert_eq!(out.len(), 1);
+            let out = execute(&db, "SELECT name FROM emp WHERE name = 'ann' VALID AT 10").unwrap();
+            assert_eq!(out.len(), 1);
+            let out = execute(&db, "SELECT HISTORY FROM emp e WHERE e.name = 'ann'").unwrap();
+            let QueryOutput::Histories(hs) = out else { panic!() };
+            assert_eq!(hs[0].1.len(), 3); // original + split remainder + raised
+            db.crash();
+        }
+        {
+            let db = Database::open(&dir, DbConfig::default().store_kind(kind)).unwrap();
+            let out = execute(&db, "SELECT name, salary FROM emp WHERE salary >= 200 VALID AT 60").unwrap();
+            assert_eq!(out.len(), 1, "{kind}: recovery lost the raise");
+            assert_eq!(db.current_versions(ann).unwrap().len(), 2);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Molecules spanning three atom types survive reopen and answer both
+/// API-level and TQL-level time travel identically.
+#[test]
+fn molecules_survive_reopen() {
+    let dir = tmpdir("mol-reopen");
+    let (mol, root, t_before);
+    {
+        let db = Database::open(&dir, DbConfig::default()).unwrap();
+        let proj = db
+            .define_atom_type("proj", vec![AttrDef::new("title", DataType::Text)])
+            .unwrap();
+        let emp = db
+            .define_atom_type(
+                "emp",
+                vec![
+                    AttrDef::new("name", DataType::Text),
+                    AttrDef::new("works_on", DataType::RefSet(proj)),
+                ],
+            )
+            .unwrap();
+        let dept = db
+            .define_atom_type(
+                "dept",
+                vec![
+                    AttrDef::new("name", DataType::Text),
+                    AttrDef::new("employs", DataType::RefSet(emp)),
+                ],
+            )
+            .unwrap();
+        mol = db
+            .define_molecule_type(
+                "dm",
+                dept,
+                vec![
+                    MoleculeEdge { from: dept, attr: AttrId(1), to: emp },
+                    MoleculeEdge { from: emp, attr: AttrId(1), to: proj },
+                ],
+                None,
+            )
+            .unwrap();
+        let mut txn = db.begin();
+        let p = txn.insert_atom(proj, Interval::all(), Tuple::new(vec![Value::from("x")])).unwrap();
+        let e1 = txn
+            .insert_atom(emp, Interval::all(), Tuple::new(vec![Value::from("a"), Value::ref_set([p])]))
+            .unwrap();
+        let e2 = txn
+            .insert_atom(emp, Interval::all(), Tuple::new(vec![Value::from("b"), Value::ref_set([p])]))
+            .unwrap();
+        root = txn
+            .insert_atom(dept, Interval::all(), Tuple::new(vec![Value::from("d"), Value::ref_set([e1, e2])]))
+            .unwrap();
+        t_before = txn.commit().unwrap();
+        let mut txn = db.begin();
+        txn.delete(e2, Interval::all()).unwrap();
+        txn.commit().unwrap();
+    }
+    let db = Database::open(&dir, DbConfig::default()).unwrap();
+    let now = db.materialize_current(mol, root, TimePoint(0)).unwrap().unwrap();
+    assert_eq!(now.size(), 3); // dept + a + x (b deleted)
+    let past = db.materialize(mol, root, t_before, TimePoint(0)).unwrap().unwrap();
+    assert_eq!(past.size(), 5); // dept + 2 emps + x twice (shared child repeated per parent)
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The WAL sync policy and checkpoint interval knobs behave sanely
+/// together under sustained load.
+#[test]
+fn sustained_load_with_auto_checkpoints() {
+    let dir = tmpdir("sustained");
+    let db = Database::open(
+        &dir,
+        DbConfig::default()
+            .store_kind(StoreKind::Split)
+            .buffer_frames(64) // tiny pool: forces pressure flushes
+            .checkpoint_interval(50)
+            .sync_policy(SyncPolicy::OnCheckpoint),
+    )
+    .unwrap();
+    let ty = db
+        .define_atom_type("t", vec![AttrDef::new("v", DataType::Int).indexed()])
+        .unwrap();
+    let mut atoms = Vec::new();
+    for chunk in 0..20 {
+        let mut txn = db.begin();
+        for i in 0..50i64 {
+            atoms.push(
+                txn.insert_atom(ty, Interval::all(), Tuple::new(vec![Value::Int(chunk * 50 + i)]))
+                    .unwrap(),
+            );
+        }
+        txn.commit().unwrap();
+    }
+    // 1000 atoms on a 64-frame pool: loading alone exceeded the pool, so
+    // pressure flushes must have happened and everything must read back.
+    for (i, a) in atoms.iter().enumerate() {
+        let t = db.current_tuple(*a, TimePoint(0)).unwrap().unwrap();
+        assert_eq!(t.get(0), &Value::Int(i as i64));
+    }
+    // Heavy updates with the same tiny pool.
+    for round in 0..5i64 {
+        let mut txn = db.begin();
+        for a in atoms.iter().step_by(7) {
+            txn.update(*a, Interval::all(), Tuple::new(vec![Value::Int(round * 1_000_000)]))
+                .unwrap();
+        }
+        txn.commit().unwrap();
+    }
+    let out = tcom::query::execute(&db, "SELECT v FROM t WHERE v = 4000000").unwrap();
+    assert_eq!(out.len(), atoms.iter().step_by(7).count());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Readers on other threads see only committed states while a writer
+/// churns, across the whole stack.
+#[test]
+fn cross_thread_consistency() {
+    let dir = tmpdir("threads");
+    let db = std::sync::Arc::new(Database::open(&dir, DbConfig::default()).unwrap());
+    let ty = db
+        .define_atom_type(
+            "pair",
+            vec![AttrDef::new("a", DataType::Int), AttrDef::new("b", DataType::Int)],
+        )
+        .unwrap();
+    // Invariant per commit: a == -b.
+    let mut txn = db.begin();
+    let atom = txn
+        .insert_atom(ty, Interval::all(), Tuple::new(vec![Value::Int(0), Value::Int(0)]))
+        .unwrap();
+    txn.commit().unwrap();
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let db = db.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    // One consistent read through the engine API…
+                    let t = db.current_tuple(atom, TimePoint(0)).unwrap().unwrap();
+                    let (Value::Int(a), Value::Int(b)) = (t.get(0), t.get(1)) else { panic!() };
+                    assert_eq!(*a, -*b, "torn read");
+                    // …and one through TQL: the returned row itself must be
+                    // internally consistent (commits may land in between).
+                    let out = tcom::query::execute(&db, "SELECT a, b FROM pair").unwrap();
+                    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+                    assert_eq!(rows.len(), 1);
+                    let (Value::Int(a), Value::Int(b)) = (&rows[0].values[0], &rows[0].values[1])
+                    else {
+                        panic!()
+                    };
+                    assert_eq!(*a, -*b, "torn TQL read");
+                }
+            });
+        }
+        for i in 1..=100i64 {
+            let mut txn = db.begin();
+            txn.update(atom, Interval::all(), Tuple::new(vec![Value::Int(i), Value::Int(-i)]))
+                .unwrap();
+            txn.commit().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert_eq!(db.history(atom).unwrap().len(), 101);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Valid-time windows, TQL clipping and the temporal algebra agree.
+#[test]
+fn valid_time_semantics_across_layers() {
+    let dir = tmpdir("vt-layers");
+    let db = Database::open(&dir, DbConfig::default()).unwrap();
+    let ty = db
+        .define_atom_type(
+            "contract",
+            vec![AttrDef::new("who", DataType::Text), AttrDef::new("rate", DataType::Int)],
+        )
+        .unwrap();
+    let mut txn = db.begin();
+    let c = txn
+        .insert_atom(ty, iv(0, 100), Tuple::new(vec![Value::from("x"), Value::Int(10)]))
+        .unwrap();
+    txn.commit().unwrap();
+    // Rate change for [40, 60).
+    let mut txn = db.begin();
+    txn.update(c, iv(40, 60), Tuple::new(vec![Value::from("x"), Value::Int(20)]))
+        .unwrap();
+    txn.commit().unwrap();
+
+    // Engine view: 3 current slices.
+    let cur = db.current_versions(c).unwrap();
+    assert_eq!(cur.len(), 3);
+    assert_eq!(cur[1].vt, iv(40, 60));
+
+    // TQL window clips.
+    let out = execute(&db, "SELECT rate FROM contract VALID IN [50, 80)").unwrap();
+    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].vt, iv(50, 60));
+    assert_eq!(rows[1].vt, iv(60, 80));
+
+    // Algebra: build a temporal relation from the versions and slice it.
+    use tcom::core::algebra::{timeslice, TemporalRow};
+    let rel: Vec<TemporalRow> = cur
+        .iter()
+        .map(|v| TemporalRow {
+            tuple: v.tuple.clone(),
+            time: TemporalElement::from_interval(v.vt),
+        })
+        .collect();
+    let snap = timeslice(&rel, TimePoint(45));
+    assert_eq!(snap.len(), 1);
+    assert_eq!(snap[0].get(1), &Value::Int(20));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,82 @@
+//! End-to-end test of the `tcom-shell` binary: pipe a scripted session
+//! through stdin and check the output, including persistence across two
+//! shell invocations.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_session(db_dir: &std::path::Path, script: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tcom-shell"))
+        .arg(db_dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tcom-shell");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("shell exits");
+    assert!(out.status.success(), "shell failed: {out:?}");
+    format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    )
+}
+
+#[test]
+fn scripted_session_with_persistence() {
+    let dir = std::env::temp_dir().join(format!("tcom-shelltest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Session 1: schema + data + queries.
+    let out = run_session(
+        &dir,
+        "CREATE TYPE emp (name TEXT NOT NULL, salary INT INDEXED);\n\
+         INSERT INTO emp (name, salary) VALUES ('ann', 100);\n\
+         INSERT INTO emp (name, salary) VALUES ('bob', 80);\n\
+         UPDATE emp SET salary = 130 WHERE name = 'ann';\n\
+         SELECT name, salary FROM emp WHERE salary > 100;\n\
+         .types\n\
+         .quit\n",
+    );
+    assert!(out.contains("type #0 created"), "{out}");
+    assert!(out.contains("inserted a0.0 at tt=1"), "{out}");
+    assert!(out.contains("1 atom(s) modified at tt=3"), "{out}");
+    assert!(out.contains("'ann' | 130"), "{out}");
+    assert!(!out.contains("'bob'") || !out.contains("'bob' | 80 |"), "bob must not match");
+    assert!(out.contains("salary INT INDEXED"), "{out}");
+
+    // Session 2: the data survived the shell's clean shutdown; history and
+    // time travel work across processes.
+    let out = run_session(
+        &dir,
+        "SELECT HISTORY FROM emp e WHERE e.name = 'ann';\n\
+         SELECT name, salary FROM emp ASOF TT 1;\n\
+         .stats\n\
+         .quit\n",
+    );
+    assert!(out.contains("a0.0:"), "{out}");
+    assert!(out.contains("'ann' | 100"), "time travel to tt=1: {out}");
+    assert!(out.contains("2 atoms"), "{out}");
+
+    // Errors are reported, not fatal.
+    let out = run_session(&dir, "SELECT nope FROM emp;\nSELECT name FROM emp LIMIT 1;\n.quit\n");
+    assert!(out.contains("error:"), "{out}");
+    assert!(out.contains("(1 row)"), "shell keeps going after errors: {out}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shell_rejects_missing_args() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tcom-shell"))
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

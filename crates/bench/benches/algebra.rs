@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::prelude::*;
 use std::time::Duration;
-use tcom_core::algebra::{coalesce, temporal_difference, temporal_join, TemporalRelation, TemporalRow};
+use tcom_core::algebra::{
+    coalesce, temporal_difference, temporal_join, TemporalRelation, TemporalRow,
+};
 use tcom_kernel::time::iv;
 use tcom_kernel::{TemporalElement, Tuple, Value};
 
@@ -24,7 +26,9 @@ fn random_relation(n: usize, distinct: usize, seed: u64) -> TemporalRelation {
 /// E12 — relation-level operators.
 fn e12_algebra(c: &mut Criterion) {
     let mut g = c.benchmark_group("e12_algebra");
-    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(300));
     for n in [1000usize, 10_000] {
         let rel = random_relation(n, (n / 4).max(1), 21);
         let other: TemporalRelation = rel.iter().take(n / 2).cloned().collect();
@@ -44,7 +48,9 @@ fn e12_algebra(c: &mut Criterion) {
 /// Kernel micro-ops: temporal-element set algebra.
 fn temporal_element_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("temporal_element_ops");
-    g.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(300));
     let mut rng = StdRng::seed_from_u64(33);
     let gen_elem = |rng: &mut StdRng, n: usize| {
         TemporalElement::from_intervals((0..n).map(|_| {

@@ -10,7 +10,9 @@ use tcom_core::{StoreKind, TimePoint};
 /// E9 — random current lookups under varying buffer sizes.
 fn e9_buffer_sensitivity(c: &mut Criterion) {
     let mut g = c.benchmark_group("e9_buffer_sensitivity");
-    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(300));
     let (db, dir) = fresh_db("cb-e9", StoreKind::Chain, 4096);
     let syn = Synthetic::create(&db, 1500, 8).unwrap();
     syn.random_updates(&db, 1500 * 8, 1, 500, 42).unwrap();
@@ -34,13 +36,19 @@ fn e9_buffer_sensitivity(c: &mut Criterion) {
 /// E11 — recovery time after a crash with a populated WAL.
 fn e11_recovery(c: &mut Criterion) {
     let mut g = c.benchmark_group("e11_recovery");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for ops in [500usize, 5000] {
         g.bench_with_input(BenchmarkId::new("ops", ops), &ops, |b, &ops| {
             b.iter_with_setup(
                 || {
                     // Setup: a crashed database with `ops` logged operations.
-                    let (db, dir) = fresh_db(&format!("cb-e11-{ops}-{}", rand::random::<u32>()), StoreKind::Split, 4096);
+                    let (db, dir) = fresh_db(
+                        &format!("cb-e11-{ops}-{}", rand::random::<u32>()),
+                        StoreKind::Split,
+                        4096,
+                    );
                     let syn = Synthetic::create(&db, 100, 8).unwrap();
                     db.checkpoint().unwrap();
                     syn.random_updates(&db, ops, 1, 500, 42).unwrap();

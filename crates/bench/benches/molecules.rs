@@ -9,7 +9,9 @@ use tcom_core::{StoreKind, TimePoint};
 /// E5 — molecule materialization vs. fan-out, current and past.
 fn e5_molecule_timeslice(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5_molecule_timeslice");
-    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(300));
     for emps in [2usize, 8, 32] {
         let (db, dir) = fresh_db(&format!("cb-e5-{emps}"), StoreKind::Split, 2048);
         let uni = University::create(&db, 5, emps, 3, 42).unwrap();
@@ -29,8 +31,13 @@ fn e5_molecule_timeslice(c: &mut Criterion) {
             let mut i = 0usize;
             b.iter(|| {
                 i += 1;
-                db.materialize(uni.mol, uni.depts[i % uni.depts.len()], past_tt, TimePoint(0))
-                    .unwrap()
+                db.materialize(
+                    uni.mol,
+                    uni.depts[i % uni.depts.len()],
+                    past_tt,
+                    TimePoint(0),
+                )
+                .unwrap()
             })
         });
         drop(db);
@@ -42,7 +49,9 @@ fn e5_molecule_timeslice(c: &mut Criterion) {
 /// E10 — BOM explosion vs. depth (fan-out 3).
 fn e10_bom_explosion(c: &mut Criterion) {
     let mut g = c.benchmark_group("e10_bom_explosion");
-    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(300));
     for depth in [2usize, 4, 6] {
         let (db, dir) = fresh_db(&format!("cb-e10-{depth}"), StoreKind::Split, 4096);
         let bom = Bom::create(&db, 1, 3, depth).unwrap();
@@ -50,7 +59,10 @@ fn e10_bom_explosion(c: &mut Criterion) {
         db.checkpoint().unwrap();
         let now = db.now();
         g.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, _| {
-            b.iter(|| db.materialize(bom.mol, bom.roots[0], now, TimePoint(0)).unwrap())
+            b.iter(|| {
+                db.materialize(bom.mol, bom.roots[0], now, TimePoint(0))
+                    .unwrap()
+            })
         });
         drop(db);
         cleanup(&dir);

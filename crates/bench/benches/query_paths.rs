@@ -12,7 +12,9 @@ use tcom_query::{execute_with, ExecOptions};
 /// E7 — selective predicate: index probe vs full scan.
 fn e7_access_paths(c: &mut Criterion) {
     let mut g = c.benchmark_group("e7_access_paths");
-    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(300));
     let (db, dir) = fresh_db("cb-e7", StoreKind::Split, 4096);
     let _syn = Synthetic::create(&db, 5000, 8).unwrap();
     db.checkpoint().unwrap();
@@ -34,7 +36,9 @@ fn e7_access_paths(c: &mut Criterion) {
 /// E8 — the four bitemporal point-query combinations.
 fn e8_bitemporal_matrix(c: &mut Criterion) {
     let mut g = c.benchmark_group("e8_bitemporal_matrix");
-    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(300));
     let (db, dir) = fresh_db("cb-e8", StoreKind::Split, 2048);
     let uni = University::create(&db, 10, 10, 2, 42).unwrap();
     {
@@ -42,7 +46,8 @@ fn e8_bitemporal_matrix(c: &mut Criterion) {
         for (i, e) in uni.emps.iter().enumerate() {
             let mut tup = txn.current_tuple(*e, TimePoint(0)).unwrap().unwrap();
             tup.set(1, tcom_core::Value::Int(1000 + i as i64));
-            txn.update(*e, tcom_kernel::Interval::from(TimePoint(100)), tup).unwrap();
+            txn.update(*e, tcom_kernel::Interval::from(TimePoint(100)), tup)
+                .unwrap();
         }
         txn.commit().unwrap();
     }
@@ -78,7 +83,9 @@ fn a2_directory(c: &mut Criterion) {
     use tcom_storage::keys::BKey;
     use tcom_storage::{BufferPool, DiskManager, HeapFile};
     let mut g = c.benchmark_group("a2_directory");
-    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(300));
     let dir = std::env::temp_dir().join(format!("tcom-cb-a2-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();

@@ -15,12 +15,15 @@ const KINDS: [StoreKind; 3] = [StoreKind::Chain, StoreKind::Delta, StoreKind::Sp
 /// E1 — current-version lookup vs. history length.
 fn e1_current_lookup(c: &mut Criterion) {
     let mut g = c.benchmark_group("e1_current_lookup");
-    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(300));
     for kind in KINDS {
         for versions in [1usize, 16, 64] {
             let (db, dir) = fresh_db(&format!("cb-e1-{kind}-{versions}"), kind, 256);
             let syn = Synthetic::create(&db, 500, 8).unwrap();
-            syn.random_updates(&db, 500 * (versions - 1), 1, 500, 42).unwrap();
+            syn.random_updates(&db, 500 * (versions - 1), 1, 500, 42)
+                .unwrap();
             db.checkpoint().unwrap();
             let mut rng = StdRng::seed_from_u64(7);
             g.bench_with_input(
@@ -43,7 +46,9 @@ fn e1_current_lookup(c: &mut Criterion) {
 /// E2 — past time-slice at half history depth.
 fn e2_past_timeslice(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2_past_timeslice");
-    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(300));
     for kind in KINDS {
         let (db, dir) = fresh_db(&format!("cb-e2-{kind}"), kind, 1024);
         let syn = Synthetic::create(&db, 100, 8).unwrap();
@@ -66,7 +71,9 @@ fn e2_past_timeslice(c: &mut Criterion) {
 /// E3 — update cost (one bitemporal update per iteration).
 fn e3_update(c: &mut Criterion) {
     let mut g = c.benchmark_group("e3_update");
-    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(300));
     for kind in KINDS {
         let (db, dir) = fresh_db(&format!("cb-e3-{kind}"), kind, 4096);
         let syn = Synthetic::create(&db, 200, 8).unwrap();
@@ -95,7 +102,9 @@ fn e3_update(c: &mut Criterion) {
 /// E4/A1 — write amplification of wide tuples with narrow changes.
 fn e4_wide_tuple_update(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_wide_tuple_update");
-    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(300));
     for kind in KINDS {
         let (db, dir) = fresh_db(&format!("cb-e4-{kind}"), kind, 4096);
         let syn = Synthetic::create(&db, 100, 64).unwrap();
@@ -124,7 +133,9 @@ fn e4_wide_tuple_update(c: &mut Criterion) {
 /// E6 — full history retrieval (64 versions).
 fn e6_history(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6_history");
-    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(300));
     for kind in KINDS {
         let (db, dir) = fresh_db(&format!("cb-e6-{kind}"), kind, 1024);
         let syn = Synthetic::create(&db, 50, 8).unwrap();

@@ -57,8 +57,12 @@ fn main() {
         print!("{}", table.render());
         results.push(table.to_json());
     }
-    let json = serde_json::json!({ "scale": if quick { "quick" } else { "full" }, "tables": results });
-    std::fs::write("bench_results.json", serde_json::to_string_pretty(&json).expect("json"))
-        .expect("write bench_results.json");
+    let json =
+        serde_json::json!({ "scale": if quick { "quick" } else { "full" }, "tables": results });
+    std::fs::write(
+        "bench_results.json",
+        serde_json::to_string_pretty(&json).expect("json"),
+    )
+    .expect("write bench_results.json");
     eprintln!("\nwrote bench_results.json");
 }

@@ -49,7 +49,8 @@ pub fn e1_current_access(s: Scale) -> Table {
         for versions in [0usize, 4, 16, 64] {
             let (db, dir) = fresh_db(&format!("e1-{kind}-{versions}"), kind, 256);
             let syn = Synthetic::create(&db, n_atoms, 8).expect("load");
-            syn.random_updates(&db, n_atoms * versions, 1, 500, 42).expect("updates");
+            syn.random_updates(&db, n_atoms * versions, 1, 500, 42)
+                .expect("updates");
             db.checkpoint().expect("ckpt");
 
             // Random current lookups.
@@ -142,8 +143,12 @@ pub fn e3_update_cost(s: Scale) -> Table {
             for chunk in (0..n).collect::<Vec<_>>().chunks(100) {
                 let mut txn = db.begin();
                 for &i in chunk {
-                    txn.insert_atom(ty, Interval::all(), Synthetic::tuple_of(8, i as i64 + 100, 0))
-                        .expect("insert");
+                    txn.insert_atom(
+                        ty,
+                        Interval::all(),
+                        Synthetic::tuple_of(8, i as i64 + 100, 0),
+                    )
+                    .expect("insert");
                 }
                 txn.commit().expect("commit");
             }
@@ -155,8 +160,12 @@ pub fn e3_update_cost(s: Scale) -> Table {
             for chunk in atoms.chunks(100).cycle().take(n / 100) {
                 let mut txn = db.begin();
                 for a in chunk {
-                    txn.update(*a, Interval::all(), Synthetic::tuple_of(8, a.no.0 as i64, r))
-                        .expect("update");
+                    txn.update(
+                        *a,
+                        Interval::all(),
+                        Synthetic::tuple_of(8, a.no.0 as i64, r),
+                    )
+                    .expect("update");
                     r += 1;
                 }
                 txn.commit().expect("commit");
@@ -189,7 +198,9 @@ pub fn e3_update_cost(s: Scale) -> Table {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("mkdir");
         let pool = BufferPool::new(2048);
-        let file = pool.register_file(Arc::new(DiskManager::open(dir.join("base.tcm")).expect("dm")));
+        let file = pool.register_file(Arc::new(
+            DiskManager::open(dir.join("base.tcm")).expect("dm"),
+        ));
         let heap = HeapFile::create(pool, file).expect("heap");
         let rec: Vec<u8> = (0..80u8).collect();
         let ins = time_batch(n, || {
@@ -281,8 +292,13 @@ pub fn e5_molecule_timeslice(s: Scale) -> Table {
             m
         });
         let past = time_each(uni.depts.len().min(50), |i| {
-            db.materialize(uni.mol, uni.depts[i % uni.depts.len()], past_tt, TimePoint(0))
-                .expect("mat")
+            db.materialize(
+                uni.mol,
+                uni.depts[i % uni.depts.len()],
+                past_tt,
+                TimePoint(0),
+            )
+            .expect("mat")
         });
         t.row(vec![
             format!("{emps}"),
@@ -310,7 +326,8 @@ pub fn e6_history_query(s: Scale) -> Table {
             let n_atoms = s.n(100);
             let (db, dir) = fresh_db(&format!("e6-{kind}-{versions}"), kind, 2048);
             let syn = Synthetic::create(&db, n_atoms, 8).expect("load");
-            syn.uniform_history(&db, versions - 1, 1, 42).expect("history");
+            syn.uniform_history(&db, versions - 1, 1, 42)
+                .expect("history");
             db.checkpoint().expect("ckpt");
             let mut rng = StdRng::seed_from_u64(3);
             let timing = time_each(s.n(200), |_| {
@@ -343,11 +360,15 @@ pub fn e7_access_paths(s: Scale) -> Table {
         let q = format!("SELECT a0 FROM syn WHERE a0 < {hi}");
         let p = prepare(&db, &q).expect("prepare");
         assert!(matches!(p.access, AccessPath::IndexRange { .. }));
-        let via_index = time_each(10, |_| execute_with(&db, &q, ExecOptions::default()).expect("q"));
+        let via_index = time_each(10, |_| {
+            execute_with(&db, &q, ExecOptions::default()).expect("q")
+        });
         let via_scan = time_each(5, |_| {
             execute_with(&db, &q, ExecOptions { force_scan: true }).expect("q")
         });
-        let rows = execute_with(&db, &q, ExecOptions::default()).expect("q").len();
+        let rows = execute_with(&db, &q, ExecOptions::default())
+            .expect("q")
+            .len();
         t.row(vec![
             format!("{pct}%"),
             format!("{rows}"),
@@ -376,10 +397,14 @@ pub fn e8_bitemporal_matrix(s: Scale) -> Table {
     {
         let mut txn = db.begin();
         for (i, e) in uni.emps.iter().enumerate() {
-            let mut tup = txn.current_tuple(*e, TimePoint(0)).expect("t").expect("cur");
+            let mut tup = txn
+                .current_tuple(*e, TimePoint(0))
+                .expect("t")
+                .expect("cur");
             tup.set(1, tcom_core::Value::Int(1000 + i as i64));
             // Salary raise valid from time 100 on.
-            txn.update(*e, Interval::from(TimePoint(100)), tup).expect("upd");
+            txn.update(*e, Interval::from(TimePoint(100)), tup)
+                .expect("upd");
         }
         txn.commit().expect("commit");
     }
@@ -401,8 +426,16 @@ pub fn e8_bitemporal_matrix(s: Scale) -> Table {
     let cp = measure(None, TimePoint(50));
     let pc = measure(Some(past_tt), TimePoint(150));
     let pp = measure(Some(past_tt), TimePoint(50));
-    t.row(vec!["current tt".into(), format!("{:.1}", cc.mean_us), format!("{:.1}", cp.mean_us)]);
-    t.row(vec!["past tt".into(), format!("{:.1}", pc.mean_us), format!("{:.1}", pp.mean_us)]);
+    t.row(vec![
+        "current tt".into(),
+        format!("{:.1}", cc.mean_us),
+        format!("{:.1}", cp.mean_us),
+    ]);
+    t.row(vec![
+        "past tt".into(),
+        format!("{:.1}", pc.mean_us),
+        format!("{:.1}", pp.mean_us),
+    ]);
     cleanup(&dir);
     t
 }
@@ -419,7 +452,8 @@ pub fn e9_buffer_sensitivity(s: Scale) -> Table {
     let n_atoms = s.n(4000);
     let (db, dir) = fresh_db("e9", StoreKind::Chain, 4096);
     let syn = Synthetic::create(&db, n_atoms, 8).expect("load");
-    syn.random_updates(&db, n_atoms * 8, 1, 500, 42).expect("updates");
+    syn.random_updates(&db, n_atoms * 8, 1, 500, 42)
+        .expect("updates");
     let atoms = syn.atoms.clone();
     drop(syn);
     drop(db);
@@ -438,7 +472,11 @@ pub fn e9_buffer_sensitivity(s: Scale) -> Table {
         });
         let st = db.buffer_stats();
         let hit = 100.0 * st.hits as f64 / (st.hits + st.misses).max(1) as f64;
-        t.row(vec![format!("{frames}"), format!("{hit:.1}"), format!("{:.1}", timing.mean_us)]);
+        t.row(vec![
+            format!("{frames}"),
+            format!("{hit:.1}"),
+            format!("{:.1}", timing.mean_us),
+        ]);
     }
     cleanup(&dir);
     t
@@ -470,7 +508,8 @@ pub fn e10_bom_explosion(s: Scale) -> Table {
             m
         });
         let past = time_each(10, |_| {
-            db.materialize(bom.mol, bom.roots[0], past_tt, TimePoint(0)).expect("mat")
+            db.materialize(bom.mol, bom.roots[0], past_tt, TimePoint(0))
+                .expect("mat")
         });
         t.row(vec![
             format!("{depth}"),
@@ -530,7 +569,10 @@ pub fn e12_algebra(s: Scale) -> Table {
                 let s0 = rng.gen_range(0..1000u64);
                 TemporalRow {
                     tuple: Tuple::new(vec![Value::Int((i % (n / 4).max(1)) as i64)]),
-                    time: TemporalElement::from_intervals([tcom_kernel::time::iv(s0, s0 + rng.gen_range(1..100))]),
+                    time: TemporalElement::from_intervals([tcom_kernel::time::iv(
+                        s0,
+                        s0 + rng.gen_range(1..100),
+                    )]),
                 }
             })
             .collect();
@@ -555,7 +597,13 @@ pub fn a1_delta_granularity(s: Scale) -> Table {
     let mut t = Table::new(
         "A1",
         "delta store vs changed-attribute count (width 32, 16 versions)",
-        &["changed attrs", "delta bytes", "chain bytes", "ratio", "delta slice µs"],
+        &[
+            "changed attrs",
+            "delta bytes",
+            "chain bytes",
+            "ratio",
+            "delta slice µs",
+        ],
         "delta's storage advantage decays as more attributes change per update; \
          with all attributes changed the formats converge",
     );
@@ -659,10 +707,8 @@ pub fn e11b_checkpoint_tradeoff(s: Scale) -> Table {
     );
     let updates = s.n(10_000);
     for interval in [100u64, 1000, 0] {
-        let dir = std::env::temp_dir().join(format!(
-            "tcom-bench-{}-e11b-{interval}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("tcom-bench-{}-e11b-{interval}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let db = Database::open(
             &dir,
@@ -675,10 +721,15 @@ pub fn e11b_checkpoint_tradeoff(s: Scale) -> Table {
         .expect("open");
         let syn = Synthetic::create(&db, s.n(500), 8).expect("load");
         let timing = time_batch(1, || {
-            syn.random_updates(&db, updates, 1, 100, 42).expect("updates");
+            syn.random_updates(&db, updates, 1, 100, 42)
+                .expect("updates");
         });
         t.row(vec![
-            if interval == 0 { "none".into() } else { format!("{interval}") },
+            if interval == 0 {
+                "none".into()
+            } else {
+                format!("{interval}")
+            },
             format!("{:.1}", timing.mean_us / 1000.0),
             bytes(db.wal_len()),
         ]);

@@ -45,7 +45,12 @@ pub fn time_batch<T>(ops: usize, f: impl FnOnce() -> T) -> Timing {
     std::hint::black_box(out);
     let total_us = t0.elapsed().as_nanos() as f64 / 1000.0;
     let per = total_us / ops.max(1) as f64;
-    Timing { n: ops, mean_us: per, p50_us: per, p95_us: per }
+    Timing {
+        n: ops,
+        mean_us: per,
+        p50_us: per,
+        p95_us: per,
+    }
 }
 
 fn summarize(mut samples: Vec<f64>) -> Timing {
@@ -56,7 +61,12 @@ fn summarize(mut samples: Vec<f64>) -> Timing {
     let n = samples.len();
     let mean = samples.iter().sum::<f64>() / n as f64;
     let pct = |p: f64| samples[((n as f64 * p) as usize).min(n - 1)];
-    Timing { n, mean_us: mean, p50_us: pct(0.50), p95_us: pct(0.95) }
+    Timing {
+        n,
+        mean_us: mean,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+    }
 }
 
 /// A printable results table (also serialized to JSON by the harness).

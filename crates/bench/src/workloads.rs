@@ -3,7 +3,9 @@
 
 use rand::prelude::*;
 use std::path::PathBuf;
-use tcom_core::{AtomId, AttrDef, Database, DataType, DbConfig, MoleculeEdge, StoreKind, Tuple, Value};
+use tcom_core::{
+    AtomId, AttrDef, DataType, Database, DbConfig, MoleculeEdge, StoreKind, Tuple, Value,
+};
 use tcom_kernel::time::Interval;
 use tcom_kernel::{AttrId, MoleculeTypeId, Result, TimePoint};
 
@@ -235,8 +237,16 @@ impl University {
             "dept_mol",
             dept,
             vec![
-                MoleculeEdge { from: dept, attr: AttrId(2), to: emp },
-                MoleculeEdge { from: emp, attr: AttrId(2), to: proj },
+                MoleculeEdge {
+                    from: dept,
+                    attr: AttrId(2),
+                    to: emp,
+                },
+                MoleculeEdge {
+                    from: emp,
+                    attr: AttrId(2),
+                    to: proj,
+                },
             ],
             None,
         )?;
@@ -291,7 +301,15 @@ impl University {
             )?);
             txn.commit()?;
         }
-        Ok(University { dept, emp, proj, mol, depts, emps, projs })
+        Ok(University {
+            dept,
+            emp,
+            proj,
+            mol,
+            depts,
+            emps,
+            projs,
+        })
     }
 
     /// Applies `rounds` of personnel churn: every round gives a random 10 %
@@ -304,7 +322,9 @@ impl University {
             for _ in 0..raises {
                 let e = self.emps[rng.gen_range(0..self.emps.len())];
                 if let Some(mut t) = txn.current_tuple(e, TimePoint(0))? {
-                    let Value::Int(s) = t.get(1).clone() else { continue };
+                    let Value::Int(s) = t.get(1).clone() else {
+                        continue;
+                    };
                     t.set(1, Value::Int(s + 10 + r as i64));
                     txn.update(e, Interval::all(), t)?;
                 }
@@ -342,18 +362,34 @@ impl Bom {
         let mol = db.define_molecule_type(
             "bom",
             part,
-            vec![MoleculeEdge { from: part, attr: AttrId(2), to: part }],
+            vec![MoleculeEdge {
+                from: part,
+                attr: AttrId(2),
+                to: part,
+            }],
             Some(depth as u32 + 1),
         )?;
         let mut parts = Vec::new();
         let mut roots = Vec::new();
         for r in 0..n_roots {
             let mut txn = db.begin();
-            let root = build_tree(&mut txn, part, &mut parts, &format!("asm{r}"), fanout, depth)?;
+            let root = build_tree(
+                &mut txn,
+                part,
+                &mut parts,
+                &format!("asm{r}"),
+                fanout,
+                depth,
+            )?;
             roots.push(root);
             txn.commit()?;
         }
-        Ok(Bom { part, mol, roots, parts })
+        Ok(Bom {
+            part,
+            mol,
+            roots,
+            parts,
+        })
     }
 
     /// Applies `n` engineering changes: random parts get a new mass.

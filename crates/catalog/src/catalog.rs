@@ -6,7 +6,7 @@
 //! DDL is rare, so full rewrites are the right trade-off.
 
 use crate::molecule::{MoleculeEdge, MoleculeTypeDef};
-use crate::schema::{AttrDef, AtomTypeDef};
+use crate::schema::{AtomTypeDef, AttrDef};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::Path;
@@ -41,10 +41,16 @@ impl Catalog {
     ) -> Result<AtomTypeId> {
         let name = name.into();
         if self.atom_by_name.contains_key(&name) {
-            return Err(Error::InvalidSchema(format!("atom type '{name}' already exists")));
+            return Err(Error::InvalidSchema(format!(
+                "atom type '{name}' already exists"
+            )));
         }
         let id = AtomTypeId(self.atom_types.len() as u32);
-        let def = AtomTypeDef { id, name: name.clone(), attrs };
+        let def = AtomTypeDef {
+            id,
+            name: name.clone(),
+            attrs,
+        };
         def.validate()?;
         // Link attributes must target *existing* types, or the type itself
         // (self-reference supports recursive structures like BOMs).
@@ -206,7 +212,12 @@ impl Catalog {
                 let ty = decode_type(&mut d)?;
                 let not_null = d.get_u8()? != 0;
                 let indexed = d.get_u8()? != 0;
-                attrs.push(AttrDef { name: aname, ty, not_null, indexed });
+                attrs.push(AttrDef {
+                    name: aname,
+                    ty,
+                    not_null,
+                    indexed,
+                });
             }
             cat.define_atom_type(name, attrs)?;
         }
@@ -267,7 +278,10 @@ impl Catalog {
             return Err(Error::corruption("bad catalog magic"));
         }
         if data[4] != CATALOG_VERSION {
-            return Err(Error::corruption(format!("unsupported catalog version {}", data[4])));
+            return Err(Error::corruption(format!(
+                "unsupported catalog version {}",
+                data[4]
+            )));
         }
         let len = u64::from_le_bytes(data[5..13].try_into().expect("8 bytes")) as usize;
         if data.len() != 13 + len + 4 {
@@ -407,8 +421,16 @@ mod tests {
                 "org_staff",
                 org,
                 vec![
-                    MoleculeEdge { from: org, attr: AttrId(1), to: emp },
-                    MoleculeEdge { from: emp, attr: AttrId(2), to: proj },
+                    MoleculeEdge {
+                        from: org,
+                        attr: AttrId(1),
+                        to: emp,
+                    },
+                    MoleculeEdge {
+                        from: emp,
+                        attr: AttrId(2),
+                        to: proj,
+                    },
                 ],
                 None,
             )
@@ -420,7 +442,11 @@ mod tests {
         let r = c.define_molecule_type(
             "bad1",
             org,
-            vec![MoleculeEdge { from: emp, attr: AttrId(0), to: proj }],
+            vec![MoleculeEdge {
+                from: emp,
+                attr: AttrId(0),
+                to: proj,
+            }],
             None,
         );
         assert!(r.is_err());
@@ -429,7 +455,11 @@ mod tests {
         let r = c.define_molecule_type(
             "bad2",
             org,
-            vec![MoleculeEdge { from: org, attr: AttrId(1), to: dept }],
+            vec![MoleculeEdge {
+                from: org,
+                attr: AttrId(1),
+                to: dept,
+            }],
             None,
         );
         assert!(r.is_err());
@@ -453,8 +483,16 @@ mod tests {
             "org_staff",
             org,
             vec![
-                MoleculeEdge { from: org, attr: AttrId(1), to: emp },
-                MoleculeEdge { from: emp, attr: AttrId(2), to: proj },
+                MoleculeEdge {
+                    from: org,
+                    attr: AttrId(1),
+                    to: emp,
+                },
+                MoleculeEdge {
+                    from: emp,
+                    attr: AttrId(2),
+                    to: proj,
+                },
             ],
             Some(5),
         )

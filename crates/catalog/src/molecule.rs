@@ -50,7 +50,9 @@ impl MoleculeTypeDef {
     /// [`crate::Catalog::define_molecule_type`].
     pub fn validate(&self) -> Result<()> {
         if self.name.is_empty() {
-            return Err(Error::InvalidSchema("molecule type name must not be empty".into()));
+            return Err(Error::InvalidSchema(
+                "molecule type name must not be empty".into(),
+            ));
         }
         let mut seen = std::collections::HashSet::new();
         for e in &self.edges {
@@ -173,7 +175,10 @@ mod tests {
     fn valid_linear_molecule() {
         let m = dept_emp_proj();
         m.validate().unwrap();
-        assert_eq!(m.member_types(), vec![AtomTypeId(0), AtomTypeId(1), AtomTypeId(2)]);
+        assert_eq!(
+            m.member_types(),
+            vec![AtomTypeId(0), AtomTypeId(1), AtomTypeId(2)]
+        );
         assert!(!m.is_recursive());
         assert_eq!(m.edges_from(AtomTypeId(1)).count(), 1);
     }

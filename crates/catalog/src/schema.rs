@@ -61,7 +61,9 @@ impl AtomTypeDef {
     /// attributes of indexable type).
     pub fn validate(&self) -> Result<()> {
         if self.name.is_empty() {
-            return Err(Error::InvalidSchema("atom type name must not be empty".into()));
+            return Err(Error::InvalidSchema(
+                "atom type name must not be empty".into(),
+            ));
         }
         if self.attrs.len() > u16::MAX as usize {
             return Err(Error::InvalidSchema("too many attributes".into()));
@@ -187,7 +189,8 @@ mod tests {
         assert!(matches!(t.validate(), Err(Error::InvalidSchema(_))));
 
         let mut t = sample();
-        t.attrs.push(AttrDef::new("blob", DataType::Bytes).indexed());
+        t.attrs
+            .push(AttrDef::new("blob", DataType::Bytes).indexed());
         assert!(t.validate().is_err());
 
         let mut t = sample();

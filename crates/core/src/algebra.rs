@@ -223,7 +223,11 @@ mod tests {
 
     #[test]
     fn coalesce_is_idempotent() {
-        let rel = vec![row(&[1], &[(0, 5)]), row(&[1], &[(3, 12)]), row(&[2], &[(1, 2)])];
+        let rel = vec![
+            row(&[1], &[(0, 5)]),
+            row(&[1], &[(3, 12)]),
+            row(&[2], &[(1, 2)]),
+        ];
         let once = coalesce(rel);
         let twice = coalesce(once.clone());
         assert_eq!(once, twice);
@@ -247,13 +251,20 @@ mod tests {
 
     #[test]
     fn select_and_project() {
-        let rel = vec![row(&[1, 10], &[(0, 5)]), row(&[2, 10], &[(5, 9)]), row(&[3, 20], &[(0, 9)])];
+        let rel = vec![
+            row(&[1, 10], &[(0, 5)]),
+            row(&[2, 10], &[(5, 9)]),
+            row(&[3, 20], &[(0, 9)]),
+        ];
         let s = temporal_select(rel.clone(), |t| t.get(1) == &Value::Int(10));
         assert_eq!(s.len(), 2);
         // Projecting to attr 1 merges the two rows with value 10.
         let p = temporal_project(rel, &[1]);
         assert_eq!(p.len(), 2);
-        let ten = p.iter().find(|r| r.tuple.get(0) == &Value::Int(10)).unwrap();
+        let ten = p
+            .iter()
+            .find(|r| r.tuple.get(0) == &Value::Int(10))
+            .unwrap();
         assert_eq!(ten.time.intervals(), &[iv(0, 9)]);
     }
 
@@ -261,12 +272,7 @@ mod tests {
     fn join_intersects_time() {
         let emp = vec![row(&[1, 100], &[(0, 10)]), row(&[2, 200], &[(5, 20)])];
         let dept = vec![row(&[100, 7], &[(5, 30)]), row(&[200, 8], &[(0, 6)])];
-        let j = temporal_join(
-            &emp,
-            &dept,
-            |t| t.get(1).clone(),
-            |t| t.get(0).clone(),
-        );
+        let j = temporal_join(&emp, &dept, |t| t.get(1).clone(), |t| t.get(0).clone());
         assert_eq!(j.len(), 2);
         let a = j
             .iter()
@@ -293,7 +299,11 @@ mod tests {
         let u = temporal_union(a.clone(), b.clone());
         assert_eq!(u.len(), 2);
         assert_eq!(
-            u.iter().find(|r| r.tuple.get(0) == &Value::Int(1)).unwrap().time.intervals(),
+            u.iter()
+                .find(|r| r.tuple.get(0) == &Value::Int(1))
+                .unwrap()
+                .time
+                .intervals(),
             &[iv(0, 15)]
         );
         let d = temporal_difference(a.clone(), &b);
@@ -389,7 +399,11 @@ pub fn temporal_aggregate(rel: &TemporalRelation, attr: Option<usize>) -> Vec<Ag
         }
         let end = boundaries.get(i + 1).copied().unwrap_or(TimePoint::FOREVER);
         if let Some(during) = Interval::new(*t, end) {
-            out.push(AggStep { during, count: count as u64, sum });
+            out.push(AggStep {
+                during,
+                count: count as u64,
+                sum,
+            });
         }
     }
     // Merge adjacent steps with identical aggregates (boundaries where only
@@ -402,8 +416,8 @@ pub fn temporal_aggregate(rel: &TemporalRelation, attr: Option<usize>) -> Vec<Ag
                     && last.count == step.count
                     && last.sum == step.sum =>
             {
-                last.during = Interval::new(last.during.start(), step.during.end())
-                    .expect("adjacent merge");
+                last.during =
+                    Interval::new(last.during.start(), step.during.end()).expect("adjacent merge");
             }
             _ => merged.push(step),
         }
@@ -426,7 +440,11 @@ mod agg_tests {
     #[test]
     fn count_over_time() {
         // a: [0,10), b: [5,15), c: [20,25)
-        let rel = vec![row(&[1], &[(0, 10)]), row(&[2], &[(5, 15)]), row(&[3], &[(20, 25)])];
+        let rel = vec![
+            row(&[1], &[(0, 10)]),
+            row(&[2], &[(5, 15)]),
+            row(&[3], &[(20, 25)]),
+        ];
         let steps = temporal_aggregate(&rel, None);
         assert_eq!(
             steps
@@ -454,12 +472,10 @@ mod agg_tests {
 
     #[test]
     fn open_ended_and_gaps() {
-        let rel = vec![
-            TemporalRow {
-                tuple: Tuple::new(vec![Value::Int(1)]),
-                time: TemporalElement::from_interval(tcom_kernel::time::iv_from(5)),
-            },
-        ];
+        let rel = vec![TemporalRow {
+            tuple: Tuple::new(vec![Value::Int(1)]),
+            time: TemporalElement::from_interval(tcom_kernel::time::iv_from(5)),
+        }];
         let steps = temporal_aggregate(&rel, None);
         assert_eq!(steps.len(), 1);
         assert_eq!(steps[0].during, tcom_kernel::time::iv_from(5));

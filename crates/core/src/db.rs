@@ -34,6 +34,7 @@ use tcom_storage::btree::BTree;
 use tcom_storage::buffer::{BufferPool, BufferStats, FileId};
 use tcom_storage::disk::DiskManager;
 use tcom_storage::keys::{encode_value, BKey};
+use tcom_storage::vfs::{StdVfs, Vfs};
 use tcom_version::record::AtomVersion;
 use tcom_version::{ChainStore, DeltaStore, SplitStore, StoreKind, StoreStats, VersionStore};
 use tcom_wal::{LogRecord, Wal};
@@ -42,6 +43,11 @@ use tcom_wal::{LogRecord, Wal};
 pub struct Database {
     dir: PathBuf,
     config: DbConfig,
+    /// The file system all persistent bytes flow through — [`StdVfs`] in
+    /// production, a fault-injecting stand-in in crash tests. Chosen once
+    /// here; every store file, the WAL and the checkpoint journal inherit
+    /// it.
+    vfs: Arc<dyn Vfs>,
     pool: Arc<BufferPool>,
     catalog: RwLock<Catalog>,
     stores: RwLock<HashMap<u32, Arc<dyn VersionStore>>>,
@@ -70,6 +76,19 @@ impl Database {
     /// recovery (WAL replay) when the log holds work past the last
     /// checkpoint.
     pub fn open(dir: impl AsRef<Path>, config: DbConfig) -> Result<Database> {
+        Database::open_with_vfs(dir, config, StdVfs::arc())
+    }
+
+    /// Like [`Database::open`] but with an explicit [`Vfs`] for all store,
+    /// WAL and journal I/O. The database directory itself plus the two
+    /// DDL-time artifacts (`db.meta`, `catalog.tcat`) stay on the real file
+    /// system: they change only on create/DDL, outside the fault domain the
+    /// crash harness probes.
+    pub fn open_with_vfs(
+        dir: impl AsRef<Path>,
+        config: DbConfig,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Database> {
         let dir = dir.as_ref().to_owned();
         std::fs::create_dir_all(&dir)?;
 
@@ -80,28 +99,34 @@ impl Database {
             let stored_kind = parse_meta(&text)?;
             if stored_kind != config.store_kind {
                 // The on-disk layout wins; the caller's runtime knobs stay.
-                DbConfig { store_kind: stored_kind, ..config }
+                DbConfig {
+                    store_kind: stored_kind,
+                    ..config
+                }
             } else {
                 config
             }
         } else {
-            std::fs::write(&meta_path, format!("tcom v1\nstore_kind={}\n", config.store_kind))?;
+            std::fs::write(
+                &meta_path,
+                format!("tcom v1\nstore_kind={}\n", config.store_kind),
+            )?;
             config
         };
 
         // A complete checkpoint journal means a crash hit the in-place
         // flush window; re-apply it before anything reads the store files.
         let journal_path = dir.join("ckpt.jrnl");
-        if let Some(entries) = journal::read_journal(&journal_path)? {
-            journal::apply_journal(&dir, &journal_path, &entries)?;
+        if let Some(entries) = journal::read_journal(vfs.as_ref(), &journal_path)? {
+            journal::apply_journal(vfs.as_ref(), &dir, &journal_path, &entries)?;
         } else {
-            journal::truncate_journal(&journal_path)?;
+            journal::truncate_journal(vfs.as_ref(), &journal_path)?;
         }
 
         // No-steal: dirty pages reach disk only via journal-protected
         // flushes, keeping the on-disk state a consistent snapshot.
         let pool = BufferPool::new_no_steal(config.buffer_frames);
-        let wal = Wal::open(dir.join("wal.log"), config.sync_policy)?;
+        let wal = Wal::open_with(vfs.as_ref(), dir.join("wal.log"), config.sync_policy)?;
 
         let catalog_path = dir.join("catalog.tcat");
         let catalog = if catalog_path.exists() {
@@ -113,6 +138,7 @@ impl Database {
         let db = Database {
             dir,
             config,
+            vfs,
             pool,
             catalog: RwLock::new(catalog),
             stores: RwLock::new(HashMap::new()),
@@ -178,11 +204,14 @@ impl Database {
 
     fn register(&self, name: String, must_exist: bool) -> Result<(FileId, bool)> {
         let path = self.dir.join(&name);
-        let existed = path.exists() && std::fs::metadata(&path)?.len() > 0;
+        let existed = self.vfs.exists(&path) && self.vfs.open(&path)?.len()? > 0;
         if must_exist && !existed {
-            return Err(Error::corruption(format!("missing store file {}", path.display())));
+            return Err(Error::corruption(format!(
+                "missing store file {}",
+                path.display()
+            )));
         }
-        let dm = Arc::new(DiskManager::open(&path)?);
+        let dm = Arc::new(DiskManager::open_with(self.vfs.as_ref(), &path)?);
         let id = self.pool.register_file(dm);
         let mut names = self.file_names.lock();
         debug_assert_eq!(names.len(), id.0 as usize);
@@ -225,10 +254,15 @@ impl Database {
         })
     }
 
-    fn open_or_create_index(&self, ty: AtomTypeId, attr: AttrId, fresh: bool) -> Result<Arc<BTree>> {
+    fn open_or_create_index(
+        &self,
+        ty: AtomTypeId,
+        attr: AttrId,
+        fresh: bool,
+    ) -> Result<Arc<BTree>> {
         let name = format!("t{}_idx{}.tcm", ty.0, attr.0);
         if fresh {
-            let _ = std::fs::remove_file(self.dir.join(&name));
+            let _ = self.vfs.remove(&self.dir.join(&name));
         }
         let (file, existed) = self.register(name, false)?;
         Ok(Arc::new(if existed && !fresh {
@@ -241,7 +275,7 @@ impl Database {
     fn open_or_create_time_index(&self, ty: AtomTypeId, fresh: bool) -> Result<Arc<BTree>> {
         let name = format!("t{}_tix.tcm", ty.0);
         if fresh {
-            let _ = std::fs::remove_file(self.dir.join(&name));
+            let _ = self.vfs.remove(&self.dir.join(&name));
         }
         let (file, existed) = self.register(name, false)?;
         Ok(Arc::new(if existed && !fresh {
@@ -471,7 +505,10 @@ impl Database {
     ) -> Result<Vec<AtomId>> {
         let _r = self.commit_lock.read();
         let idx = self.index(ty, attr).ok_or_else(|| {
-            Error::query(format!("no index on attribute #{} of type #{}", attr.0, ty.0))
+            Error::query(format!(
+                "no index on attribute #{} of type #{}",
+                attr.0, ty.0
+            ))
         })?;
         let mut out = Vec::new();
         idx.scan_range(BKey::new(lo_enc, 0), BKey::new(hi_enc, 0), |k, _| {
@@ -493,7 +530,10 @@ impl Database {
     ) -> Result<Vec<AtomId>> {
         let _r = self.commit_lock.read();
         let idx = self.index(ty, attr).ok_or_else(|| {
-            Error::query(format!("no index on attribute #{} of type #{}", attr.0, ty.0))
+            Error::query(format!(
+                "no index on attribute #{} of type #{}",
+                attr.0, ty.0
+            ))
         })?;
         let mut out = Vec::new();
         idx.scan_range(BKey::min_for(lo_enc), BKey::max_for(hi_enc), |k, _| {
@@ -521,9 +561,17 @@ impl Database {
                 continue;
             }
             let attr = AttrId(i as u16);
-            let Some(idx) = self.index(atom.ty, attr) else { continue };
-            let old: HashSet<u64> = before.iter().filter_map(|tp| encode_value(tp.get(i))).collect();
-            let new: HashSet<u64> = after.iter().filter_map(|tp| encode_value(tp.get(i))).collect();
+            let Some(idx) = self.index(atom.ty, attr) else {
+                continue;
+            };
+            let old: HashSet<u64> = before
+                .iter()
+                .filter_map(|tp| encode_value(tp.get(i)))
+                .collect();
+            let new: HashSet<u64> = after
+                .iter()
+                .filter_map(|tp| encode_value(tp.get(i)))
+                .collect();
             for gone in old.difference(&new) {
                 idx.remove(BKey::new(*gone, atom.no.0))?;
             }
@@ -610,9 +658,9 @@ impl Database {
             .collect();
         drop(names);
         let journal_path = self.dir.join("ckpt.jrnl");
-        journal::write_journal(&journal_path, &entries)?;
+        journal::write_journal(self.vfs.as_ref(), &journal_path, &entries)?;
         self.pool.flush_and_sync()?;
-        journal::truncate_journal(&journal_path)?;
+        journal::truncate_journal(self.vfs.as_ref(), &journal_path)?;
         Ok(())
     }
 
@@ -652,7 +700,11 @@ impl Database {
         let records = self.wal.read_all()?;
         // Restore counters from the last checkpoint (normally record 0).
         for (_, rec) in &records {
-            if let LogRecord::Checkpoint { clock, next_atom_nos } = rec {
+            if let LogRecord::Checkpoint {
+                clock,
+                next_atom_nos,
+            } = rec
+            {
                 self.clock.store(clock.0, Ordering::Release);
                 let mut m = self.next_no.lock();
                 for (ty, no) in next_atom_nos {
@@ -672,13 +724,18 @@ impl Database {
         let mut replayed_any = false;
         for (_, rec) in &records {
             match rec {
-                LogRecord::InsertVersion { txn, atom, vt, tt_start, tuple }
-                    if committed.contains(&txn.0) =>
-                {
+                LogRecord::InsertVersion {
+                    txn,
+                    atom,
+                    vt,
+                    tt_start,
+                    tuple,
+                } if committed.contains(&txn.0) => {
                     let store = self.store(atom.ty)?;
-                    let already = store.history(atom.no)?.iter().any(|v| {
-                        v.vt == *vt && v.tt.start() == *tt_start && v.tuple == *tuple
-                    });
+                    let already = store
+                        .history(atom.no)?
+                        .iter()
+                        .any(|v| v.vt == *vt && v.tt.start() == *tt_start && v.tuple == *tuple);
                     if !already {
                         store.insert_version(atom.no, *vt, *tt_start, tuple)?;
                         replayed_any = true;
@@ -689,9 +746,12 @@ impl Database {
                     *e = (*e).max(atom.no.0 + 1);
                     self.clock.fetch_max(tt_start.0, Ordering::AcqRel);
                 }
-                LogRecord::CloseVersion { txn, atom, vt_start, tt_end }
-                    if committed.contains(&txn.0) =>
-                {
+                LogRecord::CloseVersion {
+                    txn,
+                    atom,
+                    vt_start,
+                    tt_end,
+                } if committed.contains(&txn.0) => {
                     let store = self.store(atom.ty)?;
                     // Only close a version that predates this transaction;
                     // a same-vt version created *by* this transaction (and
@@ -759,8 +819,13 @@ impl Database {
         let mut removed = 0u64;
         {
             let _x = self.commit_lock.write();
-            let type_ids: Vec<AtomTypeId> =
-                self.catalog.read().atom_types().iter().map(|t| t.id).collect();
+            let type_ids: Vec<AtomTypeId> = self
+                .catalog
+                .read()
+                .atom_types()
+                .iter()
+                .map(|t| t.id)
+                .collect();
             for ty in type_ids {
                 let store = self.store(ty)?;
                 let mut atoms = Vec::new();
@@ -843,7 +908,9 @@ fn parse_meta(text: &str) -> Result<StoreKind> {
                 "delta" => StoreKind::Delta,
                 "split" => StoreKind::Split,
                 other => {
-                    return Err(Error::corruption(format!("unknown store kind '{other}' in db.meta")))
+                    return Err(Error::corruption(format!(
+                        "unknown store kind '{other}' in db.meta"
+                    )))
                 }
             });
         }
@@ -854,7 +921,10 @@ fn parse_meta(text: &str) -> Result<StoreKind> {
 /// Converts store versions to the DML planner's view of current state.
 pub(crate) fn to_current(vs: Vec<AtomVersion>) -> Vec<crate::dml::CurrentVersion> {
     vs.into_iter()
-        .map(|v| crate::dml::CurrentVersion { vt: v.vt, tuple: v.tuple })
+        .map(|v| crate::dml::CurrentVersion {
+            vt: v.vt,
+            tuple: v.tuple,
+        })
         .collect()
 }
 

@@ -88,7 +88,10 @@ pub fn apply_plan(current: &[CurrentVersion], plan: &Plan) -> Result<Vec<Current
                         "plan inserts overlapping version at {vt:?}"
                     )));
                 }
-                set.push(CurrentVersion { vt: *vt, tuple: tuple.clone() });
+                set.push(CurrentVersion {
+                    vt: *vt,
+                    tuple: tuple.clone(),
+                });
             }
         }
     }
@@ -108,7 +111,10 @@ pub fn plan_insert(current: &[CurrentVersion], vt: Interval, tuple: &Tuple) -> R
         )));
     }
     let mut plan = Plan::default();
-    plan.primitives.push(Primitive::Insert { vt, tuple: tuple.clone() });
+    plan.primitives.push(Primitive::Insert {
+        vt,
+        tuple: tuple.clone(),
+    });
     coalesce_into(current, &mut plan)?;
     Ok(plan)
 }
@@ -117,7 +123,10 @@ pub fn plan_insert(current: &[CurrentVersion], vt: Interval, tuple: &Tuple) -> R
 /// overlapping `vt` are closed and their remainders re-inserted.
 pub fn plan_update(current: &[CurrentVersion], vt: Interval, tuple: &Tuple) -> Result<Plan> {
     let mut plan = replace_region(current, vt);
-    plan.primitives.push(Primitive::Insert { vt, tuple: tuple.clone() });
+    plan.primitives.push(Primitive::Insert {
+        vt,
+        tuple: tuple.clone(),
+    });
     coalesce_into(current, &mut plan)?;
     Ok(plan)
 }
@@ -138,10 +147,15 @@ fn replace_region(current: &[CurrentVersion], vt: Interval) -> Plan {
         if !v.vt.overlaps(&vt) {
             continue;
         }
-        plan.primitives.push(Primitive::Close { vt_start: v.vt.start() });
+        plan.primitives.push(Primitive::Close {
+            vt_start: v.vt.start(),
+        });
         let (left, right) = v.vt.subtract(&vt);
         for rem in [left, right].into_iter().flatten() {
-            plan.primitives.push(Primitive::Insert { vt: rem, tuple: v.tuple.clone() });
+            plan.primitives.push(Primitive::Insert {
+                vt: rem,
+                tuple: v.tuple.clone(),
+            });
         }
     }
     plan
@@ -172,9 +186,14 @@ fn coalesce_into(current: &[CurrentVersion], plan: &mut Plan) -> Result<()> {
             let merged = Interval::new(state[i].vt.start(), state[j - 1].vt.end())
                 .expect("run of non-empty intervals");
             for v in &state[i..j] {
-                plan.primitives.push(Primitive::Close { vt_start: v.vt.start() });
+                plan.primitives.push(Primitive::Close {
+                    vt_start: v.vt.start(),
+                });
             }
-            plan.primitives.push(Primitive::Insert { vt: merged, tuple: a.tuple.clone() });
+            plan.primitives.push(Primitive::Insert {
+                vt: merged,
+                tuple: a.tuple.clone(),
+            });
             // Restart the scan on the new simulated state.
             return coalesce_into(current, plan);
         }
@@ -202,7 +221,9 @@ mod tests {
             .unwrap()
             .into_iter()
             .map(|v| {
-                let Value::Int(i) = v.tuple.get(0) else { panic!("int") };
+                let Value::Int(i) = v.tuple.get(0) else {
+                    panic!("int")
+                };
                 (v.vt, *i)
             })
             .collect()
@@ -311,14 +332,22 @@ mod tests {
     fn apply_plan_rejects_bad_plans() {
         // Closing a missing version.
         let plan = Plan {
-            primitives: vec![Primitive::Close { vt_start: TimePoint(5) }],
+            primitives: vec![Primitive::Close {
+                vt_start: TimePoint(5),
+            }],
         };
         assert!(apply_plan(&[], &plan).is_err());
         // Inserting an overlap.
         let plan = Plan {
             primitives: vec![
-                Primitive::Insert { vt: iv(0, 10), tuple: tup(1) },
-                Primitive::Insert { vt: iv(5, 15), tuple: tup(2) },
+                Primitive::Insert {
+                    vt: iv(0, 10),
+                    tuple: tup(1),
+                },
+                Primitive::Insert {
+                    vt: iv(5, 15),
+                    tuple: tup(2),
+                },
             ],
         };
         assert!(apply_plan(&[], &plan).is_err());

@@ -48,7 +48,10 @@ impl Database {
     pub fn verify_integrity(&self) -> Result<IntegrityReport> {
         let mut report = IntegrityReport::default();
         let type_ids: Vec<_> = self.with_catalog(|c| {
-            c.atom_types().iter().map(|t| (t.id, t.name.clone(), t.attrs.clone())).collect::<Vec<_>>()
+            c.atom_types()
+                .iter()
+                .map(|t| (t.id, t.name.clone(), t.attrs.clone()))
+                .collect::<Vec<_>>()
         });
         for (ty, ty_name, attrs) in &type_ids {
             let store = self.store(*ty)?;
@@ -77,7 +80,10 @@ impl Database {
                 }
                 // Histories contain the current versions.
                 for c in &current {
-                    if !history.iter().any(|h| h.vt == c.vt && h.tt == c.tt && h.tuple == c.tuple) {
+                    if !history
+                        .iter()
+                        .any(|h| h.vt == c.vt && h.tt == c.tt && h.tuple == c.tuple)
+                    {
                         report.violations.push(format!(
                             "{atom}: current version vt={} missing from history",
                             c.vt
@@ -88,7 +94,10 @@ impl Database {
                 let mut boundaries: Vec<TimePoint> = history
                     .iter()
                     .flat_map(|v| {
-                        [Some(v.tt.start()), (!v.tt.end().is_forever()).then(|| v.tt.end())]
+                        [
+                            Some(v.tt.start()),
+                            (!v.tt.end().is_forever()).then(|| v.tt.end()),
+                        ]
                     })
                     .flatten()
                     .collect();

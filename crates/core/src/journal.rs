@@ -16,12 +16,11 @@
 //! in-place write never started, so it is simply discarded. Either way the
 //! store files are a consistent transaction-boundary snapshot afterwards.
 
-use std::fs::OpenOptions;
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use tcom_kernel::codec::crc32c;
 use tcom_kernel::{PageId, Result};
 use tcom_storage::page::PAGE_SIZE;
+use tcom_storage::vfs::Vfs;
 
 const ENTRY_MAGIC: u32 = 0x4A52_4E4C; // "JRNL"
 const COMMIT_MAGIC: u32 = 0x4A43_4D54; // "JCMT"
@@ -38,7 +37,7 @@ pub struct JournalEntry {
 }
 
 /// Writes a complete journal (entries + commit marker) and fsyncs it.
-pub fn write_journal(path: &Path, entries: &[JournalEntry]) -> Result<()> {
+pub fn write_journal(vfs: &dyn Vfs, path: &Path, entries: &[JournalEntry]) -> Result<()> {
     let mut buf: Vec<u8> = Vec::with_capacity(entries.len() * (PAGE_SIZE + 64));
     for e in entries {
         buf.extend_from_slice(&ENTRY_MAGIC.to_le_bytes());
@@ -51,21 +50,23 @@ pub fn write_journal(path: &Path, entries: &[JournalEntry]) -> Result<()> {
         buf.extend_from_slice(&crc.to_le_bytes());
     }
     buf.extend_from_slice(&COMMIT_MAGIC.to_le_bytes());
-    let mut f = OpenOptions::new().create(true).write(true).truncate(true).open(path)?;
-    f.write_all(&buf)?;
-    f.sync_data()?;
+    let f = vfs.open(path)?;
+    f.set_len(0)?;
+    f.write_at(&buf, 0)?;
+    f.sync()?;
     Ok(())
 }
 
 /// Parses the journal; returns the entries when (and only when) the
 /// journal is complete, `None` otherwise (incomplete journals are the
 /// normal no-crash-in-window case and are ignored).
-pub fn read_journal(path: &Path) -> Result<Option<Vec<JournalEntry>>> {
-    if !path.exists() {
+pub fn read_journal(vfs: &dyn Vfs, path: &Path) -> Result<Option<Vec<JournalEntry>>> {
+    if !vfs.exists(path) {
         return Ok(None);
     }
-    let mut data = Vec::new();
-    OpenOptions::new().read(true).open(path)?.read_to_end(&mut data)?;
+    let f = vfs.open(path)?;
+    let mut data = vec![0u8; f.len()? as usize];
+    f.read_at(&mut data, 0)?;
     let mut pos = 0usize;
     let mut entries = Vec::new();
     loop {
@@ -93,7 +94,9 @@ pub fn read_journal(path: &Path) -> Result<Option<Vec<JournalEntry>>> {
         };
         let file_name = file_name.to_owned();
         pos += name_len;
-        let page = PageId(u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")));
+        let page = PageId(u32::from_le_bytes(
+            data[pos..pos + 4].try_into().expect("4 bytes"),
+        ));
         pos += 4;
         let image: Box<[u8; PAGE_SIZE]> = data[pos..pos + PAGE_SIZE]
             .to_vec()
@@ -107,14 +110,23 @@ pub fn read_journal(path: &Path) -> Result<Option<Vec<JournalEntry>>> {
         if stored != crc {
             return Ok(None);
         }
-        entries.push(JournalEntry { file_name, page, image });
+        entries.push(JournalEntry {
+            file_name,
+            page,
+            image,
+        });
     }
 }
 
 /// Applies a complete journal's page images directly to the store files in
 /// `db_dir` (extending files as needed), fsyncs them, then truncates the
 /// journal. Idempotent.
-pub fn apply_journal(db_dir: &Path, journal_path: &Path, entries: &[JournalEntry]) -> Result<()> {
+pub fn apply_journal(
+    vfs: &dyn Vfs,
+    db_dir: &Path,
+    journal_path: &Path,
+    entries: &[JournalEntry],
+) -> Result<()> {
     // Group writes per file to sync once each.
     let mut by_file: std::collections::HashMap<&str, Vec<&JournalEntry>> =
         std::collections::HashMap::new();
@@ -123,33 +135,29 @@ pub fn apply_journal(db_dir: &Path, journal_path: &Path, entries: &[JournalEntry
     }
     for (name, es) in by_file {
         let path = db_dir.join(name);
-        let mut f = OpenOptions::new()
-            .create(true)
-            .truncate(false)
-            .read(true)
-            .write(true)
-            .open(&path)?;
+        let f = vfs.open(&path)?;
         for e in es {
-            f.seek(SeekFrom::Start(e.page.0 as u64 * PAGE_SIZE as u64))?;
-            f.write_all(e.image.as_slice())?;
+            f.write_at(e.image.as_slice(), e.page.0 as u64 * PAGE_SIZE as u64)?;
         }
-        f.sync_data()?;
+        f.sync()?;
     }
-    truncate_journal(journal_path)?;
+    truncate_journal(vfs, journal_path)?;
     Ok(())
 }
 
 /// Empties the journal file (step 3 of a successful flush).
-pub fn truncate_journal(path: &Path) -> Result<()> {
-    let f = OpenOptions::new().create(true).truncate(true).write(true).open(path)?;
+pub fn truncate_journal(vfs: &dyn Vfs, path: &Path) -> Result<()> {
+    let f = vfs.open(path)?;
     f.set_len(0)?;
-    f.sync_data()?;
+    f.sync()?;
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
+    use tcom_storage::vfs::StdVfs;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let d = std::env::temp_dir().join(format!("tcom-jrnl-{}-{}", std::process::id(), name));
@@ -170,9 +178,13 @@ mod tests {
     fn write_read_roundtrip() {
         let dir = tmp("rt");
         let j = dir.join("ckpt.jrnl");
-        let entries = vec![entry("a.tcm", 0, 1), entry("a.tcm", 3, 2), entry("b.tcm", 1, 3)];
-        write_journal(&j, &entries).unwrap();
-        let back = read_journal(&j).unwrap().expect("complete");
+        let entries = vec![
+            entry("a.tcm", 0, 1),
+            entry("a.tcm", 3, 2),
+            entry("b.tcm", 1, 3),
+        ];
+        write_journal(&StdVfs, &j, &entries).unwrap();
+        let back = read_journal(&StdVfs, &j).unwrap().expect("complete");
         assert_eq!(back.len(), 3);
         assert_eq!(back[1].page, PageId(3));
         assert_eq!(back[2].file_name, "b.tcm");
@@ -184,18 +196,18 @@ mod tests {
     fn incomplete_journal_ignored() {
         let dir = tmp("inc");
         let j = dir.join("ckpt.jrnl");
-        write_journal(&j, &[entry("a.tcm", 0, 7)]).unwrap();
+        write_journal(&StdVfs, &j, &[entry("a.tcm", 0, 7)]).unwrap();
         // Chop off the commit marker.
         let len = std::fs::metadata(&j).unwrap().len();
         let f = OpenOptions::new().write(true).open(&j).unwrap();
         f.set_len(len - 2).unwrap();
-        assert!(read_journal(&j).unwrap().is_none());
+        assert!(read_journal(&StdVfs, &j).unwrap().is_none());
         // Corrupted entry body likewise.
-        write_journal(&j, &[entry("a.tcm", 0, 7)]).unwrap();
+        write_journal(&StdVfs, &j, &[entry("a.tcm", 0, 7)]).unwrap();
         let mut data = std::fs::read(&j).unwrap();
         data[100] ^= 0xFF;
         std::fs::write(&j, &data).unwrap();
-        assert!(read_journal(&j).unwrap().is_none());
+        assert!(read_journal(&StdVfs, &j).unwrap().is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -204,20 +216,22 @@ mod tests {
         let dir = tmp("apply");
         let j = dir.join("ckpt.jrnl");
         let entries = vec![entry("data.tcm", 2, 9)];
-        write_journal(&j, &entries).unwrap();
-        apply_journal(&dir, &j, &entries).unwrap();
+        write_journal(&StdVfs, &j, &entries).unwrap();
+        apply_journal(&StdVfs, &dir, &j, &entries).unwrap();
         let data = std::fs::read(dir.join("data.tcm")).unwrap();
         assert_eq!(data.len(), 3 * PAGE_SIZE);
         assert!(data[2 * PAGE_SIZE..].iter().all(|&b| b == 9));
         assert_eq!(std::fs::metadata(&j).unwrap().len(), 0);
-        assert!(read_journal(&j).unwrap().is_none());
+        assert!(read_journal(&StdVfs, &j).unwrap().is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn missing_journal_is_none() {
         let dir = tmp("missing");
-        assert!(read_journal(&dir.join("nope.jrnl")).unwrap().is_none());
+        assert!(read_journal(&StdVfs, &dir.join("nope.jrnl"))
+            .unwrap()
+            .is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -102,7 +102,12 @@ impl Database {
         }
         let mut ancestors = HashSet::new();
         let mat = self.mat_atom(&def, root, tt, vt, 1, &mut ancestors)?;
-        Ok(mat.map(|root| Molecule { mol_type, tt, vt, root }))
+        Ok(mat.map(|root| Molecule {
+            mol_type,
+            tt,
+            vt,
+            root,
+        }))
     }
 
     /// Materializes the molecule as of *now* (current transaction time).
@@ -137,9 +142,7 @@ impl Database {
                     if ancestors.contains(child) {
                         continue; // cycle guard: no atom inside its own subtree
                     }
-                    if let Some(kid) =
-                        self.mat_atom(def, *child, tt, vt, depth + 1, ancestors)?
-                    {
+                    if let Some(kid) = self.mat_atom(def, *child, tt, vt, depth + 1, ancestors)? {
                         kids.push(kid);
                     }
                 }
@@ -149,7 +152,11 @@ impl Database {
             }
             ancestors.remove(&atom);
         }
-        Ok(Some(MatAtom { id: atom, version, children }))
+        Ok(Some(MatAtom {
+            id: atom,
+            version,
+            children,
+        }))
     }
 
     /// Materializes every molecule of a type at `(tt, vt)` — one per

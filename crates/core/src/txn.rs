@@ -76,7 +76,8 @@ impl<'db> Txn<'db> {
     }
 
     fn check_tuple(&self, ty: AtomTypeId, tuple: &Tuple) -> Result<()> {
-        self.db.with_catalog(|c| c.atom_type(ty)?.check_tuple(tuple))
+        self.db
+            .with_catalog(|c| c.atom_type(ty)?.check_tuple(tuple))
     }
 
     /// Checks that every atom referenced by `tuple` exists (in this
@@ -109,8 +110,7 @@ impl<'db> Txn<'db> {
         self.pre.insert(atom, Vec::new());
         self.overlay.insert(atom, Vec::new());
         let plan = dml::plan_insert(&[], vt, &tuple)?;
-        self.record_plan(atom, plan)
-            .map(|_| atom)
+        self.record_plan(atom, plan).map(|_| atom)
     }
 
     /// Adds a version of an *existing* atom over a valid-time extent not
@@ -216,8 +216,7 @@ impl<'db> Txn<'db> {
                 }
             }
             // 3. Time index: every atom with applied primitives changed at tt.
-            let changed: std::collections::HashSet<AtomId> =
-                ops.iter().map(|t| t.atom).collect();
+            let changed: std::collections::HashSet<AtomId> = ops.iter().map(|t| t.atom).collect();
             for atom in changed {
                 self.db.note_change(atom, tt)?;
             }
@@ -291,25 +290,38 @@ mod tests {
     }
 
     fn ins(atom: AtomId, vt: Interval, v: i64) -> TaggedOp {
-        TaggedOp { atom, op: Primitive::Insert { vt, tuple: tup(v) } }
+        TaggedOp {
+            atom,
+            op: Primitive::Insert { vt, tuple: tup(v) },
+        }
     }
 
     fn close(atom: AtomId, vt_start: u64) -> TaggedOp {
-        TaggedOp { atom, op: Primitive::Close { vt_start: TimePoint(vt_start) } }
+        TaggedOp {
+            atom,
+            op: Primitive::Close {
+                vt_start: TimePoint(vt_start),
+            },
+        }
     }
 
     #[test]
     fn net_elides_insert_close_pairs() {
         // insert v1 @0, close @0 (pre-txn), insert v2 @0, close @0 (hits v2), insert v3 @0
         let ops = vec![
-            close(aid(1), 0),        // closes a pre-txn version: survives
+            close(aid(1), 0), // closes a pre-txn version: survives
             ins(aid(1), iv_from(0), 1),
-            close(aid(1), 0),        // closes the in-txn insert: both elided
+            close(aid(1), 0), // closes the in-txn insert: both elided
             ins(aid(1), iv_from(0), 2),
         ];
         let net = net_ops(ops);
         assert_eq!(net.len(), 2);
-        assert!(matches!(net[0].op, Primitive::Close { vt_start: TimePoint(0) }));
+        assert!(matches!(
+            net[0].op,
+            Primitive::Close {
+                vt_start: TimePoint(0)
+            }
+        ));
         assert!(matches!(&net[1].op, Primitive::Insert { tuple, .. } if *tuple == tup(2)));
     }
 
@@ -336,10 +348,7 @@ mod tests {
 
     #[test]
     fn net_fully_cancelling_txn() {
-        let ops = vec![
-            ins(aid(1), iv_from(0), 1),
-            close(aid(1), 0),
-        ];
+        let ops = vec![ins(aid(1), iv_from(0), 1), close(aid(1), 0)];
         assert!(net_ops(ops).is_empty());
     }
 }

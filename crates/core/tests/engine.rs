@@ -3,7 +3,7 @@
 //! format.
 
 use tcom_core::{
-    AtomId, AttrDef, Database, DataType, DbConfig, Interval, MoleculeEdge, StoreKind, TimePoint,
+    AtomId, AttrDef, DataType, Database, DbConfig, Interval, MoleculeEdge, StoreKind, TimePoint,
     Tuple, Value,
 };
 use tcom_kernel::time::{iv, iv_from};
@@ -105,7 +105,10 @@ fn update_creates_history_and_timeslices_work() {
                 .tuple,
             emp("ann", 120)
         );
-        assert!(db.version_at(ann, TimePoint(0), TimePoint(0)).unwrap().is_none());
+        assert!(db
+            .version_at(ann, TimePoint(0), TimePoint(0))
+            .unwrap()
+            .is_none());
         assert_eq!(db.history(ann).unwrap().len(), 4);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -119,7 +122,9 @@ fn valid_time_update_splits() {
 
     let mut txn = db.begin();
     // Ann's salary is 100 for all time.
-    let ann = txn.insert_atom(ty, Interval::all(), emp("ann", 100)).unwrap();
+    let ann = txn
+        .insert_atom(ty, Interval::all(), emp("ann", 100))
+        .unwrap();
     txn.commit().unwrap();
 
     // Raise to 200 for [10, 20) only.
@@ -164,7 +169,10 @@ fn logical_delete_keeps_history() {
         assert!(db.atom_exists(ann).unwrap());
         // Still visible in the past.
         assert_eq!(
-            db.version_at(ann, TimePoint(1), TimePoint(5)).unwrap().unwrap().tuple,
+            db.version_at(ann, TimePoint(1), TimePoint(5))
+                .unwrap()
+                .unwrap()
+                .tuple,
             emp("ann", 100)
         );
         let _ = std::fs::remove_dir_all(&dir);
@@ -185,8 +193,14 @@ fn multi_op_transaction_is_atomic_in_tt() {
 
     // Netting: a's first version never hit the store.
     assert_eq!(db.history(a).unwrap().len(), 1);
-    assert_eq!(db.current_tuple(a, TimePoint(0)).unwrap(), Some(emp("a", 10)));
-    assert_eq!(db.current_tuple(b, TimePoint(0)).unwrap(), Some(emp("b", 2)));
+    assert_eq!(
+        db.current_tuple(a, TimePoint(0)).unwrap(),
+        Some(emp("a", 10))
+    );
+    assert_eq!(
+        db.current_tuple(b, TimePoint(0)).unwrap(),
+        Some(emp("b", 2))
+    );
     // Both share the same transaction time.
     assert_eq!(db.history(a).unwrap()[0].tt.start(), tt);
     assert_eq!(db.history(b).unwrap()[0].tt.start(), tt);
@@ -210,7 +224,10 @@ fn abort_leaves_no_trace() {
     txn.abort();
 
     assert_eq!(db.now(), clock_before);
-    assert_eq!(db.current_tuple(ann, TimePoint(0)).unwrap(), Some(emp("ann", 100)));
+    assert_eq!(
+        db.current_tuple(ann, TimePoint(0)).unwrap(),
+        Some(emp("ann", 100))
+    );
     assert!(!db.atom_exists(ghost).unwrap());
     assert_eq!(db.history(ann).unwrap().len(), 1);
     let _ = std::fs::remove_dir_all(&dir);
@@ -236,7 +253,10 @@ fn read_your_writes_inside_txn() {
     // Committed state does not see it yet.
     assert!(!db.atom_exists(ann).unwrap());
     txn.commit().unwrap();
-    assert_eq!(db.current_tuple(ann, TimePoint(3)).unwrap(), Some(emp("ann", 150)));
+    assert_eq!(
+        db.current_tuple(ann, TimePoint(3)).unwrap(),
+        Some(emp("ann", 150))
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -248,22 +268,25 @@ fn type_and_constraint_violations_rejected() {
 
     let mut txn = db.begin();
     // Wrong arity
-    assert!(txn.insert_atom(ty, iv_from(0), Tuple::new(vec![Value::Int(1)])).is_err());
+    assert!(txn
+        .insert_atom(ty, iv_from(0), Tuple::new(vec![Value::Int(1)]))
+        .is_err());
     // NOT NULL violation
     assert!(txn
         .insert_atom(ty, iv_from(0), Tuple::new(vec![Value::Null, Value::Int(1)]))
         .is_err());
     // Wrong type
     assert!(txn
-        .insert_atom(ty, iv_from(0), Tuple::new(vec![Value::Int(1), Value::Int(2)]))
+        .insert_atom(
+            ty,
+            iv_from(0),
+            Tuple::new(vec![Value::Int(1), Value::Int(2)])
+        )
         .is_err());
     // Dangling reference in a ref-typed schema
     drop(txn);
     let dept = db
-        .define_atom_type(
-            "dept",
-            vec![AttrDef::new("head", DataType::Ref(ty))],
-        )
+        .define_atom_type("dept", vec![AttrDef::new("head", DataType::Ref(ty))])
         .unwrap();
     let mut txn = db.begin();
     let missing = AtomId::new(ty, tcom_kernel::AtomNo(999));
@@ -299,7 +322,10 @@ fn value_index_tracks_current_state() {
         let mut txn = db.begin();
         let mut atoms = Vec::new();
         for i in 0..20i64 {
-            atoms.push(txn.insert_atom(ty, iv_from(0), emp(&format!("e{i}"), i * 10)).unwrap());
+            atoms.push(
+                txn.insert_atom(ty, iv_from(0), emp(&format!("e{i}"), i * 10))
+                    .unwrap(),
+            );
         }
         txn.commit().unwrap();
 
@@ -336,7 +362,8 @@ fn scans_current_and_past() {
 
     let mut txn = db.begin();
     for i in 0..10i64 {
-        txn.insert_atom(ty, iv_from(0), emp(&format!("e{i}"), i)).unwrap();
+        txn.insert_atom(ty, iv_from(0), emp(&format!("e{i}"), i))
+            .unwrap();
     }
     txn.commit().unwrap(); // tt=1
 
@@ -397,28 +424,55 @@ fn molecule_materialization_and_time_travel() {
             "dept_mol",
             dept,
             vec![
-                MoleculeEdge { from: dept, attr: AttrId(1), to: empty },
-                MoleculeEdge { from: empty, attr: AttrId(1), to: proj },
+                MoleculeEdge {
+                    from: dept,
+                    attr: AttrId(1),
+                    to: empty,
+                },
+                MoleculeEdge {
+                    from: empty,
+                    attr: AttrId(1),
+                    to: proj,
+                },
             ],
             None,
         )
         .unwrap();
 
     let mut txn = db.begin();
-    let p1 = txn.insert_atom(proj, iv_from(0), Tuple::new(vec![Value::from("apollo")])).unwrap();
-    let p2 = txn.insert_atom(proj, iv_from(0), Tuple::new(vec![Value::from("gemini")])).unwrap();
+    let p1 = txn
+        .insert_atom(proj, iv_from(0), Tuple::new(vec![Value::from("apollo")]))
+        .unwrap();
+    let p2 = txn
+        .insert_atom(proj, iv_from(0), Tuple::new(vec![Value::from("gemini")]))
+        .unwrap();
     let e1 = txn
-        .insert_atom(empty, iv_from(0), Tuple::new(vec![Value::from("ann"), Value::ref_set([p1, p2])]))
+        .insert_atom(
+            empty,
+            iv_from(0),
+            Tuple::new(vec![Value::from("ann"), Value::ref_set([p1, p2])]),
+        )
         .unwrap();
     let e2 = txn
-        .insert_atom(empty, iv_from(0), Tuple::new(vec![Value::from("bob"), Value::ref_set([p1])]))
+        .insert_atom(
+            empty,
+            iv_from(0),
+            Tuple::new(vec![Value::from("bob"), Value::ref_set([p1])]),
+        )
         .unwrap();
     let d = txn
-        .insert_atom(dept, iv_from(0), Tuple::new(vec![Value::from("research"), Value::ref_set([e1, e2])]))
+        .insert_atom(
+            dept,
+            iv_from(0),
+            Tuple::new(vec![Value::from("research"), Value::ref_set([e1, e2])]),
+        )
         .unwrap();
     txn.commit().unwrap(); // tt=1
 
-    let m = db.materialize_current(mol, d, TimePoint(0)).unwrap().unwrap();
+    let m = db
+        .materialize_current(mol, d, TimePoint(0))
+        .unwrap()
+        .unwrap();
     assert_eq!(m.size(), 6); // dept + 2 emp + (2 + 1) proj (p1 appears twice)
     assert_eq!(m.root.id, d);
     assert_eq!(m.root.children.len(), 1);
@@ -430,10 +484,16 @@ fn molecule_materialization_and_time_travel() {
     txn.delete(e2, iv_from(0)).unwrap();
     txn.commit().unwrap();
 
-    let now_m = db.materialize_current(mol, d, TimePoint(0)).unwrap().unwrap();
+    let now_m = db
+        .materialize_current(mol, d, TimePoint(0))
+        .unwrap()
+        .unwrap();
     assert_eq!(now_m.size(), 4, "bob and his project edge vanish");
     // But the molecule as of tt=1 still contains bob.
-    let past_m = db.materialize(mol, d, TimePoint(1), TimePoint(0)).unwrap().unwrap();
+    let past_m = db
+        .materialize(mol, d, TimePoint(1), TimePoint(0))
+        .unwrap()
+        .unwrap();
     assert_eq!(past_m.size(), 6);
 
     // Molecule history sees both states.
@@ -464,17 +524,29 @@ fn recursive_molecule_bom() {
         .define_molecule_type(
             "bom",
             part,
-            vec![MoleculeEdge { from: part, attr: AttrId(1), to: part }],
+            vec![MoleculeEdge {
+                from: part,
+                attr: AttrId(1),
+                to: part,
+            }],
             Some(10),
         )
         .unwrap();
 
     let mut txn = db.begin();
     let wheel = txn
-        .insert_atom(part, iv_from(0), Tuple::new(vec![Value::from("wheel"), Value::ref_set([])]))
+        .insert_atom(
+            part,
+            iv_from(0),
+            Tuple::new(vec![Value::from("wheel"), Value::ref_set([])]),
+        )
         .unwrap();
     let axle = txn
-        .insert_atom(part, iv_from(0), Tuple::new(vec![Value::from("axle"), Value::ref_set([])]))
+        .insert_atom(
+            part,
+            iv_from(0),
+            Tuple::new(vec![Value::from("axle"), Value::ref_set([])]),
+        )
         .unwrap();
     let chassis = txn
         .insert_atom(
@@ -492,7 +564,10 @@ fn recursive_molecule_bom() {
         .unwrap();
     txn.commit().unwrap();
 
-    let m = db.materialize_current(mol, car, TimePoint(0)).unwrap().unwrap();
+    let m = db
+        .materialize_current(mol, car, TimePoint(0))
+        .unwrap()
+        .unwrap();
     // car -> chassis -> {wheel, axle}, car -> wheel  => 5 nodes (wheel twice)
     assert_eq!(m.size(), 5);
     assert_eq!(m.root.depth(), 3);
@@ -518,12 +593,17 @@ fn persistence_across_clean_reopen() {
         {
             let db = Database::open(&dir, cfg(kind)).unwrap();
             assert_eq!(db.now(), TimePoint(2));
-            assert_eq!(db.current_tuple(ann, TimePoint(0)).unwrap(), Some(emp("ann", 200)));
+            assert_eq!(
+                db.current_tuple(ann, TimePoint(0)).unwrap(),
+                Some(emp("ann", 200))
+            );
             assert_eq!(db.history(ann).unwrap().len(), 2);
             // Index survived.
             use tcom_storage::keys::encode_int;
             let ty = db.atom_type_id("emp").unwrap();
-            let hits = db.index_range(ty, AttrId(1), encode_int(200), encode_int(201)).unwrap();
+            let hits = db
+                .index_range(ty, AttrId(1), encode_int(200), encode_int(201))
+                .unwrap();
             assert_eq!(hits, vec![ann]);
             // New transactions continue with fresh atom numbers and clock.
             let mut txn = db.begin();
@@ -561,18 +641,29 @@ fn crash_recovery_replays_committed_work() {
         {
             let db = Database::open(&dir, cfg(kind)).unwrap();
             assert_eq!(db.now(), TimePoint(3));
-            assert_eq!(db.current_tuple(ann, TimePoint(0)).unwrap(), Some(emp("ann", 150)));
-            assert_eq!(db.current_tuple(bob, TimePoint(0)).unwrap(), Some(emp("bob", 300)));
+            assert_eq!(
+                db.current_tuple(ann, TimePoint(0)).unwrap(),
+                Some(emp("ann", 150))
+            );
+            assert_eq!(
+                db.current_tuple(bob, TimePoint(0)).unwrap(),
+                Some(emp("bob", 300))
+            );
             assert_eq!(db.history(ann).unwrap().len(), 2);
             // Time travel across the crash boundary still works.
             assert_eq!(
-                db.version_at(ann, TimePoint(1), TimePoint(0)).unwrap().unwrap().tuple,
+                db.version_at(ann, TimePoint(1), TimePoint(0))
+                    .unwrap()
+                    .unwrap()
+                    .tuple,
                 emp("ann", 100)
             );
             // Indexes were rebuilt.
             use tcom_storage::keys::encode_int;
             let ty = db.atom_type_id("emp").unwrap();
-            let hits = db.index_range(ty, AttrId(1), encode_int(150), encode_int(151)).unwrap();
+            let hits = db
+                .index_range(ty, AttrId(1), encode_int(150), encode_int(151))
+                .unwrap();
             assert_eq!(hits, vec![ann]);
         }
         let _ = std::fs::remove_dir_all(&dir);
@@ -598,7 +689,10 @@ fn crash_discards_uncommitted_tail() {
     }
     {
         let db = Database::open(&dir, cfg(StoreKind::Split)).unwrap();
-        assert_eq!(db.current_tuple(ann, TimePoint(0)).unwrap(), Some(emp("ann", 100)));
+        assert_eq!(
+            db.current_tuple(ann, TimePoint(0)).unwrap(),
+            Some(emp("ann", 100))
+        );
         assert_eq!(db.history(ann).unwrap().len(), 1);
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -622,7 +716,10 @@ fn repeated_crashes_converge() {
         db.crash();
     }
     let db = Database::open(&dir, cfg(StoreKind::Delta)).unwrap();
-    assert_eq!(db.current_tuple(ann, TimePoint(0)).unwrap(), Some(emp("ann", 50)));
+    assert_eq!(
+        db.current_tuple(ann, TimePoint(0)).unwrap(),
+        Some(emp("ann", 50))
+    );
     assert_eq!(db.history(ann).unwrap().len(), 6);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -659,7 +756,9 @@ fn concurrent_readers_during_writes() {
                     // Readers must always observe a consistent committed value:
                     // name "ann" with a salary that is a multiple of 10.
                     let t = db.current_tuple(ann, TimePoint(0)).unwrap().unwrap();
-                    let Value::Int(s) = t.get(1) else { panic!("int") };
+                    let Value::Int(s) = t.get(1) else {
+                        panic!("int")
+                    };
                     assert_eq!(s % 10, 0);
                 }
             });
@@ -671,7 +770,10 @@ fn concurrent_readers_during_writes() {
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
     });
-    assert_eq!(db.current_tuple(ann, TimePoint(0)).unwrap(), Some(emp("ann", 500)));
+    assert_eq!(
+        db.current_tuple(ann, TimePoint(0)).unwrap(),
+        Some(emp("ann", 500))
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -695,7 +797,10 @@ fn auto_checkpoint_truncates_wal() {
         }
         prev = now;
     }
-    assert!(grew_then_shrank, "auto checkpoint should have truncated the log");
+    assert!(
+        grew_then_shrank,
+        "auto checkpoint should have truncated the log"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -723,17 +828,30 @@ fn prune_history_reclaims_space_and_preserves_recent_slices() {
 
         // Slices at tt >= 6 are unaffected.
         for t in 6..=11u64 {
-            let v = db.version_at(ann, TimePoint(t), TimePoint(0)).unwrap().unwrap();
+            let v = db
+                .version_at(ann, TimePoint(t), TimePoint(0))
+                .unwrap()
+                .unwrap();
             assert_eq!(v.tuple, emp("ann", (t as i64 - 1) * 10), "{kind} tt={t}");
         }
         // Current state intact.
-        assert_eq!(db.current_tuple(ann, TimePoint(0)).unwrap(), Some(emp("ann", 100)));
+        assert_eq!(
+            db.current_tuple(ann, TimePoint(0)).unwrap(),
+            Some(emp("ann", 100))
+        );
 
         // Crash + recover: pruned versions must not resurrect.
         db.crash();
         let db = Database::open(&dir, cfg(kind)).unwrap();
-        assert_eq!(db.history(ann).unwrap().len(), 6, "{kind}: resurrection after crash");
-        assert_eq!(db.current_tuple(ann, TimePoint(0)).unwrap(), Some(emp("ann", 100)));
+        assert_eq!(
+            db.history(ann).unwrap().len(),
+            6,
+            "{kind}: resurrection after crash"
+        );
+        assert_eq!(
+            db.current_tuple(ann, TimePoint(0)).unwrap(),
+            Some(emp("ann", 100))
+        );
 
         // Pruning again with a later cutoff removes more; fully-deleted
         // atoms can lose their entire history.
@@ -754,7 +872,9 @@ fn prune_keeps_multi_slice_current_state() {
     let db = Database::open(&dir, cfg(StoreKind::Delta)).unwrap();
     let ty = setup_emp(&db);
     let mut txn = db.begin();
-    let ann = txn.insert_atom(ty, Interval::all(), emp("ann", 100)).unwrap();
+    let ann = txn
+        .insert_atom(ty, Interval::all(), emp("ann", 100))
+        .unwrap();
     txn.commit().unwrap();
     // Create vt structure + history.
     let mut txn = db.begin();
@@ -836,7 +956,10 @@ fn integrity_verification_passes_on_real_workloads() {
         let mut atoms = Vec::new();
         let mut txn = db.begin();
         for i in 0..30i64 {
-            atoms.push(txn.insert_atom(ty, iv_from(0), emp(&format!("e{i}"), i)).unwrap());
+            atoms.push(
+                txn.insert_atom(ty, iv_from(0), emp(&format!("e{i}"), i))
+                    .unwrap(),
+            );
         }
         txn.commit().unwrap();
         // Churn: updates, vt splits, deletes.

@@ -1,0 +1,326 @@
+//! Crash-recovery matrix over the deterministic fault-injection VFS.
+//!
+//! A fixed multi-transaction temporal workload is first executed against an
+//! unarmed [`FaultVfs`] (the *golden* run) to learn the exact sequence of
+//! mutation I/O operations and the engine state after every acked commit.
+//! Then, for every mutation-op index in the workload window, the run is
+//! repeated with a power cut armed at that index: the VFS discards every
+//! byte written since the last per-file sync, the database is reopened on
+//! the surviving bytes, and recovery must land on exactly the state after
+//! `acked` or `acked + 1` commits (the `+1` case is a commit whose WAL
+//! frame became durable but whose post-commit work died) — never anything
+//! else, never a torn hybrid, never an uncommitted write.
+//!
+//! `TCOM_CRASH_SAMPLE=k` strides the matrix (test every k-th op index) to
+//! bound CI wall-clock; the default tests every single crash point.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use tcom_core::{
+    AtomId, AtomTypeId, AttrDef, DataType, Database, DbConfig, Fault, FaultVfs, Interval,
+    StoreKind, SyncPolicy, TimePoint, Tuple, Value,
+};
+
+/// Transactions in the workload. Sized so the mutation-op window
+/// comfortably exceeds the 50-crash-point floor for every store kind.
+const NUM_TXNS: usize = 12;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tcom-recov-{}-{}", std::process::id(), tag));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn cfg(kind: StoreKind) -> DbConfig {
+    // A small checkpoint interval forces the double-write journal and the
+    // WAL reset into the crash window several times per run.
+    DbConfig::default()
+        .store_kind(kind)
+        .buffer_frames(128)
+        .sync_policy(SyncPolicy::OnCommit)
+        .checkpoint_interval(4)
+}
+
+fn setup(db: &Database) -> AtomTypeId {
+    db.define_atom_type(
+        "emp",
+        vec![
+            AttrDef::new("salary", DataType::Int).indexed(),
+            AttrDef::new("note", DataType::Text),
+        ],
+    )
+    .unwrap()
+}
+
+fn tup(salary: i64, note: &str) -> Tuple {
+    Tuple::new(vec![Value::Int(salary), Value::from(note)])
+}
+
+/// Executes transaction `k` of the deterministic workload. The op mix
+/// covers inserts, bitemporal updates (splitting + coalescing), and
+/// logical deletes over varied valid-time intervals.
+fn run_txn(
+    db: &Database,
+    ty: AtomTypeId,
+    k: usize,
+    atoms: &mut Vec<AtomId>,
+) -> tcom_core::Result<TimePoint> {
+    let mut txn = db.begin();
+    if k == 0 {
+        for i in 0..3 {
+            let a = txn.insert_atom(ty, Interval::all(), tup(100 + i, "init"))?;
+            atoms.push(a);
+        }
+    } else {
+        let a = atoms[k % atoms.len()];
+        let lo = (k as u64 * 7) % 90;
+        match k % 3 {
+            1 => {
+                let vt = Interval::new(TimePoint(lo), TimePoint(lo + 15)).unwrap();
+                txn.update(a, vt, tup(1000 + k as i64, "upd"))?;
+            }
+            2 => {
+                let vt = Interval::new(TimePoint(lo + 2), TimePoint(lo + 7)).unwrap();
+                txn.delete(a, vt)?;
+            }
+            _ => {
+                let vt = Interval::from(TimePoint(100 + k as u64));
+                let b = txn.insert_atom(ty, vt, tup(2000 + k as i64, "ins"))?;
+                atoms.push(b);
+            }
+        }
+    }
+    txn.commit()
+}
+
+/// Full bitemporal dump of every atom of `ty`: one line per recorded
+/// version with its exact vt/tt coordinates and tuple. Sorted, so two
+/// dumps are comparable regardless of replay order.
+fn dump(db: &Database, ty: AtomTypeId) -> Vec<String> {
+    let mut out = Vec::new();
+    for atom in db.all_atoms(ty).unwrap() {
+        for v in db.history(atom).unwrap() {
+            out.push(format!(
+                "{atom} vt={} tt={} tuple={:?}",
+                v.vt, v.tt, v.tuple
+            ));
+        }
+    }
+    out.sort();
+    out
+}
+
+struct Golden {
+    /// Mutation-op count after open + DDL (start of the crash window).
+    op_base: u64,
+    /// Mutation-op count after the last commit (end of the crash window).
+    op_end: u64,
+    /// `snapshots[k]` = full dump after `k` acked commits.
+    snapshots: Vec<Vec<String>>,
+}
+
+fn golden_run(kind: StoreKind, tag: &str) -> Golden {
+    let dir = tmpdir(tag);
+    let vfs = FaultVfs::new();
+    let db = Database::open_with_vfs(&dir, cfg(kind), Arc::new(vfs.clone())).unwrap();
+    let ty = setup(&db);
+    let op_base = vfs.mut_ops();
+    let mut atoms = Vec::new();
+    let mut snapshots = vec![dump(&db, ty)];
+    for k in 0..NUM_TXNS {
+        run_txn(&db, ty, k, &mut atoms).unwrap();
+        snapshots.push(dump(&db, ty));
+    }
+    let op_end = vfs.mut_ops();
+    db.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+    Golden {
+        op_base,
+        op_end,
+        snapshots,
+    }
+}
+
+struct CrashOutcome {
+    acked: usize,
+    fingerprint: u64,
+    ops_at_crash: u64,
+}
+
+/// One cell of the matrix: arm a power cut at mutation-op `j`, run the
+/// workload until it dies, reopen on the surviving bytes, and check the
+/// recovery invariants.
+fn run_crash_point(kind: StoreKind, g: &Golden, j: u64, tag: &str) -> CrashOutcome {
+    let dir = tmpdir(tag);
+    let vfs = FaultVfs::new();
+    let db = Database::open_with_vfs(&dir, cfg(kind), Arc::new(vfs.clone())).unwrap();
+    let ty = setup(&db);
+    assert_eq!(
+        vfs.mut_ops(),
+        g.op_base,
+        "setup I/O must be deterministic (crash point {j})"
+    );
+    vfs.power_cut_at(j);
+
+    let mut atoms = Vec::new();
+    let mut acked = 0usize;
+    for k in 0..NUM_TXNS {
+        match run_txn(&db, ty, k, &mut atoms) {
+            Ok(_) => acked += 1,
+            Err(_) => break,
+        }
+    }
+    db.crash();
+    assert!(
+        vfs.crashed(),
+        "power cut armed at op {j} inside the window must fire"
+    );
+    let fingerprint = vfs.durable_fingerprint();
+    let ops_at_crash = vfs.mut_ops();
+
+    // Reopen on exactly the durable bytes; recovery runs inside open.
+    vfs.reset_after_crash();
+    let db = Database::open_with_vfs(&dir, cfg(kind), Arc::new(vfs.clone())).unwrap();
+    let got = dump(&db, ty);
+
+    // Invariant: recovered state is the exact post-commit snapshot for
+    // `acked` commits — or `acked + 1` when the dying commit's WAL frame
+    // reached durability before the cut. Nothing in between, nothing else.
+    let exact = got == g.snapshots[acked];
+    let one_ahead = acked + 1 < g.snapshots.len() && got == g.snapshots[acked + 1];
+    assert!(
+        exact || one_ahead,
+        "crash at op {j}: recovered state matches neither S_{} nor S_{}\n\
+         acked={acked}\ngot:\n  {}\nwant S_{}:\n  {}",
+        acked,
+        acked + 1,
+        got.join("\n  "),
+        acked,
+        g.snapshots[acked].join("\n  "),
+    );
+
+    // Structural invariant: stores, indexes, and time indexes agree.
+    let report = db.verify_integrity().unwrap();
+    assert!(
+        report.is_ok(),
+        "crash at op {j}: integrity violations after recovery: {:?}",
+        report.violations
+    );
+
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    CrashOutcome {
+        acked,
+        fingerprint,
+        ops_at_crash,
+    }
+}
+
+fn crash_sample() -> u64 {
+    std::env::var("TCOM_CRASH_SAMPLE")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&k| k >= 1)
+        .unwrap_or(1)
+}
+
+fn crash_matrix(kind: StoreKind, tag: &str) {
+    let g = golden_run(kind, &format!("{tag}-golden"));
+    let window = g.op_end - g.op_base;
+    assert!(
+        window >= 50,
+        "workload must expose at least 50 crash points, got {window}"
+    );
+    let step = crash_sample();
+    let mut tested = 0u64;
+    let mut j = g.op_base;
+    while j < g.op_end {
+        run_crash_point(kind, &g, j, &format!("{tag}-p{j}"));
+        tested += 1;
+        j += step;
+    }
+    eprintln!("crash matrix [{tag}]: {tested} crash points over a window of {window} mutation ops");
+}
+
+#[test]
+fn crash_matrix_split() {
+    crash_matrix(StoreKind::Split, "split");
+}
+
+#[test]
+fn crash_matrix_chain() {
+    crash_matrix(StoreKind::Chain, "chain");
+}
+
+#[test]
+fn crash_matrix_delta() {
+    crash_matrix(StoreKind::Delta, "delta");
+}
+
+/// Same seed + same schedule ⇒ same failure, same acked prefix, and
+/// bit-identical durable file images.
+#[test]
+fn fault_injection_is_deterministic() {
+    let g = golden_run(StoreKind::Split, "det-golden");
+    let j = g.op_base + (g.op_end - g.op_base) / 2;
+    let a = run_crash_point(StoreKind::Split, &g, j, "det-run");
+    let b = run_crash_point(StoreKind::Split, &g, j, "det-run");
+    assert_eq!(a.acked, b.acked, "acked commit count must be reproducible");
+    assert_eq!(
+        a.ops_at_crash, b.ops_at_crash,
+        "op counter at crash must be reproducible"
+    );
+    assert_eq!(
+        a.fingerprint, b.fingerprint,
+        "durable bytes after the crash must be bit-identical across runs"
+    );
+}
+
+/// A transient write failure (no power cut) fails the in-flight commit but
+/// leaves the engine consistent and usable: the failed transaction's
+/// writes stay invisible and later transactions proceed normally.
+#[test]
+fn transient_write_failure_fails_commit_cleanly() {
+    let dir = tmpdir("transient");
+    let vfs = FaultVfs::new();
+    let db = Database::open_with_vfs(&dir, cfg(StoreKind::Split), Arc::new(vfs.clone())).unwrap();
+    let ty = setup(&db);
+
+    let mut txn = db.begin();
+    let atom = txn
+        .insert_atom(ty, Interval::all(), tup(500, "base"))
+        .unwrap();
+    txn.commit().unwrap();
+
+    // Fail the very next mutation op: the first WAL append of the commit.
+    let mut sched = tcom_core::FaultSchedule::default();
+    sched.on_mutation.insert(vfs.mut_ops(), Fault::FailWrite);
+    vfs.set_schedule(sched);
+    let mut txn = db.begin();
+    txn.update(atom, Interval::all(), tup(999, "lost")).unwrap();
+    assert!(
+        txn.commit().is_err(),
+        "commit must surface the injected write failure"
+    );
+    assert!(!vfs.crashed(), "a failed write is transient, not a crash");
+
+    // The failed update is invisible and the engine still works.
+    let t = db.current_tuple(atom, TimePoint(5)).unwrap().unwrap();
+    assert_eq!(t.values()[0], Value::Int(500));
+    let mut txn = db.begin();
+    txn.update(atom, Interval::all(), tup(777, "ok")).unwrap();
+    txn.commit().unwrap();
+    let t = db.current_tuple(atom, TimePoint(5)).unwrap().unwrap();
+    assert_eq!(t.values()[0], Value::Int(777));
+    assert!(db.verify_integrity().unwrap().is_ok());
+
+    // And the failed txn stays invisible across a clean reopen.
+    drop(db);
+    let db = Database::open_with_vfs(&dir, cfg(StoreKind::Split), Arc::new(vfs.clone())).unwrap();
+    let t = db.current_tuple(atom, TimePoint(5)).unwrap().unwrap();
+    assert_eq!(t.values()[0], Value::Int(777));
+    assert!(db.verify_integrity().unwrap().is_ok());
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -32,7 +32,9 @@ impl Encoder {
 
     /// Encoder reusing an existing buffer's capacity.
     pub fn with_capacity(cap: usize) -> Encoder {
-        Encoder { buf: Vec::with_capacity(cap) }
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Finishes and returns the bytes.
@@ -259,7 +261,8 @@ impl<'a> Decoder<'a> {
     pub fn get_interval(&mut self) -> Result<Interval> {
         let s = self.get_time()?;
         let e = self.get_time()?;
-        Interval::new(s, e).ok_or_else(|| Error::corruption(format!("empty interval [{s:?},{e:?})")))
+        Interval::new(s, e)
+            .ok_or_else(|| Error::corruption(format!("empty interval [{s:?},{e:?})")))
     }
 
     /// Reads an atom id.
@@ -409,7 +412,10 @@ mod tests {
         let bytes = e.finish();
         let mut d = Decoder::new(&bytes);
         assert_eq!(d.get_interval().unwrap(), iv(3, 9));
-        assert_eq!(d.get_record_id().unwrap(), RecordId::new(PageId(8), SlotId(2)));
+        assert_eq!(
+            d.get_record_id().unwrap(),
+            RecordId::new(PageId(8), SlotId(2))
+        );
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub enum Error {
     Query(String),
     /// Catch-all invariant violation; indicates a bug, not bad user input.
     Internal(String),
+    /// An I/O operation was failed on purpose by the fault-injection VFS
+    /// (test harnesses only; never produced in production configurations).
+    FaultInjected(String),
 }
 
 impl Error {
@@ -61,6 +64,11 @@ impl Error {
     /// Shorthand for query semantic errors.
     pub fn query(msg: impl Into<String>) -> Error {
         Error::Query(msg.into())
+    }
+
+    /// Shorthand for injected-fault errors.
+    pub fn fault(msg: impl Into<String>) -> Error {
+        Error::FaultInjected(msg.into())
     }
 }
 
@@ -79,6 +87,7 @@ impl fmt::Display for Error {
             Error::Parse { line, col, msg } => write!(f, "parse error at {line}:{col}: {msg}"),
             Error::Query(m) => write!(f, "query error: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
+            Error::FaultInjected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }
@@ -114,9 +123,14 @@ mod tests {
             Error::RecordTooLarge(99999),
             Error::BufferExhausted,
             Error::Txn("conflict".into()),
-            Error::Parse { line: 1, col: 5, msg: "expected ident".into() },
+            Error::Parse {
+                line: 1,
+                col: 5,
+                msg: "expected ident".into(),
+            },
             Error::query("unknown attribute"),
             Error::internal("unreachable"),
+            Error::fault("power cut at op 17"),
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

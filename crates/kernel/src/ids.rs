@@ -192,10 +192,7 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(
-            format!("{}", AtomId::new(AtomTypeId(3), AtomNo(9))),
-            "a3.9"
-        );
+        assert_eq!(format!("{}", AtomId::new(AtomTypeId(3), AtomNo(9))), "a3.9");
         assert_eq!(format!("{:?}", PageId::INVALID), "p⊥");
         assert_eq!(format!("{:?}", RecordId::new(PageId(1), SlotId(2))), "r1:2");
     }

@@ -17,6 +17,8 @@ pub mod time;
 pub mod value;
 
 pub use error::{Error, Result};
-pub use ids::{AtomId, AtomNo, AtomTypeId, AttrId, Lsn, MoleculeTypeId, PageId, RecordId, SlotId, TxnId};
+pub use ids::{
+    AtomId, AtomNo, AtomTypeId, AttrId, Lsn, MoleculeTypeId, PageId, RecordId, SlotId, TxnId,
+};
 pub use time::{BitemporalStamp, Interval, IntervalRelation, TemporalElement, TimePoint};
 pub use value::{DataType, Tuple, Value};

@@ -556,7 +556,10 @@ mod tests {
         // disjoint
         assert_eq!(iv(0, 5).subtract(&iv(7, 9)), (Some(iv(0, 5)), None));
         // cut in the middle
-        assert_eq!(iv(0, 10).subtract(&iv(3, 6)), (Some(iv(0, 3)), Some(iv(6, 10))));
+        assert_eq!(
+            iv(0, 10).subtract(&iv(3, 6)),
+            (Some(iv(0, 3)), Some(iv(6, 10)))
+        );
         // cut left edge
         assert_eq!(iv(0, 10).subtract(&iv(0, 4)), (None, Some(iv(4, 10))));
         // cut right edge

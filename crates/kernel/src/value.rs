@@ -271,7 +271,9 @@ impl Tuple {
 
     /// All atoms referenced from any link attribute of this tuple.
     pub fn referenced_atoms(&self) -> impl Iterator<Item = AtomId> + '_ {
-        self.values.iter().flat_map(|v| v.referenced_atoms().iter().copied())
+        self.values
+            .iter()
+            .flat_map(|v| v.referenced_atoms().iter().copied())
     }
 
     /// Sum of per-value approximate sizes.
@@ -316,11 +318,23 @@ mod tests {
 
     #[test]
     fn three_valued_comparisons() {
-        assert_eq!(Value::Int(3).partial_cmp_sql(&Value::Int(5)), Some(Ordering::Less));
-        assert_eq!(Value::Int(3).partial_cmp_sql(&Value::Float(3.0)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::Int(3).partial_cmp_sql(&Value::Int(5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(3).partial_cmp_sql(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
         assert_eq!(Value::Null.partial_cmp_sql(&Value::Int(5)), None);
-        assert_eq!(Value::Int(1).partial_cmp_sql(&Value::Text("x".into())), None);
-        assert_eq!(Value::Text("a".into()).eq_sql(&Value::Text("a".into())), Some(true));
+        assert_eq!(
+            Value::Int(1).partial_cmp_sql(&Value::Text("x".into())),
+            None
+        );
+        assert_eq!(
+            Value::Text("a".into()).eq_sql(&Value::Text("a".into())),
+            Some(true)
+        );
         assert_eq!(Value::Null.eq_sql(&Value::Null), None);
     }
 

@@ -8,9 +8,8 @@ use tcom_kernel::{AtomId, AtomNo, AtomTypeId, Interval, TemporalElement, TimePoi
 // ---- generators ----
 
 fn interval_strategy() -> impl Strategy<Value = Interval> {
-    (0u64..1000, 1u64..100).prop_map(|(s, len)| {
-        Interval::new(TimePoint(s), TimePoint(s + len)).expect("len >= 1")
-    })
+    (0u64..1000, 1u64..100)
+        .prop_map(|(s, len)| Interval::new(TimePoint(s), TimePoint(s + len)).expect("len >= 1"))
 }
 
 fn element_strategy() -> impl Strategy<Value = TemporalElement> {
@@ -29,7 +28,10 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         (0u32..100, 0u64..100_000)
             .prop_map(|(t, n)| Value::Ref(AtomId::new(AtomTypeId(t), AtomNo(n)))),
         proptest::collection::vec((0u32..4, 0u64..50), 0..6).prop_map(|ids| {
-            Value::ref_set(ids.into_iter().map(|(t, n)| AtomId::new(AtomTypeId(t), AtomNo(n))))
+            Value::ref_set(
+                ids.into_iter()
+                    .map(|(t, n)| AtomId::new(AtomTypeId(t), AtomNo(n))),
+            )
         }),
     ]
 }

@@ -144,9 +144,7 @@ fn analyze(db: &Database, query: Query, opts: ExecOptions) -> Result<Prepared> {
         type_def
             .attr_by_name(name)
             .map(|(id, _)| id)
-            .ok_or_else(|| {
-                Error::query(format!("unknown attribute '{}.{name}'", type_def.name))
-            })
+            .ok_or_else(|| Error::query(format!("unknown attribute '{}.{name}'", type_def.name)))
     };
     if let Targets::Projs(projs) = &query.targets {
         for p in projs {
@@ -170,7 +168,12 @@ fn analyze(db: &Database, query: Query, opts: ExecOptions) -> Result<Prepared> {
             }
         }
     }
-    Ok(Prepared { query, type_def, mol_type, access })
+    Ok(Prepared {
+        query,
+        type_def,
+        mol_type,
+        access,
+    })
 }
 
 fn validate_expr(
@@ -216,19 +219,31 @@ fn find_index_conjunct(e: &Expr, ty: &AtomTypeDef) -> Option<AccessPath> {
             }
             let enc = encode_value(lit)?;
             let path = match op {
-                CmpOp::Eq => AccessPath::IndexRange { attr: attr_id, lo: enc, hi: enc },
+                CmpOp::Eq => AccessPath::IndexRange {
+                    attr: attr_id,
+                    lo: enc,
+                    hi: enc,
+                },
                 CmpOp::Lt => AccessPath::IndexRange {
                     attr: attr_id,
                     lo: 0,
                     hi: enc.checked_sub(1)?,
                 },
-                CmpOp::Le => AccessPath::IndexRange { attr: attr_id, lo: 0, hi: enc },
+                CmpOp::Le => AccessPath::IndexRange {
+                    attr: attr_id,
+                    lo: 0,
+                    hi: enc,
+                },
                 CmpOp::Gt => AccessPath::IndexRange {
                     attr: attr_id,
                     lo: enc.checked_add(1)?,
                     hi: u64::MAX,
                 },
-                CmpOp::Ge => AccessPath::IndexRange { attr: attr_id, lo: enc, hi: u64::MAX },
+                CmpOp::Ge => AccessPath::IndexRange {
+                    attr: attr_id,
+                    lo: enc,
+                    hi: u64::MAX,
+                },
                 CmpOp::Ne => return None,
             };
             Some(path)
@@ -323,12 +338,9 @@ impl Prepared {
     fn candidates(&self, db: &Database) -> Result<Vec<AtomId>> {
         match &self.access {
             AccessPath::Scan => db.all_atoms(self.type_def.id),
-            AccessPath::IndexRange { attr, lo, hi } => db.index_range_inclusive(
-                self.type_def.id,
-                *attr,
-                *lo,
-                *hi,
-            ),
+            AccessPath::IndexRange { attr, lo, hi } => {
+                db.index_range_inclusive(self.type_def.id, *attr, *lo, *hi)
+            }
         }
     }
 
@@ -440,8 +452,10 @@ impl Prepared {
         let mut out = Vec::new();
         for atom in self.candidates(db)? {
             let hist = self.clip_valid(db.history(atom)?);
-            let qualifying: Vec<AtomVersion> =
-                hist.into_iter().filter(|v| self.matches(&v.tuple)).collect();
+            let qualifying: Vec<AtomVersion> = hist
+                .into_iter()
+                .filter(|v| self.matches(&v.tuple))
+                .collect();
             if !qualifying.is_empty() {
                 out.push((atom, qualifying));
                 if out.len() >= limit {

@@ -24,6 +24,9 @@ pub mod parser;
 pub mod stmt;
 pub mod token;
 
-pub use exec::{execute, execute_with, prepare, prepare_with, AccessPath, ExecOptions, Prepared, QueryOutput, Row};
+pub use exec::{
+    execute, execute_with, prepare, prepare_with, AccessPath, ExecOptions, Prepared, QueryOutput,
+    Row,
+};
 pub use parser::parse;
 pub use stmt::{parse_statement, run_statement, Statement, StatementOutput};

@@ -33,7 +33,11 @@ impl Parser {
 
     fn err(&self, msg: impl Into<String>) -> Error {
         let t = &self.tokens[self.pos];
-        Error::Parse { line: t.line, col: t.col, msg: msg.into() }
+        Error::Parse {
+            line: t.line,
+            col: t.col,
+            msg: msg.into(),
+        }
     }
 
     fn eat_kw(&mut self, kw: Kw) -> bool {
@@ -157,7 +161,15 @@ impl Parser {
                 break;
             }
         }
-        Ok(Query { targets, source, alias, filter, asof_tt, valid, limit })
+        Ok(Query {
+            targets,
+            source,
+            alias,
+            filter,
+            asof_tt,
+            valid,
+            limit,
+        })
     }
 
     fn targets(&mut self) -> Result<Targets> {
@@ -181,9 +193,15 @@ impl Parser {
         let first = self.ident()?;
         if self.eat_sym(Sym::Dot) {
             let attr = self.ident()?;
-            Ok(Proj { qualifier: Some(first), attr })
+            Ok(Proj {
+                qualifier: Some(first),
+                attr,
+            })
         } else {
-            Ok(Proj { qualifier: None, attr: first })
+            Ok(Proj {
+                qualifier: None,
+                attr: first,
+            })
         }
     }
 
@@ -270,9 +288,15 @@ impl Parser {
                 self.bump();
                 if self.eat_sym(Sym::Dot) {
                     let attr = self.ident()?;
-                    Ok(Operand::Attr { qualifier: Some(first), attr })
+                    Ok(Operand::Attr {
+                        qualifier: Some(first),
+                        attr,
+                    })
                 } else {
-                    Ok(Operand::Attr { qualifier: None, attr: first })
+                    Ok(Operand::Attr {
+                        qualifier: None,
+                        attr: first,
+                    })
                 }
             }
             other => Err(self.err(format!("expected operand, found {other:?}"))),
@@ -297,7 +321,9 @@ mod tests {
         assert_eq!(q.asof_tt, Some(TimePoint(5)));
         assert_eq!(q.valid, Valid::At(TimePoint(10)));
         assert_eq!(q.limit, Some(20));
-        let Targets::Projs(ps) = &q.targets else { panic!("projs") };
+        let Targets::Projs(ps) = &q.targets else {
+            panic!("projs")
+        };
         assert_eq!(ps.len(), 2);
         assert!(matches!(q.filter, Some(Expr::And(_, _))));
     }
@@ -306,10 +332,15 @@ mod tests {
     fn star_molecule_history() {
         assert_eq!(parse("SELECT * FROM emp").unwrap().targets, Targets::All);
         assert_eq!(
-            parse("SELECT MOLECULE FROM dept_mol WHERE root.name = 'r'").unwrap().targets,
+            parse("SELECT MOLECULE FROM dept_mol WHERE root.name = 'r'")
+                .unwrap()
+                .targets,
             Targets::Molecule
         );
-        assert_eq!(parse("SELECT HISTORY FROM emp").unwrap().targets, Targets::History);
+        assert_eq!(
+            parse("SELECT HISTORY FROM emp").unwrap().targets,
+            Targets::History
+        );
     }
 
     #[test]
@@ -325,7 +356,9 @@ mod tests {
     fn operator_precedence() {
         // a = 1 OR b = 2 AND c = 3  ==  a = 1 OR (b = 2 AND c = 3)
         let q = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
-        let Some(Expr::Or(lhs, rhs)) = q.filter else { panic!("or at top") };
+        let Some(Expr::Or(lhs, rhs)) = q.filter else {
+            panic!("or at top")
+        };
         assert!(matches!(*lhs, Expr::Cmp(_, _, _)));
         assert!(matches!(*rhs, Expr::And(_, _)));
     }
@@ -333,7 +366,9 @@ mod tests {
     #[test]
     fn parens_and_is_null() {
         let q = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c IS NOT NULL").unwrap();
-        let Some(Expr::And(lhs, rhs)) = q.filter else { panic!("and at top") };
+        let Some(Expr::And(lhs, rhs)) = q.filter else {
+            panic!("and at top")
+        };
         assert!(matches!(*lhs, Expr::Or(_, _)));
         assert!(matches!(*rhs, Expr::IsNull(_, true)));
         let q = parse("SELECT * FROM t WHERE a IS NULL").unwrap();

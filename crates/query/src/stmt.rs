@@ -157,9 +157,16 @@ pub fn run_statement(db: &Database, src: &str) -> Result<StatementOutput> {
                 }
                 defs.push(d);
             }
-            Ok(StatementOutput::TypeCreated(db.define_atom_type(name, defs)?))
+            Ok(StatementOutput::TypeCreated(
+                db.define_atom_type(name, defs)?,
+            ))
         }
-        Statement::CreateMolecule { name, root, edges, depth } => {
+        Statement::CreateMolecule {
+            name,
+            root,
+            edges,
+            depth,
+        } => {
             let root_id = db.atom_type_id(&root)?;
             let mut medges = Vec::with_capacity(edges.len());
             for (from, attr, to) in edges {
@@ -171,13 +178,22 @@ pub fn run_statement(db: &Database, src: &str) -> Result<StatementOutput> {
                         .map(|(id, _)| id)
                         .ok_or_else(|| Error::query(format!("unknown attribute '{from}.{attr}'")))
                 })?;
-                medges.push(tcom_catalog::MoleculeEdge { from: from_id, attr: attr_id, to: to_id });
+                medges.push(tcom_catalog::MoleculeEdge {
+                    from: from_id,
+                    attr: attr_id,
+                    to: to_id,
+                });
             }
-            Ok(StatementOutput::MoleculeCreated(db.define_molecule_type(
-                name, root_id, medges, depth,
-            )?))
+            Ok(StatementOutput::MoleculeCreated(
+                db.define_molecule_type(name, root_id, medges, depth)?,
+            ))
         }
-        Statement::Insert { ty, attrs, values, valid } => {
+        Statement::Insert {
+            ty,
+            attrs,
+            values,
+            valid,
+        } => {
             let ty_id = db.atom_type_id(&ty)?;
             let def = db.with_catalog(|c| c.atom_type(ty_id).cloned())?;
             let mut tuple = Tuple::new(vec![Value::Null; def.arity()]);
@@ -193,7 +209,12 @@ pub fn run_statement(db: &Database, src: &str) -> Result<StatementOutput> {
             let tt = txn.commit()?;
             Ok(StatementOutput::Inserted(atom, tt))
         }
-        Statement::Update { ty, sets, filter, valid } => {
+        Statement::Update {
+            ty,
+            sets,
+            filter,
+            valid,
+        } => {
             let ty_id = db.atom_type_id(&ty)?;
             let def = db.with_catalog(|c| c.atom_type(ty_id).cloned())?;
             let mut resolved = Vec::with_capacity(sets.len());
@@ -317,7 +338,11 @@ impl StmtParser {
 
     fn err(&self, msg: impl Into<String>) -> Error {
         let t = &self.tokens[self.pos];
-        Error::Parse { line: t.line, col: t.col, msg: msg.into() }
+        Error::Parse {
+            line: t.line,
+            col: t.col,
+            msg: msg.into(),
+        }
     }
 
     fn expect_eof(&self) -> Result<()> {
@@ -510,7 +535,12 @@ impl StmtParser {
         } else {
             None
         };
-        Ok(Statement::CreateMolecule { name, root, edges, depth })
+        Ok(Statement::CreateMolecule {
+            name,
+            root,
+            edges,
+            depth,
+        })
     }
 
     fn insert(&mut self) -> Result<Statement> {
@@ -543,7 +573,12 @@ impl StmtParser {
             )));
         }
         let valid = self.valid_clause()?;
-        Ok(Statement::Insert { ty, attrs, values, valid })
+        Ok(Statement::Insert {
+            ty,
+            attrs,
+            values,
+            valid,
+        })
     }
 
     fn update(&mut self) -> Result<Statement> {
@@ -560,7 +595,12 @@ impl StmtParser {
         }
         let filter = self.where_clause()?;
         let valid = self.valid_clause()?;
-        Ok(Statement::Update { ty, sets, filter, valid })
+        Ok(Statement::Update {
+            ty,
+            sets,
+            filter,
+            valid,
+        })
     }
 
     fn delete(&mut self) -> Result<Statement> {
@@ -663,9 +703,15 @@ impl StmtParser {
                 self.bump();
                 if self.eat_sym(Sym::Dot) {
                     let attr = self.ident()?;
-                    Ok(Operand::Attr { qualifier: Some(first), attr })
+                    Ok(Operand::Attr {
+                        qualifier: Some(first),
+                        attr,
+                    })
                 } else {
-                    Ok(Operand::Attr { qualifier: None, attr: first })
+                    Ok(Operand::Attr {
+                        qualifier: None,
+                        attr: first,
+                    })
                 }
             }
             other => Err(self.err(format!("expected operand, found {other:?}"))),

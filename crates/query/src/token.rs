@@ -97,7 +97,13 @@ struct Lexer<'a> {
 
 /// Tokenizes TQL source text.
 pub fn lex(src: &str) -> Result<Vec<Token>> {
-    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1, after_at: false };
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        after_at: false,
+    };
     let mut out = Vec::new();
     loop {
         let t = lx.next_token()?;
@@ -127,7 +133,11 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> Error {
-        Error::Parse { line: self.line, col: self.col, msg: msg.into() }
+        Error::Parse {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -208,7 +218,13 @@ impl<'a> Lexer<'a> {
         }
         // Number (with optional leading minus handled by the parser as an
         // operator-free negative literal: `-12`)
-        if c.is_ascii_digit() || (c == b'-' && self.src.get(self.pos + 1).is_some_and(|d| d.is_ascii_digit())) {
+        if c.is_ascii_digit()
+            || (c == b'-'
+                && self
+                    .src
+                    .get(self.pos + 1)
+                    .is_some_and(|d| d.is_ascii_digit()))
+        {
             let start = self.pos;
             if c == b'-' {
                 self.bump();
@@ -219,7 +235,10 @@ impl<'a> Lexer<'a> {
                     self.bump();
                 } else if !in_ref
                     && d == b'.'
-                    && self.src.get(self.pos + 1).is_some_and(|x| x.is_ascii_digit())
+                    && self
+                        .src
+                        .get(self.pos + 1)
+                        .is_some_and(|x| x.is_ascii_digit())
                 {
                     is_float = true;
                     self.bump();
@@ -324,7 +343,10 @@ mod tests {
         assert_eq!(toks("-42")[0], Tok::Int(-42));
         assert_eq!(toks("3.5")[0], Tok::Float(3.5));
         assert_eq!(toks("'it''s'")[0], Tok::Str("it's".into()));
-        assert_eq!(toks("TRUE NULL")[..2], [Tok::Kw(Kw::True), Tok::Kw(Kw::Null)]);
+        assert_eq!(
+            toks("TRUE NULL")[..2],
+            [Tok::Kw(Kw::True), Tok::Kw(Kw::Null)]
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@ fn db(name: &str) -> (Database, std::path::PathBuf) {
     let _ = std::fs::remove_dir_all(&d);
     let db = Database::open(
         &d,
-        DbConfig::default().store_kind(StoreKind::Split).checkpoint_interval(0),
+        DbConfig::default()
+            .store_kind(StoreKind::Split)
+            .checkpoint_interval(0),
     )
     .unwrap();
     (db, d)
@@ -35,11 +37,16 @@ fn create_insert_select_roundtrip() {
     assert!(matches!(out, StatementOutput::TypeCreated(_)));
 
     let out = run_statement(&db, "INSERT INTO emp (name, salary) VALUES ('ann', 100)").unwrap();
-    let StatementOutput::Inserted(ann, tt) = out else { panic!() };
+    let StatementOutput::Inserted(ann, tt) = out else {
+        panic!()
+    };
     assert_eq!(tt, TimePoint(1));
     assert_eq!(ann.no.0, 0);
-    run_statement(&db, "INSERT INTO emp (name, salary, nick) VALUES ('bob', 90, 'bobby')")
-        .unwrap();
+    run_statement(
+        &db,
+        "INSERT INTO emp (name, salary, nick) VALUES ('bob', 90, 'bobby')",
+    )
+    .unwrap();
 
     let r = rows(run_statement(&db, "SELECT name, salary FROM emp WHERE salary >= 95").unwrap());
     assert_eq!(r, vec![vec![Value::from("ann"), Value::Int(100)]]);
@@ -54,12 +61,17 @@ fn update_and_delete_statements() {
     let (db, dir) = db("ud");
     run_statement(&db, "CREATE TYPE emp (name TEXT, salary INT INDEXED)").unwrap();
     for (n, s) in [("ann", 100), ("bob", 90), ("carol", 80)] {
-        run_statement(&db, &format!("INSERT INTO emp (name, salary) VALUES ('{n}', {s})"))
-            .unwrap();
+        run_statement(
+            &db,
+            &format!("INSERT INTO emp (name, salary) VALUES ('{n}', {s})"),
+        )
+        .unwrap();
     }
     // Raise everyone under 95.
     let out = run_statement(&db, "UPDATE emp SET salary = 95 WHERE salary < 95").unwrap();
-    let StatementOutput::Modified(n, _) = out else { panic!() };
+    let StatementOutput::Modified(n, _) = out else {
+        panic!()
+    };
     assert_eq!(n, 2);
     let r = rows(run_statement(&db, "SELECT name FROM emp WHERE salary = 95").unwrap());
     assert_eq!(r.len(), 2);
@@ -71,7 +83,9 @@ fn update_and_delete_statements() {
     assert_eq!(r.len(), 2);
     // Bob's history remains.
     let out = run_statement(&db, "SELECT HISTORY FROM emp e WHERE e.name = 'bob'").unwrap();
-    let StatementOutput::Query(QueryOutput::Histories(h)) = out else { panic!() };
+    let StatementOutput::Query(QueryOutput::Histories(h)) = out else {
+        panic!()
+    };
     assert_eq!(h.len(), 1);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -80,22 +94,35 @@ fn update_and_delete_statements() {
 fn valid_time_clauses_in_dml() {
     let (db, dir) = db("vt");
     run_statement(&db, "CREATE TYPE contract (who TEXT, rate INT)").unwrap();
-    run_statement(&db, "INSERT INTO contract (who, rate) VALUES ('x', 10) VALID IN [0, 100)")
-        .unwrap();
+    run_statement(
+        &db,
+        "INSERT INTO contract (who, rate) VALUES ('x', 10) VALID IN [0, 100)",
+    )
+    .unwrap();
     // Rate change only for [40, 60).
-    run_statement(&db, "UPDATE contract SET rate = 20 WHERE who = 'x' VALID IN [40, 60)").unwrap();
+    run_statement(
+        &db,
+        "UPDATE contract SET rate = 20 WHERE who = 'x' VALID IN [40, 60)",
+    )
+    .unwrap();
     let r = rows(run_statement(&db, "SELECT rate FROM contract VALID AT 50").unwrap());
     assert_eq!(r, vec![vec![Value::Int(20)]]);
     let r = rows(run_statement(&db, "SELECT rate FROM contract VALID AT 30").unwrap());
     assert_eq!(r, vec![vec![Value::Int(10)]]);
     // VALID FROM (open-ended).
-    run_statement(&db, "INSERT INTO contract (who, rate) VALUES ('y', 5) VALID FROM 200").unwrap();
+    run_statement(
+        &db,
+        "INSERT INTO contract (who, rate) VALUES ('y', 5) VALID FROM 200",
+    )
+    .unwrap();
     let r = rows(run_statement(&db, "SELECT who FROM contract VALID AT 500").unwrap());
     assert_eq!(r, vec![vec![Value::from("y")]]);
     // Delete only part of x's contract.
     run_statement(&db, "DELETE FROM contract WHERE who = 'x' VALID IN [0, 20)").unwrap();
     let out = run_statement(&db, "SELECT who, rate FROM contract WHERE who = 'x'").unwrap();
-    let StatementOutput::Query(QueryOutput::Rows { rows, .. }) = out else { panic!() };
+    let StatementOutput::Query(QueryOutput::Rows { rows, .. }) = out else {
+        panic!()
+    };
     assert_eq!(rows[0].vt, iv(20, 40));
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -104,13 +131,12 @@ fn valid_time_clauses_in_dml() {
 fn references_and_molecules_via_statements() {
     let (db, dir) = db("refs");
     run_statement(&db, "CREATE TYPE proj (title TEXT)").unwrap();
+    run_statement(&db, "CREATE TYPE emp (name TEXT, works_on REFSET(proj))").unwrap();
     run_statement(
         &db,
-        "CREATE TYPE emp (name TEXT, works_on REFSET(proj))",
+        "CREATE TYPE dept (name TEXT, head REF(emp), employs REFSET(emp))",
     )
     .unwrap();
-    run_statement(&db, "CREATE TYPE dept (name TEXT, head REF(emp), employs REFSET(emp))")
-        .unwrap();
     let out = run_statement(
         &db,
         "CREATE MOLECULE dm ROOT dept (dept.employs TO emp, emp.works_on TO proj)",
@@ -125,7 +151,10 @@ fn references_and_molecules_via_statements() {
     };
     let StatementOutput::Inserted(e1, _) = run_statement(
         &db,
-        &format!("INSERT INTO emp (name, works_on) VALUES ('ann', {{@{}.{}}})", p1.ty.0, p1.no.0),
+        &format!(
+            "INSERT INTO emp (name, works_on) VALUES ('ann', {{@{}.{}}})",
+            p1.ty.0, p1.no.0
+        ),
     )
     .unwrap() else {
         panic!()
@@ -140,7 +169,9 @@ fn references_and_molecules_via_statements() {
     .unwrap();
 
     let out = run_statement(&db, "SELECT MOLECULE FROM dm VALID AT 0").unwrap();
-    let StatementOutput::Query(QueryOutput::Molecules(ms)) = out else { panic!() };
+    let StatementOutput::Query(QueryOutput::Molecules(ms)) = out else {
+        panic!()
+    };
     assert_eq!(ms.len(), 1);
     assert_eq!(ms[0].size(), 3); // dept + emp + proj
 
@@ -161,13 +192,25 @@ fn self_referential_type_via_statement() {
     };
     run_statement(
         &db,
-        &format!("INSERT INTO part (name, components) VALUES ('root', {{@{}.{}}})", leaf.ty.0, leaf.no.0),
+        &format!(
+            "INSERT INTO part (name, components) VALUES ('root', {{@{}.{}}})",
+            leaf.ty.0, leaf.no.0
+        ),
     )
     .unwrap();
-    run_statement(&db, "CREATE MOLECULE bom ROOT part (part.components TO part) DEPTH 4").unwrap();
-    let out = run_statement(&db, "SELECT MOLECULE FROM bom WHERE root.name = 'root' VALID AT 0")
-        .unwrap();
-    let StatementOutput::Query(QueryOutput::Molecules(ms)) = out else { panic!() };
+    run_statement(
+        &db,
+        "CREATE MOLECULE bom ROOT part (part.components TO part) DEPTH 4",
+    )
+    .unwrap();
+    let out = run_statement(
+        &db,
+        "SELECT MOLECULE FROM bom WHERE root.name = 'root' VALID AT 0",
+    )
+    .unwrap();
+    let StatementOutput::Query(QueryOutput::Molecules(ms)) = out else {
+        panic!()
+    };
     assert_eq!(ms[0].size(), 2);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -184,7 +227,7 @@ fn statement_errors() {
     assert!(run_statement(&db, "INSERT INTO t (v) VALUES (1) VALID IN [9, 3)").is_err());
     assert!(run_statement(&db, "UPDATE t SET ghost = 1").is_err());
     assert!(run_statement(&db, "DROP TABLE t").is_err()); // unknown statement
-    // Statement with trailing junk.
+                                                          // Statement with trailing junk.
     assert!(run_statement(&db, "CREATE TYPE w (v INT) garbage").is_err());
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,6 +1,6 @@
 //! End-to-end TQL tests against a populated database.
 
-use tcom_core::{AttrDef, Database, DataType, DbConfig, MoleculeEdge, StoreKind, Tuple, Value};
+use tcom_core::{AttrDef, DataType, Database, DbConfig, MoleculeEdge, StoreKind, Tuple, Value};
 use tcom_kernel::time::{iv, iv_from};
 use tcom_kernel::AttrId;
 use tcom_query::{execute, execute_with, prepare, AccessPath, ExecOptions, QueryOutput};
@@ -20,7 +20,10 @@ fn tmpdir(name: &str) -> std::path::PathBuf {
 fn university(dir: &std::path::Path) -> Database {
     let db = Database::open(
         dir,
-        DbConfig::default().store_kind(StoreKind::Split).buffer_frames(256).checkpoint_interval(0),
+        DbConfig::default()
+            .store_kind(StoreKind::Split)
+            .buffer_frames(256)
+            .checkpoint_interval(0),
     )
     .unwrap();
     let emp = db
@@ -45,7 +48,11 @@ fn university(dir: &std::path::Path) -> Database {
     db.define_molecule_type(
         "dept_mol",
         dept,
-        vec![MoleculeEdge { from: dept, attr: AttrId(1), to: emp }],
+        vec![MoleculeEdge {
+            from: dept,
+            attr: AttrId(1),
+            to: emp,
+        }],
         None,
     )
     .unwrap();
@@ -54,12 +61,20 @@ fn university(dir: &std::path::Path) -> Database {
     let mut txn = db.begin();
     let mut ids = Vec::new();
     for (i, n) in names.iter().enumerate() {
-        let nick = if i % 2 == 0 { Value::from(format!("{n}y")) } else { Value::Null };
+        let nick = if i % 2 == 0 {
+            Value::from(format!("{n}y"))
+        } else {
+            Value::Null
+        };
         ids.push(
             txn.insert_atom(
                 emp,
                 iv_from(0),
-                Tuple::new(vec![Value::from(*n), Value::Int((i as i64 + 1) * 100), nick]),
+                Tuple::new(vec![
+                    Value::from(*n),
+                    Value::Int((i as i64 + 1) * 100),
+                    nick,
+                ]),
             )
             .unwrap(),
         );
@@ -67,13 +82,19 @@ fn university(dir: &std::path::Path) -> Database {
     txn.insert_atom(
         dept,
         iv_from(0),
-        Tuple::new(vec![Value::from("research"), Value::ref_set(ids[0..3].to_vec())]),
+        Tuple::new(vec![
+            Value::from("research"),
+            Value::ref_set(ids[0..3].to_vec()),
+        ]),
     )
     .unwrap();
     txn.insert_atom(
         dept,
         iv_from(0),
-        Tuple::new(vec![Value::from("sales"), Value::ref_set(ids[3..6].to_vec())]),
+        Tuple::new(vec![
+            Value::from("sales"),
+            Value::ref_set(ids[3..6].to_vec()),
+        ]),
     )
     .unwrap();
     txn.commit().unwrap(); // tt=1
@@ -82,7 +103,11 @@ fn university(dir: &std::path::Path) -> Database {
     txn.update(
         ids[2],
         iv_from(0),
-        Tuple::new(vec![Value::from("carol"), Value::Int(350), Value::from("caroly")]),
+        Tuple::new(vec![
+            Value::from("carol"),
+            Value::Int(350),
+            Value::from("caroly"),
+        ]),
     )
     .unwrap();
     txn.commit().unwrap(); // tt=2
@@ -120,7 +145,9 @@ fn select_star_current() {
     let out = execute(&db, "SELECT * FROM emp").unwrap();
     // dave was deleted: 5 current employees.
     assert_eq!(out.len(), 5);
-    let QueryOutput::Rows { columns, .. } = &out else { panic!() };
+    let QueryOutput::Rows { columns, .. } = &out else {
+        panic!()
+    };
     assert_eq!(columns, &["name", "salary", "nickname"]);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -137,7 +164,11 @@ fn predicate_filtering_and_projection() {
     )
     .unwrap();
     assert_eq!(names_of(&out), vec!["carol", "erin"]);
-    let out = execute(&db, "SELECT e.name FROM emp e WHERE e.salary = 100 OR e.salary = 200").unwrap();
+    let out = execute(
+        &db,
+        "SELECT e.name FROM emp e WHERE e.salary = 100 OR e.salary = 200",
+    )
+    .unwrap();
     assert_eq!(names_of(&out), vec!["ann", "bob"]);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -149,12 +180,24 @@ fn transaction_time_travel() {
     // As of tt=1: dave alive, carol at 300.
     let out = execute(&db, "SELECT e.name, e.salary FROM emp e ASOF TT 1").unwrap();
     assert_eq!(out.len(), 6);
-    let out = execute(&db, "SELECT e.name FROM emp e WHERE e.salary = 300 ASOF TT 1").unwrap();
+    let out = execute(
+        &db,
+        "SELECT e.name FROM emp e WHERE e.salary = 300 ASOF TT 1",
+    )
+    .unwrap();
     assert_eq!(names_of(&out), vec!["carol"]);
     // As of tt=2: carol already at 350, dave still alive.
-    let out = execute(&db, "SELECT e.name FROM emp e WHERE e.salary = 350 ASOF TT 2").unwrap();
+    let out = execute(
+        &db,
+        "SELECT e.name FROM emp e WHERE e.salary = 350 ASOF TT 2",
+    )
+    .unwrap();
     assert_eq!(names_of(&out), vec!["carol"]);
-    let out = execute(&db, "SELECT e.name FROM emp e WHERE e.name = 'dave' ASOF TT 2").unwrap();
+    let out = execute(
+        &db,
+        "SELECT e.name FROM emp e WHERE e.name = 'dave' ASOF TT 2",
+    )
+    .unwrap();
     assert_eq!(out.len(), 1);
     // Now: dave gone.
     let out = execute(&db, "SELECT e.name FROM emp e WHERE e.name = 'dave'").unwrap();
@@ -206,7 +249,11 @@ fn index_vs_scan_same_answers() {
         assert_eq!(names_of(&via_index), names_of(&via_scan), "query: {q}");
     }
     // Past-time queries never use the (current-only) index.
-    let p = prepare(&db, "SELECT e.name FROM emp e WHERE e.salary = 300 ASOF TT 1").unwrap();
+    let p = prepare(
+        &db,
+        "SELECT e.name FROM emp e WHERE e.salary = 300 ASOF TT 1",
+    )
+    .unwrap();
     assert_eq!(p.access, AccessPath::Scan);
     // Unindexed attribute -> scan.
     let p = prepare(&db, "SELECT e.name FROM emp e WHERE e.name = 'ann'").unwrap();
@@ -219,7 +266,9 @@ fn molecule_queries() {
     let dir = tmpdir("mol");
     let db = university(&dir);
     let out = execute(&db, "SELECT MOLECULE FROM dept_mol VALID AT 0").unwrap();
-    let QueryOutput::Molecules(mols) = &out else { panic!() };
+    let QueryOutput::Molecules(mols) = &out else {
+        panic!()
+    };
     assert_eq!(mols.len(), 2);
     // research: 1 + 3 emp; sales: 1 + 2 (dave deleted).
     let mut sizes: Vec<usize> = mols.iter().map(|m| m.size()).collect();
@@ -232,7 +281,9 @@ fn molecule_queries() {
         "SELECT MOLECULE FROM dept_mol WHERE root.name = 'sales' VALID AT 0",
     )
     .unwrap();
-    let QueryOutput::Molecules(mols) = &out else { panic!() };
+    let QueryOutput::Molecules(mols) = &out else {
+        panic!()
+    };
     assert_eq!(mols.len(), 1);
     assert_eq!(mols[0].size(), 3);
 
@@ -242,7 +293,9 @@ fn molecule_queries() {
         "SELECT MOLECULE FROM dept_mol WHERE root.name = 'sales' ASOF TT 1 VALID AT 0",
     )
     .unwrap();
-    let QueryOutput::Molecules(mols) = &out else { panic!() };
+    let QueryOutput::Molecules(mols) = &out else {
+        panic!()
+    };
     assert_eq!(mols[0].size(), 4);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -252,11 +305,15 @@ fn history_queries() {
     let dir = tmpdir("hist");
     let db = university(&dir);
     let out = execute(&db, "SELECT HISTORY FROM emp e WHERE e.name = 'carol'").unwrap();
-    let QueryOutput::Histories(hs) = &out else { panic!() };
+    let QueryOutput::Histories(hs) = &out else {
+        panic!()
+    };
     assert_eq!(hs.len(), 1);
     assert_eq!(hs[0].1.len(), 2); // 300 then 350
     let out = execute(&db, "SELECT HISTORY FROM emp e WHERE e.salary = 400").unwrap();
-    let QueryOutput::Histories(hs) = &out else { panic!() };
+    let QueryOutput::Histories(hs) = &out else {
+        panic!()
+    };
     assert_eq!(hs.len(), 1, "deleted dave still has history");
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -276,15 +333,31 @@ fn valid_time_windows() {
     .unwrap();
     txn.commit().unwrap();
 
-    let out = execute(&db, "SELECT e.name FROM emp e WHERE e.name = 'temp' VALID AT 15").unwrap();
+    let out = execute(
+        &db,
+        "SELECT e.name FROM emp e WHERE e.name = 'temp' VALID AT 15",
+    )
+    .unwrap();
     assert_eq!(out.len(), 1);
-    let out = execute(&db, "SELECT e.name FROM emp e WHERE e.name = 'temp' VALID AT 25").unwrap();
+    let out = execute(
+        &db,
+        "SELECT e.name FROM emp e WHERE e.name = 'temp' VALID AT 25",
+    )
+    .unwrap();
     assert!(out.is_empty());
     // Window overlap with clipping.
-    let out = execute(&db, "SELECT e.name FROM emp e WHERE e.name = 'temp' VALID IN [15, 40)").unwrap();
+    let out = execute(
+        &db,
+        "SELECT e.name FROM emp e WHERE e.name = 'temp' VALID IN [15, 40)",
+    )
+    .unwrap();
     let r = &rows(&out)[0];
     assert_eq!(r.vt, iv(15, 20));
-    let out = execute(&db, "SELECT e.name FROM emp e WHERE e.name = 'temp' VALID IN [20, 40)").unwrap();
+    let out = execute(
+        &db,
+        "SELECT e.name FROM emp e WHERE e.name = 'temp' VALID IN [20, 40)",
+    )
+    .unwrap();
     assert!(out.is_empty());
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -83,7 +83,10 @@ impl BTree {
             meta.write_u64(META_MAGIC, BTREE_MAGIC);
             meta.write_u64(META_COUNT, 0);
         }
-        let root = t.alloc_leaf(LeafNode { entries: Vec::new(), next: PageId::INVALID })?;
+        let root = t.alloc_leaf(LeafNode {
+            entries: Vec::new(),
+            next: PageId::INVALID,
+        })?;
         {
             let mut meta = t.pool.fetch_write(file, PageId(0))?;
             meta.write_u32(META_ROOT, root.0);
@@ -244,7 +247,11 @@ impl BTree {
                         .ok()
                         .map(|i| node.entries[i].1));
                 }
-                k => return Err(Error::corruption(format!("unexpected page kind {k:?} in btree"))),
+                k => {
+                    return Err(Error::corruption(format!(
+                        "unexpected page kind {k:?} in btree"
+                    )))
+                }
             }
         }
     }
@@ -341,7 +348,9 @@ impl BTree {
                 let right_id = self.alloc_int(right)?;
                 Ok((old, Some((up_key, right_id))))
             }
-            k => Err(Error::corruption(format!("unexpected page kind {k:?} in btree"))),
+            k => Err(Error::corruption(format!(
+                "unexpected page kind {k:?} in btree"
+            ))),
         }
     }
 
@@ -369,7 +378,11 @@ impl BTree {
                         Err(_) => Ok(None),
                     };
                 }
-                k => return Err(Error::corruption(format!("unexpected page kind {k:?} in btree"))),
+                k => {
+                    return Err(Error::corruption(format!(
+                        "unexpected page kind {k:?} in btree"
+                    )))
+                }
             }
         }
     }
@@ -394,7 +407,11 @@ impl BTree {
                     pid = node.children[child_index(&node.keys, lo)];
                 }
                 PageKind::BTreeLeaf => break,
-                k => return Err(Error::corruption(format!("unexpected page kind {k:?} in btree"))),
+                k => {
+                    return Err(Error::corruption(format!(
+                        "unexpected page kind {k:?} in btree"
+                    )))
+                }
             }
         }
         // Walk the leaf chain.
@@ -616,7 +633,10 @@ mod tests {
         t.insert(k(43), 2).unwrap();
         let r = t.range_vec(BKey::min_for(42), BKey::max_for(42)).unwrap();
         assert_eq!(r.len(), 20);
-        assert!(r.iter().enumerate().all(|(i, (key, v))| key.lo == i as u64 && *v == i as u64 + 1000));
+        assert!(r
+            .iter()
+            .enumerate()
+            .all(|(i, (key, v))| key.lo == i as u64 && *v == i as u64 + 1000));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -650,7 +670,8 @@ mod tests {
     fn full_fanout_bulk() {
         let (t, path) = tree("bulk", 256);
         for i in 0..20_000u64 {
-            t.insert(k(i.wrapping_mul(2_654_435_761) % 1_000_003), i).unwrap();
+            t.insert(k(i.wrapping_mul(2_654_435_761) % 1_000_003), i)
+                .unwrap();
         }
         assert!(t.height().unwrap() >= 2);
         // All lookups succeed.

@@ -185,7 +185,19 @@ impl BufferPool {
         {
             let mut guard = self.frames[idx].page.write();
             if load {
-                *guard = self.disk(file).read_page(page)?;
+                match self.disk(file).read_page(page) {
+                    Ok(p) => *guard = p,
+                    Err(e) => {
+                        // Failed load: uninstall the frame so a later fetch
+                        // retries the disk instead of hitting a zeroed page.
+                        drop(guard);
+                        let mut inner = self.inner.lock();
+                        inner.table.remove(&(file, page));
+                        inner.tags[idx] = None;
+                        self.frames[idx].pin.store(0, Ordering::Release);
+                        return Err(e);
+                    }
+                }
             } else {
                 *guard = Page::default();
             }
@@ -256,7 +268,14 @@ impl BufferPool {
         self.frames[idx].dirty.store(true, Ordering::Release);
         let mut guard = self.frames[idx].page.write();
         *guard = Page::new(kind);
-        Ok((page_id, PageMut { pool: self, idx, guard }))
+        Ok((
+            page_id,
+            PageMut {
+                pool: self,
+                idx,
+                guard,
+            },
+        ))
     }
 
     /// Writes every dirty frame back to its file (does **not** sync).
@@ -327,7 +346,9 @@ impl Deref for PageRef<'_> {
 
 impl Drop for PageRef<'_> {
     fn drop(&mut self) {
-        self.pool.frames[self.idx].pin.fetch_sub(1, Ordering::AcqRel);
+        self.pool.frames[self.idx]
+            .pin
+            .fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -353,7 +374,9 @@ impl DerefMut for PageMut<'_> {
 
 impl Drop for PageMut<'_> {
     fn drop(&mut self) {
-        self.pool.frames[self.idx].pin.fetch_sub(1, Ordering::AcqRel);
+        self.pool.frames[self.idx]
+            .pin
+            .fetch_sub(1, Ordering::AcqRel);
     }
 }
 

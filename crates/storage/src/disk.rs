@@ -7,48 +7,52 @@
 //! the disk manager trivially correct.
 
 use crate::page::{Page, PAGE_SIZE};
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 use parking_lot::Mutex;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 use tcom_kernel::{Error, PageId, Result};
 
 /// Page-granular file manager.
 pub struct DiskManager {
-    file: Mutex<File>,
+    file: Arc<dyn VfsFile>,
     path: PathBuf,
     page_count: AtomicU32,
+    /// Serializes allocations: page-count bump and file extension must be
+    /// one atomic step or racing `set_len`s could shrink the file.
+    alloc: Mutex<()>,
     reads: AtomicU64,
     writes: AtomicU64,
 }
 
 impl DiskManager {
-    /// Opens (or creates) the file at `path`.
-    ///
-    /// The file length must be a whole number of pages; anything else is
-    /// reported as corruption (a torn final page from a crash mid-extend is
-    /// truncated away, since an unsealed page was never acknowledged).
+    /// Opens (or creates) the file at `path` on the real file system.
     pub fn open(path: impl AsRef<Path>) -> Result<DiskManager> {
+        DiskManager::open_with(&StdVfs, path)
+    }
+
+    /// Opens (or creates) the file at `path` through `vfs`.
+    ///
+    /// The file length must be a whole number of pages; anything else is a
+    /// torn final page from a crash mid-extend and is truncated away,
+    /// since an unsealed page was never acknowledged.
+    pub fn open_with(vfs: &dyn Vfs, path: impl AsRef<Path>) -> Result<DiskManager> {
         let path = path.as_ref().to_owned();
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
-        let len = file.metadata()?.len();
+        let file = vfs.open(&path)?;
+        let len = file.len()?;
         let rem = len % PAGE_SIZE as u64;
         if rem != 0 {
             // A crash while extending the file can leave a partial page that
             // no committed state references; drop it.
             file.set_len(len - rem)?;
         }
-        let page_count = (file.metadata()?.len() / PAGE_SIZE as u64) as u32;
+        let page_count = (file.len()? / PAGE_SIZE as u64) as u32;
         Ok(DiskManager {
-            file: Mutex::new(file),
+            file,
             path,
             page_count: AtomicU32::new(page_count),
+            alloc: Mutex::new(()),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
         })
@@ -67,9 +71,9 @@ impl DiskManager {
     /// Allocates a fresh page at the end of the file and returns its id.
     /// The page contents on disk are undefined until first written.
     pub fn allocate_page(&self) -> Result<PageId> {
-        let file = self.file.lock();
+        let _a = self.alloc.lock();
         let id = self.page_count.fetch_add(1, Ordering::AcqRel);
-        file.set_len((id as u64 + 1) * PAGE_SIZE as u64)?;
+        self.file.set_len((id as u64 + 1) * PAGE_SIZE as u64)?;
         Ok(PageId(id))
     }
 
@@ -82,11 +86,8 @@ impl DiskManager {
             )));
         }
         let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
-        {
-            let mut file = self.file.lock();
-            file.seek(SeekFrom::Start(id.0 as u64 * PAGE_SIZE as u64))?;
-            file.read_exact(&mut buf)?;
-        }
+        self.file
+            .read_at(&mut buf, id.0 as u64 * PAGE_SIZE as u64)?;
         self.reads.fetch_add(1, Ordering::Relaxed);
         // An all-zero block is a "ghost" page: the file was extended but the
         // page image was never written before a crash (no sealed page can be
@@ -96,8 +97,9 @@ impl DiskManager {
             return Ok(Page::from_bytes(buf.try_into().expect("exact size")));
         }
         let page = Page::from_bytes(buf.try_into().expect("exact size"));
-        page.verify()
-            .map_err(|e| Error::corruption(format!("{e} (page {id:?} of {})", self.path.display())))?;
+        page.verify().map_err(|e| {
+            Error::corruption(format!("{e} (page {id:?} of {})", self.path.display()))
+        })?;
         Ok(page)
     }
 
@@ -107,17 +109,15 @@ impl DiskManager {
             return Err(Error::internal(format!("write of unallocated page {id:?}")));
         }
         page.seal();
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id.0 as u64 * PAGE_SIZE as u64))?;
-        file.write_all(page.bytes().as_slice())?;
+        self.file
+            .write_at(page.bytes().as_slice(), id.0 as u64 * PAGE_SIZE as u64)?;
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Forces all written pages to stable storage.
     pub fn sync(&self) -> Result<()> {
-        self.file.lock().sync_data()?;
-        Ok(())
+        self.file.sync()
     }
 
     /// (physical reads, physical writes) since open — the currency of the
@@ -134,6 +134,8 @@ impl DiskManager {
 mod tests {
     use super::*;
     use crate::page::PageKind;
+    use std::fs::OpenOptions;
+    use std::io::{Read, Seek, SeekFrom, Write};
 
     fn tmpfile(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("tcom-disk-{}-{}", std::process::id(), name));
@@ -194,7 +196,11 @@ mod tests {
         }
         // Flip a byte in the page body directly in the file.
         {
-            let mut f = OpenOptions::new().read(true).write(true).open(&path).unwrap();
+            let mut f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
             f.seek(SeekFrom::Start(100)).unwrap();
             let mut b = [0u8; 1];
             f.read_exact(&mut b).unwrap();
@@ -223,6 +229,76 @@ mod tests {
         let dm = DiskManager::open(&path).unwrap();
         assert_eq!(dm.page_count(), 1);
         dm.read_page(PageId(0)).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_boundary_cases() {
+        // Tail remainders of 0 (exact multiple — nothing to trim), 1 byte,
+        // and PAGE_SIZE - 1 bytes must all reopen to exactly two pages.
+        for extra in [0usize, 1, PAGE_SIZE - 1] {
+            let path = tmpfile(&format!("torn-edge-{extra}"));
+            {
+                let dm = DiskManager::open(&path).unwrap();
+                for fill in [1u8, 2] {
+                    let id = dm.allocate_page().unwrap();
+                    let mut p = Page::new(PageKind::Slotted);
+                    p.body_mut()[0] = fill;
+                    dm.write_page(id, &mut p).unwrap();
+                }
+                dm.sync().unwrap();
+            }
+            if extra > 0 {
+                let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+                f.write_all(&vec![0xEE; extra]).unwrap();
+            }
+            let dm = DiskManager::open(&path).unwrap();
+            assert_eq!(dm.page_count(), 2, "tail of {extra} bytes");
+            assert_eq!(dm.read_page(PageId(0)).unwrap().body()[0], 1);
+            assert_eq!(dm.read_page(PageId(1)).unwrap().body()[0], 2);
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                2 * PAGE_SIZE as u64,
+                "torn tail of {extra} bytes must be truncated away"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn partial_final_page_slot_is_reusable_after_reopen() {
+        // Crash mid-extend: page 1's image only partially reached the file.
+        // On reopen the torn page is dropped and the very next allocation
+        // hands the same slot out again, which must then read back clean.
+        let path = tmpfile("torn-reuse");
+        {
+            let dm = DiskManager::open(&path).unwrap();
+            let id = dm.allocate_page().unwrap();
+            let mut p = Page::new(PageKind::Slotted);
+            dm.write_page(id, &mut p).unwrap();
+            dm.sync().unwrap();
+        }
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            let mut torn = Page::new(PageKind::Slotted);
+            torn.body_mut()[0] = 0x77;
+            f.write_all(&torn.bytes()[..PAGE_SIZE / 3]).unwrap();
+        }
+        let dm = DiskManager::open(&path).unwrap();
+        assert_eq!(dm.page_count(), 1);
+        assert!(
+            dm.read_page(PageId(1)).is_err(),
+            "torn page is out of range"
+        );
+        let id = dm.allocate_page().unwrap();
+        assert_eq!(id, PageId(1), "the torn slot is handed out again");
+        let mut p = Page::new(PageKind::Slotted);
+        p.body_mut()[0] = 9;
+        dm.write_page(id, &mut p).unwrap();
+        drop(dm);
+        let dm = DiskManager::open(&path).unwrap();
+        assert_eq!(dm.page_count(), 2);
+        assert_eq!(dm.read_page(PageId(1)).unwrap().body()[0], 9);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -123,9 +123,7 @@ impl HeapFile {
         // 3. Allocate a new page.
         let (pid, mut page) = self.pool.create(self.file, PageKind::Slotted)?;
         let mut sp = SlottedPage::init(&mut page);
-        let slot = sp
-            .insert(rec)?
-            .ok_or(Error::RecordTooLarge(rec.len()))?;
+        let slot = sp.insert(rec)?.ok_or(Error::RecordTooLarge(rec.len()))?;
         let free = sp.total_free();
         drop(page);
         self.note_free(pid, free);
@@ -248,7 +246,10 @@ mod tests {
         let (h, path) = heap("many");
         let mut rids = Vec::new();
         for i in 0..500u32 {
-            let rec = format!("record number {i} with some padding {}", "x".repeat(i as usize % 50));
+            let rec = format!(
+                "record number {i} with some padding {}",
+                "x".repeat(i as usize % 50)
+            );
             rids.push((h.insert(rec.as_bytes()).unwrap(), rec));
         }
         for (rid, rec) in &rids {
@@ -366,9 +367,7 @@ mod tests {
         h.delete(rid).unwrap();
         assert!(!h.exists(rid).unwrap());
         assert!(!h.exists(RecordId::INVALID).unwrap());
-        assert!(!h
-            .exists(RecordId::new(PageId(999), SlotId(0)))
-            .unwrap());
+        assert!(!h.exists(RecordId::new(PageId(999), SlotId(0))).unwrap());
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -44,7 +44,10 @@ impl BKey {
     /// The smallest possible key.
     pub const MIN: BKey = BKey { hi: 0, lo: 0 };
     /// The largest possible key.
-    pub const MAX: BKey = BKey { hi: u64::MAX, lo: u64::MAX };
+    pub const MAX: BKey = BKey {
+        hi: u64::MAX,
+        lo: u64::MAX,
+    };
 }
 
 /// Order-preserving encoding of an `i64`.

@@ -19,9 +19,11 @@ pub mod heap;
 pub mod keys;
 pub mod page;
 pub mod slotted;
+pub mod vfs;
 
 pub use buffer::{BufferPool, BufferStats, FileId, PageMut, PageRef};
 pub use disk::DiskManager;
 pub use heap::HeapFile;
 pub use page::{Page, PageKind, PAGE_SIZE};
 pub use slotted::{SlottedPage, SlottedRef, MAX_RECORD};
+pub use vfs::{Fault, FaultSchedule, FaultVfs, StdVfs, Vfs, VfsFile};

@@ -66,7 +66,10 @@ impl Page {
     /// A zeroed page of the given kind.
     pub fn new(kind: PageKind) -> Page {
         let mut p = Page {
-            bytes: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("exact size"),
+            bytes: vec![0u8; PAGE_SIZE]
+                .into_boxed_slice()
+                .try_into()
+                .expect("exact size"),
         };
         p.set_kind(kind);
         p.bytes[5] = 1; // format version
@@ -173,7 +176,9 @@ impl Page {
 
 impl Clone for Page {
     fn clone(&self) -> Page {
-        Page { bytes: self.bytes.clone() }
+        Page {
+            bytes: self.bytes.clone(),
+        }
     }
 }
 

@@ -54,7 +54,9 @@ impl<'a> SlottedPage<'a> {
     pub fn attach(page: &'a mut Page) -> Result<SlottedPage<'a>> {
         match page.kind()? {
             PageKind::Slotted => Ok(SlottedPage { page }),
-            k => Err(Error::corruption(format!("expected slotted page, found {k:?}"))),
+            k => Err(Error::corruption(format!(
+                "expected slotted page, found {k:?}"
+            ))),
         }
     }
 
@@ -122,7 +124,10 @@ impl<'a> SlottedPage<'a> {
             if off == DEAD {
                 None
             } else {
-                Some((SlotId(s), &self.page.bytes()[off as usize..off as usize + len as usize]))
+                Some((
+                    SlotId(s),
+                    &self.page.bytes()[off as usize..off as usize + len as usize],
+                ))
             }
         })
     }
@@ -226,7 +231,8 @@ impl<'a> SlottedPage<'a> {
             return Ok(false);
         }
         self.set_slot_entry(slot.0, DEAD, 0);
-        self.page.write_u16(OFF_LIVE_BYTES, live_after_delete as u16);
+        self.page
+            .write_u16(OFF_LIVE_BYTES, live_after_delete as u16);
         if self.contiguous_free() < rec.len() {
             self.compact();
         }
@@ -274,7 +280,9 @@ impl<'a> SlottedRef<'a> {
     pub fn attach(page: &'a Page) -> Result<SlottedRef<'a>> {
         match page.kind()? {
             PageKind::Slotted => Ok(SlottedRef { page }),
-            k => Err(Error::corruption(format!("expected slotted page, found {k:?}"))),
+            k => Err(Error::corruption(format!(
+                "expected slotted page, found {k:?}"
+            ))),
         }
     }
 
@@ -327,7 +335,10 @@ impl<'a> SlottedRef<'a> {
             if off == DEAD {
                 None
             } else {
-                Some((SlotId(s), &page.bytes()[off as usize..off as usize + len as usize]))
+                Some((
+                    SlotId(s),
+                    &page.bytes()[off as usize..off as usize + len as usize],
+                ))
             }
         })
     }

@@ -43,7 +43,11 @@ fn run_against_model(ops: &[Op], fanout: Option<(usize, usize)>, tag: &str) {
         match op {
             Op::Insert(hi, lo, v) => {
                 let k = BKey::new(*hi, *lo);
-                assert_eq!(tree.insert(k, *v).unwrap(), model.insert(k, *v), "insert {k:?}");
+                assert_eq!(
+                    tree.insert(k, *v).unwrap(),
+                    model.insert(k, *v),
+                    "insert {k:?}"
+                );
             }
             Op::Remove(hi, lo) => {
                 let k = BKey::new(*hi, *lo);
@@ -57,10 +61,8 @@ fn run_against_model(ops: &[Op], fanout: Option<(usize, usize)>, tag: &str) {
                 let (lo, hi) = (*lo.min(hi), *lo.max(hi));
                 let (lo_k, hi_k) = (BKey::min_for(lo), BKey::min_for(hi));
                 let got = tree.range_vec(lo_k, hi_k).unwrap();
-                let want: Vec<(BKey, u64)> = model
-                    .range(lo_k..hi_k)
-                    .map(|(k, v)| (*k, *v))
-                    .collect();
+                let want: Vec<(BKey, u64)> =
+                    model.range(lo_k..hi_k).map(|(k, v)| (*k, *v)).collect();
                 assert_eq!(got, want, "range [{lo}, {hi})");
             }
         }
@@ -108,7 +110,11 @@ fn deep_tree_persists() {
         for i in 0..500u64 {
             tree.insert(BKey::new(i * 7 % 501, i), i).unwrap();
         }
-        assert!(tree.height().unwrap() >= 4, "height {}", tree.height().unwrap());
+        assert!(
+            tree.height().unwrap() >= 4,
+            "height {}",
+            tree.height().unwrap()
+        );
         pool.flush_and_sync().unwrap();
     }
     let pool = BufferPool::new(256);

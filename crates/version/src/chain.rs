@@ -13,7 +13,10 @@
 //! * Storage: no delta savings; every update stores a full tuple.
 
 use crate::record::{AtomVersion, Payload, VersionRecord};
-use crate::store::{dir_get, dir_scan, dir_set, filter_at_tt, sort_by_vt, sort_history, StoreKind, StoreStats, VersionStore};
+use crate::store::{
+    dir_get, dir_scan, dir_set, filter_at_tt, sort_by_vt, sort_history, StoreKind, StoreStats,
+    VersionStore,
+};
 use std::sync::Arc;
 use tcom_kernel::{AtomNo, Error, Interval, RecordId, Result, TimePoint, Tuple};
 use tcom_storage::btree::BTree;
@@ -28,7 +31,11 @@ pub struct ChainStore {
 
 impl ChainStore {
     /// Formats a fresh store over two pre-registered files.
-    pub fn create(pool: Arc<BufferPool>, heap_file: FileId, dir_file: FileId) -> Result<ChainStore> {
+    pub fn create(
+        pool: Arc<BufferPool>,
+        heap_file: FileId,
+        dir_file: FileId,
+    ) -> Result<ChainStore> {
         Ok(ChainStore {
             heap: HeapFile::create(pool.clone(), heap_file)?,
             dir: BTree::create(pool, dir_file)?,
@@ -52,9 +59,7 @@ impl ChainStore {
     ) -> Result<()> {
         let mut cur = dir_get(&self.dir, no)?.filter(|r| !r.is_invalid());
         while let Some(rid) = cur {
-            let rec = self
-                .heap
-                .with_record(rid, VersionRecord::decode)??;
+            let rec = self.heap.with_record(rid, VersionRecord::decode)??;
             if rec.atom_no != no {
                 return Err(Error::corruption(format!(
                     "chain of atom {} reached record of atom {} at {rid:?}",
@@ -245,7 +250,8 @@ mod tests {
         let (s, paths) = store("cur");
         let no = AtomNo(1);
         assert!(!s.exists(no).unwrap());
-        s.insert_version(no, iv_from(0), TimePoint(1), &tup(10)).unwrap();
+        s.insert_version(no, iv_from(0), TimePoint(1), &tup(10))
+            .unwrap();
         assert!(s.exists(no).unwrap());
         let cur = s.current_versions(no).unwrap();
         assert_eq!(cur.len(), 1);
@@ -259,11 +265,14 @@ mod tests {
         let (s, paths) = store("hist");
         let no = AtomNo(7);
         // tt=1: value 10; tt=2: close and write 20; tt=3: close and write 30.
-        s.insert_version(no, iv_from(0), TimePoint(1), &tup(10)).unwrap();
+        s.insert_version(no, iv_from(0), TimePoint(1), &tup(10))
+            .unwrap();
         assert!(s.close_version(no, TimePoint(0), TimePoint(2)).unwrap());
-        s.insert_version(no, iv_from(0), TimePoint(2), &tup(20)).unwrap();
+        s.insert_version(no, iv_from(0), TimePoint(2), &tup(20))
+            .unwrap();
         assert!(s.close_version(no, TimePoint(0), TimePoint(3)).unwrap());
-        s.insert_version(no, iv_from(0), TimePoint(3), &tup(30)).unwrap();
+        s.insert_version(no, iv_from(0), TimePoint(3), &tup(30))
+            .unwrap();
 
         let cur = s.current_versions(no).unwrap();
         assert_eq!(cur.len(), 1);
@@ -290,7 +299,8 @@ mod tests {
         let (s, paths) = store("nf");
         let no = AtomNo(3);
         assert!(!s.close_version(no, TimePoint(0), TimePoint(5)).unwrap());
-        s.insert_version(no, iv(0, 10), TimePoint(1), &tup(1)).unwrap();
+        s.insert_version(no, iv(0, 10), TimePoint(1), &tup(1))
+            .unwrap();
         // wrong vt start
         assert!(!s.close_version(no, TimePoint(5), TimePoint(5)).unwrap());
         // right vt start
@@ -304,9 +314,12 @@ mod tests {
     fn multiple_current_vt_slices() {
         let (s, paths) = store("slices");
         let no = AtomNo(9);
-        s.insert_version(no, iv(0, 10), TimePoint(1), &tup(1)).unwrap();
-        s.insert_version(no, iv(10, 20), TimePoint(1), &tup(2)).unwrap();
-        s.insert_version(no, iv_from(20), TimePoint(2), &tup(3)).unwrap();
+        s.insert_version(no, iv(0, 10), TimePoint(1), &tup(1))
+            .unwrap();
+        s.insert_version(no, iv(10, 20), TimePoint(1), &tup(2))
+            .unwrap();
+        s.insert_version(no, iv_from(20), TimePoint(2), &tup(3))
+            .unwrap();
         let cur = s.current_versions(no).unwrap();
         assert_eq!(cur.len(), 3);
         assert_eq!(cur[0].vt, iv(0, 10)); // sorted by vt
@@ -339,7 +352,8 @@ mod tests {
                 .unwrap();
         }
         for i in 0..50u64 {
-            s.close_version(AtomNo(i), TimePoint(0), TimePoint(2)).unwrap();
+            s.close_version(AtomNo(i), TimePoint(0), TimePoint(2))
+                .unwrap();
             s.insert_version(AtomNo(i), iv_from(0), TimePoint(2), &tup(-(i as i64)))
                 .unwrap();
         }

@@ -20,7 +20,10 @@
 //! narrow updates, while past time-slices pay CPU for delta replay.
 
 use crate::record::{AtomVersion, Payload, TupleDelta, VersionRecord};
-use crate::store::{dir_get, dir_scan, dir_set, filter_at_tt, sort_by_vt, sort_history, StoreKind, StoreStats, VersionStore};
+use crate::store::{
+    dir_get, dir_scan, dir_set, filter_at_tt, sort_by_vt, sort_history, StoreKind, StoreStats,
+    VersionStore,
+};
 use std::sync::Arc;
 use tcom_kernel::{AtomNo, Error, Interval, RecordId, Result, TimePoint, Tuple};
 use tcom_storage::btree::BTree;
@@ -35,7 +38,11 @@ pub struct DeltaStore {
 
 impl DeltaStore {
     /// Formats a fresh store over two pre-registered files.
-    pub fn create(pool: Arc<BufferPool>, heap_file: FileId, dir_file: FileId) -> Result<DeltaStore> {
+    pub fn create(
+        pool: Arc<BufferPool>,
+        heap_file: FileId,
+        dir_file: FileId,
+    ) -> Result<DeltaStore> {
         Ok(DeltaStore {
             heap: HeapFile::create(pool.clone(), heap_file)?,
             dir: BTree::create(pool, dir_file)?,
@@ -195,7 +202,11 @@ impl VersionStore for DeltaStore {
         let mut out = Vec::new();
         self.walk_reconstruct(no, |_, rec, tuple, _| {
             if rec.is_current() {
-                out.push(AtomVersion { vt: rec.vt, tt: rec.tt, tuple: tuple.clone() });
+                out.push(AtomVersion {
+                    vt: rec.vt,
+                    tt: rec.tt,
+                    tuple: tuple.clone(),
+                });
             }
             Ok(true)
         })?;
@@ -209,7 +220,11 @@ impl VersionStore for DeltaStore {
     fn history(&self, no: AtomNo) -> Result<Vec<AtomVersion>> {
         let mut out = Vec::new();
         self.walk_reconstruct(no, |_, rec, tuple, _| {
-            out.push(AtomVersion { vt: rec.vt, tt: rec.tt, tuple: tuple.clone() });
+            out.push(AtomVersion {
+                vt: rec.vt,
+                tt: rec.tt,
+                tuple: tuple.clone(),
+            });
             Ok(true)
         })?;
         Ok(sort_history(out))
@@ -327,13 +342,16 @@ mod tests {
     /// Wide tuple where only one attribute changes per update — the delta
     /// store's sweet spot.
     fn wide(v: i64) -> Tuple {
-        let mut vals: Vec<Value> = (0..16).map(|i| Value::Text(format!("attr-{i}-constant-payload"))).collect();
+        let mut vals: Vec<Value> = (0..16)
+            .map(|i| Value::Text(format!("attr-{i}-constant-payload")))
+            .collect();
         vals[3] = Value::Int(v);
         Tuple::new(vals)
     }
 
     fn run_updates(s: &DeltaStore, no: AtomNo, n: u64) {
-        s.insert_version(no, iv_from(0), TimePoint(1), &wide(0)).unwrap();
+        s.insert_version(no, iv_from(0), TimePoint(1), &wide(0))
+            .unwrap();
         for t in 1..n {
             s.close_version(no, TimePoint(0), TimePoint(t + 1)).unwrap();
             s.insert_version(no, iv_from(0), TimePoint(t + 1), &wide(t as i64))
@@ -408,8 +426,10 @@ mod tests {
         let (s, paths) = store("multi");
         let no = AtomNo(5);
         use tcom_kernel::time::iv;
-        s.insert_version(no, iv(0, 10), TimePoint(1), &wide(1)).unwrap();
-        s.insert_version(no, iv(10, 20), TimePoint(1), &wide(2)).unwrap();
+        s.insert_version(no, iv(0, 10), TimePoint(1), &wide(1))
+            .unwrap();
+        s.insert_version(no, iv(10, 20), TimePoint(1), &wide(2))
+            .unwrap();
         // Both are current: nothing may be compressed.
         let (full, delta) = s.chain_shape(no).unwrap();
         assert_eq!((full, delta), (2, 0));
@@ -419,7 +439,8 @@ mod tests {
         assert_eq!(cur[1].tuple, wide(2));
         // Close the older slice; a later insert compresses it.
         s.close_version(no, TimePoint(0), TimePoint(2)).unwrap();
-        s.insert_version(no, iv(0, 10), TimePoint(2), &wide(3)).unwrap();
+        s.insert_version(no, iv(0, 10), TimePoint(2), &wide(3))
+            .unwrap();
         let h = s.history(no).unwrap();
         assert_eq!(h.len(), 3);
         // Everything still reconstructs.
@@ -434,7 +455,8 @@ mod tests {
         let (s, paths) = store("false");
         let no = AtomNo(8);
         assert!(!s.close_version(no, TimePoint(0), TimePoint(1)).unwrap());
-        s.insert_version(no, iv_from(0), TimePoint(1), &wide(0)).unwrap();
+        s.insert_version(no, iv_from(0), TimePoint(1), &wide(0))
+            .unwrap();
         assert!(!s.close_version(no, TimePoint(99), TimePoint(2)).unwrap());
         assert!(s.close_version(no, TimePoint(0), TimePoint(2)).unwrap());
         assert!(!s.close_version(no, TimePoint(0), TimePoint(3)).unwrap());

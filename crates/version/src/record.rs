@@ -13,7 +13,9 @@
 //!   to a running tuple.
 
 use tcom_kernel::codec::{Decoder, Encoder};
-use tcom_kernel::{AtomNo, BitemporalStamp, Error, Interval, RecordId, Result, TimePoint, Tuple, Value};
+use tcom_kernel::{
+    AtomNo, BitemporalStamp, Error, Interval, RecordId, Result, TimePoint, Tuple, Value,
+};
 
 /// A materialized (decoded) atom version.
 #[derive(Clone, Debug, PartialEq)]
@@ -29,7 +31,10 @@ pub struct AtomVersion {
 impl AtomVersion {
     /// The bitemporal stamp of this version.
     pub fn stamp(&self) -> BitemporalStamp {
-        BitemporalStamp { vt: self.vt, tt: self.tt }
+        BitemporalStamp {
+            vt: self.vt,
+            tt: self.tt,
+        }
     }
 
     /// True iff part of the current database state.
@@ -160,12 +165,22 @@ impl VersionRecord {
                 }
                 Payload::Delta(TupleDelta { changes })
             }
-            t => return Err(Error::corruption(format!("unknown version payload tag {t}"))),
+            t => {
+                return Err(Error::corruption(format!(
+                    "unknown version payload tag {t}"
+                )))
+            }
         };
         if !d.is_exhausted() {
             return Err(Error::corruption("trailing bytes in version record"));
         }
-        Ok(VersionRecord { atom_no, vt, tt, prev, payload })
+        Ok(VersionRecord {
+            atom_no,
+            vt,
+            tt,
+            prev,
+            payload,
+        })
     }
 
     /// True iff the record's transaction time is still open.
@@ -259,7 +274,11 @@ mod tests {
 
     #[test]
     fn version_visibility() {
-        let v = AtomVersion { vt: iv(10, 20), tt: iv(5, 8), tuple: tup(&[1]) };
+        let v = AtomVersion {
+            vt: iv(10, 20),
+            tt: iv(5, 8),
+            tuple: tup(&[1]),
+        };
         assert!(v.visible_at(TimePoint(5), TimePoint(15)));
         assert!(!v.visible_at(TimePoint(8), TimePoint(15)));
         assert!(!v.visible_at(TimePoint(5), TimePoint(20)));

@@ -14,7 +14,9 @@
 //! to total history length.
 
 use crate::record::{AtomVersion, Payload, VersionRecord};
-use crate::store::{dir_get, dir_scan, dir_set, sort_by_vt, sort_history, StoreKind, StoreStats, VersionStore};
+use crate::store::{
+    dir_get, dir_scan, dir_set, sort_by_vt, sort_history, StoreKind, StoreStats, VersionStore,
+};
 use std::sync::Arc;
 use tcom_kernel::codec::{Decoder, Encoder};
 use tcom_kernel::{AtomNo, Error, Interval, RecordId, Result, TimePoint, Tuple};
@@ -142,9 +144,7 @@ impl SplitStore {
     ) -> Result<()> {
         let mut cur = dir_get(&self.hist_dir, no)?.filter(|r| !r.is_invalid());
         while let Some(rid) = cur {
-            let rec = self
-                .hist_heap
-                .with_record(rid, VersionRecord::decode)??;
+            let rec = self.hist_heap.with_record(rid, VersionRecord::decode)??;
             if rec.atom_no != no {
                 return Err(Error::corruption(format!(
                     "history chain of atom {} reached record of atom {}",
@@ -189,7 +189,11 @@ impl VersionStore for SplitStore {
         let Some((rid, mut set)) = self.load_current(no)? else {
             return Ok(false);
         };
-        let Some(pos) = set.entries.iter().position(|(vt, _, _)| vt.start() == vt_start) else {
+        let Some(pos) = set
+            .entries
+            .iter()
+            .position(|(vt, _, _)| vt.start() == vt_start)
+        else {
             return Ok(false);
         };
         let (vt, tt_start, tuple) = set.entries.remove(pos);
@@ -241,7 +245,11 @@ impl VersionStore for SplitStore {
             }
             if rec.tt.contains(tt) {
                 if let Payload::Full(t) = &rec.payload {
-                    out.push(AtomVersion { vt: rec.vt, tt: rec.tt, tuple: t.clone() });
+                    out.push(AtomVersion {
+                        vt: rec.vt,
+                        tt: rec.tt,
+                        tuple: t.clone(),
+                    });
                 } else {
                     return Err(Error::corruption("delta record in split history store"));
                 }
@@ -255,7 +263,11 @@ impl VersionStore for SplitStore {
         let mut out = self.current_versions(no)?;
         self.walk_history(no, |rec| {
             if let Payload::Full(t) = &rec.payload {
-                out.push(AtomVersion { vt: rec.vt, tt: rec.tt, tuple: t.clone() });
+                out.push(AtomVersion {
+                    vt: rec.vt,
+                    tt: rec.tt,
+                    tuple: t.clone(),
+                });
                 Ok(true)
             } else {
                 Err(Error::corruption("delta record in split history store"))
@@ -278,9 +290,7 @@ impl VersionStore for SplitStore {
         let mut prune_rids: Vec<RecordId> = Vec::new();
         let mut cur = dir_get(&self.hist_dir, no)?.filter(|r| !r.is_invalid());
         while let Some(rid) = cur {
-            let rec = self
-                .hist_heap
-                .with_record(rid, VersionRecord::decode)??;
+            let rec = self.hist_heap.with_record(rid, VersionRecord::decode)??;
             let next = (!rec.prev.is_invalid()).then_some(rec.prev);
             if rec.tt.end() <= cutoff {
                 prune_rids.push(rid);
@@ -384,7 +394,8 @@ mod tests {
     }
 
     fn run_updates(s: &SplitStore, no: AtomNo, n: u64) {
-        s.insert_version(no, iv_from(0), TimePoint(1), &tup(0)).unwrap();
+        s.insert_version(no, iv_from(0), TimePoint(1), &tup(0))
+            .unwrap();
         for t in 1..n {
             s.close_version(no, TimePoint(0), TimePoint(t + 1)).unwrap();
             s.insert_version(no, iv_from(0), TimePoint(t + 1), &tup(t as i64))
@@ -414,10 +425,14 @@ mod tests {
     fn logical_delete_empties_current() {
         let (s, paths) = store("del");
         let no = AtomNo(2);
-        s.insert_version(no, iv_from(0), TimePoint(1), &tup(5)).unwrap();
+        s.insert_version(no, iv_from(0), TimePoint(1), &tup(5))
+            .unwrap();
         assert!(s.close_version(no, TimePoint(0), TimePoint(3)).unwrap());
         assert!(s.current_versions(no).unwrap().is_empty());
-        assert!(s.exists(no).unwrap(), "deleted atom still exists historically");
+        assert!(
+            s.exists(no).unwrap(),
+            "deleted atom still exists historically"
+        );
         // Still visible in the past.
         let vs = s.versions_at(no, TimePoint(2)).unwrap();
         assert_eq!(vs.len(), 1);
@@ -442,9 +457,12 @@ mod tests {
     fn multiple_vt_slices() {
         let (s, paths) = store("slices");
         let no = AtomNo(3);
-        s.insert_version(no, iv(0, 10), TimePoint(1), &tup(1)).unwrap();
-        s.insert_version(no, iv(10, 20), TimePoint(2), &tup(2)).unwrap();
-        s.insert_version(no, iv_from(20), TimePoint(3), &tup(3)).unwrap();
+        s.insert_version(no, iv(0, 10), TimePoint(1), &tup(1))
+            .unwrap();
+        s.insert_version(no, iv(10, 20), TimePoint(2), &tup(2))
+            .unwrap();
+        s.insert_version(no, iv_from(20), TimePoint(3), &tup(3))
+            .unwrap();
         let cur = s.current_versions(no).unwrap();
         assert_eq!(cur.len(), 3);
         assert_eq!(cur[0].vt, iv(0, 10));
@@ -463,7 +481,8 @@ mod tests {
         let (s, paths) = store("false");
         let no = AtomNo(4);
         assert!(!s.close_version(no, TimePoint(0), TimePoint(1)).unwrap());
-        s.insert_version(no, iv_from(0), TimePoint(1), &tup(0)).unwrap();
+        s.insert_version(no, iv_from(0), TimePoint(1), &tup(0))
+            .unwrap();
         assert!(!s.close_version(no, TimePoint(42), TimePoint(2)).unwrap());
         assert!(s.close_version(no, TimePoint(0), TimePoint(2)).unwrap());
         assert!(!s.close_version(no, TimePoint(0), TimePoint(3)).unwrap());
@@ -486,9 +505,12 @@ mod tests {
     #[test]
     fn scan_lists_deleted_atoms_too() {
         let (s, paths) = store("scan");
-        s.insert_version(AtomNo(1), iv_from(0), TimePoint(1), &tup(1)).unwrap();
-        s.insert_version(AtomNo(2), iv_from(0), TimePoint(1), &tup(2)).unwrap();
-        s.close_version(AtomNo(1), TimePoint(0), TimePoint(2)).unwrap();
+        s.insert_version(AtomNo(1), iv_from(0), TimePoint(1), &tup(1))
+            .unwrap();
+        s.insert_version(AtomNo(2), iv_from(0), TimePoint(1), &tup(2))
+            .unwrap();
+        s.close_version(AtomNo(1), TimePoint(0), TimePoint(2))
+            .unwrap();
         let mut seen = Vec::new();
         s.scan_atoms(&mut |no| {
             seen.push(no.0);

@@ -78,12 +78,8 @@ fn make_stores(tag: &str) -> (Vec<Box<dyn VersionStore>>, Vec<std::path::PathBuf
     let pool = BufferPool::new(128);
     let mut paths = Vec::new();
     let mut file = |suffix: &str| {
-        let p = std::env::temp_dir().join(format!(
-            "tcom-eq-{}-{}-{}",
-            std::process::id(),
-            tag,
-            suffix
-        ));
+        let p =
+            std::env::temp_dir().join(format!("tcom-eq-{}-{}-{}", std::process::id(), tag, suffix));
         let _ = std::fs::remove_file(&p);
         let id = pool.register_file(Arc::new(DiskManager::open(&p).unwrap()));
         paths.push(p);
@@ -109,7 +105,12 @@ fn make_stores(tag: &str) -> (Vec<Box<dyn VersionStore>>, Vec<std::path::PathBuf
 #[derive(Clone, Debug)]
 enum Op {
     /// Insert a version with vt = [start, start+len) (len 0 = open-ended).
-    Insert { vt_start: u8, vt_len: u8, val: i8, wide_change: bool },
+    Insert {
+        vt_start: u8,
+        vt_len: u8,
+        val: i8,
+        wide_change: bool,
+    },
     /// Close the current version whose vt starts at `vt_start`.
     Close { vt_start: u8 },
 }
@@ -133,9 +134,17 @@ fn tuple_for(val: i8, wide_change: bool) -> Tuple {
     Tuple::new(vec![
         Value::Int(val as i64),
         Value::from("constant text attribute"),
-        if wide_change { Value::Int(val as i64 * 7) } else { Value::Int(0) },
+        if wide_change {
+            Value::Int(val as i64 * 7)
+        } else {
+            Value::Int(0)
+        },
         Value::Null,
-        if wide_change { Value::from(format!("v{val}")) } else { Value::from("fixed") },
+        if wide_change {
+            Value::from(format!("v{val}"))
+        } else {
+            Value::from("fixed")
+        },
         Value::Bool(val % 2 == 0),
     ])
 }
@@ -240,7 +249,9 @@ fn long_history_equivalence() {
     let no = AtomNo(1);
     let mut rng_state = 0x12345678u64;
     let mut rand = move || {
-        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (rng_state >> 33) as i8
     };
 
@@ -250,7 +261,8 @@ fn long_history_equivalence() {
     let t = tuple_for(rand(), false);
     model.insert(Interval::from(vt0), TimePoint(clock), &t);
     for s in &stores {
-        s.insert_version(no, Interval::from(vt0), TimePoint(clock), &t).unwrap();
+        s.insert_version(no, Interval::from(vt0), TimePoint(clock), &t)
+            .unwrap();
     }
     clock += 1;
     for _ in 0..200 {
@@ -271,13 +283,21 @@ fn long_history_equivalence() {
         let tt = TimePoint(t);
         let want = model.at(tt);
         for s in &stores {
-            assert_same(&format!("{} slice@{t}", s.kind()), &s.versions_at(no, tt).unwrap(), &want);
+            assert_same(
+                &format!("{} slice@{t}", s.kind()),
+                &s.versions_at(no, tt).unwrap(),
+                &want,
+            );
         }
     }
     let want_hist = model.history_sorted();
     assert_eq!(want_hist.len(), 201);
     for s in &stores {
-        assert_same(&format!("{} history", s.kind()), &s.history(no).unwrap(), &want_hist);
+        assert_same(
+            &format!("{} history", s.kind()),
+            &s.history(no).unwrap(),
+            &want_hist,
+        );
     }
 
     // Prune half the history: every store must agree with the pruned model.
@@ -287,7 +307,9 @@ fn long_history_equivalence() {
     for s in &stores {
         removed_counts.push(s.prune(no, cutoff).unwrap());
     }
-    assert!(removed_counts.iter().all(|&r| r == removed_counts[0] && r > 0));
+    assert!(removed_counts
+        .iter()
+        .all(|&r| r == removed_counts[0] && r > 0));
     let want_hist = model.history_sorted();
     for s in &stores {
         assert_same(

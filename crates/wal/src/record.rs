@@ -84,7 +84,13 @@ impl LogRecord {
                 e.put_u8(2);
                 e.put_u64(txn.0);
             }
-            LogRecord::InsertVersion { txn, atom, vt, tt_start, tuple } => {
+            LogRecord::InsertVersion {
+                txn,
+                atom,
+                vt,
+                tt_start,
+                tuple,
+            } => {
                 e.put_u8(3);
                 e.put_u64(txn.0);
                 e.put_atom_id(*atom);
@@ -92,14 +98,22 @@ impl LogRecord {
                 e.put_time(*tt_start);
                 e.put_tuple(tuple);
             }
-            LogRecord::CloseVersion { txn, atom, vt_start, tt_end } => {
+            LogRecord::CloseVersion {
+                txn,
+                atom,
+                vt_start,
+                tt_end,
+            } => {
                 e.put_u8(4);
                 e.put_u64(txn.0);
                 e.put_atom_id(*atom);
                 e.put_time(*vt_start);
                 e.put_time(*tt_end);
             }
-            LogRecord::Checkpoint { clock, next_atom_nos } => {
+            LogRecord::Checkpoint {
+                clock,
+                next_atom_nos,
+            } => {
                 e.put_u8(5);
                 e.put_time(*clock);
                 e.put_u64(next_atom_nos.len() as u64);
@@ -116,9 +130,15 @@ impl LogRecord {
     pub fn decode(bytes: &[u8]) -> Result<LogRecord> {
         let mut d = Decoder::new(bytes);
         let rec = match d.get_u8()? {
-            0 => LogRecord::Begin { txn: TxnId(d.get_u64()?) },
-            1 => LogRecord::Commit { txn: TxnId(d.get_u64()?) },
-            2 => LogRecord::Abort { txn: TxnId(d.get_u64()?) },
+            0 => LogRecord::Begin {
+                txn: TxnId(d.get_u64()?),
+            },
+            1 => LogRecord::Commit {
+                txn: TxnId(d.get_u64()?),
+            },
+            2 => LogRecord::Abort {
+                txn: TxnId(d.get_u64()?),
+            },
             3 => LogRecord::InsertVersion {
                 txn: TxnId(d.get_u64()?),
                 atom: d.get_atom_id()?,
@@ -144,7 +164,10 @@ impl LogRecord {
                     let no = d.get_u64()?;
                     next_atom_nos.push((ty, no));
                 }
-                LogRecord::Checkpoint { clock, next_atom_nos }
+                LogRecord::Checkpoint {
+                    clock,
+                    next_atom_nos,
+                }
             }
             t => return Err(Error::corruption(format!("unknown log record tag {t}"))),
         };

@@ -1,12 +1,11 @@
 //! The log manager: framed appends, crash-tolerant reads, truncation.
 
 use crate::record::LogRecord;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use tcom_kernel::codec::crc32c;
 use tcom_kernel::{Lsn, Result};
+use tcom_storage::vfs::{StdVfs, Vfs, VfsFile};
 
 /// When the log file is fsynced.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -19,7 +18,7 @@ pub enum SyncPolicy {
 }
 
 struct Inner {
-    file: File,
+    file: Arc<dyn VfsFile>,
     /// Next append offset == current log length in bytes.
     end: u64,
 }
@@ -32,25 +31,29 @@ pub struct Wal {
 }
 
 impl Wal {
-    /// Opens (creating if missing) the log at `path`.
-    ///
-    /// A torn tail from a previous crash is detected lazily by
-    /// [`Wal::read_all`]; `open` truncates the file to the last valid
-    /// frame boundary so new appends never interleave with garbage.
+    /// Opens (creating if missing) the log at `path` on the real file
+    /// system.
     pub fn open(path: impl AsRef<Path>, policy: SyncPolicy) -> Result<Wal> {
+        Wal::open_with(&StdVfs, path, policy)
+    }
+
+    /// Opens (creating if missing) the log at `path` through `vfs`.
+    ///
+    /// `open` truncates the file to the last valid frame boundary so new
+    /// appends never interleave with a torn tail left by a crash.
+    pub fn open_with(vfs: &dyn Vfs, path: impl AsRef<Path>, policy: SyncPolicy) -> Result<Wal> {
         let path = path.as_ref().to_owned();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
+        let file = vfs.open(&path)?;
         // Find the end of the valid prefix.
-        let valid_end = scan_valid_prefix(&mut file)?.1;
-        file.set_len(valid_end)?;
-        file.seek(SeekFrom::Start(valid_end))?;
+        let valid_end = scan_valid_prefix(file.as_ref())?.1;
+        if valid_end != file.len()? {
+            file.set_len(valid_end)?;
+        }
         Ok(Wal {
-            inner: Mutex::new(Inner { file, end: valid_end }),
+            inner: Mutex::new(Inner {
+                file,
+                end: valid_end,
+            }),
             path,
             policy,
         })
@@ -80,7 +83,7 @@ impl Wal {
         frame.extend_from_slice(&payload);
         let mut inner = self.inner.lock().expect("wal lock");
         let lsn = Lsn(inner.end);
-        inner.file.write_all(&frame)?;
+        inner.file.write_at(&frame, inner.end)?;
         inner.end += frame.len() as u64;
         Ok(lsn)
     }
@@ -96,17 +99,14 @@ impl Wal {
 
     /// Forces the log to stable storage.
     pub fn sync(&self) -> Result<()> {
-        self.inner.lock().expect("wal lock").file.sync_data()?;
-        Ok(())
+        self.inner.lock().expect("wal lock").file.sync()
     }
 
     /// Reads every valid record from the start of the log. A torn tail
     /// (bad length or CRC) ends the scan cleanly.
     pub fn read_all(&self) -> Result<Vec<(Lsn, LogRecord)>> {
-        let mut inner = self.inner.lock().expect("wal lock");
-        let (records, _) = scan_valid_prefix(&mut inner.file)?;
-        let end = inner.end;
-        inner.file.seek(SeekFrom::Start(end))?;
+        let inner = self.inner.lock().expect("wal lock");
+        let (records, _) = scan_valid_prefix(inner.file.as_ref())?;
         Ok(records)
     }
 
@@ -117,7 +117,6 @@ impl Wal {
         {
             let mut inner = self.inner.lock().expect("wal lock");
             inner.file.set_len(0)?;
-            inner.file.seek(SeekFrom::Start(0))?;
             inner.end = 0;
         }
         let lsn = self.append(first)?;
@@ -128,11 +127,10 @@ impl Wal {
 
 /// Scans the file from the start, returning all valid records and the byte
 /// offset one past the last valid frame.
-fn scan_valid_prefix(file: &mut File) -> Result<(Vec<(Lsn, LogRecord)>, u64)> {
-    let file_len = file.metadata()?.len();
-    file.seek(SeekFrom::Start(0))?;
-    let mut buf = Vec::with_capacity(file_len as usize);
-    file.read_to_end(&mut buf)?;
+fn scan_valid_prefix(file: &dyn VfsFile) -> Result<(Vec<(Lsn, LogRecord)>, u64)> {
+    let file_len = file.len()?;
+    let mut buf = vec![0u8; file_len as usize];
+    file.read_at(&mut buf, 0)?;
     let mut records = Vec::new();
     let mut pos = 0usize;
     loop {
@@ -160,6 +158,8 @@ fn scan_valid_prefix(file: &mut File) -> Result<(Vec<(Lsn, LogRecord)>, u64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
+    use std::io::Write;
     use tcom_kernel::{TimePoint, TxnId};
 
     fn tmplog(name: &str) -> PathBuf {
@@ -203,7 +203,8 @@ mod tests {
         {
             let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
             wal.append(&LogRecord::Begin { txn: TxnId(9) }).unwrap();
-            wal.append_commit(&LogRecord::Commit { txn: TxnId(9) }).unwrap();
+            wal.append_commit(&LogRecord::Commit { txn: TxnId(9) })
+                .unwrap();
         }
         let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
         let back = wal.read_all().unwrap();
@@ -278,7 +279,13 @@ mod tests {
         assert!(wal.len() < before);
         let back = wal.read_all().unwrap();
         assert_eq!(back.len(), 1);
-        assert!(matches!(back[0].1, LogRecord::Checkpoint { clock: TimePoint(55), .. }));
+        assert!(matches!(
+            back[0].1,
+            LogRecord::Checkpoint {
+                clock: TimePoint(55),
+                ..
+            }
+        ));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -39,7 +39,11 @@ fn main() -> Result<()> {
     let bom = db.define_molecule_type(
         "bom",
         part,
-        vec![MoleculeEdge { from: part, attr: AttrId(2), to: part }],
+        vec![MoleculeEdge {
+            from: part,
+            attr: AttrId(2),
+            to: part,
+        }],
         Some(16),
     )?;
 
@@ -49,7 +53,11 @@ fn main() -> Result<()> {
         txn.insert_atom(
             part,
             Interval::all(),
-            Tuple::new(vec![Value::from(name), Value::Int(mass), Value::ref_set(kids)]),
+            Tuple::new(vec![
+                Value::from(name),
+                Value::Int(mass),
+                Value::ref_set(kids),
+            ]),
         )
     };
     let rotor = mk(&mut txn, "rotor", 12, vec![])?;
@@ -62,7 +70,9 @@ fn main() -> Result<()> {
     let drone = mk(&mut txn, "drone", 0, vec![frame, battery, fc, arm])?;
     let t0 = txn.commit()?;
 
-    let m = db.materialize_current(bom, drone, TimePoint(0))?.expect("drone");
+    let m = db
+        .materialize_current(bom, drone, TimePoint(0))?
+        .expect("drone");
     println!(
         "initial BOM: {} parts, depth {}, total mass {} g (recorded at tt={t0})",
         m.size(),
@@ -75,7 +85,11 @@ fn main() -> Result<()> {
     txn.update(
         battery,
         Interval::all(),
-        Tuple::new(vec![Value::from("battery"), Value::Int(150), Value::ref_set([])]),
+        Tuple::new(vec![
+            Value::from("battery"),
+            Value::Int(150),
+            Value::ref_set([]),
+        ]),
     )?;
     let t1 = txn.commit()?;
 
@@ -85,13 +99,19 @@ fn main() -> Result<()> {
     txn.update(
         arm,
         Interval::all(),
-        Tuple::new(vec![Value::from("arm"), Value::Int(30), Value::ref_set([motor, esc, damper])]),
+        Tuple::new(vec![
+            Value::from("arm"),
+            Value::Int(30),
+            Value::ref_set([motor, esc, damper]),
+        ]),
     )?;
     let t2 = txn.commit()?;
 
     // BOM explosion at every revision.
     for (label, tt) in [("rev A", t0), ("rev B", t1), ("rev C", t2)] {
-        let m = db.materialize(bom, drone, tt, TimePoint(0))?.expect("drone");
+        let m = db
+            .materialize(bom, drone, tt, TimePoint(0))?
+            .expect("drone");
         println!(
             "{label} (tt={tt}): {} parts, total mass {} g",
             m.size(),
@@ -100,7 +120,9 @@ fn main() -> Result<()> {
     }
 
     // Where is the damper used? Walk the current molecule.
-    let m = db.materialize_current(bom, drone, TimePoint(0))?.expect("drone");
+    let m = db
+        .materialize_current(bom, drone, TimePoint(0))?
+        .expect("drone");
     let mut parents: Vec<(String, String)> = Vec::new();
     m.root.visit(&mut |a| {
         for (_, kids) in &a.children {

@@ -72,13 +72,21 @@ fn main() -> Result<()> {
         // what do we know now?
         let then = db.version_at(account, t2, TimePoint(3))?.expect("existed");
         let now = db.current_tuple(account, TimePoint(3))?.expect("exists");
-        println!("\nmonth-3 balance reported at tt={t2}: {}", then.tuple.get(1));
+        println!(
+            "\nmonth-3 balance reported at tt={t2}: {}",
+            then.tuple.get(1)
+        );
         println!("month-3 balance as known today:     {}", now.get(1));
 
         // Full audit trail, newest first.
         println!("\nfull audit trail:");
         for v in db.history(account)? {
-            println!("  recorded tt={} valid vt={} balance={}", v.tt, v.vt, v.tuple.get(1));
+            println!(
+                "  recorded tt={} valid vt={} balance={}",
+                v.tt,
+                v.vt,
+                v.tuple.get(1)
+            );
         }
 
         // Crash with the last transaction only in the WAL.
@@ -89,7 +97,11 @@ fn main() -> Result<()> {
     // Recovery: everything committed survives.
     let db = Database::open(&dir, DbConfig::default())?;
     let recovered = db.history(account)?;
-    println!("after recovery: {} recorded versions, clock={}", recovered.len(), db.now());
+    println!(
+        "after recovery: {} recorded versions, clock={}",
+        recovered.len(),
+        db.now()
+    );
     assert_eq!(db.now(), t3);
     let month3 = db.current_tuple(account, TimePoint(3))?.expect("exists");
     assert_eq!(month3.get(1), &Value::Int(900));
@@ -98,7 +110,10 @@ fn main() -> Result<()> {
     // TQL over the recovered store.
     let out = execute(&db, "SELECT HISTORY FROM account a WHERE a.balance < 1000")?;
     if let QueryOutput::Histories(hs) = out {
-        println!("TQL: {} account(s) ever had a sub-1000 balance on record", hs.len());
+        println!(
+            "TQL: {} account(s) ever had a sub-1000 balance on record",
+            hs.len()
+        );
     }
 
     let _ = std::fs::remove_dir_all(&dir);

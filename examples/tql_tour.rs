@@ -41,18 +41,38 @@ fn main() -> Result<()> {
     let db = Database::open(&dir, DbConfig::default())?;
 
     // ---- schema, purely declarative -----------------------------------
-    run(&db, "CREATE TYPE proj (title TEXT NOT NULL, budget INT INDEXED)")?;
-    run(&db, "CREATE TYPE emp (name TEXT NOT NULL, salary INT INDEXED, works_on REFSET(proj))")?;
-    run(&db, "CREATE TYPE dept (name TEXT NOT NULL, employs REFSET(emp))")?;
-    run(&db, "CREATE MOLECULE org ROOT dept (dept.employs TO emp, emp.works_on TO proj)")?;
+    run(
+        &db,
+        "CREATE TYPE proj (title TEXT NOT NULL, budget INT INDEXED)",
+    )?;
+    run(
+        &db,
+        "CREATE TYPE emp (name TEXT NOT NULL, salary INT INDEXED, works_on REFSET(proj))",
+    )?;
+    run(
+        &db,
+        "CREATE TYPE dept (name TEXT NOT NULL, employs REFSET(emp))",
+    )?;
+    run(
+        &db,
+        "CREATE MOLECULE org ROOT dept (dept.employs TO emp, emp.works_on TO proj)",
+    )?;
 
     // ---- data ----------------------------------------------------------
-    let StatementOutput::Inserted(apollo, _) =
-        run(&db, "INSERT INTO proj (title, budget) VALUES ('apollo', 900)")?
-    else { unreachable!() };
-    let StatementOutput::Inserted(gemini, _) =
-        run(&db, "INSERT INTO proj (title, budget) VALUES ('gemini', 400)")?
-    else { unreachable!() };
+    let StatementOutput::Inserted(apollo, _) = run(
+        &db,
+        "INSERT INTO proj (title, budget) VALUES ('apollo', 900)",
+    )?
+    else {
+        unreachable!()
+    };
+    let StatementOutput::Inserted(gemini, _) = run(
+        &db,
+        "INSERT INTO proj (title, budget) VALUES ('gemini', 400)",
+    )?
+    else {
+        unreachable!()
+    };
     let StatementOutput::Inserted(ann, _) = run(
         &db,
         &format!(
@@ -60,7 +80,9 @@ fn main() -> Result<()> {
             apollo.ty.0, apollo.no.0, gemini.ty.0, gemini.no.0
         ),
     )?
-    else { unreachable!() };
+    else {
+        unreachable!()
+    };
     run(
         &db,
         &format!(
@@ -77,17 +99,29 @@ fn main() -> Result<()> {
     )?;
 
     // ---- evolution ------------------------------------------------------
-    run(&db, "UPDATE emp SET salary = 130 WHERE name = 'ann' VALID FROM 12")?;
+    run(
+        &db,
+        "UPDATE emp SET salary = 130 WHERE name = 'ann' VALID FROM 12",
+    )?;
     run(&db, "UPDATE proj SET budget = 1200 WHERE title = 'apollo'")?;
     run(&db, "DELETE FROM emp WHERE name = 'bob'")?;
 
     // ---- queries across time --------------------------------------------
     run(&db, "SELECT name, salary FROM emp VALID AT 20")?;
     run(&db, "SELECT name, salary FROM emp VALID AT 20 ASOF TT 5")?;
-    run(&db, "SELECT name, salary FROM emp WHERE salary >= 100 VALID IN [0, 24)")?;
+    run(
+        &db,
+        "SELECT name, salary FROM emp WHERE salary >= 100 VALID IN [0, 24)",
+    )?;
     run(&db, "SELECT HISTORY FROM emp e WHERE e.name = 'bob'")?;
-    run(&db, "SELECT MOLECULE FROM org WHERE root.name = 'research' VALID AT 20")?;
-    run(&db, "SELECT MOLECULE FROM org WHERE root.name = 'research' VALID AT 20 ASOF TT 5")?;
+    run(
+        &db,
+        "SELECT MOLECULE FROM org WHERE root.name = 'research' VALID AT 20",
+    )?;
+    run(
+        &db,
+        "SELECT MOLECULE FROM org WHERE root.name = 'research' VALID AT 20 ASOF TT 5",
+    )?;
 
     // ---- the safety nets -------------------------------------------------
     db.assert_integrity()?;

@@ -42,26 +42,50 @@ fn main() -> Result<()> {
         "dept_mol",
         dept,
         vec![
-            MoleculeEdge { from: dept, attr: AttrId(1), to: emp },
-            MoleculeEdge { from: emp, attr: AttrId(2), to: proj },
+            MoleculeEdge {
+                from: dept,
+                attr: AttrId(1),
+                to: emp,
+            },
+            MoleculeEdge {
+                from: emp,
+                attr: AttrId(2),
+                to: proj,
+            },
         ],
         None,
     )?;
 
     // ---- load (valid time = months since 2020-01) -------------------
     let mut txn = db.begin();
-    let apollo = txn.insert_atom(proj, Interval::all(), Tuple::new(vec![Value::from("apollo")]))?;
-    let gemini = txn.insert_atom(proj, Interval::all(), Tuple::new(vec![Value::from("gemini")]))?;
+    let apollo = txn.insert_atom(
+        proj,
+        Interval::all(),
+        Tuple::new(vec![Value::from("apollo")]),
+    )?;
+    let gemini = txn.insert_atom(
+        proj,
+        Interval::all(),
+        Tuple::new(vec![Value::from("gemini")]),
+    )?;
     let ann = txn.insert_atom(
         emp,
         Interval::all(),
-        Tuple::new(vec![Value::from("ann"), Value::Int(100), Value::ref_set([apollo, gemini])]),
+        Tuple::new(vec![
+            Value::from("ann"),
+            Value::Int(100),
+            Value::ref_set([apollo, gemini]),
+        ]),
     )?;
     // Bob's contract runs from month 6 to month 30 only.
     let bob = txn.insert_atom(
         emp,
         iv(6, 30),
-        Tuple::new(vec![Value::from("bob"), Value::Int(90), Value::ref_set([apollo])]),
+        Tuple::new(vec![
+            Value::from("bob"),
+            Value::Int(90),
+            Value::ref_set([apollo]),
+        ]),
     )?;
     let research = txn.insert_atom(
         dept,
@@ -77,7 +101,11 @@ fn main() -> Result<()> {
     txn.update(
         ann,
         iv_from(12),
-        Tuple::new(vec![Value::from("ann"), Value::Int(130), Value::ref_set([apollo, gemini])]),
+        Tuple::new(vec![
+            Value::from("ann"),
+            Value::Int(130),
+            Value::ref_set([apollo, gemini]),
+        ]),
     )?;
     let t_raise = txn.commit()?;
 
@@ -98,23 +126,41 @@ fn main() -> Result<()> {
     let now_mol = db
         .materialize_current(dept_mol, research, TimePoint(10))?
         .expect("research visible");
-    println!("\nresearch molecule now (vt=10):   {} atoms", now_mol.size());
+    println!(
+        "\nresearch molecule now (vt=10):   {} atoms",
+        now_mol.size()
+    );
     let before = db
         .materialize(dept_mol, research, t_raise, TimePoint(10))?
         .expect("research visible then");
-    println!("research molecule @tt={t_raise} (vt=10): {} atoms", before.size());
+    println!(
+        "research molecule @tt={t_raise} (vt=10): {} atoms",
+        before.size()
+    );
 
     // The molecule's transaction-time history: every state it went through.
     println!("\nmolecule history (vt=10):");
-    for (tt, m) in db.molecule_history(dept_mol, research, TimePoint(10), TimePoint(0), TimePoint(100))? {
+    for (tt, m) in db.molecule_history(
+        dept_mol,
+        research,
+        TimePoint(10),
+        TimePoint(0),
+        TimePoint(100),
+    )? {
         println!("  tt={tt}: {} atoms", m.size());
     }
 
     // TQL: who earns more than 95 in month 20, according to what we knew at
     // various transaction times?
     for (label, q) in [
-        ("now", "SELECT name, salary FROM emp WHERE salary > 95 VALID AT 20".to_string()),
-        ("at load", format!("SELECT name, salary FROM emp WHERE salary > 95 VALID AT 20 ASOF TT {t_load}")),
+        (
+            "now",
+            "SELECT name, salary FROM emp WHERE salary > 95 VALID AT 20".to_string(),
+        ),
+        (
+            "at load",
+            format!("SELECT name, salary FROM emp WHERE salary > 95 VALID AT 20 ASOF TT {t_load}"),
+        ),
     ] {
         let out = execute(&db, &q)?;
         println!("\nTQL [{label}]:");
@@ -126,9 +172,16 @@ fn main() -> Result<()> {
     }
 
     // Molecule query through TQL.
-    let out = execute(&db, "SELECT MOLECULE FROM dept_mol WHERE root.name = 'research' VALID AT 10")?;
+    let out = execute(
+        &db,
+        "SELECT MOLECULE FROM dept_mol WHERE root.name = 'research' VALID AT 10",
+    )?;
     if let QueryOutput::Molecules(mols) = out {
-        println!("\nTQL molecule query: {} molecule(s), size {}", mols.len(), mols[0].size());
+        println!(
+            "\nTQL molecule query: {} molecule(s), size {}",
+            mols.len(),
+            mols[0].size()
+        );
     }
     let _ = t_leave;
 

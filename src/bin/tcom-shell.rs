@@ -122,7 +122,10 @@ fn meta_command(db: &Database, cmd: &str) -> bool {
         }),
         ".molecules" => db.with_catalog(|c| {
             for m in c.molecule_types() {
-                let root = c.atom_type(m.root).map(|t| t.name.clone()).unwrap_or_default();
+                let root = c
+                    .atom_type(m.root)
+                    .map(|t| t.name.clone())
+                    .unwrap_or_default();
                 println!("molecule {} (root {root}, {} edges)", m.name, m.edges.len());
             }
         }),
@@ -165,24 +168,37 @@ fn print_output(out: StatementOutput) {
                 let vals: Vec<String> = r.values.iter().map(|v| v.to_string()).collect();
                 println!("{} | {} | {}", vals.join(" | "), r.vt, r.tt);
             }
-            println!("({} row{})", rows.len(), if rows.len() == 1 { "" } else { "s" });
+            println!(
+                "({} row{})",
+                rows.len(),
+                if rows.len() == 1 { "" } else { "s" }
+            );
         }
         StatementOutput::Query(QueryOutput::Molecules(ms)) => {
             for m in &ms {
                 println!("molecule @{} ({} atoms):", m.root.id, m.size());
                 print_mat_atom(&m.root, 1);
             }
-            println!("({} molecule{})", ms.len(), if ms.len() == 1 { "" } else { "s" });
+            println!(
+                "({} molecule{})",
+                ms.len(),
+                if ms.len() == 1 { "" } else { "s" }
+            );
         }
         StatementOutput::Query(QueryOutput::Histories(hs)) => {
             for (atom, versions) in &hs {
                 println!("{atom}:");
                 for v in versions {
-                    let vals: Vec<String> = v.tuple.values().iter().map(|x| x.to_string()).collect();
+                    let vals: Vec<String> =
+                        v.tuple.values().iter().map(|x| x.to_string()).collect();
                     println!("  vt={} tt={} [{}]", v.vt, v.tt, vals.join(", "));
                 }
             }
-            println!("({} atom{})", hs.len(), if hs.len() == 1 { "" } else { "s" });
+            println!(
+                "({} atom{})",
+                hs.len(),
+                if hs.len() == 1 { "" } else { "s" }
+            );
         }
         StatementOutput::TypeCreated(id) => println!("type #{} created", id.0),
         StatementOutput::MoleculeCreated(id) => println!("molecule #{} created", id.0),
@@ -193,7 +209,13 @@ fn print_output(out: StatementOutput) {
 
 fn print_mat_atom(a: &MatAtom, indent: usize) {
     let pad = "  ".repeat(indent);
-    let vals: Vec<String> = a.version.tuple.values().iter().map(|v| v.to_string()).collect();
+    let vals: Vec<String> = a
+        .version
+        .tuple
+        .values()
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
     println!("{pad}{} [{}] vt={}", a.id, vals.join(", "), a.version.vt);
     for (_, kids) in &a.children {
         for k in kids {

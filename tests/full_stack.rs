@@ -29,7 +29,11 @@ fn lifecycle_every_store_kind() {
                 .unwrap();
             let mut txn = db.begin();
             ann = txn
-                .insert_atom(emp_ty, Interval::all(), Tuple::new(vec![Value::from("ann"), Value::Int(100)]))
+                .insert_atom(
+                    emp_ty,
+                    Interval::all(),
+                    Tuple::new(vec![Value::from("ann"), Value::Int(100)]),
+                )
                 .unwrap();
             for i in 0..9i64 {
                 txn.insert_atom(
@@ -41,23 +45,37 @@ fn lifecycle_every_store_kind() {
             }
             txn.commit().unwrap();
             let mut txn = db.begin();
-            txn.update(ann, iv_from(50), Tuple::new(vec![Value::from("ann"), Value::Int(200)]))
-                .unwrap();
+            txn.update(
+                ann,
+                iv_from(50),
+                Tuple::new(vec![Value::from("ann"), Value::Int(200)]),
+            )
+            .unwrap();
             txn.commit().unwrap();
 
             // TQL across temporal modes.
-            let out = execute(&db, "SELECT name, salary FROM emp WHERE salary >= 200 VALID AT 60").unwrap();
+            let out = execute(
+                &db,
+                "SELECT name, salary FROM emp WHERE salary >= 200 VALID AT 60",
+            )
+            .unwrap();
             assert_eq!(out.len(), 1);
             let out = execute(&db, "SELECT name FROM emp WHERE name = 'ann' VALID AT 10").unwrap();
             assert_eq!(out.len(), 1);
             let out = execute(&db, "SELECT HISTORY FROM emp e WHERE e.name = 'ann'").unwrap();
-            let QueryOutput::Histories(hs) = out else { panic!() };
+            let QueryOutput::Histories(hs) = out else {
+                panic!()
+            };
             assert_eq!(hs[0].1.len(), 3); // original + split remainder + raised
             db.crash();
         }
         {
             let db = Database::open(&dir, DbConfig::default().store_kind(kind)).unwrap();
-            let out = execute(&db, "SELECT name, salary FROM emp WHERE salary >= 200 VALID AT 60").unwrap();
+            let out = execute(
+                &db,
+                "SELECT name, salary FROM emp WHERE salary >= 200 VALID AT 60",
+            )
+            .unwrap();
             assert_eq!(out.len(), 1, "{kind}: recovery lost the raise");
             assert_eq!(db.current_versions(ann).unwrap().len(), 2);
         }
@@ -99,22 +117,44 @@ fn molecules_survive_reopen() {
                 "dm",
                 dept,
                 vec![
-                    MoleculeEdge { from: dept, attr: AttrId(1), to: emp },
-                    MoleculeEdge { from: emp, attr: AttrId(1), to: proj },
+                    MoleculeEdge {
+                        from: dept,
+                        attr: AttrId(1),
+                        to: emp,
+                    },
+                    MoleculeEdge {
+                        from: emp,
+                        attr: AttrId(1),
+                        to: proj,
+                    },
                 ],
                 None,
             )
             .unwrap();
         let mut txn = db.begin();
-        let p = txn.insert_atom(proj, Interval::all(), Tuple::new(vec![Value::from("x")])).unwrap();
+        let p = txn
+            .insert_atom(proj, Interval::all(), Tuple::new(vec![Value::from("x")]))
+            .unwrap();
         let e1 = txn
-            .insert_atom(emp, Interval::all(), Tuple::new(vec![Value::from("a"), Value::ref_set([p])]))
+            .insert_atom(
+                emp,
+                Interval::all(),
+                Tuple::new(vec![Value::from("a"), Value::ref_set([p])]),
+            )
             .unwrap();
         let e2 = txn
-            .insert_atom(emp, Interval::all(), Tuple::new(vec![Value::from("b"), Value::ref_set([p])]))
+            .insert_atom(
+                emp,
+                Interval::all(),
+                Tuple::new(vec![Value::from("b"), Value::ref_set([p])]),
+            )
             .unwrap();
         root = txn
-            .insert_atom(dept, Interval::all(), Tuple::new(vec![Value::from("d"), Value::ref_set([e1, e2])]))
+            .insert_atom(
+                dept,
+                Interval::all(),
+                Tuple::new(vec![Value::from("d"), Value::ref_set([e1, e2])]),
+            )
             .unwrap();
         t_before = txn.commit().unwrap();
         let mut txn = db.begin();
@@ -122,9 +162,15 @@ fn molecules_survive_reopen() {
         txn.commit().unwrap();
     }
     let db = Database::open(&dir, DbConfig::default()).unwrap();
-    let now = db.materialize_current(mol, root, TimePoint(0)).unwrap().unwrap();
+    let now = db
+        .materialize_current(mol, root, TimePoint(0))
+        .unwrap()
+        .unwrap();
     assert_eq!(now.size(), 3); // dept + a + x (b deleted)
-    let past = db.materialize(mol, root, t_before, TimePoint(0)).unwrap().unwrap();
+    let past = db
+        .materialize(mol, root, t_before, TimePoint(0))
+        .unwrap()
+        .unwrap();
     assert_eq!(past.size(), 5); // dept + 2 emps + x twice (shared child repeated per parent)
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -151,8 +197,12 @@ fn sustained_load_with_auto_checkpoints() {
         let mut txn = db.begin();
         for i in 0..50i64 {
             atoms.push(
-                txn.insert_atom(ty, Interval::all(), Tuple::new(vec![Value::Int(chunk * 50 + i)]))
-                    .unwrap(),
+                txn.insert_atom(
+                    ty,
+                    Interval::all(),
+                    Tuple::new(vec![Value::Int(chunk * 50 + i)]),
+                )
+                .unwrap(),
             );
         }
         txn.commit().unwrap();
@@ -167,8 +217,12 @@ fn sustained_load_with_auto_checkpoints() {
     for round in 0..5i64 {
         let mut txn = db.begin();
         for a in atoms.iter().step_by(7) {
-            txn.update(*a, Interval::all(), Tuple::new(vec![Value::Int(round * 1_000_000)]))
-                .unwrap();
+            txn.update(
+                *a,
+                Interval::all(),
+                Tuple::new(vec![Value::Int(round * 1_000_000)]),
+            )
+            .unwrap();
         }
         txn.commit().unwrap();
     }
@@ -186,13 +240,20 @@ fn cross_thread_consistency() {
     let ty = db
         .define_atom_type(
             "pair",
-            vec![AttrDef::new("a", DataType::Int), AttrDef::new("b", DataType::Int)],
+            vec![
+                AttrDef::new("a", DataType::Int),
+                AttrDef::new("b", DataType::Int),
+            ],
         )
         .unwrap();
     // Invariant per commit: a == -b.
     let mut txn = db.begin();
     let atom = txn
-        .insert_atom(ty, Interval::all(), Tuple::new(vec![Value::Int(0), Value::Int(0)]))
+        .insert_atom(
+            ty,
+            Interval::all(),
+            Tuple::new(vec![Value::Int(0), Value::Int(0)]),
+        )
         .unwrap();
     txn.commit().unwrap();
 
@@ -205,12 +266,16 @@ fn cross_thread_consistency() {
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     // One consistent read through the engine API…
                     let t = db.current_tuple(atom, TimePoint(0)).unwrap().unwrap();
-                    let (Value::Int(a), Value::Int(b)) = (t.get(0), t.get(1)) else { panic!() };
+                    let (Value::Int(a), Value::Int(b)) = (t.get(0), t.get(1)) else {
+                        panic!()
+                    };
                     assert_eq!(*a, -*b, "torn read");
                     // …and one through TQL: the returned row itself must be
                     // internally consistent (commits may land in between).
                     let out = tcom::query::execute(&db, "SELECT a, b FROM pair").unwrap();
-                    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+                    let QueryOutput::Rows { rows, .. } = out else {
+                        panic!()
+                    };
                     assert_eq!(rows.len(), 1);
                     let (Value::Int(a), Value::Int(b)) = (&rows[0].values[0], &rows[0].values[1])
                     else {
@@ -222,8 +287,12 @@ fn cross_thread_consistency() {
         }
         for i in 1..=100i64 {
             let mut txn = db.begin();
-            txn.update(atom, Interval::all(), Tuple::new(vec![Value::Int(i), Value::Int(-i)]))
-                .unwrap();
+            txn.update(
+                atom,
+                Interval::all(),
+                Tuple::new(vec![Value::Int(i), Value::Int(-i)]),
+            )
+            .unwrap();
             txn.commit().unwrap();
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -240,18 +309,29 @@ fn valid_time_semantics_across_layers() {
     let ty = db
         .define_atom_type(
             "contract",
-            vec![AttrDef::new("who", DataType::Text), AttrDef::new("rate", DataType::Int)],
+            vec![
+                AttrDef::new("who", DataType::Text),
+                AttrDef::new("rate", DataType::Int),
+            ],
         )
         .unwrap();
     let mut txn = db.begin();
     let c = txn
-        .insert_atom(ty, iv(0, 100), Tuple::new(vec![Value::from("x"), Value::Int(10)]))
+        .insert_atom(
+            ty,
+            iv(0, 100),
+            Tuple::new(vec![Value::from("x"), Value::Int(10)]),
+        )
         .unwrap();
     txn.commit().unwrap();
     // Rate change for [40, 60).
     let mut txn = db.begin();
-    txn.update(c, iv(40, 60), Tuple::new(vec![Value::from("x"), Value::Int(20)]))
-        .unwrap();
+    txn.update(
+        c,
+        iv(40, 60),
+        Tuple::new(vec![Value::from("x"), Value::Int(20)]),
+    )
+    .unwrap();
     txn.commit().unwrap();
 
     // Engine view: 3 current slices.
@@ -261,7 +341,9 @@ fn valid_time_semantics_across_layers() {
 
     // TQL window clips.
     let out = execute(&db, "SELECT rate FROM contract VALID IN [50, 80)").unwrap();
-    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    let QueryOutput::Rows { rows, .. } = out else {
+        panic!()
+    };
     assert_eq!(rows.len(), 2);
     assert_eq!(rows[0].vt, iv(50, 60));
     assert_eq!(rows[1].vt, iv(60, 80));

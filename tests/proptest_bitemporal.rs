@@ -91,7 +91,8 @@ impl Spec {
         while i + 1 < current.len() {
             if current[i].0.end() == current[i + 1].0.start() && current[i].1 == current[i + 1].1 {
                 // Close both parts (if stored), add merged.
-                let merged = Interval::new(current[i].0.start(), current[i + 1].0.end()).expect("run");
+                let merged =
+                    Interval::new(current[i].0.start(), current[i + 1].0.end()).expect("run");
                 let (a, b) = (current[i], current[i + 1]);
                 for part in [a, b] {
                     // Close a stored version if the part is stored; drop a
@@ -133,7 +134,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn iv8(start: u8, len: u8) -> Interval {
-    Interval::new(TimePoint(start as u64), TimePoint(start as u64 + len as u64)).expect("len >= 1")
+    Interval::new(
+        TimePoint(start as u64),
+        TimePoint(start as u64 + len as u64),
+    )
+    .expect("len >= 1")
 }
 
 fn tuple(val: i64) -> Tuple {
@@ -147,7 +152,9 @@ fn check(db: &Database, atom: AtomId, spec: &Spec, label: &str) {
         .unwrap()
         .into_iter()
         .map(|v| {
-            let Value::Int(i) = v.tuple.get(0) else { panic!("int") };
+            let Value::Int(i) = v.tuple.get(0) else {
+                panic!("int")
+            };
             (v.vt, *i)
         })
         .collect();
@@ -160,7 +167,9 @@ fn check(db: &Database, atom: AtomId, spec: &Spec, label: &str) {
             .unwrap()
             .into_iter()
             .map(|v| {
-                let Value::Int(i) = v.tuple.get(0) else { panic!("int") };
+                let Value::Int(i) = v.tuple.get(0) else {
+                    panic!("int")
+                };
                 (v.vt, *i)
             })
             .collect();

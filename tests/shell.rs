@@ -48,7 +48,10 @@ fn scripted_session_with_persistence() {
     assert!(out.contains("inserted a0.0 at tt=1"), "{out}");
     assert!(out.contains("1 atom(s) modified at tt=3"), "{out}");
     assert!(out.contains("'ann' | 130"), "{out}");
-    assert!(!out.contains("'bob'") || !out.contains("'bob' | 80 |"), "bob must not match");
+    assert!(
+        !out.contains("'bob'") || !out.contains("'bob' | 80 |"),
+        "bob must not match"
+    );
     assert!(out.contains("salary INT INDEXED"), "{out}");
 
     // Session 2: the data survived the shell's clean shutdown; history and
@@ -65,9 +68,15 @@ fn scripted_session_with_persistence() {
     assert!(out.contains("2 atoms"), "{out}");
 
     // Errors are reported, not fatal.
-    let out = run_session(&dir, "SELECT nope FROM emp;\nSELECT name FROM emp LIMIT 1;\n.quit\n");
+    let out = run_session(
+        &dir,
+        "SELECT nope FROM emp;\nSELECT name FROM emp LIMIT 1;\n.quit\n",
+    );
     assert!(out.contains("error:"), "{out}");
-    assert!(out.contains("(1 row)"), "shell keeps going after errors: {out}");
+    assert!(
+        out.contains("(1 row)"),
+        "shell keeps going after errors: {out}"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Mirrors the API surface the workspace benches use (`benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_with_setup`, `criterion_group!` / `criterion_main!`) with a
+//! deliberately small timing loop: a short warm-up, then `sample_size`
+//! timed batches, reporting min/mean per iteration on stderr. No
+//! statistics, plots, or baselines — just enough to run the benches and
+//! eyeball relative cost.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level handle passed to each bench function.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut g = self.benchmark_group("_");
+        g.bench_function(name, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            min: Duration::MAX,
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        eprintln!(
+            "  {}/{id}: mean {:?}, min {:?} per iter",
+            self.name, b.mean, b.min
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark (`BenchmarkId::new(name, param)`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into one id.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+/// Conversion into a printable benchmark id.
+pub trait IntoBenchmarkId {
+    /// Produces the display string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing driver handed to the closure of each benchmark.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    min: Duration,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and calibrate how many iterations fit in one sample.
+        let warm_start = Instant::now();
+        let mut iters_per_sample = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || iters_per_sample == 0 {
+            black_box(routine());
+            iters_per_sample += 1;
+        }
+        let per_sample =
+            (self.measurement_time / self.sample_size as u32).max(Duration::from_micros(50));
+        let warm_elapsed = warm_start.elapsed();
+        let est_iter = warm_elapsed / iters_per_sample as u32;
+        let batch = (per_sample.as_nanos() / est_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u32;
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            let per_iter = elapsed / batch;
+            self.min = self.min.min(per_iter);
+            total += elapsed;
+            total_iters += batch;
+        }
+        self.mean = total / total_iters.max(1);
+    }
+
+    /// Times `routine` on fresh input from `setup`; only `routine` is timed.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            self.min = self.min.min(elapsed);
+            total += elapsed;
+        }
+        self.mean = total / self.sample_size as u32;
+    }
+}
+
+/// Declares a group of bench functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut count = 0u64;
+        g.bench_function("count", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+        g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter_with_setup(|| vec![n; 8], |v| v.iter().sum::<u64>())
+        });
+        g.finish();
+    }
+}

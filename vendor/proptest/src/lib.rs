@@ -1,0 +1,253 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of the proptest 1.x API the workspace's property tests use:
+//! the [`Strategy`] trait (generate-only — failing inputs are reported but
+//! not shrunk), range / tuple / collection / string strategies, `any`,
+//! `Just`, `prop_oneof!`, and the `proptest!` / `prop_assert!` macros.
+//!
+//! Generation is fully deterministic: the RNG for case `i` of test `t` is
+//! seeded from `hash(t, i)`, so a failure report ("case 17 of foo") is
+//! reproducible by rerunning the same binary. `PROPTEST_CASES` overrides
+//! the per-test case count.
+
+use rand::prelude::*;
+
+pub mod strategy;
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+
+/// Per-block configuration, selected via `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted for API compatibility with real proptest; this shim never
+    /// shrinks, so the value is unused.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 32,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Machinery used by the `proptest!` macro expansion.
+pub mod test_runner {
+    use super::*;
+    use std::hash::{Hash, Hasher};
+
+    /// Effective case count: `PROPTEST_CASES` env override, else `cfg`.
+    pub fn case_count(cfg: u32) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(cfg)
+    }
+
+    /// Deterministic RNG for one test case.
+    pub fn rng_for(test_name: &str, case: u32) -> StdRng {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        test_name.hash(&mut h);
+        case.hash(&mut h);
+        StdRng::seed_from_u64(h.finish())
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::*;
+    use std::ops::Range;
+
+    /// Strategy producing a `Vec` of `elem`-generated values with a length
+    /// drawn uniformly from `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// The conventional glob-import module.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted-choice strategy combinator. Each arm is `weight => strategy`
+/// (or just `strategy`, weight 1); all arms must generate the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::weighted($weight as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
+/// Property-test block: optional `#![proptest_config(..)]`, then `#[test]`
+/// functions whose arguments are drawn from strategies with `arg in strat`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) $( $(#[$attr:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+ ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let cases = $crate::test_runner::case_count(config.cases);
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::rng_for(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    #[allow(unused_mut)]
+                    let mut run = || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        Ok(())
+                    };
+                    if let Err(msg) = run() {
+                        panic!(
+                            "proptest: case {case} of {} failed: {msg}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// In-property assertion; failures report the case without aborting the
+/// whole process state (the enclosing case returns an error).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// In-property equality assertion with `{:?}` reporting.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(*lhs == *rhs) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), lhs, rhs
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(*lhs == *rhs) {
+            return ::std::result::Result::Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), lhs, rhs
+            ));
+        }
+    }};
+}
+
+/// In-property inequality assertion with `{:?}` reporting.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if *lhs == *rhs {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                lhs
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(x in 10u64..20, y in -5i64..5, f in -1.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0u8..4, 0u64..100).prop_map(|(a, b)| (a as u64) * 1000 + b)) {
+            prop_assert!(pair < 4000, "pair = {}", pair);
+        }
+
+        #[test]
+        fn oneof_respects_arms(v in prop_oneof![3 => 0u64..10, 1 => 100u64..110]) {
+            prop_assert!(v < 10 || (100..110).contains(&v));
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn string_regexish(s in "[a-c0-1]{2,5}") {
+            prop_assert!((2..=5).contains(&s.chars().count()), "s = {s:?}");
+            prop_assert!(s.chars().all(|c| "abc01".contains(c)), "s = {s:?}");
+        }
+
+        #[test]
+        fn just_is_constant(v in Just(7u32)) {
+            prop_assert_eq!(v, 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let s = crate::collection::vec(any::<u64>(), 0..10);
+        let a = s.generate(&mut crate::test_runner::rng_for("t", 3));
+        let b = s.generate(&mut crate::test_runner::rng_for("t", 3));
+        assert_eq!(a, b);
+    }
+}

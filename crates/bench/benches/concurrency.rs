@@ -1,0 +1,95 @@
+//! Criterion benches for the sharded buffer pool (E13 companion):
+//! multi-threaded pool-resident fetch throughput at 1 vs. auto shards,
+//! and parallel molecule materialization at 1/2/4/8 threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use tcom_bench::workloads::{bench_config, cleanup, fresh_db_with, University};
+use tcom_core::{StoreKind, TimePoint};
+use tcom_storage::buffer::BufferPool;
+use tcom_storage::disk::DiskManager;
+use tcom_storage::page::PageKind;
+
+/// Raw pool fetch throughput: 4 threads hammering pool-resident pages,
+/// single-shard (the old single-mutex design) vs. auto-sharded.
+fn pool_fetch_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool_fetch_parallel");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(300));
+    const THREADS: usize = 4;
+    const PAGES: usize = 512;
+    const FETCHES_PER_THREAD: usize = 2_000;
+    for shards in [1usize, 0] {
+        let path =
+            std::env::temp_dir().join(format!("tcom-cb-pool-{}-{shards}.tcm", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let dm = Arc::new(DiskManager::open(&path).unwrap());
+        let pool = BufferPool::with_shards(1024, shards, true);
+        let file = pool.register_file(dm);
+        let mut pids = Vec::with_capacity(PAGES);
+        for i in 0..PAGES {
+            let (pid, mut p) = pool.create(file, PageKind::Slotted).unwrap();
+            p.write_u64(64, i as u64);
+            pids.push(pid);
+        }
+        pool.flush_all().unwrap();
+        let label = if shards == 1 { "1-shard" } else { "sharded" };
+        g.bench_with_input(BenchmarkId::new(label, THREADS), &THREADS, |b, _| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..THREADS {
+                        let pool = &pool;
+                        let pids = &pids;
+                        s.spawn(move || {
+                            let mut k = t * 37;
+                            for _ in 0..FETCHES_PER_THREAD {
+                                k = (k * 31 + 17) % pids.len();
+                                let pg = pool.fetch_read(file, pids[k]).unwrap();
+                                std::hint::black_box(pg.read_u64(64));
+                            }
+                        });
+                    }
+                })
+            })
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+    g.finish();
+}
+
+/// E13 — parallel molecule materialization scaling.
+fn e13_parallel_materialization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_parallel_materialization");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(400));
+    let (db, dir) = fresh_db_with("cb-e13", bench_config(StoreKind::Split, 4096));
+    let uni = University::create(&db, 48, 8, 4, 42).unwrap();
+    db.checkpoint().unwrap();
+    let now = db.now();
+    // Warm the pool.
+    let warm = db
+        .materialize_all_parallel(uni.mol, now, TimePoint(0), 4)
+        .unwrap();
+    assert_eq!(warm.len(), 48);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    db.materialize_all_parallel(uni.mol, now, TimePoint(0), threads)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    drop(db);
+    cleanup(&dir);
+    g.finish();
+}
+
+criterion_group!(benches, pool_fetch_parallel, e13_parallel_materialization);
+criterion_main!(benches);

@@ -8,8 +8,12 @@
 //! ```
 //!
 //! Results print as tables and are also written as JSON to
-//! `bench_results.json` in the current directory.
+//! `bench_results.json` in the current directory. A filtered run at the
+//! same scale *merges* into the existing file — re-run tables replace
+//! their previous versions in place, everything else is preserved — so a
+//! single experiment can be refreshed without regenerating the suite.
 
+use serde_json::Value;
 use tcom_bench::experiments::{self, Scale};
 
 fn main() {
@@ -21,6 +25,7 @@ fn main() {
         .map(|a| a.to_ascii_uppercase())
         .collect();
     let scale = if quick { Scale::quick() } else { Scale::full() };
+    let scale_name = if quick { "quick" } else { "full" };
     eprintln!(
         "tcom evaluation harness — scale {}",
         if quick { "quick (÷8)" } else { "full" }
@@ -41,12 +46,13 @@ fn main() {
         ("E11", experiments::e11_recovery),
         ("E11B", experiments::e11b_checkpoint_tradeoff),
         ("E12", experiments::e12_algebra),
+        ("E13", experiments::e13_parallel_scaling),
         ("A1", experiments::a1_delta_granularity),
         ("A2", experiments::a2_directory),
     ];
 
     let mut results = Vec::new();
-    for (id, f) in all {
+    for (id, f) in &all {
         if !filter.is_empty() && !filter.iter().any(|x| x == id) {
             continue;
         }
@@ -57,12 +63,56 @@ fn main() {
         print!("{}", table.render());
         results.push(table.to_json());
     }
-    let json =
-        serde_json::json!({ "scale": if quick { "quick" } else { "full" }, "tables": results });
+
+    // Merge with any previous same-scale results: tables re-run now win;
+    // tables not in this run carry over, ordered by the experiment list.
+    let previous = prior_tables("bench_results.json", scale_name);
+    let fresh_ids: Vec<String> = results
+        .iter()
+        .map(|t| id_of(t).to_ascii_uppercase())
+        .collect();
+    let mut merged = Vec::new();
+    for (id, _) in &all {
+        if let Some(pos) = fresh_ids.iter().position(|f| f == id) {
+            merged.push(results[pos].clone());
+        } else if let Some(old) = previous.iter().find(|t| id_of(t).eq_ignore_ascii_case(id)) {
+            merged.push(old.clone());
+        }
+    }
+
+    let json = serde_json::json!({ "scale": scale_name, "tables": merged });
     std::fs::write(
         "bench_results.json",
         serde_json::to_string_pretty(&json).expect("json"),
     )
     .expect("write bench_results.json");
     eprintln!("\nwrote bench_results.json");
+}
+
+fn id_of(table: &Value) -> &str {
+    match &table["id"] {
+        Value::String(s) => s,
+        _ => "",
+    }
+}
+
+/// Previously recorded tables, if the file exists, parses, and was
+/// recorded at the same scale (mixing quick and full rows would make the
+/// file lie about its provenance).
+fn prior_tables(path: &str, scale_name: &str) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = serde_json::from_str(&text) else {
+        eprintln!("warning: existing {path} is not valid JSON; starting fresh");
+        return Vec::new();
+    };
+    if doc["scale"] != scale_name {
+        eprintln!("warning: existing {path} has a different scale; starting fresh");
+        return Vec::new();
+    }
+    match &doc["tables"] {
+        Value::Array(tables) => tables.clone(),
+        _ => Vec::new(),
+    }
 }

@@ -739,6 +739,79 @@ pub fn e11b_checkpoint_tradeoff(s: Scale) -> Table {
     t
 }
 
+/// E13 — parallel molecule materialization scaling over the striped pool.
+///
+/// Pool-resident university workload; each cell times repeated
+/// `materialize_all_parallel` sweeps at 1/2/4/8 threads, against a
+/// single-shard pool (the pre-striping single-mutex baseline) and the
+/// auto-sharded pool. The headline acceptance number is the sharded
+/// 4-thread throughput vs the 1-shard 4-thread baseline.
+pub fn e13_parallel_scaling(s: Scale) -> Table {
+    let mut t = Table::new(
+        "E13",
+        "parallel materialization: kmolecules/s vs threads (pool-resident)",
+        &[
+            "threads",
+            "1-shard kmol/s",
+            "sharded kmol/s",
+            "shards speedup",
+            "scale vs 1T",
+        ],
+        "the single-mutex pool plateaus as every fetch serializes on one lock; \
+         the striped pool scales with the thread count until the memory bus, \
+         not the mapping lock, is the limit",
+    );
+    let n_depts = s.n(96);
+    let (uni, dir) = {
+        let (db, dir) = fresh_db("e13", StoreKind::Split, 4096);
+        let uni = University::create(&db, n_depts, 8, 4, 42).expect("load");
+        db.checkpoint().expect("ckpt");
+        (uni, dir)
+    };
+
+    // molecules/s at (shards, threads); reopened fresh per shard config.
+    let sweep = |shards: usize| -> Vec<f64> {
+        let db = crate::workloads::reopen_db_with(
+            &dir,
+            crate::workloads::bench_config(StoreKind::Split, 4096).buffer_shards(shards),
+        );
+        let tt = db.now();
+        // Warm: pull the whole working set into the pool.
+        let warm = db
+            .materialize_all_parallel(uni.mol, tt, TimePoint(0), 4)
+            .expect("warm");
+        assert_eq!(warm.len(), n_depts);
+        let rounds = s.n(24).min(64);
+        [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|threads| {
+                let timing = time_batch(rounds * n_depts, || {
+                    for _ in 0..rounds {
+                        let ms = db
+                            .materialize_all_parallel(uni.mol, tt, TimePoint(0), threads)
+                            .expect("materialize");
+                        std::hint::black_box(ms.len());
+                    }
+                });
+                timing.ops_per_sec()
+            })
+            .collect()
+    };
+    let baseline = sweep(1);
+    let sharded = sweep(0);
+    for (i, threads) in [1usize, 2, 4, 8].into_iter().enumerate() {
+        t.row(vec![
+            format!("{threads}"),
+            format!("{:.2}", baseline[i] / 1000.0),
+            format!("{:.2}", sharded[i] / 1000.0),
+            format!("{:.2}x", sharded[i] / baseline[i]),
+            format!("{:.2}x", sharded[i] / sharded[0]),
+        ]);
+    }
+    cleanup(&dir);
+    t
+}
+
 /// Runs every experiment at the given scale.
 pub fn run_all(s: Scale) -> Vec<Table> {
     vec![
@@ -755,6 +828,7 @@ pub fn run_all(s: Scale) -> Vec<Table> {
         e11_recovery(s),
         e11b_checkpoint_tradeoff(s),
         e12_algebra(s),
+        e13_parallel_scaling(s),
         a1_delta_granularity(s),
         a2_directory(s),
     ]

@@ -9,33 +9,38 @@ use tcom_core::{
 use tcom_kernel::time::Interval;
 use tcom_kernel::{AttrId, MoleculeTypeId, Result, TimePoint};
 
+/// The standard bench configuration: benchmark-friendly checkpoint and
+/// sync behavior on top of the given store kind and buffer size.
+pub fn bench_config(kind: StoreKind, frames: usize) -> DbConfig {
+    DbConfig::default()
+        .store_kind(kind)
+        .buffer_frames(frames)
+        .checkpoint_interval(0)
+        .sync_policy(tcom_core::SyncPolicy::OnCheckpoint)
+}
+
 /// Creates a fresh database directory under the system temp dir.
 pub fn fresh_db(tag: &str, kind: StoreKind, frames: usize) -> (Database, PathBuf) {
+    fresh_db_with(tag, bench_config(kind, frames))
+}
+
+/// Like [`fresh_db`] but with a fully explicit configuration (scaling
+/// experiments vary the shard and worker knobs too).
+pub fn fresh_db_with(tag: &str, config: DbConfig) -> (Database, PathBuf) {
     let dir = std::env::temp_dir().join(format!("tcom-bench-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let db = Database::open(
-        &dir,
-        DbConfig::default()
-            .store_kind(kind)
-            .buffer_frames(frames)
-            .checkpoint_interval(0)
-            .sync_policy(tcom_core::SyncPolicy::OnCheckpoint),
-    )
-    .expect("open bench db");
+    let db = Database::open(&dir, config).expect("open bench db");
     (db, dir)
 }
 
 /// Reopens an existing bench database with a different buffer size.
 pub fn reopen_db(dir: &PathBuf, kind: StoreKind, frames: usize) -> Database {
-    Database::open(
-        dir,
-        DbConfig::default()
-            .store_kind(kind)
-            .buffer_frames(frames)
-            .checkpoint_interval(0)
-            .sync_policy(tcom_core::SyncPolicy::OnCheckpoint),
-    )
-    .expect("reopen bench db")
+    reopen_db_with(dir, bench_config(kind, frames))
+}
+
+/// Like [`reopen_db`] but with a fully explicit configuration.
+pub fn reopen_db_with(dir: &PathBuf, config: DbConfig) -> Database {
+    Database::open(dir, config).expect("reopen bench db")
 }
 
 /// Removes a bench database directory.

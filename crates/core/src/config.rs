@@ -16,6 +16,13 @@ pub struct DbConfig {
     /// Auto-checkpoint after this many committed transactions
     /// (`0` disables auto-checkpointing; `Database::checkpoint` is manual).
     pub checkpoint_interval: u64,
+    /// Lock stripes of the buffer pool (`0` = derive from `buffer_frames`;
+    /// `1` = the single-mutex pool, useful as a scaling baseline).
+    pub buffer_shards: usize,
+    /// Threads used by parallel read paths such as
+    /// [`crate::Database::materialize_all_parallel`] (`0` = available
+    /// hardware parallelism; `1` = sequential).
+    pub worker_threads: usize,
 }
 
 impl Default for DbConfig {
@@ -25,6 +32,8 @@ impl Default for DbConfig {
             store_kind: StoreKind::Split,
             sync_policy: SyncPolicy::OnCommit,
             checkpoint_interval: 10_000,
+            buffer_shards: 0,
+            worker_threads: 0,
         }
     }
 }
@@ -53,6 +62,30 @@ impl DbConfig {
         self.checkpoint_interval = txns;
         self
     }
+
+    /// Builder-style: sets the buffer pool shard count.
+    pub fn buffer_shards(mut self, shards: usize) -> DbConfig {
+        self.buffer_shards = shards;
+        self
+    }
+
+    /// Builder-style: sets the parallel read-path thread count.
+    pub fn worker_threads(mut self, threads: usize) -> DbConfig {
+        self.worker_threads = threads;
+        self
+    }
+
+    /// Resolved worker count: `worker_threads`, or the machine's available
+    /// parallelism when unset.
+    pub fn effective_workers(&self) -> usize {
+        if self.worker_threads != 0 {
+            self.worker_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -65,10 +98,16 @@ mod tests {
             .buffer_frames(64)
             .store_kind(StoreKind::Chain)
             .sync_policy(SyncPolicy::OnCheckpoint)
-            .checkpoint_interval(0);
+            .checkpoint_interval(0)
+            .buffer_shards(4)
+            .worker_threads(2);
         assert_eq!(c.buffer_frames, 64);
         assert_eq!(c.store_kind, StoreKind::Chain);
         assert_eq!(c.sync_policy, SyncPolicy::OnCheckpoint);
         assert_eq!(c.checkpoint_interval, 0);
+        assert_eq!(c.buffer_shards, 4);
+        assert_eq!(c.worker_threads, 2);
+        assert_eq!(c.effective_workers(), 2);
+        assert!(DbConfig::default().effective_workers() >= 1);
     }
 }

@@ -79,28 +79,36 @@ impl DiskManager {
 
     /// Reads and verifies a page.
     pub fn read_page(&self, id: PageId) -> Result<Page> {
+        let mut page = Page::default();
+        self.read_page_into(id, &mut page)?;
+        Ok(page)
+    }
+
+    /// Reads and verifies a page into an existing buffer, avoiding the
+    /// 8 KiB allocation — the buffer pool's miss path reloads straight
+    /// into the victim frame. On error the buffer contents are undefined.
+    pub fn read_page_into(&self, id: PageId, page: &mut Page) -> Result<()> {
         if id.0 >= self.page_count() {
             return Err(Error::corruption(format!(
                 "read of unallocated page {id:?} (file has {} pages)",
                 self.page_count()
             )));
         }
-        let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        let buf = page.bytes_mut();
         self.file
-            .read_at(&mut buf, id.0 as u64 * PAGE_SIZE as u64)?;
+            .read_at(buf.as_mut_slice(), id.0 as u64 * PAGE_SIZE as u64)?;
         self.reads.fetch_add(1, Ordering::Relaxed);
         // An all-zero block is a "ghost" page: the file was extended but the
         // page image was never written before a crash (no sealed page can be
         // all zeros — the checksum of a zero body is nonzero). Surface it as
         // a Free page; owners treat Free pages as absent.
         if buf.iter().all(|&b| b == 0) {
-            return Ok(Page::from_bytes(buf.try_into().expect("exact size")));
+            return Ok(());
         }
-        let page = Page::from_bytes(buf.try_into().expect("exact size"));
         page.verify().map_err(|e| {
             Error::corruption(format!("{e} (page {id:?} of {})", self.path.display()))
         })?;
-        Ok(page)
+        Ok(())
     }
 
     /// Seals and writes a page in place.

@@ -118,8 +118,24 @@ impl Page {
     /// Recomputes and stores the checksum; called by the disk manager
     /// immediately before write-out.
     pub fn seal(&mut self) {
-        let sum = crc32c(&self.bytes[4..]);
-        self.bytes[0..4].copy_from_slice(&sum.to_le_bytes());
+        Page::seal_image(&mut self.bytes);
+    }
+
+    /// Seals a raw page image in place — the checksum is pure CPU over the
+    /// buffer, so callers holding only a *copy* of a latched page (the
+    /// checkpoint journal snapshot) can seal it after releasing the latch.
+    pub fn seal_image(bytes: &mut [u8; PAGE_SIZE]) {
+        let sum = crc32c(&bytes[4..]);
+        bytes[0..4].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    /// Re-initializes the page in place to a zeroed page of `kind` —
+    /// equivalent to `*self = Page::new(kind)` without the heap round-trip
+    /// (buffer frames reuse their allocation across occupants).
+    pub fn reset(&mut self, kind: PageKind) {
+        self.bytes.fill(0);
+        self.set_kind(kind);
+        self.bytes[5] = 1; // format version
     }
 
     /// Verifies the stored checksum; called by the disk manager after

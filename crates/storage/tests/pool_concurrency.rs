@@ -1,0 +1,227 @@
+//! Concurrency stress for the sharded buffer pool: many threads doing
+//! mixed `fetch_read` / `fetch_write` / `create` over a pool smaller than
+//! the working set. The oracles:
+//!
+//! * **No lost updates** — every write guard increments a per-page counter
+//!   under the frame's write latch; the final counter of each page must
+//!   equal the number of increments performed on it.
+//! * **No torn reads** — each page carries a value and its negation;
+//!   readers must always see a consistent pair.
+//! * **Counter arithmetic** — `hits + misses` equals the number of frame
+//!   pins requested (every fetch and create pins exactly once).
+//!
+//! Run under `cargo test --release` in CI with `RUST_TEST_THREADS`
+//! unpinned so the stripes see real parallelism.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use tcom_storage::buffer::BufferPool;
+use tcom_storage::disk::DiskManager;
+use tcom_storage::page::PageKind;
+
+fn tmpfile(name: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!("tcom-stress-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Deterministic per-thread mixer (split-mix; no external RNG crates).
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn mixed_workload_no_lost_updates() {
+    const THREADS: usize = 8;
+    const OPS: usize = 3_000;
+    const PAGES: usize = 96; // working set: 96 pages over a 24-frame pool
+
+    let path = tmpfile("mixed");
+    let dm = Arc::new(DiskManager::open(&path).unwrap());
+    let pool = BufferPool::with_shards(24, 4, true);
+    assert_eq!(pool.shard_count(), 4);
+    let file = pool.register_file(dm);
+
+    // Seed the working set and flush it out.
+    let mut pids = Vec::with_capacity(PAGES);
+    for _ in 0..PAGES {
+        let (pid, mut p) = pool.create(file, PageKind::Slotted).unwrap();
+        p.write_u64(64, 0); // counter
+        p.write_u64(72, 0); // shadow: always == !counter ^ u64::MAX? use pair
+        p.write_u64(80, !0u64); // negation of counter
+        pids.push(pid);
+    }
+    pool.flush_all().unwrap();
+    pool.reset_stats();
+
+    // Ground truth: increments per page, and total pins requested.
+    let increments: Vec<AtomicU64> = (0..PAGES).map(|_| AtomicU64::new(0)).collect();
+    let pins = AtomicU64::new(0);
+    let creates = AtomicU64::new(0);
+    let barrier = Barrier::new(THREADS);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let pool = &pool;
+            let pids = &pids;
+            let increments = &increments;
+            let pins = &pins;
+            let creates = &creates;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut rng = 0x1234_5678_u64.wrapping_add(t as u64 * 0xABCDEF);
+                barrier.wait();
+                for _ in 0..OPS {
+                    let r = mix(&mut rng);
+                    let i = (r >> 8) as usize % pids.len();
+                    match r % 10 {
+                        // 60%: read and check the consistent pair.
+                        0..=5 => {
+                            let g = pool.fetch_read(file, pids[i]).unwrap();
+                            let v = g.read_u64(64);
+                            let neg = g.read_u64(80);
+                            assert_eq!(neg, !v, "torn read on page {i}");
+                            pins.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // 30%: increment under the write latch.
+                        6..=8 => {
+                            let mut g = pool.fetch_write(file, pids[i]).unwrap();
+                            let v = g.read_u64(64) + 1;
+                            g.write_u64(64, v);
+                            g.write_u64(80, !v);
+                            increments[i].fetch_add(1, Ordering::Relaxed);
+                            pins.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // 10%: create fresh pages (grows the working set).
+                        _ => {
+                            let (_pid, mut g) = pool.create(file, PageKind::Slotted).unwrap();
+                            g.write_u64(64, 7);
+                            g.write_u64(80, !7u64);
+                            creates.fetch_add(1, Ordering::Relaxed);
+                            pins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Every increment must be present: no lost updates.
+    for (i, pid) in pids.iter().enumerate() {
+        let g = pool.fetch_read(file, *pid).unwrap();
+        let got = g.read_u64(64);
+        let want = increments[i].load(Ordering::Relaxed);
+        assert_eq!(got, want, "lost update on page {i}");
+        assert_eq!(g.read_u64(80), !want);
+    }
+
+    // Counter arithmetic: the stress pins (before the verification reads
+    // above) must decompose exactly into hits + misses.
+    let s = pool.stats();
+    let verification_pins = pids.len() as u64;
+    assert_eq!(
+        s.hits + s.misses,
+        pins.load(Ordering::Relaxed) + verification_pins,
+        "hit/miss accounting broke: {s:?}"
+    );
+    // A 24-frame pool under a 96+ page working set must churn.
+    assert!(s.evictions > 0, "expected eviction traffic: {s:?}");
+    assert!(s.misses > 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn concurrent_cold_fetches_of_one_page_load_once() {
+    // With the mapping published only after a successful load, N threads
+    // racing the first fetch of one page produce exactly 1 miss and N-1
+    // hits: the loser threads block on the shard lock and then hit.
+    const THREADS: usize = 8;
+    let path = tmpfile("once");
+    let dm = Arc::new(DiskManager::open(&path).unwrap());
+    let pool = BufferPool::with_shards(64, 8, true);
+    let file = pool.register_file(dm);
+
+    let (pid, mut g) = pool.create(file, PageKind::Slotted).unwrap();
+    g.write_u64(64, 4242);
+    drop(g);
+    pool.flush_all().unwrap();
+    // Evict the page by walking a larger working set through its shard.
+    for _ in 0..3 {
+        for _ in 0..128 {
+            let (_p, g) = pool.create(file, PageKind::Slotted).unwrap();
+            drop(g);
+        }
+    }
+    pool.reset_stats();
+
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let pool = &pool;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                let g = pool.fetch_read(file, pid).unwrap();
+                assert_eq!(g.read_u64(64), 4242);
+            });
+        }
+    });
+    let s = pool.stats();
+    assert_eq!(s.misses, 1, "page must be loaded exactly once: {s:?}");
+    assert_eq!(s.hits, THREADS as u64 - 1, "{s:?}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn flush_races_with_writers() {
+    // flush_all runs concurrently with writer threads; afterwards a full
+    // flush + reopen must observe every increment (write-back never loses
+    // a latched update, and a failed/raced flush never clears dirt it
+    // didn't write).
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 400;
+    let path = tmpfile("flushrace");
+    let dm = Arc::new(DiskManager::open(&path).unwrap());
+    let pool = BufferPool::with_shards(16, 2, true);
+    let file = pool.register_file(dm);
+
+    let mut pids = Vec::new();
+    for _ in 0..8 {
+        let (pid, mut p) = pool.create(file, PageKind::Slotted).unwrap();
+        p.write_u64(64, 0);
+        pids.push(pid);
+    }
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let pool = &pool;
+            let pids = &pids;
+            s.spawn(move || {
+                for r in 0..ROUNDS {
+                    let i = (t * ROUNDS + r) % pids.len();
+                    let mut g = pool.fetch_write(file, pids[i]).unwrap();
+                    let v = g.read_u64(64);
+                    g.write_u64(64, v + 1);
+                    drop(g);
+                    if r % 64 == 0 {
+                        pool.flush_all().unwrap();
+                    }
+                }
+            });
+        }
+    });
+    pool.flush_and_sync().unwrap();
+
+    // Reopen the file cold: disk state must hold the full sum.
+    let dm = DiskManager::open(&path).unwrap();
+    let total: u64 = pids
+        .iter()
+        .map(|pid| dm.read_page(*pid).unwrap().read_u64(64))
+        .sum();
+    assert_eq!(total, (THREADS * ROUNDS) as u64);
+    let _ = std::fs::remove_file(&path);
+}

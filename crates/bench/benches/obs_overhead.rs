@@ -1,0 +1,149 @@
+//! Observability overhead budget: the parallel pool-fetch workload (same
+//! shape as the `pool_fetch_parallel` bench) run bare, then with the
+//! engine's instrumentation pattern, then with deliberately worst-case
+//! per-fetch instrumentation.
+//!
+//! The engine's default state is the `noop` variant: pool hot-path
+//! counters are *polled gauges* (zero added cost on the fetch path),
+//! spans wrap multi-page operations (one per batch here, as
+//! `molecule.materialize` wraps a whole traversal), and the registry has
+//! no span sink attached. That variant carries the < 2% overhead budget;
+//! `span-per-fetch` and `recording` quantify the floor of finer-grained
+//! instrumentation. Measured numbers are recorded in DESIGN.md §8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use tcom_core::{Registry, RingRecorder};
+use tcom_storage::buffer::BufferPool;
+use tcom_storage::disk::DiskManager;
+use tcom_storage::page::PageKind;
+
+const THREADS: usize = 4;
+const PAGES: usize = 512;
+const FETCHES_PER_THREAD: usize = 2_000;
+
+struct Fixture {
+    pool: Arc<BufferPool>,
+    file: tcom_storage::buffer::FileId,
+    pids: Vec<tcom_kernel::PageId>,
+    path: std::path::PathBuf,
+}
+
+fn fixture(tag: &str) -> Fixture {
+    let path = std::env::temp_dir().join(format!("tcom-obs-ov-{}-{tag}.tcm", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let dm = Arc::new(DiskManager::open(&path).unwrap());
+    let pool = BufferPool::with_shards(1024, 0, true);
+    let file = pool.register_file(dm);
+    let mut pids = Vec::with_capacity(PAGES);
+    for i in 0..PAGES {
+        let (pid, mut p) = pool.create(file, PageKind::Slotted).unwrap();
+        p.write_u64(64, i as u64);
+        pids.push(pid);
+    }
+    pool.flush_all().unwrap();
+    Fixture {
+        pool,
+        file,
+        pids,
+        path,
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Instrumentation {
+    /// No registry in sight.
+    Bare,
+    /// The engine pattern: one span per thread-batch, one counter add per
+    /// batch; per-fetch accounting stays in the pool's own atomics, which
+    /// the registry reads as gauges at snapshot time.
+    PerBatch,
+    /// Worst case: a span (and counter increment) around every fetch.
+    PerFetch,
+}
+
+/// One full workload round: `THREADS` threads, each fetching
+/// `FETCHES_PER_THREAD` pool-resident pages.
+fn round(fx: &Fixture, reg: Option<&Registry>, gran: Instrumentation) {
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let pool = &fx.pool;
+            let pids = &fx.pids;
+            let file = fx.file;
+            let ctr = reg.map(|r| r.counter("bench.fetches", ""));
+            s.spawn(move || {
+                let _batch_span = match (reg, gran) {
+                    (Some(r), Instrumentation::PerBatch) => Some(r.span("bench.batch")),
+                    _ => None,
+                };
+                let mut k = t * 37;
+                for _ in 0..FETCHES_PER_THREAD {
+                    k = (k * 31 + 17) % pids.len();
+                    let _span = match (reg, gran) {
+                        (Some(r), Instrumentation::PerFetch) => Some(r.span("bench.fetch")),
+                        _ => None,
+                    };
+                    let pg = pool.fetch_read(file, pids[k]).unwrap();
+                    std::hint::black_box(pg.read_u64(64));
+                    if gran == Instrumentation::PerFetch {
+                        if let Some(c) = &ctr {
+                            c.inc();
+                        }
+                    }
+                }
+                if gran == Instrumentation::PerBatch {
+                    if let Some(c) = &ctr {
+                        c.add(FETCHES_PER_THREAD as u64);
+                    }
+                }
+            });
+        }
+    })
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(20)
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(400));
+
+    // Bare workload: the baseline.
+    let fx = fixture("bare");
+    g.bench_with_input(BenchmarkId::new("bare", THREADS), &THREADS, |b, _| {
+        b.iter(|| round(&fx, None, Instrumentation::Bare))
+    });
+    let _ = std::fs::remove_file(&fx.path);
+
+    // Engine-default no-op instrumentation; this is the < 2% budget.
+    let fx = fixture("noop");
+    let reg = Registry::new();
+    g.bench_with_input(BenchmarkId::new("noop", THREADS), &THREADS, |b, _| {
+        b.iter(|| round(&fx, Some(&reg), Instrumentation::PerBatch))
+    });
+    let _ = std::fs::remove_file(&fx.path);
+
+    // Worst case with no sink: span + shared counter on every fetch.
+    let fx = fixture("span-per-fetch");
+    let reg = Registry::new();
+    g.bench_with_input(
+        BenchmarkId::new("span-per-fetch", THREADS),
+        &THREADS,
+        |b, _| b.iter(|| round(&fx, Some(&reg), Instrumentation::PerFetch)),
+    );
+    let _ = std::fs::remove_file(&fx.path);
+
+    // Worst case with a ring-buffer span sink attached and timing live.
+    let fx = fixture("recording");
+    let reg = Registry::new();
+    reg.set_span_sink(Some(Arc::new(RingRecorder::new(4096))));
+    g.bench_with_input(BenchmarkId::new("recording", THREADS), &THREADS, |b, _| {
+        b.iter(|| round(&fx, Some(&reg), Instrumentation::PerFetch))
+    });
+    let _ = std::fs::remove_file(&fx.path);
+
+    g.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

@@ -47,6 +47,7 @@ fn main() {
         ("E11B", experiments::e11b_checkpoint_tradeoff),
         ("E12", experiments::e12_algebra),
         ("E13", experiments::e13_parallel_scaling),
+        ("E14", experiments::e14_explain_io),
         ("A1", experiments::a1_delta_granularity),
         ("A2", experiments::a2_directory),
     ];

@@ -45,6 +45,7 @@ pub fn e1_current_access(s: Scale) -> Table {
          (old versions share pages with current ones)",
     );
     let n_atoms = s.n(2000);
+    let mut final_metrics = None;
     for kind in KINDS {
         for versions in [0usize, 4, 16, 64] {
             let (db, dir) = fresh_db(&format!("e1-{kind}-{versions}"), kind, 256);
@@ -53,15 +54,17 @@ pub fn e1_current_access(s: Scale) -> Table {
                 .expect("updates");
             db.checkpoint().expect("ckpt");
 
-            // Random current lookups.
+            // Random current lookups; I/O accounting via the metrics
+            // registry (pool counters exported as gauges).
             let mut rng = StdRng::seed_from_u64(7);
-            db.reset_buffer_stats();
+            let before = db.metrics();
             let lookups = time_each(s.n(2000), |_| {
                 let a = syn.atoms[rng.gen_range(0..syn.atoms.len())];
                 db.current_tuple(a, TimePoint(0)).expect("lookup")
             });
-            let st = db.buffer_stats();
-            let hit = 100.0 * st.hits as f64 / (st.hits + st.misses).max(1) as f64;
+            let d = db.metrics().delta(&before);
+            let (hits, misses) = (d.counter("pool.hits"), d.counter("pool.misses"));
+            let hit = 100.0 * hits as f64 / (hits + misses).max(1) as f64;
 
             // Full current-state scan.
             let scan = time_batch(1, || {
@@ -81,8 +84,12 @@ pub fn e1_current_access(s: Scale) -> Table {
                 format!("{:.1}", scan.mean_us / 1000.0),
                 format!("{hit:.1}"),
             ]);
+            final_metrics = Some(metrics_json(&db.metrics()));
             cleanup(&dir);
         }
+    }
+    if let Some(m) = final_metrics {
+        t.set_metrics(m);
     }
     t
 }
@@ -465,13 +472,14 @@ pub fn e9_buffer_sensitivity(s: Scale) -> Table {
             let a = atoms[rng.gen_range(0..atoms.len())];
             db.current_tuple(a, TimePoint(0)).expect("warm");
         }
-        db.reset_buffer_stats();
+        let before = db.metrics();
         let timing = time_each(s.n(2000), |_| {
             let a = atoms[rng.gen_range(0..atoms.len())];
             db.current_tuple(a, TimePoint(0)).expect("lookup")
         });
-        let st = db.buffer_stats();
-        let hit = 100.0 * st.hits as f64 / (st.hits + st.misses).max(1) as f64;
+        let d = db.metrics().delta(&before);
+        let (hits, misses) = (d.counter("pool.hits"), d.counter("pool.misses"));
+        let hit = 100.0 * hits as f64 / (hits + misses).max(1) as f64;
         t.row(vec![
             format!("{frames}"),
             format!("{hit:.1}"),
@@ -812,6 +820,96 @@ pub fn e13_parallel_scaling(s: Scale) -> Table {
     t
 }
 
+/// Serializes a metrics-registry snapshot for `bench_results.json`.
+fn metrics_json(snap: &tcom_core::MetricsSnapshot) -> serde_json::Value {
+    let counters: Vec<serde_json::Value> = snap
+        .counters
+        .iter()
+        .map(|c| {
+            serde_json::json!({
+                "name": c.name,
+                "label": c.label,
+                "value": c.value,
+            })
+        })
+        .collect();
+    let histograms: Vec<serde_json::Value> = snap
+        .histograms
+        .iter()
+        .map(|h| {
+            serde_json::json!({
+                "name": h.name,
+                "label": h.label,
+                "count": h.count,
+                "sum": h.sum,
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "counters": counters,
+        "histograms": histograms,
+    })
+}
+
+/// E14 — E1's I/O accounting re-derived from EXPLAIN ANALYZE.
+///
+/// Instead of reading the buffer-pool counters directly, the page counts
+/// come out of the executor's per-operator report; the registry delta is
+/// kept only as the cross-check (the two must agree exactly, which the
+/// differential suite also asserts query-by-query).
+pub fn e14_explain_io(s: Scale) -> Table {
+    let mut t = Table::new(
+        "E14",
+        "cold current scan: EXPLAIN ANALYZE pages vs pool misses",
+        &["store", "vers/atom", "EA pages", "miss Δ", "rows", "hit %"],
+        "EA pages == pool-miss delta for every store kind (same fault path); \
+         chain & delta page counts grow with history length, split stays flat",
+    );
+    let n_atoms = s.n(1000);
+    let mut final_metrics = None;
+    for kind in KINDS {
+        for versions in [0usize, 16] {
+            let (db, dir) = fresh_db(&format!("e14-{kind}-{versions}"), kind, 4096);
+            let syn = Synthetic::create(&db, n_atoms, 8).expect("load");
+            syn.random_updates(&db, n_atoms * versions, 1, 500, 42)
+                .expect("updates");
+            db.checkpoint().expect("ckpt");
+            drop(db);
+
+            // Cold reopen: every touched page faults in through the
+            // instrumented read path and gets attributed to an operator.
+            let db = reopen_db(&dir, kind, 4096);
+            let before = db.metrics();
+            let (_, report) = tcom_query::explain_analyze(&db, "EXPLAIN ANALYZE SELECT * FROM syn")
+                .expect("explain");
+            let d = db.metrics().delta(&before);
+            let misses = d.counter("pool.misses");
+            let fetches = d.counter("pool.fetches");
+            assert_eq!(
+                report.total_pages_read,
+                misses,
+                "executor page accounting disagrees with the pool:\n{}",
+                report.render()
+            );
+            let hit = 100.0 * (fetches - misses) as f64 / fetches.max(1) as f64;
+            t.row(vec![
+                kind.to_string(),
+                format!("{}", versions + 1),
+                format!("{}", report.pages_read()),
+                format!("{misses}"),
+                format!("{}", report.root_rows()),
+                format!("{hit:.1}"),
+            ]);
+            final_metrics = Some(metrics_json(&db.metrics()));
+            cleanup(&dir);
+        }
+    }
+    if let Some(m) = final_metrics {
+        t.set_metrics(m);
+    }
+    t
+}
+
 /// Runs every experiment at the given scale.
 pub fn run_all(s: Scale) -> Vec<Table> {
     vec![
@@ -829,6 +927,7 @@ pub fn run_all(s: Scale) -> Vec<Table> {
         e11b_checkpoint_tradeoff(s),
         e12_algebra(s),
         e13_parallel_scaling(s),
+        e14_explain_io(s),
         a1_delta_granularity(s),
         a2_directory(s),
     ]

@@ -82,6 +82,9 @@ pub struct Table {
     /// Expected shape, printed under the table and recorded in
     /// EXPERIMENTS.md.
     pub expectation: String,
+    /// Optional metrics-registry snapshot (serialized), emitted alongside
+    /// the timings in `bench_results.json`.
+    pub metrics: Option<serde_json::Value>,
 }
 
 impl Table {
@@ -93,7 +96,13 @@ impl Table {
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             expectation: expectation.into(),
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics snapshot to serialize with the table.
+    pub fn set_metrics(&mut self, snapshot: serde_json::Value) {
+        self.metrics = Some(snapshot);
     }
 
     /// Appends a row.
@@ -134,13 +143,17 @@ impl Table {
 
     /// Serializes to a JSON object via `serde_json`.
     pub fn to_json(&self) -> serde_json::Value {
-        serde_json::json!({
+        let mut v = serde_json::json!({
             "id": self.id,
             "title": self.title,
             "header": self.header,
             "rows": self.rows,
             "expectation": self.expectation,
-        })
+        });
+        if let (serde_json::Value::Object(fields), Some(m)) = (&mut v, &self.metrics) {
+            fields.push(("metrics".to_string(), m.clone()));
+        }
+        v
     }
 }
 
@@ -194,6 +207,10 @@ mod tests {
         let j = t.to_json();
         assert_eq!(j["id"], "E0");
         assert_eq!(j["rows"][0][1], "2");
+        assert_eq!(j["metrics"], serde_json::Value::Null);
+        t.set_metrics(serde_json::json!({ "counters": Vec::<serde_json::Value>::new() }));
+        let j = t.to_json();
+        assert_eq!(j["metrics"]["counters"], serde_json::Value::Array(vec![]));
     }
 
     #[test]

@@ -30,6 +30,7 @@ use tcom_catalog::{AttrDef, Catalog, MoleculeEdge};
 use tcom_kernel::{
     AtomId, AtomNo, AtomTypeId, AttrId, Error, Interval, MoleculeTypeId, Result, TimePoint, Tuple,
 };
+use tcom_obs::{MetricsSnapshot, Registry};
 use tcom_storage::btree::BTree;
 use tcom_storage::buffer::{BufferPool, BufferStats, FileId};
 use tcom_storage::disk::DiskManager;
@@ -69,6 +70,13 @@ pub struct Database {
     /// File names by [`FileId`] index (for the checkpoint journal, which
     /// must address files by name — ids are session-scoped).
     file_names: Mutex<Vec<String>>,
+    /// The metrics registry every subsystem reports into. Behind an `Arc`
+    /// so gauge closures (which poll subsystem counters at snapshot time)
+    /// and external samplers can hold it independently of the database.
+    obs: Arc<Registry>,
+    /// Disk managers registered with the pool, retained so aggregate
+    /// physical-I/O gauges can poll them. Shared with the gauge closures.
+    disks: Arc<Mutex<Vec<Arc<DiskManager>>>>,
 }
 
 impl Database {
@@ -152,7 +160,10 @@ impl Database {
             txns_since_ckpt: AtomicU64::new(0),
             skip_checkpoint_on_drop: AtomicBool::new(false),
             file_names: Mutex::new(Vec::new()),
+            obs: Arc::new(Registry::new()),
+            disks: Arc::new(Mutex::new(Vec::new())),
         };
+        db.register_engine_metrics();
 
         // Open stores and indexes for every cataloged type.
         {
@@ -200,6 +211,67 @@ impl Database {
         TimePoint(self.clock.fetch_add(1, Ordering::AcqRel) + 1)
     }
 
+    // ---- observability plumbing ----
+
+    /// Registers the engine-wide gauges: buffer-pool counters (polled via
+    /// [`BufferPool::stats`]), aggregate physical disk I/O over every
+    /// registered file, and the WAL's own counter handles. Store counters
+    /// are registered per store in [`Database::open_or_create_store`].
+    fn register_engine_metrics(&self) {
+        let pool = self.pool.clone();
+        macro_rules! pool_gauge {
+            ($name:literal, $field:ident) => {{
+                let p = pool.clone();
+                self.obs.register_gauge($name, "", move || p.stats().$field);
+            }};
+        }
+        pool_gauge!("pool.fetches", fetches);
+        pool_gauge!("pool.hits", hits);
+        pool_gauge!("pool.misses", misses);
+        pool_gauge!("pool.evictions", evictions);
+        pool_gauge!("pool.writebacks", writebacks);
+
+        macro_rules! disk_gauge {
+            ($name:literal, $field:ident) => {{
+                let disks = Arc::clone(&self.disks);
+                self.obs.register_gauge($name, "", move || {
+                    disks.lock().iter().map(|d| d.io_stats().$field).sum()
+                });
+            }};
+        }
+        disk_gauge!("disk.reads", reads);
+        disk_gauge!("disk.writes", writes);
+        disk_gauge!("disk.bytes_read", bytes_read);
+        disk_gauge!("disk.bytes_written", bytes_written);
+        disk_gauge!("disk.syncs", syncs);
+
+        let wo = self.wal.obs();
+        self.obs.register_counter("wal.appends", "", &wo.appends);
+        self.obs.register_counter("wal.bytes", "", &wo.bytes);
+        self.obs.register_counter("wal.fsyncs", "", &wo.fsyncs);
+        self.obs
+            .register_histogram("wal.group_size", "", &wo.group_size);
+    }
+
+    /// Registers one store's counter handles under its kind label. Every
+    /// per-type store of a database shares the kind, so the registry sums
+    /// them into one labeled series per metric.
+    fn register_store_obs(&self, store: &Arc<dyn VersionStore>) {
+        let label = store.kind().to_string();
+        let o = store.obs();
+        self.obs
+            .register_counter("store.chain_walks", &label, &o.chain_walks);
+        self.obs
+            .register_counter("store.chain_steps", &label, &o.chain_steps);
+        self.obs.register_counter(
+            "store.delta_reconstructions",
+            &label,
+            &o.delta_reconstructions,
+        );
+        self.obs
+            .register_counter("store.split_migrations", &label, &o.split_migrations);
+    }
+
     // ---- file plumbing ----
 
     fn register(&self, name: String, must_exist: bool) -> Result<(FileId, bool)> {
@@ -212,6 +284,7 @@ impl Database {
             )));
         }
         let dm = Arc::new(DiskManager::open_with(self.vfs.as_ref(), &path)?);
+        self.disks.lock().push(dm.clone());
         let id = self.pool.register_file(dm);
         let mut names = self.file_names.lock();
         debug_assert_eq!(names.len(), id.0 as usize);
@@ -221,7 +294,7 @@ impl Database {
 
     fn open_or_create_store(&self, ty: AtomTypeId, fresh: bool) -> Result<Arc<dyn VersionStore>> {
         let n = ty.0;
-        Ok(match self.config.store_kind {
+        let store: Arc<dyn VersionStore> = match self.config.store_kind {
             StoreKind::Chain => {
                 let (heap, existed) = self.register(format!("t{n}_heap.tcm"), false)?;
                 let (dir, _) = self.register(format!("t{n}_dir.tcm"), false)?;
@@ -251,7 +324,9 @@ impl Database {
                     Arc::new(SplitStore::create(self.pool.clone(), ch, cd, hh, hd)?)
                 }
             }
-        })
+        };
+        self.register_store_obs(&store);
+        Ok(store)
     }
 
     fn open_or_create_index(
@@ -677,6 +752,7 @@ impl Database {
     /// Flushes all data pages, fsyncs every file, and truncates the WAL to
     /// a fresh checkpoint record.
     pub fn checkpoint(&self) -> Result<()> {
+        let _span = self.obs.span("db.checkpoint");
         let _x = self.commit_lock.write();
         self.sync_pages()?;
         let next_nos: Vec<(u32, u64)> = self
@@ -697,6 +773,7 @@ impl Database {
     /// idempotent application, rebuilds value indexes when anything was
     /// replayed, and checkpoints.
     fn recover(&self) -> Result<()> {
+        let _span = self.obs.span("db.recover");
         let records = self.wal.read_all()?;
         // Restore counters from the last checkpoint (normally record 0).
         for (_, rec) in &records {
@@ -870,9 +947,24 @@ impl Database {
         self.pool.stats()
     }
 
-    /// Resets buffer pool statistics (benchmark hygiene).
-    pub fn reset_buffer_stats(&self) {
+    /// Resets buffer pool statistics (benchmark hygiene), returning the
+    /// pre-reset values.
+    pub fn reset_buffer_stats(&self) -> BufferStats {
         self.pool.reset_stats()
+    }
+
+    /// The metrics registry. Use it to open spans
+    /// (`db.obs().span("phase")`), install a span sink, or register extra
+    /// counters next to the engine's own.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
+    }
+
+    /// Typed snapshot of every engine metric (buffer pool, disk I/O, WAL,
+    /// version stores, query executor). Render it with
+    /// [`MetricsSnapshot::render_text`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     /// Storage statistics per atom type.

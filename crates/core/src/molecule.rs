@@ -94,6 +94,7 @@ impl Database {
         tt: TimePoint,
         vt: TimePoint,
     ) -> Result<Option<Molecule>> {
+        let _span = self.obs().span("molecule.materialize");
         let def = self.with_catalog(|c| c.molecule_type(mol_type).cloned())?;
         if root.ty != def.root {
             return Err(tcom_kernel::Error::query(format!(

@@ -159,6 +159,7 @@ impl<'db> Txn<'db> {
     /// Commits: logs and applies every buffered primitive at a single new
     /// transaction time, which is returned.
     pub fn commit(mut self) -> Result<TimePoint> {
+        let _span = self.db.obs().span("txn.commit");
         let ops = net_ops(std::mem::take(&mut self.ops));
         if ops.is_empty() {
             return Ok(self.db.now());

@@ -1,0 +1,178 @@
+//! Metrics-exactness tests: a single-threaded workload with a known shape
+//! must produce *exact* registry values — WAL fsyncs/appends under the
+//! OnCommit policy, disk reads equal to cold buffer-pool misses, disk
+//! writes equal to checkpoint writebacks — plus the cross-source agreement
+//! between the registry gauges and the underlying subsystem counters.
+
+use tcom_core::{AttrDef, DataType, Database, DbConfig, StoreKind, TimePoint, Tuple, Value};
+use tcom_kernel::time::iv_from;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("tcom-mex-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn cfg() -> DbConfig {
+    DbConfig::default()
+        .store_kind(StoreKind::Split)
+        .buffer_frames(256)
+        .checkpoint_interval(0)
+}
+
+fn setup_emp(db: &Database) -> tcom_core::AtomTypeId {
+    db.define_atom_type(
+        "emp",
+        vec![
+            AttrDef::new("name", DataType::Text).not_null(),
+            AttrDef::new("salary", DataType::Int),
+        ],
+    )
+    .unwrap()
+}
+
+fn one_insert(db: &Database, ty: tcom_core::AtomTypeId, i: i64) -> tcom_core::AtomId {
+    let mut txn = db.begin();
+    let id = txn
+        .insert_atom(
+            ty,
+            iv_from(0),
+            Tuple::new(vec![Value::from(format!("e{i}")), Value::Int(i)]),
+        )
+        .unwrap();
+    txn.commit().unwrap();
+    id
+}
+
+/// Under `SyncPolicy::OnCommit` (the default), K identical commits produce
+/// exactly K WAL fsyncs and K times the per-commit append count; the
+/// group-size histogram accounts for every appended frame.
+#[test]
+fn wal_counters_exact_under_on_commit() {
+    let dir = tmpdir("wal");
+    let db = Database::open(&dir, cfg()).unwrap();
+    let ty = setup_emp(&db);
+
+    // Calibrate: one commit's worth of appends/fsyncs.
+    let before = db.metrics();
+    one_insert(&db, ty, 0);
+    let after = db.metrics();
+    let per_commit = after.delta(&before);
+    let appends_per_commit = per_commit.counter("wal.appends");
+    assert_eq!(per_commit.counter("wal.fsyncs"), 1);
+    assert!(appends_per_commit >= 2, "begin/op/commit framing expected");
+
+    // K more identical commits scale linearly.
+    const K: u64 = 7;
+    let before = db.metrics();
+    let h_before = before.histogram("wal.group_size").cloned().unwrap();
+    for i in 1..=K {
+        one_insert(&db, ty, i as i64);
+    }
+    let after = db.metrics();
+    let d = after.delta(&before);
+    assert_eq!(d.counter("wal.fsyncs"), K);
+    assert_eq!(d.counter("wal.appends"), K * appends_per_commit);
+    assert!(d.counter("wal.bytes") > 0);
+
+    // Every appended frame lands in exactly one sync group.
+    let h_after = after.histogram("wal.group_size").cloned().unwrap();
+    assert_eq!(h_after.count - h_before.count, K);
+    assert_eq!(h_after.sum - h_before.sum, K * appends_per_commit);
+}
+
+/// After a cold reopen, a read-only scan faults every page it touches in
+/// from disk: the disk-read delta equals the pool-miss delta (fresh page
+/// creations would break this — there are none on a read path), and read
+/// bytes are page-sized.
+#[test]
+fn cold_scan_disk_reads_equal_pool_misses() {
+    let dir = tmpdir("cold");
+    {
+        let db = Database::open(&dir, cfg()).unwrap();
+        let ty = setup_emp(&db);
+        for i in 0..200 {
+            one_insert(&db, ty, i);
+        }
+        db.checkpoint().unwrap();
+    }
+    let db = Database::open(&dir, cfg()).unwrap();
+    let ty = db.atom_type_id("emp").unwrap();
+
+    let before = db.metrics();
+    let stats_before = db.buffer_stats();
+    for atom in db.all_atoms(ty).unwrap() {
+        db.current_tuple(atom, TimePoint(1)).unwrap();
+    }
+    let d = db.metrics().delta(&before);
+    let stats = db.buffer_stats();
+
+    let miss_delta = stats.misses - stats_before.misses;
+    assert!(miss_delta > 0, "cold scan must miss");
+    assert_eq!(d.counter("disk.reads"), miss_delta);
+    assert_eq!(
+        d.counter("disk.bytes_read"),
+        miss_delta * tcom_storage::page::PAGE_SIZE as u64
+    );
+    assert_eq!(d.counter("disk.writes"), 0, "read-only scan wrote nothing");
+    // Registry gauges mirror the pool's own counters exactly.
+    assert_eq!(d.counter("pool.misses"), miss_delta);
+    assert_eq!(stats.hits + stats.misses, stats.fetches);
+}
+
+/// A checkpoint writes back exactly the dirty pages the pool reports:
+/// disk-write delta == writeback delta, with page-sized write bytes, and
+/// at least one durability sync per data file plus the WAL.
+#[test]
+fn checkpoint_disk_writes_equal_writebacks() {
+    let dir = tmpdir("ckpt");
+    let db = Database::open(&dir, cfg()).unwrap();
+    let ty = setup_emp(&db);
+    for i in 0..150 {
+        one_insert(&db, ty, i);
+    }
+
+    let before = db.metrics();
+    let stats_before = db.buffer_stats();
+    db.checkpoint().unwrap();
+    let d = db.metrics().delta(&before);
+    let stats = db.buffer_stats();
+
+    let wb_delta = stats.writebacks - stats_before.writebacks;
+    assert!(wb_delta > 0, "150 inserts must dirty pages");
+    assert_eq!(d.counter("disk.writes"), wb_delta);
+    assert_eq!(
+        d.counter("disk.bytes_written"),
+        wb_delta * tcom_storage::page::PAGE_SIZE as u64
+    );
+    assert!(d.counter("disk.syncs") > 0);
+    // The checkpoint itself fsyncs the WAL (reset to a checkpoint record).
+    assert!(d.counter("wal.fsyncs") > 0);
+}
+
+/// Span plumbing: a ring recorder registered as the span sink observes the
+/// named engine spans; with no sink, spans are skipped entirely.
+#[test]
+fn spans_recorded_through_sink() {
+    use std::sync::Arc;
+    use tcom_core::RingRecorder;
+
+    let dir = tmpdir("spans");
+    let db = Database::open(&dir, cfg()).unwrap();
+    let ty = setup_emp(&db);
+
+    let rec = Arc::new(RingRecorder::new(64));
+    db.obs().set_span_sink(Some(rec.clone()));
+    one_insert(&db, ty, 1);
+    db.checkpoint().unwrap();
+    db.obs().set_span_sink(None);
+    one_insert(&db, ty, 2); // not recorded
+
+    let names: Vec<&str> = rec.take().into_iter().map(|s| s.name).collect();
+    assert_eq!(
+        names.iter().filter(|&&n| n == "txn.commit").count(),
+        1,
+        "only the sink-enabled commit is recorded: {names:?}"
+    );
+    assert!(names.contains(&"db.checkpoint"), "{names:?}");
+}

@@ -48,6 +48,9 @@ pub enum Error {
     /// An I/O operation was failed on purpose by the fault-injection VFS
     /// (test harnesses only; never produced in production configurations).
     FaultInjected(String),
+    /// The request is well-formed but names a feature the engine does not
+    /// support (e.g. `EXPLAIN ANALYZE` on a non-SELECT statement).
+    Unsupported(String),
 }
 
 impl Error {
@@ -70,6 +73,11 @@ impl Error {
     pub fn fault(msg: impl Into<String>) -> Error {
         Error::FaultInjected(msg.into())
     }
+
+    /// Shorthand for unsupported-feature errors.
+    pub fn unsupported(msg: impl Into<String>) -> Error {
+        Error::Unsupported(msg.into())
+    }
 }
 
 impl fmt::Display for Error {
@@ -88,6 +96,7 @@ impl fmt::Display for Error {
             Error::Query(m) => write!(f, "query error: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
             Error::FaultInjected(m) => write!(f, "injected fault: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }
 }
@@ -131,6 +140,7 @@ mod tests {
             Error::query("unknown attribute"),
             Error::internal("unreachable"),
             Error::fault("power cut at op 17"),
+            Error::unsupported("EXPLAIN ANALYZE INSERT"),
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

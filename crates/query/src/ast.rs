@@ -22,6 +22,7 @@
 //! * `VALID IN [a, b)` → versions overlapping the window, with their valid
 //!   times clipped to it.
 
+use std::fmt;
 use tcom_kernel::{TimePoint, Value};
 
 /// A parsed query.
@@ -121,4 +122,159 @@ pub enum Operand {
         /// Attribute name.
         attr: String,
     },
+}
+
+// ---------------------------------------------------------------------------
+// Pretty-printing
+//
+// `Display` renders valid TQL that re-parses to an equal AST (the property
+// `crates/query/tests/parser_prop.rs` checks). Identifiers that collide
+// with a keyword or contain non-ident characters are double-quoted;
+// sub-expressions are fully parenthesized so precedence never depends on
+// the printer.
+// ---------------------------------------------------------------------------
+
+/// The lexer's reserved words (uppercased), mirrored here so the printer
+/// knows which identifiers need quoting.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "ASOF", "TT", "VALID", "AT", "IN", "HISTORY",
+    "MOLECULE", "LIMIT", "TRUE", "FALSE", "NULL", "IS",
+];
+
+fn write_ident(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    let plain = !s.is_empty()
+        && s.bytes()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == b'_')
+        && s.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'_')
+        && !KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k));
+    if plain {
+        f.write_str(s)
+    } else {
+        write!(f, "\"{}\"", s.replace('"', "\"\""))
+    }
+}
+
+fn write_value(f: &mut fmt::Formatter<'_>, v: &Value) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("NULL"),
+        Value::Bool(true) => f.write_str("TRUE"),
+        Value::Bool(false) => f.write_str("FALSE"),
+        Value::Int(i) => write!(f, "{i}"),
+        // Rust's `{}` prints integral floats without a decimal point,
+        // which would re-lex as Int; force one so the round trip holds.
+        Value::Float(x) if x.fract() == 0.0 && x.is_finite() => write!(f, "{x:.1}"),
+        Value::Float(x) => write!(f, "{x}"),
+        Value::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        // Not producible by the SELECT grammar; rendered for diagnostics.
+        Value::Bytes(b) => write!(f, "<bytes:{}>", b.len()),
+        Value::Ref(id) => write!(f, "@{}.{}", id.ty.0, id.no.0),
+        Value::RefSet(ids) => {
+            f.write_str("{")?;
+            for (i, id) in ids.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "@{}.{}", id.ty.0, id.no.0)?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+impl fmt::Display for Proj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(q) = &self.qualifier {
+            write_ident(f, q)?;
+            f.write_str(".")?;
+        }
+        write_ident(f, &self.attr)
+    }
+}
+
+impl fmt::Display for Targets {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Targets::All => f.write_str("*"),
+            Targets::Molecule => f.write_str("MOLECULE"),
+            Targets::History => f.write_str("HISTORY"),
+            Targets::Projs(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Lit(v) => write_value(f, v),
+            Operand::Attr { qualifier, attr } => {
+                if let Some(q) = qualifier {
+                    write_ident(f, q)?;
+                    f.write_str(".")?;
+                }
+                write_ident(f, attr)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Cmp(l, op, r) => write!(f, "{l} {op} {r}"),
+            Expr::IsNull(o, negated) => {
+                write!(f, "{o} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT {} FROM ", self.targets)?;
+        write_ident(f, &self.source)?;
+        if let Some(a) = &self.alias {
+            f.write_str(" ")?;
+            write_ident(f, a)?;
+        }
+        if let Some(e) = &self.filter {
+            write!(f, " WHERE {e}")?;
+        }
+        if let Some(tt) = self.asof_tt {
+            write!(f, " ASOF TT {}", tt.0)?;
+        }
+        match self.valid {
+            Valid::Any => {}
+            Valid::At(t) => write!(f, " VALID AT {}", t.0)?,
+            Valid::In(a, b) => write!(f, " VALID IN [{}, {})", a.0, b.0)?,
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
 }

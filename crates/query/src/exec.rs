@@ -80,6 +80,89 @@ pub struct ExecOptions {
     pub force_scan: bool,
 }
 
+/// One operator's measurements in an [`ExplainReport`].
+///
+/// Measurements are *exclusive*: each operator accounts only for the work
+/// (elapsed time, buffer-pool misses) of its own stage, so summing over all
+/// operators reproduces the statement-wide totals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpReport {
+    /// Operator name (`Select`, `Scan`, `IndexProbe`, `Materialize`, …).
+    pub name: String,
+    /// Human-readable operator parameters.
+    pub detail: String,
+    /// Rows (or candidates / molecules / histories) the operator produced.
+    pub rows: u64,
+    /// Wall-clock time spent in this operator's stage, microseconds.
+    pub elapsed_us: u64,
+    /// Buffer-pool misses (pages faulted in from disk or freshly created)
+    /// during this operator's stage.
+    pub pages_read: u64,
+    /// Nesting depth in the rendered operator tree (root = 0).
+    pub depth: usize,
+}
+
+/// The result of `EXPLAIN ANALYZE`: the executed operator tree with
+/// per-operator row counts, timings and page-I/O, pre-order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExplainReport {
+    /// The query, pretty-printed from its AST.
+    pub query: String,
+    /// Operators in pre-order (parent before children).
+    pub ops: Vec<OpReport>,
+    /// Statement-wide wall-clock time, microseconds.
+    pub total_elapsed_us: u64,
+    /// Statement-wide buffer-pool miss delta. Single-threaded this equals
+    /// the sum of the operators' `pages_read` (the differential suite
+    /// asserts exactly that).
+    pub total_pages_read: u64,
+}
+
+impl ExplainReport {
+    /// Sum of the operators' page reads.
+    pub fn pages_read(&self) -> u64 {
+        self.ops.iter().map(|o| o.pages_read).sum()
+    }
+
+    /// Rows produced by the root operator (the statement's result size).
+    pub fn root_rows(&self) -> u64 {
+        self.ops.first().map_or(0, |o| o.rows)
+    }
+
+    /// Renders the annotated operator tree as indented text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "EXPLAIN ANALYZE {}", self.query);
+        for op in &self.ops {
+            let _ = write!(out, "{:indent$}{}", "", op.name, indent = op.depth * 2);
+            if !op.detail.is_empty() {
+                let _ = write!(out, "({})", op.detail);
+            }
+            let _ = writeln!(
+                out,
+                "  rows={} time={}us pages={}",
+                op.rows, op.elapsed_us, op.pages_read
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: time={}us pages={}",
+            self.total_elapsed_us, self.total_pages_read
+        );
+        out
+    }
+}
+
+/// Runs `f` and returns `(value, elapsed_us, pool-miss delta)`.
+fn measured<T>(db: &Database, f: impl FnOnce() -> Result<T>) -> Result<(T, u64, u64)> {
+    let misses0 = db.buffer_stats().misses;
+    let t0 = std::time::Instant::now();
+    let v = f()?;
+    let elapsed_us = t0.elapsed().as_micros() as u64;
+    Ok((v, elapsed_us, db.buffer_stats().misses - misses0))
+}
+
 /// A fully analyzed, executable query.
 pub struct Prepared {
     query: Query,
@@ -110,6 +193,20 @@ pub fn execute(db: &Database, text: &str) -> Result<QueryOutput> {
 pub fn execute_with(db: &Database, text: &str, opts: ExecOptions) -> Result<QueryOutput> {
     let p = prepare_with(db, text, opts)?;
     p.run(db)
+}
+
+/// Plans an already-parsed query (the `EXPLAIN ANALYZE` statement path,
+/// which parses the prefix itself before handing the query over).
+pub fn prepare_query(db: &Database, query: Query, opts: ExecOptions) -> Result<Prepared> {
+    analyze(db, query, opts)
+}
+
+/// Parses (accepting an optional `EXPLAIN ANALYZE` prefix), plans, executes
+/// and measures in one step.
+pub fn explain_analyze(db: &Database, text: &str) -> Result<(QueryOutput, ExplainReport)> {
+    let (_, query) = crate::parser::parse_maybe_explain(text)?;
+    let p = analyze(db, query, ExecOptions::default())?;
+    p.run_explain(db)
 }
 
 fn analyze(db: &Database, query: Query, opts: ExecOptions) -> Result<Prepared> {
@@ -334,6 +431,104 @@ impl Prepared {
         }
     }
 
+    /// Executes the prepared query with per-operator instrumentation.
+    ///
+    /// The statement runs in two sequential stages — the access path
+    /// (candidate enumeration), then the consuming operator (version
+    /// fetch + filter + project / materialize / history assembly) — each
+    /// measured for rows, wall-clock time and buffer-pool misses.
+    /// Page attribution relies on the statement running single-threaded;
+    /// concurrent writers would bleed their misses into the deltas.
+    pub fn run_explain(&self, db: &Database) -> Result<(QueryOutput, ExplainReport)> {
+        let misses0 = db.buffer_stats().misses;
+        let t0 = std::time::Instant::now();
+
+        let (candidates, acc_us, acc_pages) = measured(db, || self.candidates(db))?;
+        let n_candidates = candidates.len() as u64;
+        let access_op = |depth: usize| {
+            let (name, detail) = match &self.access {
+                AccessPath::Scan => ("Scan".to_string(), format!("type={}", self.type_def.name)),
+                AccessPath::IndexRange { attr, lo, hi } => {
+                    let aname = self
+                        .type_def
+                        .attrs
+                        .get(attr.0 as usize)
+                        .map_or("?", |a| a.name.as_str());
+                    (
+                        "IndexProbe".to_string(),
+                        format!("attr={}.{aname} range=[{lo}, {hi}]", self.type_def.name),
+                    )
+                }
+            };
+            OpReport {
+                name,
+                detail,
+                rows: n_candidates,
+                elapsed_us: acc_us,
+                pages_read: acc_pages,
+                depth,
+            }
+        };
+
+        let (root_name, root_detail, out, root_us, root_pages) = match &self.query.targets {
+            Targets::Molecule => {
+                let (out, us, pages) =
+                    measured(db, || self.molecules_from_candidates(db, candidates))?;
+                (
+                    "Materialize",
+                    format!("molecule={}", self.query.source),
+                    out,
+                    us,
+                    pages,
+                )
+            }
+            Targets::History => {
+                let (out, us, pages) =
+                    measured(db, || self.histories_from_candidates(db, candidates))?;
+                (
+                    "History",
+                    format!("type={}", self.query.source),
+                    out,
+                    us,
+                    pages,
+                )
+            }
+            _ => {
+                let (out, us, pages) = measured(db, || self.rows_from_candidates(db, candidates))?;
+                let mut detail = match &self.query.filter {
+                    Some(f) => format!("filter={f}"),
+                    None => String::new(),
+                };
+                if let Some(n) = self.query.limit {
+                    if !detail.is_empty() {
+                        detail.push_str(", ");
+                    }
+                    detail.push_str(&format!("limit={n}"));
+                }
+                ("Select", detail, out, us, pages)
+            }
+        };
+
+        let ops = vec![
+            OpReport {
+                name: root_name.to_string(),
+                detail: root_detail,
+                rows: out.len() as u64,
+                elapsed_us: root_us,
+                pages_read: root_pages,
+                depth: 0,
+            },
+            access_op(1),
+        ];
+        let report = ExplainReport {
+            query: self.query.to_string(),
+            ops,
+            total_elapsed_us: t0.elapsed().as_micros() as u64,
+            total_pages_read: db.buffer_stats().misses - misses0,
+        };
+        Ok((out, report))
+    }
+
     /// The candidate atoms per the access path.
     fn candidates(&self, db: &Database) -> Result<Vec<AtomId>> {
         match &self.access {
@@ -376,8 +571,9 @@ impl Prepared {
         }
     }
 
-    fn run_rows(&self, db: &Database) -> Result<QueryOutput> {
-        let (columns, positions): (Vec<String>, Vec<usize>) = match &self.query.targets {
+    /// Output columns and their tuple positions for a rows query.
+    fn row_layout(&self) -> (Vec<String>, Vec<usize>) {
+        match &self.query.targets {
             Targets::All => (
                 self.type_def.attrs.iter().map(|a| a.name.clone()).collect(),
                 (0..self.type_def.arity()).collect(),
@@ -396,10 +592,21 @@ impl Prepared {
                 (cols, pos)
             }
             _ => unreachable!("handled in run()"),
-        };
+        }
+    }
+
+    fn run_rows(&self, db: &Database) -> Result<QueryOutput> {
+        let candidates = self.candidates(db)?;
+        self.rows_from_candidates(db, candidates)
+    }
+
+    /// The fetch/filter/project stage of a rows query, over pre-computed
+    /// candidates (shared by the plain and the EXPLAIN ANALYZE paths).
+    fn rows_from_candidates(&self, db: &Database, candidates: Vec<AtomId>) -> Result<QueryOutput> {
+        let (columns, positions) = self.row_layout();
         let limit = self.query.limit.unwrap_or(usize::MAX);
         let mut rows = Vec::new();
-        'outer: for atom in self.candidates(db)? {
+        'outer: for atom in candidates {
             for v in self.versions(db, atom)? {
                 if !self.matches(&v.tuple) {
                     continue;
@@ -419,6 +626,15 @@ impl Prepared {
     }
 
     fn run_molecules(&self, db: &Database) -> Result<QueryOutput> {
+        let candidates = self.candidates(db)?;
+        self.molecules_from_candidates(db, candidates)
+    }
+
+    fn molecules_from_candidates(
+        &self,
+        db: &Database,
+        candidates: Vec<AtomId>,
+    ) -> Result<QueryOutput> {
         let mol = self.mol_type.expect("molecule query");
         let tt = self.query.asof_tt.unwrap_or_else(|| db.now());
         let vt = match self.query.valid {
@@ -430,7 +646,7 @@ impl Prepared {
         };
         let limit = self.query.limit.unwrap_or(usize::MAX);
         let mut out = Vec::new();
-        for root in self.candidates(db)? {
+        for root in candidates {
             let Some(version) = db.version_at(root, tt, vt)? else {
                 continue;
             };
@@ -448,9 +664,18 @@ impl Prepared {
     }
 
     fn run_histories(&self, db: &Database) -> Result<QueryOutput> {
+        let candidates = self.candidates(db)?;
+        self.histories_from_candidates(db, candidates)
+    }
+
+    fn histories_from_candidates(
+        &self,
+        db: &Database,
+        candidates: Vec<AtomId>,
+    ) -> Result<QueryOutput> {
         let limit = self.query.limit.unwrap_or(usize::MAX);
         let mut out = Vec::new();
-        for atom in self.candidates(db)? {
+        for atom in candidates {
             let hist = self.clip_valid(db.history(atom)?);
             let qualifying: Vec<AtomVersion> = hist
                 .into_iter()

@@ -13,6 +13,23 @@ pub fn parse(src: &str) -> Result<Query> {
     Ok(q)
 }
 
+/// Parses a query that may be prefixed by `EXPLAIN ANALYZE`.
+///
+/// Returns `(true, query)` when the prefix was present. `EXPLAIN` and
+/// `ANALYZE` are *not* reserved words — the lexer delivers them as plain
+/// identifiers — so `SELECT * FROM explain` keeps working.
+pub fn parse_maybe_explain(src: &str) -> Result<(bool, Query)> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let analyze = p.eat_ident_ci("EXPLAIN");
+    if analyze && !p.eat_ident_ci("ANALYZE") {
+        return Err(p.err("expected ANALYZE after EXPLAIN"));
+    }
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok((analyze, q))
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -54,6 +71,17 @@ impl Parser {
             Ok(())
         } else {
             Err(self.err(format!("expected {kw:?}, found {:?}", self.peek())))
+        }
+    }
+
+    /// Eats an identifier matching `word` case-insensitively (used for the
+    /// non-reserved `EXPLAIN ANALYZE` prefix).
+    fn eat_ident_ci(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(word)) {
+            self.bump();
+            true
+        } else {
+            false
         }
     }
 

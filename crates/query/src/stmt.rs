@@ -44,6 +44,9 @@ use tcom_kernel::{
 pub enum Statement {
     /// `SELECT …` (delegated to [`crate::ast::Query`]).
     Select(crate::ast::Query),
+    /// `EXPLAIN ANALYZE SELECT …` — execute and report per-operator
+    /// rows / time / page-I/O.
+    ExplainAnalyze(crate::ast::Query),
     /// `CREATE TYPE …`.
     CreateType {
         /// Type name.
@@ -113,6 +116,8 @@ pub enum TypeSpec {
 pub enum StatementOutput {
     /// Query results.
     Query(QueryOutput),
+    /// `EXPLAIN ANALYZE` results: the executed, annotated operator tree.
+    Explain(crate::exec::ExplainReport),
     /// A new atom type.
     TypeCreated(AtomTypeId),
     /// A new molecule type.
@@ -129,6 +134,20 @@ pub fn parse_statement(src: &str) -> Result<Statement> {
     if head.starts_with("SELECT") {
         return Ok(Statement::Select(crate::parser::parse(src)?));
     }
+    if head.starts_with("EXPLAIN") {
+        // Only SELECT can be explained; give DML/DDL a crisp error instead
+        // of the query parser's generic one.
+        let mut words = head.split_ascii_whitespace().skip(1);
+        if words.next() == Some("ANALYZE") {
+            if let Some(kw @ ("INSERT" | "UPDATE" | "DELETE" | "CREATE")) = words.next() {
+                return Err(Error::unsupported(format!(
+                    "EXPLAIN ANALYZE supports only SELECT statements, not {kw}"
+                )));
+            }
+        }
+        let (_, q) = crate::parser::parse_maybe_explain(src)?;
+        return Ok(Statement::ExplainAnalyze(q));
+    }
     let tokens = lex(src)?;
     let mut p = StmtParser { tokens, pos: 0 };
     let s = p.statement()?;
@@ -140,6 +159,11 @@ pub fn parse_statement(src: &str) -> Result<Statement> {
 pub fn run_statement(db: &Database, src: &str) -> Result<StatementOutput> {
     match parse_statement(src)? {
         Statement::Select(_) => Ok(StatementOutput::Query(crate::exec::execute(db, src)?)),
+        Statement::ExplainAnalyze(q) => {
+            let p = crate::exec::prepare_query(db, q, crate::exec::ExecOptions::default())?;
+            let (_, report) = p.run_explain(db)?;
+            Ok(StatementOutput::Explain(report))
+        }
         Statement::CreateType { name, attrs } => {
             let mut defs = Vec::with_capacity(attrs.len());
             for (aname, spec, not_null, indexed) in attrs {

@@ -216,6 +216,29 @@ impl<'a> Lexer<'a> {
                 }
             }
         }
+        // Quoted identifier (with `""` escaping): never a keyword, so
+        // names that collide with reserved words stay addressable.
+        if c == b'"' {
+            self.bump();
+            let mut s = String::new();
+            loop {
+                match self.bump() {
+                    None => return Err(self.err("unterminated quoted identifier")),
+                    Some(b'"') => {
+                        if self.peek() == Some(b'"') {
+                            self.bump();
+                            s.push('"');
+                        } else {
+                            if s.is_empty() {
+                                return Err(self.err("empty quoted identifier"));
+                            }
+                            return Ok(mk(Tok::Ident(s)));
+                        }
+                    }
+                    Some(c) => s.push(c as char),
+                }
+            }
+        }
         // Number (with optional leading minus handled by the parser as an
         // operator-free negative literal: `-12`)
         if c.is_ascii_digit()
@@ -366,6 +389,15 @@ mod tests {
                 Tok::Eof,
             ]
         );
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(toks(r#""select""#)[0], Tok::Ident("select".into()));
+        assert_eq!(toks(r#""two words""#)[0], Tok::Ident("two words".into()));
+        assert_eq!(toks(r#""a""b""#)[0], Tok::Ident("a\"b".into()));
+        assert!(lex(r#""unterminated"#).is_err());
+        assert!(lex(r#""""#).is_err(), "empty quoted identifier rejected");
     }
 
     #[test]

@@ -75,8 +75,10 @@ struct ShardInner {
 }
 
 /// Cumulative buffer pool statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BufferStats {
+    /// Total page fetches (`hits + misses == fetches` at rest).
+    pub fetches: u64,
     /// Fetches satisfied from the pool.
     pub hits: u64,
     /// Fetches requiring a disk read.
@@ -171,6 +173,7 @@ pub struct BufferPool {
     /// recovery sound (the on-disk state is always a transaction-boundary
     /// snapshot).
     steal: bool,
+    fetches: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -248,6 +251,7 @@ impl BufferPool {
             shards: shards_v.into_boxed_slice(),
             files: FileTable::new(),
             steal,
+            fetches: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -287,6 +291,7 @@ impl BufferPool {
     /// Snapshot of the statistics counters (lock-free).
     pub fn stats(&self) -> BufferStats {
         BufferStats {
+            fetches: self.fetches.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -294,12 +299,21 @@ impl BufferPool {
         }
     }
 
-    /// Resets the statistics counters (benchmark warm-up hygiene).
-    pub fn reset_stats(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
-        self.writebacks.store(0, Ordering::Relaxed);
+    /// Resets the statistics counters and returns the pre-reset values
+    /// (benchmark warm-up hygiene). Each counter is harvested with an
+    /// atomic `swap`, so increments racing with the reset land either in
+    /// the returned snapshot or in the fresh epoch — never in both and
+    /// never lost. (The previous `store(0)` implementation could drop an
+    /// increment that landed between a concurrent reader's load and the
+    /// store.)
+    pub fn reset_stats(&self) -> BufferStats {
+        BufferStats {
+            fetches: self.fetches.swap(0, Ordering::Relaxed),
+            hits: self.hits.swap(0, Ordering::Relaxed),
+            misses: self.misses.swap(0, Ordering::Relaxed),
+            evictions: self.evictions.swap(0, Ordering::Relaxed),
+            writebacks: self.writebacks.swap(0, Ordering::Relaxed),
+        }
     }
 
     /// The stripe a key belongs to (Fibonacci-hashed so sequentially
@@ -312,6 +326,7 @@ impl BufferPool {
 
     /// Locates or loads the page, returning its pinned frame index.
     fn pin_frame(&self, file: FileId, page: PageId, fill: Fill) -> Result<usize> {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
         let key = (file, page);
         let shard = self.shard_of(file, page);
         let mut inner = shard.inner.lock();

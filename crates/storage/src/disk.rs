@@ -24,6 +24,24 @@ pub struct DiskManager {
     alloc: Mutex<()>,
     reads: AtomicU64,
     writes: AtomicU64,
+    syncs: AtomicU64,
+}
+
+/// Cumulative physical I/O of one [`DiskManager`] since open. Pages are
+/// fixed-size, so byte counts are derived (`reads * PAGE_SIZE`); keeping
+/// them here makes the registry exposition self-describing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiskIoStats {
+    /// Pages read.
+    pub reads: u64,
+    /// Pages written.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// `sync()` calls forced to stable storage.
+    pub syncs: u64,
 }
 
 impl DiskManager {
@@ -55,6 +73,7 @@ impl DiskManager {
             alloc: Mutex::new(()),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
         })
     }
 
@@ -125,7 +144,9 @@ impl DiskManager {
 
     /// Forces all written pages to stable storage.
     pub fn sync(&self) -> Result<()> {
-        self.file.sync()
+        self.file.sync()?;
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// (physical reads, physical writes) since open — the currency of the
@@ -135,6 +156,19 @@ impl DiskManager {
             self.reads.load(Ordering::Relaxed),
             self.writes.load(Ordering::Relaxed),
         )
+    }
+
+    /// Full physical-I/O snapshot since open (lock-free).
+    pub fn io_stats(&self) -> DiskIoStats {
+        let reads = self.reads.load(Ordering::Relaxed);
+        let writes = self.writes.load(Ordering::Relaxed);
+        DiskIoStats {
+            reads,
+            writes,
+            bytes_read: reads * PAGE_SIZE as u64,
+            bytes_written: writes * PAGE_SIZE as u64,
+            syncs: self.syncs.load(Ordering::Relaxed),
+        }
     }
 }
 

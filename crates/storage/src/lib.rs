@@ -22,7 +22,7 @@ pub mod slotted;
 pub mod vfs;
 
 pub use buffer::{BufferPool, BufferStats, FileId, PageMut, PageRef};
-pub use disk::DiskManager;
+pub use disk::{DiskIoStats, DiskManager};
 pub use heap::HeapFile;
 pub use page::{Page, PageKind, PAGE_SIZE};
 pub use slotted::{SlottedPage, SlottedRef, MAX_RECORD};

@@ -1,0 +1,209 @@
+//! Buffer-pool statistics under concurrency: the counters must be
+//! race-free and monotone, `hits + misses == fetches` must hold at rest,
+//! and [`BufferPool::reset_stats`] must hand out *torn-free* epochs — the
+//! regression surface for the swap-based reset: every counted event lands
+//! in exactly one returned snapshot (or the final residue), none is lost
+//! or double-counted, even with readers racing the reset.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use tcom_storage::buffer::{BufferPool, BufferStats};
+use tcom_storage::disk::DiskManager;
+use tcom_storage::page::PageKind;
+
+fn tmpfile(name: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!("tcom-stats-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn add(total: &mut BufferStats, s: &BufferStats) {
+    total.fetches += s.fetches;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.writebacks += s.writebacks;
+}
+
+/// Sequential regression for the reset fix: the returned snapshot is the
+/// pre-reset state and the live counters restart from zero.
+#[test]
+fn reset_returns_pre_reset_stats() {
+    let path = tmpfile("reset-seq");
+    let dm = Arc::new(DiskManager::open(&path).unwrap());
+    let pool = BufferPool::with_shards(8, 1, true);
+    let file = pool.register_file(dm);
+
+    let mut pids = Vec::new();
+    for _ in 0..16 {
+        let (pid, _) = pool.create(file, PageKind::Slotted).unwrap();
+        pids.push(pid);
+    }
+    pool.flush_all().unwrap();
+    pool.reset_stats();
+
+    for pid in &pids {
+        drop(pool.fetch_read(file, *pid).unwrap());
+    }
+    let live = pool.stats();
+    assert_eq!(live.fetches, 16);
+    assert_eq!(live.hits + live.misses, live.fetches);
+
+    let returned = pool.reset_stats();
+    assert_eq!(returned, live, "reset must return the pre-reset counters");
+    let fresh = pool.stats();
+    assert_eq!(fresh.fetches, 0);
+    assert_eq!(fresh.hits + fresh.misses, 0);
+}
+
+/// Readers hammer the pool while a harvester thread repeatedly calls
+/// `reset_stats`. Conservation law: the sum of every harvested snapshot
+/// plus the final residue equals the per-thread ground-truth totals —
+/// nothing lost, nothing duplicated — and the summed counters satisfy
+/// `hits + misses == fetches`.
+#[test]
+fn reset_conserves_counts_under_concurrency() {
+    const THREADS: usize = 6;
+    const OPS: usize = 4_000;
+    const PAGES: usize = 64; // over a 16-frame pool: plenty of misses
+
+    let path = tmpfile("reset-race");
+    let dm = Arc::new(DiskManager::open(&path).unwrap());
+    let pool = BufferPool::with_shards(16, 4, true);
+    let file = pool.register_file(dm);
+
+    let mut pids = Vec::with_capacity(PAGES);
+    for _ in 0..PAGES {
+        let (pid, _) = pool.create(file, PageKind::Slotted).unwrap();
+        pids.push(pid);
+    }
+    pool.flush_all().unwrap();
+    pool.reset_stats();
+
+    let fetches_done = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(THREADS + 1);
+
+    let mut harvested = BufferStats::default();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let pool = &pool;
+            let pids = &pids;
+            let fetches_done = &fetches_done;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut rng = 0xC0FFEE ^ (t as u64) << 17;
+                barrier.wait();
+                for _ in 0..OPS {
+                    let pid = pids[(mix(&mut rng) as usize) % PAGES];
+                    drop(pool.fetch_read(file, pid).unwrap());
+                    fetches_done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Harvester: keeps swapping epochs out from under the readers.
+        let h = s.spawn(|| {
+            let mut acc = BufferStats::default();
+            barrier.wait();
+            while !stop.load(Ordering::Acquire) {
+                add(&mut acc, &pool.reset_stats());
+                std::thread::yield_now();
+            }
+            acc
+        });
+        // Scope join order: wait for the readers by joining the harvester
+        // last — tell it to stop once all reader handles are implicitly
+        // joined at scope end. Explicitly: spawn readers, then busy-wait on
+        // the ground-truth counter.
+        while fetches_done.load(Ordering::Relaxed) < (THREADS * OPS) as u64 {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+        harvested = h.join().unwrap();
+    });
+
+    // Residue left after the last harvest.
+    add(&mut harvested, &pool.reset_stats());
+
+    let expected = (THREADS * OPS) as u64;
+    assert_eq!(
+        harvested.fetches, expected,
+        "every fetch lands in exactly one epoch"
+    );
+    assert_eq!(
+        harvested.hits + harvested.misses,
+        harvested.fetches,
+        "hit/miss accounting conserved across resets: {harvested:?}"
+    );
+    assert!(harvested.misses > 0, "working set exceeds the pool");
+}
+
+/// Without resets, the counters are monotone non-decreasing while observed
+/// concurrently with the workload, and exact at rest.
+#[test]
+fn stats_monotone_and_exact_at_rest() {
+    const THREADS: usize = 4;
+    const OPS: usize = 2_000;
+    const PAGES: usize = 32;
+
+    let path = tmpfile("monotone");
+    let dm = Arc::new(DiskManager::open(&path).unwrap());
+    let pool = BufferPool::with_shards(16, 2, true);
+    let file = pool.register_file(dm);
+
+    let mut pids = Vec::with_capacity(PAGES);
+    for _ in 0..PAGES {
+        let (pid, _) = pool.create(file, PageKind::Slotted).unwrap();
+        pids.push(pid);
+    }
+    pool.flush_all().unwrap();
+    pool.reset_stats();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let mut workers = Vec::with_capacity(THREADS);
+        for t in 0..THREADS {
+            let pool = &pool;
+            let pids = &pids;
+            workers.push(s.spawn(move || {
+                let mut rng = 0xDEAD_BEEF ^ (t as u64) << 9;
+                for _ in 0..OPS {
+                    let pid = pids[(mix(&mut rng) as usize) % PAGES];
+                    drop(pool.fetch_read(file, pid).unwrap());
+                }
+            }));
+        }
+        // Concurrent observer: monotonicity of each counter.
+        let pool = &pool;
+        let stop = &stop;
+        s.spawn(move || {
+            let mut last = pool.stats();
+            while !stop.load(Ordering::Acquire) {
+                let now = pool.stats();
+                assert!(now.fetches >= last.fetches, "fetches regressed");
+                assert!(now.hits >= last.hits, "hits regressed");
+                assert!(now.misses >= last.misses, "misses regressed");
+                assert!(now.evictions >= last.evictions, "evictions regressed");
+                assert!(now.writebacks >= last.writebacks, "writebacks regressed");
+                last = now;
+                std::thread::yield_now();
+            }
+        });
+        for w in workers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+    });
+
+    let s = pool.stats();
+    assert_eq!(s.fetches, (THREADS * OPS) as u64);
+    assert_eq!(s.hits + s.misses, s.fetches);
+}

@@ -14,8 +14,8 @@
 
 use crate::record::{AtomVersion, Payload, VersionRecord};
 use crate::store::{
-    dir_get, dir_scan, dir_set, filter_at_tt, sort_by_vt, sort_history, StoreKind, StoreStats,
-    VersionStore,
+    dir_get, dir_scan, dir_set, filter_at_tt, sort_by_vt, sort_history, StoreKind, StoreObs,
+    StoreStats, VersionStore,
 };
 use std::sync::Arc;
 use tcom_kernel::{AtomNo, Error, Interval, RecordId, Result, TimePoint, Tuple};
@@ -27,6 +27,7 @@ use tcom_storage::heap::HeapFile;
 pub struct ChainStore {
     heap: HeapFile,
     dir: BTree,
+    obs: StoreObs,
 }
 
 impl ChainStore {
@@ -39,6 +40,7 @@ impl ChainStore {
         Ok(ChainStore {
             heap: HeapFile::create(pool.clone(), heap_file)?,
             dir: BTree::create(pool, dir_file)?,
+            obs: StoreObs::default(),
         })
     }
 
@@ -47,6 +49,7 @@ impl ChainStore {
         Ok(ChainStore {
             heap: HeapFile::open(pool.clone(), heap_file)?,
             dir: BTree::open(pool, dir_file)?,
+            obs: StoreObs::default(),
         })
     }
 
@@ -57,8 +60,10 @@ impl ChainStore {
         no: AtomNo,
         mut f: impl FnMut(RecordId, &VersionRecord) -> Result<bool>,
     ) -> Result<()> {
+        self.obs.chain_walks.inc();
         let mut cur = dir_get(&self.dir, no)?.filter(|r| !r.is_invalid());
         while let Some(rid) = cur {
+            self.obs.chain_steps.inc();
             let rec = self.heap.with_record(rid, VersionRecord::decode)??;
             if rec.atom_no != no {
                 return Err(Error::corruption(format!(
@@ -164,6 +169,10 @@ impl VersionStore for ChainStore {
 
     fn scan_atoms(&self, f: &mut dyn FnMut(AtomNo) -> Result<bool>) -> Result<()> {
         dir_scan(&self.dir, f)
+    }
+
+    fn obs(&self) -> &StoreObs {
+        &self.obs
     }
 
     fn prune(&self, no: AtomNo, cutoff: TimePoint) -> Result<usize> {

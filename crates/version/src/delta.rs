@@ -21,8 +21,8 @@
 
 use crate::record::{AtomVersion, Payload, TupleDelta, VersionRecord};
 use crate::store::{
-    dir_get, dir_scan, dir_set, filter_at_tt, sort_by_vt, sort_history, StoreKind, StoreStats,
-    VersionStore,
+    dir_get, dir_scan, dir_set, filter_at_tt, sort_by_vt, sort_history, StoreKind, StoreObs,
+    StoreStats, VersionStore,
 };
 use std::sync::Arc;
 use tcom_kernel::{AtomNo, Error, Interval, RecordId, Result, TimePoint, Tuple};
@@ -34,6 +34,7 @@ use tcom_storage::heap::HeapFile;
 pub struct DeltaStore {
     heap: HeapFile,
     dir: BTree,
+    obs: StoreObs,
 }
 
 impl DeltaStore {
@@ -46,6 +47,7 @@ impl DeltaStore {
         Ok(DeltaStore {
             heap: HeapFile::create(pool.clone(), heap_file)?,
             dir: BTree::create(pool, dir_file)?,
+            obs: StoreObs::default(),
         })
     }
 
@@ -54,6 +56,7 @@ impl DeltaStore {
         Ok(DeltaStore {
             heap: HeapFile::open(pool.clone(), heap_file)?,
             dir: BTree::open(pool, dir_file)?,
+            obs: StoreObs::default(),
         })
     }
 
@@ -65,9 +68,11 @@ impl DeltaStore {
         no: AtomNo,
         mut f: impl FnMut(RecordId, &VersionRecord, &Tuple, usize) -> Result<bool>,
     ) -> Result<()> {
+        self.obs.chain_walks.inc();
         let mut cur = dir_get(&self.dir, no)?.filter(|r| !r.is_invalid());
         let mut newer_tuple: Option<Tuple> = None;
         while let Some(rid) = cur {
+            self.obs.chain_steps.inc();
             let (rec, len) = self
                 .heap
                 .with_record(rid, |bytes| (VersionRecord::decode(bytes), bytes.len()))?;
@@ -84,6 +89,7 @@ impl DeltaStore {
                     let base = newer_tuple.as_ref().ok_or_else(|| {
                         Error::corruption("delta record at chain head has no base tuple")
                     })?;
+                    self.obs.delta_reconstructions.inc();
                     d.apply(base)
                 }
             };
@@ -232,6 +238,10 @@ impl VersionStore for DeltaStore {
 
     fn scan_atoms(&self, f: &mut dyn FnMut(AtomNo) -> Result<bool>) -> Result<()> {
         dir_scan(&self.dir, f)
+    }
+
+    fn obs(&self) -> &StoreObs {
+        &self.obs
     }
 
     fn prune(&self, no: AtomNo, cutoff: TimePoint) -> Result<usize> {

@@ -25,4 +25,4 @@ pub use chain::ChainStore;
 pub use delta::DeltaStore;
 pub use record::{AtomVersion, Payload, TupleDelta, VersionRecord};
 pub use split::SplitStore;
-pub use store::{StoreKind, StoreStats, VersionStore, VersionStoreExt};
+pub use store::{StoreKind, StoreObs, StoreStats, VersionStore, VersionStoreExt};

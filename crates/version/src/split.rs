@@ -15,7 +15,8 @@
 
 use crate::record::{AtomVersion, Payload, VersionRecord};
 use crate::store::{
-    dir_get, dir_scan, dir_set, sort_by_vt, sort_history, StoreKind, StoreStats, VersionStore,
+    dir_get, dir_scan, dir_set, sort_by_vt, sort_history, StoreKind, StoreObs, StoreStats,
+    VersionStore,
 };
 use std::sync::Arc;
 use tcom_kernel::codec::{Decoder, Encoder};
@@ -76,6 +77,7 @@ pub struct SplitStore {
     cur_dir: BTree,
     hist_heap: HeapFile,
     hist_dir: BTree,
+    obs: StoreObs,
 }
 
 impl SplitStore {
@@ -92,6 +94,7 @@ impl SplitStore {
             cur_dir: BTree::create(pool.clone(), cur_dir)?,
             hist_heap: HeapFile::create(pool.clone(), hist_heap)?,
             hist_dir: BTree::create(pool, hist_dir)?,
+            obs: StoreObs::default(),
         })
     }
 
@@ -108,6 +111,7 @@ impl SplitStore {
             cur_dir: BTree::open(pool.clone(), cur_dir)?,
             hist_heap: HeapFile::open(pool.clone(), hist_heap)?,
             hist_dir: BTree::open(pool, hist_dir)?,
+            obs: StoreObs::default(),
         })
     }
 
@@ -142,8 +146,10 @@ impl SplitStore {
         no: AtomNo,
         mut f: impl FnMut(&VersionRecord) -> Result<bool>,
     ) -> Result<()> {
+        self.obs.chain_walks.inc();
         let mut cur = dir_get(&self.hist_dir, no)?.filter(|r| !r.is_invalid());
         while let Some(rid) = cur {
+            self.obs.chain_steps.inc();
             let rec = self.hist_heap.with_record(rid, VersionRecord::decode)??;
             if rec.atom_no != no {
                 return Err(Error::corruption(format!(
@@ -210,6 +216,7 @@ impl VersionStore for SplitStore {
         };
         let hist_rid = self.hist_heap.insert(&rec.encode())?;
         dir_set(&self.hist_dir, no, hist_rid)?;
+        self.obs.split_migrations.inc();
         // Shrink the current set (kept even when empty: the directory entry
         // marks the atom as existing).
         self.store_current(no, Some(rid), &set)?;
@@ -280,6 +287,10 @@ impl VersionStore for SplitStore {
         // Every atom ever inserted has a current-set record (possibly empty),
         // so the current directory is the authoritative atom list.
         dir_scan(&self.cur_dir, f)
+    }
+
+    fn obs(&self) -> &StoreObs {
+        &self.obs
     }
 
     fn prune(&self, no: AtomNo, cutoff: TimePoint) -> Result<usize> {

@@ -10,6 +10,7 @@
 
 use crate::record::AtomVersion;
 use tcom_kernel::{AtomNo, Interval, RecordId, Result, TimePoint, Tuple};
+use tcom_obs::Counter;
 use tcom_storage::btree::BTree;
 use tcom_storage::keys::BKey;
 
@@ -47,6 +48,24 @@ pub struct StoreStats {
     pub record_bytes: u64,
     /// Height of the atom directory B⁺-tree.
     pub dir_height: u32,
+}
+
+/// Shared observability handles of one store instance. Cloning shares the
+/// underlying cells, so a metrics registry can hold the same handles the
+/// store increments; fields irrelevant to a given format simply stay zero.
+#[derive(Clone, Default)]
+pub struct StoreObs {
+    /// Version-chain walks started (one per read primitive that touches a
+    /// chain).
+    pub chain_walks: Counter,
+    /// Chain records visited across all walks.
+    pub chain_steps: Counter,
+    /// Tuples reconstructed by applying a backward attribute delta
+    /// (delta store only).
+    pub delta_reconstructions: Counter,
+    /// Closed versions migrated from the current set into the history
+    /// chain (split store only).
+    pub split_migrations: Counter,
 }
 
 /// A temporal storage format for the versions of one atom type.
@@ -102,6 +121,10 @@ pub trait VersionStore: Send + Sync {
     /// faithful (that is the point of pruning). Returns the number of
     /// versions removed. Current (tt-open) versions are never pruned.
     fn prune(&self, no: AtomNo, cutoff: TimePoint) -> Result<usize>;
+
+    /// The store's observability counter handles (clone them to register
+    /// in a metrics registry).
+    fn obs(&self) -> &StoreObs;
 }
 
 /// Convenience queries derived from the trait primitives.

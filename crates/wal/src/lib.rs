@@ -25,4 +25,4 @@ pub mod record;
 pub mod wal;
 
 pub use record::LogRecord;
-pub use wal::{SyncPolicy, Wal};
+pub use wal::{SyncPolicy, Wal, WalObs};

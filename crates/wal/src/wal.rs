@@ -2,9 +2,11 @@
 
 use crate::record::LogRecord;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tcom_kernel::codec::crc32c;
 use tcom_kernel::{Lsn, Result};
+use tcom_obs::{Counter, Histogram};
 use tcom_storage::vfs::{StdVfs, Vfs, VfsFile};
 
 /// When the log file is fsynced.
@@ -23,11 +25,30 @@ struct Inner {
     end: u64,
 }
 
+/// Shared observability handles of one [`Wal`]. Cloning shares the
+/// underlying cells, so the database registry can hold the same handles
+/// the log increments.
+#[derive(Clone, Default)]
+pub struct WalObs {
+    /// Records appended.
+    pub appends: Counter,
+    /// Frame bytes appended (payload + 8-byte header).
+    pub bytes: Counter,
+    /// fsyncs issued.
+    pub fsyncs: Counter,
+    /// Group-commit size: records appended between consecutive fsyncs,
+    /// recorded at each fsync.
+    pub group_size: Histogram,
+}
+
 /// An append-only write-ahead log.
 pub struct Wal {
     inner: Mutex<Inner>,
     path: PathBuf,
     policy: SyncPolicy,
+    obs: WalObs,
+    /// Records appended since the last fsync (feeds `obs.group_size`).
+    unsynced: AtomicU64,
 }
 
 impl Wal {
@@ -56,7 +77,14 @@ impl Wal {
             }),
             path,
             policy,
+            obs: WalObs::default(),
+            unsynced: AtomicU64::new(0),
         })
+    }
+
+    /// The log's observability handles (clone to register them).
+    pub fn obs(&self) -> &WalObs {
+        &self.obs
     }
 
     /// The log file path.
@@ -85,6 +113,9 @@ impl Wal {
         let lsn = Lsn(inner.end);
         inner.file.write_at(&frame, inner.end)?;
         inner.end += frame.len() as u64;
+        self.obs.appends.inc();
+        self.obs.bytes.add(frame.len() as u64);
+        self.unsynced.fetch_add(1, Ordering::Relaxed);
         Ok(lsn)
     }
 
@@ -99,7 +130,12 @@ impl Wal {
 
     /// Forces the log to stable storage.
     pub fn sync(&self) -> Result<()> {
-        self.inner.lock().expect("wal lock").file.sync()
+        self.inner.lock().expect("wal lock").file.sync()?;
+        self.obs.fsyncs.inc();
+        self.obs
+            .group_size
+            .record(self.unsynced.swap(0, Ordering::Relaxed));
+        Ok(())
     }
 
     /// Reads every valid record from the start of the log. A torn tail

@@ -11,6 +11,7 @@
 //! .types                list atom types and attributes
 //! .molecules            list molecule types
 //! .stats                storage + buffer statistics
+//! .metrics              full metrics-registry exposition
 //! .checkpoint           flush everything and truncate the WAL
 //! .now                  current transaction-time clock
 //! .quit                 exit (clean shutdown checkpoint)
@@ -101,9 +102,10 @@ fn meta_command(db: &Database, cmd: &str) -> bool {
         ".quit" | ".exit" | ".q" => return false,
         ".help" => {
             println!(
-                ".types .molecules .stats .checkpoint .now .quit\n\
-                 SELECT … | CREATE TYPE … | CREATE MOLECULE … |\n\
-                 INSERT INTO … | UPDATE … SET … | DELETE FROM … (end with ';')"
+                ".types .molecules .stats .metrics .checkpoint .now .quit\n\
+                 SELECT … | EXPLAIN ANALYZE SELECT … | CREATE TYPE … |\n\
+                 CREATE MOLECULE … | INSERT INTO … | UPDATE … SET … |\n\
+                 DELETE FROM … (end with ';')"
             );
         }
         ".types" => db.with_catalog(|c| {
@@ -150,6 +152,7 @@ fn meta_command(db: &Database, cmd: &str) -> bool {
                 db.wal_len()
             );
         }
+        ".metrics" => print!("{}", db.metrics().render_text()),
         ".checkpoint" => match db.checkpoint() {
             Ok(()) => println!("checkpointed"),
             Err(e) => eprintln!("error: {e}"),
@@ -200,6 +203,7 @@ fn print_output(out: StatementOutput) {
                 if hs.len() == 1 { "" } else { "s" }
             );
         }
+        StatementOutput::Explain(report) => print!("{}", report.render()),
         StatementOutput::TypeCreated(id) => println!("type #{} created", id.0),
         StatementOutput::MoleculeCreated(id) => println!("molecule #{} created", id.0),
         StatementOutput::Inserted(atom, tt) => println!("inserted {atom} at tt={tt}"),

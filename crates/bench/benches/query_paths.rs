@@ -25,7 +25,17 @@ fn e7_access_paths(c: &mut Criterion) {
             b.iter(|| execute_with(&db, q, ExecOptions::default()).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("scan", format!("{pct}%")), &q, |b, q| {
-            b.iter(|| execute_with(&db, q, ExecOptions { force_scan: true }).unwrap())
+            b.iter(|| {
+                execute_with(
+                    &db,
+                    q,
+                    ExecOptions {
+                        force_scan: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
         });
     }
     drop(db);
@@ -46,7 +56,7 @@ fn e8_bitemporal_matrix(c: &mut Criterion) {
         for (i, e) in uni.emps.iter().enumerate() {
             let mut tup = txn.current_tuple(*e, TimePoint(0)).unwrap().unwrap();
             tup.set(1, tcom_core::Value::Int(1000 + i as i64));
-            txn.update(*e, tcom_kernel::Interval::from(TimePoint(100)), tup)
+            txn.update(*e, tcom_kernel::Interval::from_start(TimePoint(100)), tup)
                 .unwrap();
         }
         txn.commit().unwrap();

@@ -48,6 +48,7 @@ fn main() {
         ("E12", experiments::e12_algebra),
         ("E13", experiments::e13_parallel_scaling),
         ("E14", experiments::e14_explain_io),
+        ("E15", experiments::e15_time_index),
         ("A1", experiments::a1_delta_granularity),
         ("A2", experiments::a2_directory),
     ];

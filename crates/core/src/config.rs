@@ -23,6 +23,12 @@ pub struct DbConfig {
     /// [`crate::Database::materialize_all_parallel`] (`0` = available
     /// hardware parallelism; `1` = sequential).
     pub worker_threads: usize,
+    /// Whether the planner may answer `ASOF TT` statements through the
+    /// per-store transaction-time interval index. The index is always
+    /// *maintained*; this only gates the read path (the
+    /// `TCOM_DISABLE_TIME_INDEX` environment variable does the same from
+    /// outside).
+    pub time_index: bool,
 }
 
 impl Default for DbConfig {
@@ -34,6 +40,7 @@ impl Default for DbConfig {
             checkpoint_interval: 10_000,
             buffer_shards: 0,
             worker_threads: 0,
+            time_index: true,
         }
     }
 }
@@ -75,6 +82,13 @@ impl DbConfig {
         self
     }
 
+    /// Builder-style: enables or disables the index-backed time-slice
+    /// access path.
+    pub fn time_index(mut self, enabled: bool) -> DbConfig {
+        self.time_index = enabled;
+        self
+    }
+
     /// Resolved worker count: `worker_threads`, or the machine's available
     /// parallelism when unset.
     pub fn effective_workers(&self) -> usize {
@@ -100,13 +114,16 @@ mod tests {
             .sync_policy(SyncPolicy::OnCheckpoint)
             .checkpoint_interval(0)
             .buffer_shards(4)
-            .worker_threads(2);
+            .worker_threads(2)
+            .time_index(false);
         assert_eq!(c.buffer_frames, 64);
         assert_eq!(c.store_kind, StoreKind::Chain);
         assert_eq!(c.sync_policy, SyncPolicy::OnCheckpoint);
         assert_eq!(c.checkpoint_interval, 0);
         assert_eq!(c.buffer_shards, 4);
         assert_eq!(c.worker_threads, 2);
+        assert!(!c.time_index);
+        assert!(DbConfig::default().time_index);
         assert_eq!(c.effective_workers(), 2);
         assert!(DbConfig::default().effective_workers() >= 1);
     }

@@ -298,19 +298,21 @@ impl Database {
             StoreKind::Chain => {
                 let (heap, existed) = self.register(format!("t{n}_heap.tcm"), false)?;
                 let (dir, _) = self.register(format!("t{n}_dir.tcm"), false)?;
+                let (vix, _) = self.register(format!("t{n}_vix.tcm"), false)?;
                 if existed && !fresh {
-                    Arc::new(ChainStore::open(self.pool.clone(), heap, dir)?)
+                    Arc::new(ChainStore::open(self.pool.clone(), heap, dir, vix)?)
                 } else {
-                    Arc::new(ChainStore::create(self.pool.clone(), heap, dir)?)
+                    Arc::new(ChainStore::create(self.pool.clone(), heap, dir, vix)?)
                 }
             }
             StoreKind::Delta => {
                 let (heap, existed) = self.register(format!("t{n}_heap.tcm"), false)?;
                 let (dir, _) = self.register(format!("t{n}_dir.tcm"), false)?;
+                let (vix, _) = self.register(format!("t{n}_vix.tcm"), false)?;
                 if existed && !fresh {
-                    Arc::new(DeltaStore::open(self.pool.clone(), heap, dir)?)
+                    Arc::new(DeltaStore::open(self.pool.clone(), heap, dir, vix)?)
                 } else {
-                    Arc::new(DeltaStore::create(self.pool.clone(), heap, dir)?)
+                    Arc::new(DeltaStore::create(self.pool.clone(), heap, dir, vix)?)
                 }
             }
             StoreKind::Split => {
@@ -318,10 +320,11 @@ impl Database {
                 let (cd, _) = self.register(format!("t{n}_curdir.tcm"), false)?;
                 let (hh, _) = self.register(format!("t{n}_hist.tcm"), false)?;
                 let (hd, _) = self.register(format!("t{n}_histdir.tcm"), false)?;
+                let (vix, _) = self.register(format!("t{n}_vix.tcm"), false)?;
                 if existed && !fresh {
-                    Arc::new(SplitStore::open(self.pool.clone(), ch, cd, hh, hd)?)
+                    Arc::new(SplitStore::open(self.pool.clone(), ch, cd, hh, hd, vix)?)
                 } else {
-                    Arc::new(SplitStore::create(self.pool.clone(), ch, cd, hh, hd)?)
+                    Arc::new(SplitStore::create(self.pool.clone(), ch, cd, hh, hd, vix)?)
                 }
             }
         };
@@ -487,6 +490,22 @@ impl Database {
     pub fn versions_at(&self, atom: AtomId, tt: TimePoint) -> Result<Vec<AtomVersion>> {
         let _r = self.commit_lock.read();
         self.store(atom.ty)?.versions_at(atom.no, tt)
+    }
+
+    /// Index-backed transaction-time slice of a whole atom type: calls `f`
+    /// per atom with at least one version visible at `tt`, in ascending
+    /// atom-number order, versions sorted by valid time — the same groups a
+    /// per-atom [`Database::versions_at`] sweep produces, but driven by the
+    /// store's transaction-time interval index. `TimePoint::FOREVER` means
+    /// the current state. `f` returning `false` stops the scan.
+    pub fn slice_at(
+        &self,
+        ty: AtomTypeId,
+        tt: TimePoint,
+        f: &mut dyn FnMut(AtomNo, Vec<AtomVersion>) -> Result<bool>,
+    ) -> Result<()> {
+        let _r = self.commit_lock.read();
+        self.store(ty)?.slice_at(tt, f)
     }
 
     /// The single version visible at bitemporal point `(tt, vt)`, if any.
@@ -855,6 +874,16 @@ impl Database {
         if replayed_any {
             self.rebuild_indexes()?;
             self.rebuild_time_indexes()?;
+            // Replay maintained the per-store transaction-time interval
+            // indexes incrementally through the store primitives; rebuild
+            // them from the heaps anyway — replay starts from whatever
+            // partial flush survived the crash, and the rebuild makes the
+            // index authoritative regardless of what that flush contained.
+            let catalog = self.catalog.read();
+            for t in catalog.atom_types() {
+                self.store(t.id)?.rebuild_time_index()?;
+            }
+            drop(catalog);
         }
         // Leave a clean state: everything applied, log truncated.
         self.checkpoint()?;

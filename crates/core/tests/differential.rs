@@ -124,6 +124,10 @@ const BATTERY: &[&str] = &[
     "SELECT name FROM emp WHERE salary > 100 AND NOT name = 'bob' LIMIT 3",
     "SELECT * FROM emp ASOF TT 8",
     "SELECT * FROM emp ASOF TT 10 VALID AT 15",
+    "SELECT name, salary FROM emp WHERE salary >= 200 ASOF TT 9",
+    "SELECT * FROM emp ASOF TT FOREVER",
+    "SELECT name FROM emp WHERE salary > 100 ASOF TT FOREVER",
+    "SELECT * FROM proj ASOF TT 2",
     "SELECT HISTORY FROM emp",
     "SELECT HISTORY FROM emp WHERE salary > 100 VALID IN [0, 50)",
     "SELECT * FROM emp VALID IN [5, 30)",

@@ -85,7 +85,7 @@ fn run_txn(
                 txn.delete(a, vt)?;
             }
             _ => {
-                let vt = Interval::from(TimePoint(100 + k as u64));
+                let vt = Interval::from_start(TimePoint(100 + k as u64));
                 let b = txn.insert_atom(ty, vt, tup(2000 + k as i64, "ins"))?;
                 atoms.push(b);
             }

@@ -101,11 +101,22 @@ impl Interval {
 
     /// `[start, FOREVER)` — the canonical *currently true* interval.
     #[inline]
-    pub fn from(start: TimePoint) -> Interval {
+    pub fn from_start(start: TimePoint) -> Interval {
         Interval {
             start,
             end: TimePoint::FOREVER,
         }
+    }
+
+    /// Deprecated alias of [`Interval::from_start`].
+    ///
+    /// The inherent name `from` shadows any future `From<TimePoint>` impl
+    /// (inherent methods win over trait methods), so `Interval::from(x)`
+    /// would silently keep resolving here — renamed to stay honest.
+    #[deprecated(since = "0.5.0", note = "renamed to `Interval::from_start`")]
+    #[inline]
+    pub fn from(start: TimePoint) -> Interval {
+        Interval::from_start(start)
     }
 
     /// `[MIN, FOREVER)` — the whole axis.
@@ -467,7 +478,7 @@ impl BitemporalStamp {
     pub fn current(vt: Interval, tt_start: TimePoint) -> BitemporalStamp {
         BitemporalStamp {
             vt,
-            tt: Interval::from(tt_start),
+            tt: Interval::from_start(tt_start),
         }
     }
 
@@ -498,7 +509,7 @@ pub fn iv(s: u64, e: u64) -> Interval {
 
 /// Convenience constructor: `[s, ∞)`.
 pub fn iv_from(s: u64) -> Interval {
-    Interval::from(TimePoint(s))
+    Interval::from_start(TimePoint(s))
 }
 
 #[cfg(test)]
@@ -514,6 +525,16 @@ mod tests {
         assert_eq!(TimePoint::MIN.prev(), TimePoint::MIN);
         assert_eq!(TimePoint(3).next(), TimePoint(4));
         assert_eq!(format!("{}", TimePoint::FOREVER), "∞");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn interval_from_alias_still_works() {
+        assert_eq!(
+            Interval::from(TimePoint(3)),
+            Interval::from_start(TimePoint(3))
+        );
+        assert!(Interval::from_start(TimePoint(3)).is_open_ended());
     }
 
     #[test]

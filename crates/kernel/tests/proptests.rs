@@ -193,4 +193,68 @@ proptest! {
             prop_assert_eq!(in_result, a.contains(tp) && !b.contains(tp), "t={}", t);
         }
     }
+
+    #[test]
+    fn intersect_matches_point_semantics(a in interval_strategy(), b in interval_strategy()) {
+        let i = a.intersect(&b);
+        prop_assert_eq!(i, b.intersect(&a)); // commutative
+        for t in 0..1200u64 {
+            let tp = TimePoint(t);
+            prop_assert_eq!(
+                i.is_some_and(|iv| iv.contains(tp)),
+                a.contains(tp) && b.contains(tp),
+                "t={}", t
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_exact(a in interval_strategy(), b in interval_strategy()) {
+        let m = a.merge(&b);
+        prop_assert_eq!(m, b.merge(&a)); // commutative
+        // Defined exactly when the union is a single interval, and then
+        // covers precisely the union of instants.
+        prop_assert_eq!(m.is_some(), a.overlaps(&b) || a.is_adjacent(&b));
+        if let Some(m) = m {
+            for t in 0..1200u64 {
+                let tp = TimePoint(t);
+                prop_assert_eq!(m.contains(tp), a.contains(tp) || b.contains(tp), "t={}", t);
+            }
+        }
+        // Idempotent: an interval merges with itself to itself.
+        prop_assert_eq!(a.merge(&a), Some(a));
+    }
+
+    #[test]
+    fn relate_is_antisymmetric_and_consistent(a in interval_strategy(), b in interval_strategy()) {
+        use tcom_kernel::IntervalRelation as R;
+        let fwd = a.relate(&b);
+        let converse = match fwd {
+            R::Before => R::After,
+            R::After => R::Before,
+            R::Meets => R::MetBy,
+            R::MetBy => R::Meets,
+            R::Contains => R::During,
+            R::During => R::Contains,
+            R::Overlaps => R::Overlaps,
+            R::Equal => R::Equal,
+        };
+        prop_assert_eq!(b.relate(&a), converse);
+        // Relation agrees with the boolean predicates it summarizes.
+        prop_assert_eq!(fwd == R::Equal, a == b);
+        prop_assert_eq!(
+            matches!(fwd, R::Overlaps | R::Contains | R::During | R::Equal),
+            a.overlaps(&b)
+        );
+        prop_assert_eq!(
+            matches!(fwd, R::Meets | R::MetBy),
+            a.is_adjacent(&b) && !a.overlaps(&b)
+        );
+        // Exactly one relation holds, and disjointness matches subtract's
+        // "nothing removed" case.
+        if matches!(fwd, R::Before | R::After | R::Meets | R::MetBy) {
+            prop_assert_eq!(a.subtract(&b), (Some(a), None));
+            prop_assert_eq!(a.intersect(&b), None);
+        }
+    }
 }

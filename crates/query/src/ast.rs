@@ -265,7 +265,13 @@ impl fmt::Display for Query {
             write!(f, " WHERE {e}")?;
         }
         if let Some(tt) = self.asof_tt {
-            write!(f, " ASOF TT {}", tt.0)?;
+            // The sentinel must round-trip through the parser, which reads
+            // times as i64 — print its soft keyword instead of u64::MAX.
+            if tt.is_forever() {
+                write!(f, " ASOF TT FOREVER")?;
+            } else {
+                write!(f, " ASOF TT {}", tt.0)?;
+            }
         }
         match self.valid {
             Valid::Any => {}

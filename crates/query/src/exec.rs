@@ -71,6 +71,13 @@ pub enum AccessPath {
         /// Inclusive encoded upper bound.
         hi: u64,
     },
+    /// Transaction-time interval-index scan: the store's time index yields
+    /// every atom visible at `tt` together with its versions, instead of
+    /// walking each atom's chain.
+    TimeSlice {
+        /// The statement's `ASOF TT` point.
+        tt: TimePoint,
+    },
 }
 
 /// Execution options (benchmark hooks).
@@ -78,6 +85,12 @@ pub enum AccessPath {
 pub struct ExecOptions {
     /// Forbid index use (forces directory scans) — the E7 baseline.
     pub force_scan: bool,
+    /// Forbid the transaction-time interval index for `ASOF TT` statements
+    /// (forces per-atom chain walks). The `TCOM_DISABLE_TIME_INDEX`
+    /// environment variable and the `DbConfig::time_index` knob have the
+    /// same effect; this option exists so one process can compare both
+    /// access paths without mutating global state.
+    pub no_time_index: bool,
 }
 
 /// One operator's measurements in an [`ExplainReport`].
@@ -163,6 +176,34 @@ fn measured<T>(db: &Database, f: impl FnOnce() -> Result<T>) -> Result<(T, u64, 
     Ok((v, elapsed_us, db.buffer_stats().misses - misses0))
 }
 
+/// Output of the access-path stage: atom ids to fetch from, or — on the
+/// time-index path — atoms with their visible-at-`tt` versions already in
+/// hand (the index scan fetches them as a side effect, so fetching again
+/// would double-count pages).
+enum Candidates {
+    /// Atom ids; versions are fetched per atom by the consuming stage.
+    Atoms(Vec<AtomId>),
+    /// Atoms with their visible versions, ascending atom number.
+    Slice(Vec<(AtomId, Vec<AtomVersion>)>),
+}
+
+impl Candidates {
+    fn len(&self) -> usize {
+        match self {
+            Candidates::Atoms(a) => a.len(),
+            Candidates::Slice(s) => s.len(),
+        }
+    }
+
+    /// Collapses to plain atom ids (molecule / history stages re-fetch).
+    fn into_atoms(self) -> Vec<AtomId> {
+        match self {
+            Candidates::Atoms(a) => a,
+            Candidates::Slice(s) => s.into_iter().map(|(a, _)| a).collect(),
+        }
+    }
+}
+
 /// A fully analyzed, executable query.
 pub struct Prepared {
     query: Query,
@@ -204,8 +245,18 @@ pub fn prepare_query(db: &Database, query: Query, opts: ExecOptions) -> Result<P
 /// Parses (accepting an optional `EXPLAIN ANALYZE` prefix), plans, executes
 /// and measures in one step.
 pub fn explain_analyze(db: &Database, text: &str) -> Result<(QueryOutput, ExplainReport)> {
+    explain_analyze_with(db, text, ExecOptions::default())
+}
+
+/// [`explain_analyze`] with options (lets a harness measure the same
+/// statement through both temporal access paths).
+pub fn explain_analyze_with(
+    db: &Database,
+    text: &str,
+    opts: ExecOptions,
+) -> Result<(QueryOutput, ExplainReport)> {
     let (_, query) = crate::parser::parse_maybe_explain(text)?;
-    let p = analyze(db, query, ExecOptions::default())?;
+    let p = analyze(db, query, opts)?;
     p.run_explain(db)
 }
 
@@ -257,6 +308,8 @@ fn analyze(db: &Database, query: Query, opts: ExecOptions) -> Result<Prepared> {
     // targets the *current* state (value indexes cover current versions
     // only — so time-travel and HISTORY queries must scan) and a top-level
     // AND conjunct compares an indexed attribute to an encodable literal.
+    // Time-travel row queries (`ASOF TT`) instead go through the store's
+    // transaction-time interval index, unless one of the gates disables it.
     let mut access = AccessPath::Scan;
     if !opts.force_scan && query.asof_tt.is_none() && query.targets != Targets::History {
         if let Some(filter) = &query.filter {
@@ -265,12 +318,27 @@ fn analyze(db: &Database, query: Query, opts: ExecOptions) -> Result<Prepared> {
             }
         }
     }
+    if let Some(tt) = query.asof_tt {
+        if matches!(query.targets, Targets::All | Targets::Projs(_)) && time_index_enabled(db, opts)
+        {
+            access = AccessPath::TimeSlice { tt };
+        }
+    }
     Ok(Prepared {
         query,
         type_def,
         mol_type,
         access,
     })
+}
+
+/// All four gates on the index-backed time-slice path: the per-statement
+/// options, the database config, and the process environment.
+fn time_index_enabled(db: &Database, opts: ExecOptions) -> bool {
+    !opts.force_scan
+        && !opts.no_time_index
+        && db.config().time_index
+        && std::env::var_os("TCOM_DISABLE_TIME_INDEX").is_none()
 }
 
 fn validate_expr(
@@ -459,6 +527,17 @@ impl Prepared {
                         format!("attr={}.{aname} range=[{lo}, {hi}]", self.type_def.name),
                     )
                 }
+                AccessPath::TimeSlice { tt } => {
+                    let at = if tt.is_forever() {
+                        "FOREVER".to_string()
+                    } else {
+                        tt.0.to_string()
+                    };
+                    (
+                        "TimeSliceScan".to_string(),
+                        format!("type={} tt={at}", self.type_def.name),
+                    )
+                }
             };
             OpReport {
                 name,
@@ -472,8 +551,9 @@ impl Prepared {
 
         let (root_name, root_detail, out, root_us, root_pages) = match &self.query.targets {
             Targets::Molecule => {
-                let (out, us, pages) =
-                    measured(db, || self.molecules_from_candidates(db, candidates))?;
+                let (out, us, pages) = measured(db, || {
+                    self.molecules_from_candidates(db, candidates.into_atoms())
+                })?;
                 (
                     "Materialize",
                     format!("molecule={}", self.query.source),
@@ -483,8 +563,9 @@ impl Prepared {
                 )
             }
             Targets::History => {
-                let (out, us, pages) =
-                    measured(db, || self.histories_from_candidates(db, candidates))?;
+                let (out, us, pages) = measured(db, || {
+                    self.histories_from_candidates(db, candidates.into_atoms())
+                })?;
                 (
                     "History",
                     format!("type={}", self.query.source),
@@ -529,23 +610,23 @@ impl Prepared {
         Ok((out, report))
     }
 
-    /// The candidate atoms per the access path.
-    fn candidates(&self, db: &Database) -> Result<Vec<AtomId>> {
+    /// The candidate set per the access path.
+    fn candidates(&self, db: &Database) -> Result<Candidates> {
         match &self.access {
-            AccessPath::Scan => db.all_atoms(self.type_def.id),
-            AccessPath::IndexRange { attr, lo, hi } => {
-                db.index_range_inclusive(self.type_def.id, *attr, *lo, *hi)
+            AccessPath::Scan => db.all_atoms(self.type_def.id).map(Candidates::Atoms),
+            AccessPath::IndexRange { attr, lo, hi } => Ok(Candidates::Atoms(
+                db.index_range_inclusive(self.type_def.id, *attr, *lo, *hi)?,
+            )),
+            AccessPath::TimeSlice { tt } => {
+                let ty = self.type_def.id;
+                let mut groups = Vec::new();
+                db.slice_at(ty, *tt, &mut |no, vs| {
+                    groups.push((AtomId::new(ty, no), vs));
+                    Ok(true)
+                })?;
+                Ok(Candidates::Slice(groups))
             }
         }
-    }
-
-    /// Versions of one atom visible to this query, with valid-time clipping.
-    fn versions(&self, db: &Database, atom: AtomId) -> Result<Vec<AtomVersion>> {
-        let vs = match self.query.asof_tt {
-            Some(tt) => db.versions_at(atom, tt)?,
-            None => db.current_versions(atom)?,
-        };
-        Ok(self.clip_valid(vs))
     }
 
     fn clip_valid(&self, vs: Vec<AtomVersion>) -> Vec<AtomVersion> {
@@ -599,15 +680,17 @@ impl Prepared {
         let candidates = self.candidates(db)?;
         self.rows_from_candidates(db, candidates)
     }
-
     /// The fetch/filter/project stage of a rows query, over pre-computed
     /// candidates (shared by the plain and the EXPLAIN ANALYZE paths).
-    fn rows_from_candidates(&self, db: &Database, candidates: Vec<AtomId>) -> Result<QueryOutput> {
+    /// Both candidate shapes produce byte-identical output: ascending atom
+    /// number (directory order = index group order), versions sorted by
+    /// valid time.
+    fn rows_from_candidates(&self, db: &Database, candidates: Candidates) -> Result<QueryOutput> {
         let (columns, positions) = self.row_layout();
         let limit = self.query.limit.unwrap_or(usize::MAX);
         let mut rows = Vec::new();
-        'outer: for atom in candidates {
-            for v in self.versions(db, atom)? {
+        let mut take = |atom: AtomId, versions: Vec<AtomVersion>| {
+            for v in self.clip_valid(versions) {
                 if !self.matches(&v.tuple) {
                     continue;
                 }
@@ -618,7 +701,28 @@ impl Prepared {
                     tt: v.tt,
                 });
                 if rows.len() >= limit {
-                    break 'outer;
+                    return false;
+                }
+            }
+            true
+        };
+        match candidates {
+            Candidates::Atoms(atoms) => {
+                for atom in atoms {
+                    let vs = match self.query.asof_tt {
+                        Some(tt) => db.versions_at(atom, tt)?,
+                        None => db.current_versions(atom)?,
+                    };
+                    if !take(atom, vs) {
+                        break;
+                    }
+                }
+            }
+            Candidates::Slice(groups) => {
+                for (atom, vs) in groups {
+                    if !take(atom, vs) {
+                        break;
+                    }
                 }
             }
         }
@@ -626,7 +730,7 @@ impl Prepared {
     }
 
     fn run_molecules(&self, db: &Database) -> Result<QueryOutput> {
-        let candidates = self.candidates(db)?;
+        let candidates = self.candidates(db)?.into_atoms();
         self.molecules_from_candidates(db, candidates)
     }
 
@@ -664,7 +768,7 @@ impl Prepared {
     }
 
     fn run_histories(&self, db: &Database) -> Result<QueryOutput> {
-        let candidates = self.candidates(db)?;
+        let candidates = self.candidates(db)?.into_atoms();
         self.histories_from_candidates(db, candidates)
     }
 

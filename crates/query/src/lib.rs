@@ -25,8 +25,8 @@ pub mod stmt;
 pub mod token;
 
 pub use exec::{
-    execute, execute_with, explain_analyze, prepare, prepare_query, prepare_with, AccessPath,
-    ExecOptions, ExplainReport, OpReport, Prepared, QueryOutput, Row,
+    execute, execute_with, explain_analyze, explain_analyze_with, prepare, prepare_query,
+    prepare_with, AccessPath, ExecOptions, ExplainReport, OpReport, Prepared, QueryOutput, Row,
 };
 pub use parser::{parse, parse_maybe_explain};
 pub use stmt::{parse_statement, run_statement, Statement, StatementOutput};

@@ -158,7 +158,14 @@ impl Parser {
         loop {
             if self.eat_kw(Kw::Asof) {
                 self.expect_kw(Kw::Tt)?;
-                asof_tt = Some(self.time()?);
+                // `FOREVER` (a soft keyword) names the current state: the
+                // sentinel lies past every closing tick, so the slice shows
+                // exactly the tt-open versions.
+                asof_tt = Some(if self.eat_ident_ci("FOREVER") {
+                    TimePoint::FOREVER
+                } else {
+                    self.time()?
+                });
             } else if self.eat_kw(Kw::Valid) {
                 if self.eat_kw(Kw::At) {
                     valid = Valid::At(self.time()?);

@@ -304,7 +304,7 @@ fn resolve_type(db: &Database, target: &str, creating: &str) -> Result<AtomTypeI
 fn valid_to_interval(valid: Option<(TimePoint, Option<TimePoint>)>) -> Result<Interval> {
     Ok(match valid {
         None => Interval::all(),
-        Some((a, None)) => Interval::from(a),
+        Some((a, None)) => Interval::from_start(a),
         Some((a, Some(b))) => {
             Interval::new(a, b).ok_or_else(|| Error::query("empty VALID window"))?
         }

@@ -2,8 +2,10 @@
 
 use tcom_core::{AttrDef, DataType, Database, DbConfig, MoleculeEdge, StoreKind, Tuple, Value};
 use tcom_kernel::time::{iv, iv_from};
-use tcom_kernel::AttrId;
-use tcom_query::{execute, execute_with, prepare, AccessPath, ExecOptions, QueryOutput};
+use tcom_kernel::{AttrId, TimePoint};
+use tcom_query::{
+    execute, execute_with, prepare, prepare_with, AccessPath, ExecOptions, QueryOutput,
+};
 
 fn tmpdir(name: &str) -> std::path::PathBuf {
     let d = std::env::temp_dir().join(format!("tcom-tql-{}-{}", std::process::id(), name));
@@ -245,16 +247,39 @@ fn index_vs_scan_same_answers() {
             "expected index for {q}"
         );
         let via_index = execute(&db, q).unwrap();
-        let via_scan = execute_with(&db, q, ExecOptions { force_scan: true }).unwrap();
+        let via_scan = execute_with(
+            &db,
+            q,
+            ExecOptions {
+                force_scan: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(names_of(&via_index), names_of(&via_scan), "query: {q}");
     }
-    // Past-time queries never use the (current-only) index.
-    let p = prepare(
-        &db,
-        "SELECT e.name FROM emp e WHERE e.salary = 300 ASOF TT 1",
-    )
-    .unwrap();
+    // Past-time queries never use the (current-only) value index; they go
+    // through the transaction-time interval index instead…
+    let asof_q = "SELECT e.name FROM emp e WHERE e.salary = 300 ASOF TT 1";
+    let p = prepare(&db, asof_q).unwrap();
+    assert_eq!(
+        p.access,
+        AccessPath::TimeSlice { tt: TimePoint(1) },
+        "ASOF should plan a time-slice scan"
+    );
+    // …unless the time index is disabled, which falls back to the walk —
+    // and both paths return identical answers.
+    let opts = ExecOptions {
+        no_time_index: true,
+        ..Default::default()
+    };
+    let p = prepare_with(&db, asof_q, opts).unwrap();
     assert_eq!(p.access, AccessPath::Scan);
+    assert_eq!(
+        names_of(&execute(&db, asof_q).unwrap()),
+        names_of(&execute_with(&db, asof_q, opts).unwrap()),
+        "index-backed and walk-backed ASOF answers must agree"
+    );
     // Unindexed attribute -> scan.
     let p = prepare(&db, "SELECT e.name FROM emp e WHERE e.name = 'ann'").unwrap();
     assert_eq!(p.access, AccessPath::Scan);

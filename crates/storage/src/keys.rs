@@ -106,6 +106,65 @@ pub fn text_encoding_exact(s: &str) -> bool {
     s.len() <= 8
 }
 
+// ---------------------------------------------------------------------------
+// Composite transaction-time keys (the per-store interval index)
+//
+// The transaction-time interval index stores every version under a key whose
+// high word combines a partition bit with the version's `tt.start`:
+//
+//   hi = partition | tt_start        lo = caller-chosen discriminator
+//
+// The top bit separates the small *open* partition (tt-open records — the
+// current database state) from the *closed* partition (everything whose
+// transaction time has ended). Transaction times are commit ticks counted
+// from zero, so they never reach bit 63 and the partitions cannot collide.
+// Within a partition keys sort by `tt_start`, which makes "every version
+// that had started by time t" a single range scan.
+// ---------------------------------------------------------------------------
+
+/// Partition bit of composite transaction-time keys: set for tt-open
+/// (current) entries, clear for closed ones.
+pub const TT_OPEN_BIT: u64 = 1 << 63;
+
+/// Key of a transaction-time index entry: `(partition | tt_start, lo)`.
+///
+/// `tt_start` must stay below [`TT_OPEN_BIT`] (commit ticks always do).
+pub fn encode_tt_key(open: bool, tt_start: TimePoint, lo: u64) -> BKey {
+    debug_assert!(
+        tt_start.0 < TT_OPEN_BIT,
+        "transaction time overflows the partition bit"
+    );
+    let part = if open { TT_OPEN_BIT } else { 0 };
+    BKey::new(part | tt_start.0, lo)
+}
+
+/// The `tt_start` a composite key's high word encodes.
+pub fn decode_tt_start(hi: u64) -> TimePoint {
+    TimePoint(hi & !TT_OPEN_BIT)
+}
+
+/// Half-open scan bounds covering every key of the chosen partition with
+/// `tt_start <= through` (pass `TimePoint::FOREVER` for the whole
+/// partition). Feed directly to `BTree::scan_range`.
+pub fn tt_scan_bounds(open: bool, through: TimePoint) -> (BKey, BKey) {
+    let part = if open { TT_OPEN_BIT } else { 0 };
+    let lo = BKey::min_for(part);
+    // Exclusive upper: first hi word past the range. Saturate at the
+    // partition's end; the open partition tops out at BKey::MAX (that exact
+    // key is never stored — no record starts at tt 2⁶³−1 with lo=u64::MAX).
+    let cap = through.0.saturating_add(1).min(TT_OPEN_BIT);
+    let hi = if cap == TT_OPEN_BIT {
+        if open {
+            BKey::MAX
+        } else {
+            BKey::min_for(TT_OPEN_BIT)
+        }
+    } else {
+        BKey::min_for(part | cap)
+    };
+    (lo, hi)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +235,40 @@ mod tests {
         assert!(BKey::MIN < BKey::MAX);
         assert_eq!(BKey::min_for(5).hi, 5);
         assert_eq!(BKey::max_for(5).lo, u64::MAX);
+    }
+
+    #[test]
+    fn tt_keys_partition_and_order() {
+        let open = encode_tt_key(true, TimePoint(5), 1);
+        let closed = encode_tt_key(false, TimePoint(900), 1);
+        // Every open key sorts after every closed key, whatever the times.
+        assert!(closed < open);
+        assert_eq!(decode_tt_start(open.hi), TimePoint(5));
+        assert_eq!(decode_tt_start(closed.hi), TimePoint(900));
+        // Within a partition, keys order by (tt_start, lo).
+        assert!(encode_tt_key(false, TimePoint(3), 9) < encode_tt_key(false, TimePoint(4), 0));
+        assert!(encode_tt_key(true, TimePoint(3), 1) < encode_tt_key(true, TimePoint(3), 2));
+    }
+
+    #[test]
+    fn tt_scan_bounds_cover_exactly_started_by() {
+        let in_bounds = |open: bool, through: u64, t: u64, lo: u64| {
+            let (b_lo, b_hi) = tt_scan_bounds(open, TimePoint(through));
+            let k = encode_tt_key(open, TimePoint(t), lo);
+            b_lo <= k && k < b_hi
+        };
+        assert!(in_bounds(false, 10, 10, u64::MAX)); // inclusive `through`
+        assert!(in_bounds(false, 10, 0, 0));
+        assert!(!in_bounds(false, 10, 11, 0));
+        assert!(in_bounds(true, 10, 10, 7));
+        assert!(!in_bounds(true, 10, 11, 7));
+        // FOREVER covers each whole partition without leaking across.
+        assert!(in_bounds(false, u64::MAX, 1 << 40, 3));
+        assert!(in_bounds(true, u64::MAX, 1 << 40, 3));
+        let (lo, hi) = tt_scan_bounds(false, TimePoint::FOREVER);
+        assert!(encode_tt_key(true, TimePoint(0), 0) >= hi && lo == BKey::MIN);
+        let (lo, _) = tt_scan_bounds(true, TimePoint::FOREVER);
+        assert!(encode_tt_key(false, TimePoint(u64::MAX >> 1), u64::MAX) < lo);
     }
 
     #[test]

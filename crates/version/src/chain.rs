@@ -14,9 +14,11 @@
 
 use crate::record::{AtomVersion, Payload, VersionRecord};
 use crate::store::{
-    dir_get, dir_scan, dir_set, filter_at_tt, sort_by_vt, sort_history, StoreKind, StoreObs,
-    StoreStats, VersionStore,
+    dir_get, dir_scan, dir_set, emit_slice, filter_at_tt, sort_by_vt, sort_history, tt_visible,
+    StoreKind, StoreObs, StoreStats, VersionStore,
 };
+use crate::timeindex::TimeIndex;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use tcom_kernel::{AtomNo, Error, Interval, RecordId, Result, TimePoint, Tuple};
 use tcom_storage::btree::BTree;
@@ -27,28 +29,41 @@ use tcom_storage::heap::HeapFile;
 pub struct ChainStore {
     heap: HeapFile,
     dir: BTree,
+    /// Transaction-time interval index. `lo` is the packed record id (chain
+    /// records shrink in place on close and never relocate outside `prune`,
+    /// which re-indexes); the closed-partition payload is `tt.end`, so a
+    /// time slice filters invisible candidates on index entries alone.
+    tix: TimeIndex,
     obs: StoreObs,
 }
 
 impl ChainStore {
-    /// Formats a fresh store over two pre-registered files.
+    /// Formats a fresh store over three pre-registered files.
     pub fn create(
         pool: Arc<BufferPool>,
         heap_file: FileId,
         dir_file: FileId,
+        tix_file: FileId,
     ) -> Result<ChainStore> {
         Ok(ChainStore {
             heap: HeapFile::create(pool.clone(), heap_file)?,
-            dir: BTree::create(pool, dir_file)?,
+            dir: BTree::create(pool.clone(), dir_file)?,
+            tix: TimeIndex::create(pool, tix_file)?,
             obs: StoreObs::default(),
         })
     }
 
     /// Opens an existing store.
-    pub fn open(pool: Arc<BufferPool>, heap_file: FileId, dir_file: FileId) -> Result<ChainStore> {
+    pub fn open(
+        pool: Arc<BufferPool>,
+        heap_file: FileId,
+        dir_file: FileId,
+        tix_file: FileId,
+    ) -> Result<ChainStore> {
         Ok(ChainStore {
             heap: HeapFile::open(pool.clone(), heap_file)?,
-            dir: BTree::open(pool, dir_file)?,
+            dir: BTree::open(pool.clone(), dir_file)?,
+            tix: TimeIndex::open(pool, tix_file)?,
             obs: StoreObs::default(),
         })
     }
@@ -107,12 +122,14 @@ impl VersionStore for ChainStore {
         let rec = VersionRecord {
             atom_no: no,
             vt,
-            tt: Interval::from(tt_start),
+            tt: Interval::from_start(tt_start),
             prev,
             payload: Payload::Full(tuple.clone()),
         };
         let rid = self.heap.insert(&rec.encode())?;
         dir_set(&self.dir, no, rid)?;
+        self.tix
+            .insert(true, tt_start, rid.pack(), TimePoint::FOREVER.0)?;
         Ok(())
     }
 
@@ -132,6 +149,8 @@ impl VersionStore for ChainStore {
             .ok_or_else(|| Error::internal("tt close before tt start"))?;
         let new_rid = self.heap.update(rid, &rec.encode())?;
         debug_assert_eq!(new_rid, rid, "closing a version shrinks its record");
+        self.tix
+            .close(rec.tt.start(), rid.pack(), new_rid.pack(), tt_end.0)?;
         Ok(true)
     }
 
@@ -189,6 +208,13 @@ impl VersionStore for ChainStore {
         if pruned.is_empty() {
             return Ok(0);
         }
+        // Drop index entries under the *old* record ids first: rebuilding the
+        // kept chain relocates records, and the stale rids would otherwise be
+        // unreachable.
+        for (rid, rec) in pruned.iter().chain(kept.iter()) {
+            self.tix
+                .remove(rec.is_current(), rec.tt.start(), rid.pack())?;
+        }
         for (rid, _) in &pruned {
             self.heap.delete(*rid)?;
         }
@@ -196,9 +222,68 @@ impl VersionStore for ChainStore {
         for (rid, mut rec) in kept.into_iter().rev() {
             rec.prev = new_prev;
             new_prev = self.heap.update(rid, &rec.encode())?;
+            let open = rec.is_current();
+            let payload = if open {
+                TimePoint::FOREVER.0
+            } else {
+                rec.tt.end().0
+            };
+            self.tix
+                .insert(open, rec.tt.start(), new_prev.pack(), payload)?;
         }
         dir_set(&self.dir, no, new_prev)?;
         Ok(pruned.len())
+    }
+
+    fn slice_at(
+        &self,
+        tt: TimePoint,
+        f: &mut dyn FnMut(AtomNo, Vec<AtomVersion>) -> Result<bool>,
+    ) -> Result<()> {
+        // Open entries with tt_start <= tt are all visible; closed candidates
+        // are filtered by the tt_end payload without touching the heap.
+        let mut rids: Vec<RecordId> = Vec::new();
+        self.tix.scan(true, tt, &mut |e| {
+            rids.push(RecordId::unpack(e.lo));
+            Ok(true)
+        })?;
+        if !tt.is_forever() {
+            self.tix.scan(false, tt, &mut |e| {
+                if tt.0 < e.payload {
+                    rids.push(RecordId::unpack(e.lo));
+                }
+                Ok(true)
+            })?;
+        }
+        let mut groups: BTreeMap<u64, Vec<AtomVersion>> = BTreeMap::new();
+        for rid in rids {
+            let rec = self.heap.with_record(rid, VersionRecord::decode)??;
+            debug_assert!(
+                tt_visible(&rec.tt, tt),
+                "time index surfaced invisible record"
+            );
+            groups.entry(rec.atom_no.0).or_default().push(AtomVersion {
+                vt: rec.vt,
+                tt: rec.tt,
+                tuple: Self::tuple_of(&rec)?.clone(),
+            });
+        }
+        emit_slice(groups, f)
+    }
+
+    fn rebuild_time_index(&self) -> Result<()> {
+        self.tix.clear()?;
+        self.heap.scan(|rid, bytes| {
+            let rec = VersionRecord::decode(bytes)?;
+            let open = rec.is_current();
+            let payload = if open {
+                TimePoint::FOREVER.0
+            } else {
+                rec.tt.end().0
+            };
+            self.tix.insert(open, rec.tt.start(), rid.pack(), payload)?;
+            Ok(true)
+        })
     }
 
     fn stats(&self) -> Result<StoreStats> {
@@ -230,7 +315,7 @@ mod tests {
         let pool = BufferPool::new(64);
         let mut paths = Vec::new();
         let mut files = Vec::new();
-        for suffix in ["heap", "dir"] {
+        for suffix in ["heap", "dir", "tix"] {
             let p = std::env::temp_dir().join(format!(
                 "tcom-chain-{}-{}-{}",
                 std::process::id(),
@@ -241,7 +326,10 @@ mod tests {
             files.push(pool.register_file(Arc::new(DiskManager::open(&p).unwrap())));
             paths.push(p);
         }
-        (ChainStore::create(pool, files[0], files[1]).unwrap(), paths)
+        (
+            ChainStore::create(pool, files[0], files[1], files[2]).unwrap(),
+            paths,
+        )
     }
 
     fn tup(v: i64) -> Tuple {
@@ -371,6 +459,61 @@ mod tests {
         assert_eq!(st.versions, 100);
         assert!(st.record_bytes > 0);
         assert!(st.heap_pages >= 1);
+        cleanup(&paths);
+    }
+
+    /// The walk-backed reference: per-atom `versions_at` over `scan_atoms`.
+    fn sweep(s: &ChainStore, tt: TimePoint) -> Vec<(u64, Vec<AtomVersion>)> {
+        let mut out = Vec::new();
+        s.scan_atoms(&mut |no| {
+            let vs = s.versions_at(no, tt).unwrap();
+            if !vs.is_empty() {
+                out.push((no.0, vs));
+            }
+            Ok(true)
+        })
+        .unwrap();
+        out
+    }
+
+    fn slice(s: &ChainStore, tt: TimePoint) -> Vec<(u64, Vec<AtomVersion>)> {
+        let mut out = Vec::new();
+        s.slice_at(tt, &mut |no, vs| {
+            out.push((no.0, vs));
+            Ok(true)
+        })
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn slice_at_matches_walks_and_survives_rebuild() {
+        let (s, paths) = store("slice");
+        for no in [2u64, 5, 8] {
+            s.insert_version(AtomNo(no), iv_from(0), TimePoint(1), &tup(no as i64))
+                .unwrap();
+            s.close_version(AtomNo(no), TimePoint(0), TimePoint(3))
+                .unwrap();
+            s.insert_version(AtomNo(no), iv_from(0), TimePoint(3), &tup(no as i64 + 100))
+                .unwrap();
+        }
+        // Atom 8 is pruned of its closed history.
+        assert_eq!(s.prune(AtomNo(8), TimePoint(3)).unwrap(), 1);
+        for tt in [0u64, 1, 2, 3, 4] {
+            assert_eq!(
+                slice(&s, TimePoint(tt)),
+                sweep(&s, TimePoint(tt)),
+                "tt={tt}"
+            );
+        }
+        // FOREVER means the current state on both paths.
+        assert_eq!(slice(&s, TimePoint::FOREVER), sweep(&s, TimePoint::FOREVER));
+        assert_eq!(slice(&s, TimePoint::FOREVER).len(), 3);
+        // A rebuild from the heap reproduces the incrementally-kept index.
+        s.rebuild_time_index().unwrap();
+        for tt in [1u64, 3] {
+            assert_eq!(slice(&s, TimePoint(tt)), sweep(&s, TimePoint(tt)));
+        }
         cleanup(&paths);
     }
 }

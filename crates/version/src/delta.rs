@@ -24,6 +24,7 @@ use crate::store::{
     dir_get, dir_scan, dir_set, filter_at_tt, sort_by_vt, sort_history, StoreKind, StoreObs,
     StoreStats, VersionStore,
 };
+use crate::timeindex::TimeIndex;
 use std::sync::Arc;
 use tcom_kernel::{AtomNo, Error, Interval, RecordId, Result, TimePoint, Tuple};
 use tcom_storage::btree::BTree;
@@ -34,28 +35,41 @@ use tcom_storage::heap::HeapFile;
 pub struct DeltaStore {
     heap: HeapFile,
     dir: BTree,
+    /// Transaction-time interval index. `lo` is the packed record id; the
+    /// payload is the *atom number* in both partitions — reconstructing a
+    /// delta record needs a chain walk anyway, so the index narrows a slice
+    /// to a candidate atom set rather than to individual records.
+    tix: TimeIndex,
     obs: StoreObs,
 }
 
 impl DeltaStore {
-    /// Formats a fresh store over two pre-registered files.
+    /// Formats a fresh store over three pre-registered files.
     pub fn create(
         pool: Arc<BufferPool>,
         heap_file: FileId,
         dir_file: FileId,
+        tix_file: FileId,
     ) -> Result<DeltaStore> {
         Ok(DeltaStore {
             heap: HeapFile::create(pool.clone(), heap_file)?,
-            dir: BTree::create(pool, dir_file)?,
+            dir: BTree::create(pool.clone(), dir_file)?,
+            tix: TimeIndex::create(pool, tix_file)?,
             obs: StoreObs::default(),
         })
     }
 
     /// Opens an existing store.
-    pub fn open(pool: Arc<BufferPool>, heap_file: FileId, dir_file: FileId) -> Result<DeltaStore> {
+    pub fn open(
+        pool: Arc<BufferPool>,
+        heap_file: FileId,
+        dir_file: FileId,
+        tix_file: FileId,
+    ) -> Result<DeltaStore> {
         Ok(DeltaStore {
             heap: HeapFile::open(pool.clone(), heap_file)?,
-            dir: BTree::open(pool, dir_file)?,
+            dir: BTree::open(pool.clone(), dir_file)?,
+            tix: TimeIndex::open(pool, tix_file)?,
             obs: StoreObs::default(),
         })
     }
@@ -153,12 +167,13 @@ impl VersionStore for DeltaStore {
         let rec = VersionRecord {
             atom_no: no,
             vt,
-            tt: Interval::from(tt_start),
+            tt: Interval::from_start(tt_start),
             prev: old_head.unwrap_or(RecordId::INVALID),
             payload: Payload::Full(tuple.clone()),
         };
         let rid = self.heap.insert(&rec.encode())?;
         dir_set(&self.dir, no, rid)?;
+        self.tix.insert(true, tt_start, rid.pack(), no.0)?;
         // Compression opportunity: the old head is now covered (its newer
         // neighbour exists); if it is closed and still full, delta it.
         if let Some(old_rid) = old_head {
@@ -197,6 +212,8 @@ impl VersionStore for DeltaStore {
         let bytes = rec.encode();
         let new_rid = self.heap.update(rid, &bytes)?;
         debug_assert_eq!(new_rid, rid, "closing a version shrinks its record");
+        self.tix
+            .close(rec.tt.start(), rid.pack(), new_rid.pack(), no.0)?;
         // Now closed: compress against the predecessor when one exists.
         if let Some(base) = pred_tuple {
             self.try_compress(rid, &rec, &tuple, bytes.len(), &base)?;
@@ -259,6 +276,12 @@ impl VersionStore for DeltaStore {
         if pruned.is_empty() {
             return Ok(0);
         }
+        // Drop index entries under the *old* record ids before the rebuild
+        // relocates the kept records.
+        for (rid, rec, _) in pruned.iter().chain(kept.iter()) {
+            self.tix
+                .remove(rec.is_current(), rec.tt.start(), rid.pack())?;
+        }
         for (rid, _, _) in &pruned {
             self.heap.delete(*rid)?;
         }
@@ -280,9 +303,53 @@ impl VersionStore for DeltaStore {
                 payload,
             };
             new_prev = self.heap.update(*rid, &new_rec.encode())?;
+            self.tix
+                .insert(rec.is_current(), rec.tt.start(), new_prev.pack(), no.0)?;
         }
         dir_set(&self.dir, no, new_prev)?;
         Ok(pruned.len())
+    }
+
+    fn slice_at(
+        &self,
+        tt: TimePoint,
+        f: &mut dyn FnMut(AtomNo, Vec<AtomVersion>) -> Result<bool>,
+    ) -> Result<()> {
+        // Delta reconstruction needs the chain anyway, so the index yields a
+        // candidate *atom set* (over-approximate for the closed partition)
+        // and each candidate answers through the ordinary walk.
+        use std::collections::BTreeSet;
+        let mut atoms: BTreeSet<u64> = BTreeSet::new();
+        self.tix.scan(true, tt, &mut |e| {
+            atoms.insert(e.payload);
+            Ok(true)
+        })?;
+        if !tt.is_forever() {
+            self.tix.scan(false, tt, &mut |e| {
+                atoms.insert(e.payload);
+                Ok(true)
+            })?;
+        }
+        for no in atoms {
+            let vs = self.versions_at(AtomNo(no), tt)?;
+            if vs.is_empty() {
+                continue;
+            }
+            if !f(AtomNo(no), vs)? {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    fn rebuild_time_index(&self) -> Result<()> {
+        self.tix.clear()?;
+        self.heap.scan(|rid, bytes| {
+            let rec = VersionRecord::decode(bytes)?;
+            self.tix
+                .insert(rec.is_current(), rec.tt.start(), rid.pack(), rec.atom_no.0)?;
+            Ok(true)
+        })
     }
 
     fn stats(&self) -> Result<StoreStats> {
@@ -329,7 +396,7 @@ mod tests {
         let pool = BufferPool::new(64);
         let mut paths = Vec::new();
         let mut files = Vec::new();
-        for suffix in ["heap", "dir"] {
+        for suffix in ["heap", "dir", "tix"] {
             let p = std::env::temp_dir().join(format!(
                 "tcom-delta-{}-{}-{}",
                 std::process::id(),
@@ -340,7 +407,10 @@ mod tests {
             files.push(pool.register_file(Arc::new(DiskManager::open(&p).unwrap())));
             paths.push(p);
         }
-        (DeltaStore::create(pool, files[0], files[1]).unwrap(), paths)
+        (
+            DeltaStore::create(pool, files[0], files[1], files[2]).unwrap(),
+            paths,
+        )
     }
 
     fn cleanup(paths: &[std::path::PathBuf]) {
@@ -457,6 +527,43 @@ mod tests {
         assert!(h.iter().any(|v| v.tuple == wide(1)));
         assert!(h.iter().any(|v| v.tuple == wide(2)));
         assert!(h.iter().any(|v| v.tuple == wide(3)));
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn slice_at_matches_walks_through_compression() {
+        let (s, paths) = store("ix");
+        for no in [1u64, 4, 6] {
+            run_updates(&s, AtomNo(no), 6);
+        }
+        // Chains are mostly deltas now; the index-backed slice must still
+        // agree with the per-atom walk at every tick, including FOREVER.
+        for tt in (0..=7u64).map(TimePoint).chain([TimePoint::FOREVER]) {
+            let mut swept = Vec::new();
+            s.scan_atoms(&mut |no| {
+                let vs = s.versions_at(no, tt).unwrap();
+                if !vs.is_empty() {
+                    swept.push((no.0, vs));
+                }
+                Ok(true)
+            })
+            .unwrap();
+            let mut sliced = Vec::new();
+            s.slice_at(tt, &mut |no, vs| {
+                sliced.push((no.0, vs));
+                Ok(true)
+            })
+            .unwrap();
+            assert_eq!(sliced, swept, "tt={tt:?}");
+        }
+        s.rebuild_time_index().unwrap();
+        let mut after = Vec::new();
+        s.slice_at(TimePoint(3), &mut |no, vs| {
+            after.push((no.0, vs.len()));
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(after, vec![(1, 1), (4, 1), (6, 1)]);
         cleanup(&paths);
     }
 

@@ -20,9 +20,11 @@ pub mod delta;
 pub mod record;
 pub mod split;
 pub mod store;
+pub mod timeindex;
 
 pub use chain::ChainStore;
 pub use delta::DeltaStore;
 pub use record::{AtomVersion, Payload, TupleDelta, VersionRecord};
 pub use split::SplitStore;
 pub use store::{StoreKind, StoreObs, StoreStats, VersionStore, VersionStoreExt};
+pub use timeindex::{TimeIndex, TimeIndexEntry};

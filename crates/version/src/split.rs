@@ -15,9 +15,11 @@
 
 use crate::record::{AtomVersion, Payload, VersionRecord};
 use crate::store::{
-    dir_get, dir_scan, dir_set, sort_by_vt, sort_history, StoreKind, StoreObs, StoreStats,
-    VersionStore,
+    dir_get, dir_scan, dir_set, emit_slice, sort_by_vt, sort_history, tt_visible, StoreKind,
+    StoreObs, StoreStats, VersionStore,
 };
+use crate::timeindex::TimeIndex;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use tcom_kernel::codec::{Decoder, Encoder};
 use tcom_kernel::{AtomNo, Error, Interval, RecordId, Result, TimePoint, Tuple};
@@ -77,23 +79,31 @@ pub struct SplitStore {
     cur_dir: BTree,
     hist_heap: HeapFile,
     hist_dir: BTree,
+    /// Transaction-time interval index. Current-set records relocate on
+    /// every update, so the open partition is keyed by *atom number*
+    /// (`lo = payload = atom_no`); history records are stable, so the
+    /// closed partition uses `lo = hist record id` with a `tt.end` payload
+    /// for heap-free visibility filtering.
+    tix: TimeIndex,
     obs: StoreObs,
 }
 
 impl SplitStore {
-    /// Formats a fresh store over four pre-registered files.
+    /// Formats a fresh store over five pre-registered files.
     pub fn create(
         pool: Arc<BufferPool>,
         cur_heap: FileId,
         cur_dir: FileId,
         hist_heap: FileId,
         hist_dir: FileId,
+        tix_file: FileId,
     ) -> Result<SplitStore> {
         Ok(SplitStore {
             cur_heap: HeapFile::create(pool.clone(), cur_heap)?,
             cur_dir: BTree::create(pool.clone(), cur_dir)?,
             hist_heap: HeapFile::create(pool.clone(), hist_heap)?,
-            hist_dir: BTree::create(pool, hist_dir)?,
+            hist_dir: BTree::create(pool.clone(), hist_dir)?,
+            tix: TimeIndex::create(pool, tix_file)?,
             obs: StoreObs::default(),
         })
     }
@@ -105,12 +115,14 @@ impl SplitStore {
         cur_dir: FileId,
         hist_heap: FileId,
         hist_dir: FileId,
+        tix_file: FileId,
     ) -> Result<SplitStore> {
         Ok(SplitStore {
             cur_heap: HeapFile::open(pool.clone(), cur_heap)?,
             cur_dir: BTree::open(pool.clone(), cur_dir)?,
             hist_heap: HeapFile::open(pool.clone(), hist_heap)?,
-            hist_dir: BTree::open(pool, hist_dir)?,
+            hist_dir: BTree::open(pool.clone(), hist_dir)?,
+            tix: TimeIndex::open(pool, tix_file)?,
             obs: StoreObs::default(),
         })
     }
@@ -188,7 +200,10 @@ impl VersionStore for SplitStore {
         };
         set.entries.push((vt, tt_start, tuple.clone()));
         set.entries.sort_by_key(|(vt, _, _)| vt.start());
-        self.store_current(no, rid, &set)
+        self.store_current(no, rid, &set)?;
+        // Open key is (tt_start, atom_no): duplicates within one atom and
+        // tick collapse into one entry, which is all a slice needs.
+        self.tix.insert(true, tt_start, no.0, no.0)
     }
 
     fn close_version(&self, no: AtomNo, vt_start: TimePoint, tt_end: TimePoint) -> Result<bool> {
@@ -220,6 +235,13 @@ impl VersionStore for SplitStore {
         // Shrink the current set (kept even when empty: the directory entry
         // marks the atom as existing).
         self.store_current(no, Some(rid), &set)?;
+        self.tix
+            .insert(false, tt_start, hist_rid.pack(), tt_end.0)?;
+        // The open entry is shared by every current version of this atom
+        // with the same tt_start; drop it only when none remain.
+        if !set.entries.iter().any(|(_, s, _)| *s == tt_start) {
+            self.tix.remove(true, tt_start, no.0)?;
+        }
         Ok(true)
     }
 
@@ -232,7 +254,7 @@ impl VersionStore for SplitStore {
                 .into_iter()
                 .map(|(vt, tt_start, tuple)| AtomVersion {
                     vt,
-                    tt: Interval::from(tt_start),
+                    tt: Interval::from_start(tt_start),
                     tuple,
                 })
                 .collect(),
@@ -243,7 +265,7 @@ impl VersionStore for SplitStore {
         let mut out: Vec<AtomVersion> = self
             .current_versions(no)?
             .into_iter()
-            .filter(|v| v.tt.contains(tt))
+            .filter(|v| tt_visible(&v.tt, tt))
             .collect();
         // History chain: descending tt.end allows early termination.
         self.walk_history(no, |rec| {
@@ -313,6 +335,17 @@ impl VersionStore for SplitStore {
         if prune_rids.is_empty() {
             return Ok(0);
         }
+        // All history records live in the closed partition under their old
+        // record ids; drop those entries before the rebuild relocates the
+        // kept ones. The prunable tail's records must be re-read for their
+        // tt_start (only their rids were kept above).
+        for rid in &prune_rids {
+            let rec = self.hist_heap.with_record(*rid, VersionRecord::decode)??;
+            self.tix.remove(false, rec.tt.start(), rid.pack())?;
+        }
+        for (rid, rec) in &kept {
+            self.tix.remove(false, rec.tt.start(), rid.pack())?;
+        }
         for rid in &prune_rids {
             self.hist_heap.delete(*rid)?;
         }
@@ -320,6 +353,8 @@ impl VersionStore for SplitStore {
         for (rid, mut rec) in kept.into_iter().rev() {
             rec.prev = new_prev;
             new_prev = self.hist_heap.update(rid, &rec.encode())?;
+            self.tix
+                .insert(false, rec.tt.start(), new_prev.pack(), rec.tt.end().0)?;
         }
         if new_prev.is_invalid() {
             // No history left: drop the directory entry by pointing it at
@@ -329,6 +364,88 @@ impl VersionStore for SplitStore {
             dir_set(&self.hist_dir, no, new_prev)?;
         }
         Ok(prune_rids.len())
+    }
+
+    fn slice_at(
+        &self,
+        tt: TimePoint,
+        f: &mut dyn FnMut(AtomNo, Vec<AtomVersion>) -> Result<bool>,
+    ) -> Result<()> {
+        let mut groups: BTreeMap<u64, Vec<AtomVersion>> = BTreeMap::new();
+        // Open partition → atoms with a current version started by `tt`;
+        // load each current set once and keep the entries that had started.
+        let mut open_atoms: Vec<u64> = Vec::new();
+        self.tix.scan(true, tt, &mut |e| {
+            open_atoms.push(e.payload);
+            Ok(true)
+        })?;
+        open_atoms.sort_unstable();
+        open_atoms.dedup();
+        for no in open_atoms {
+            let Some((_, set)) = self.load_current(AtomNo(no))? else {
+                continue;
+            };
+            for (vt, tt_start, tuple) in set.entries {
+                if tt.is_forever() || tt_start <= tt {
+                    groups.entry(no).or_default().push(AtomVersion {
+                        vt,
+                        tt: Interval::from_start(tt_start),
+                        tuple,
+                    });
+                }
+            }
+        }
+        // Closed partition: the tt_end payload filters invisible candidates
+        // without touching the history heap. Nothing closed is visible at
+        // FOREVER (current-state semantics).
+        if !tt.is_forever() {
+            let mut rids: Vec<RecordId> = Vec::new();
+            self.tix.scan(false, tt, &mut |e| {
+                if tt.0 < e.payload {
+                    rids.push(RecordId::unpack(e.lo));
+                }
+                Ok(true)
+            })?;
+            for rid in rids {
+                let rec = self.hist_heap.with_record(rid, VersionRecord::decode)??;
+                debug_assert!(
+                    tt_visible(&rec.tt, tt),
+                    "time index surfaced invisible record"
+                );
+                let Payload::Full(tuple) = rec.payload else {
+                    return Err(Error::corruption("delta record in split history store"));
+                };
+                groups.entry(rec.atom_no.0).or_default().push(AtomVersion {
+                    vt: rec.vt,
+                    tt: rec.tt,
+                    tuple,
+                });
+            }
+        }
+        emit_slice(groups, f)
+    }
+
+    fn rebuild_time_index(&self) -> Result<()> {
+        self.tix.clear()?;
+        let mut atoms = Vec::new();
+        dir_scan(&self.cur_dir, &mut |no| {
+            atoms.push(no);
+            Ok(true)
+        })?;
+        for no in atoms {
+            let Some((_, set)) = self.load_current(no)? else {
+                continue;
+            };
+            for (_, tt_start, _) in &set.entries {
+                self.tix.insert(true, *tt_start, no.0, no.0)?;
+            }
+        }
+        self.hist_heap.scan(|rid, bytes| {
+            let rec = VersionRecord::decode(bytes)?;
+            self.tix
+                .insert(false, rec.tt.start(), rid.pack(), rec.tt.end().0)?;
+            Ok(true)
+        })
     }
 
     fn stats(&self) -> Result<StoreStats> {
@@ -377,7 +494,7 @@ mod tests {
         let pool = BufferPool::new(64);
         let mut paths = Vec::new();
         let mut files = Vec::new();
-        for suffix in ["ch", "cd", "hh", "hd"] {
+        for suffix in ["ch", "cd", "hh", "hd", "tix"] {
             let p = std::env::temp_dir().join(format!(
                 "tcom-split-{}-{}-{}",
                 std::process::id(),
@@ -389,7 +506,7 @@ mod tests {
             paths.push(p);
         }
         (
-            SplitStore::create(pool, files[0], files[1], files[2], files[3]).unwrap(),
+            SplitStore::create(pool, files[0], files[1], files[2], files[3], files[4]).unwrap(),
             paths,
         )
     }
@@ -510,6 +627,48 @@ mod tests {
         assert_eq!(st.atoms, 10);
         assert_eq!(st.versions, 50);
         assert!(st.record_bytes > 0);
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn slice_at_matches_walks_and_forever_is_current() {
+        let (s, paths) = store("ix");
+        for no in [1u64, 2, 5] {
+            run_updates(&s, AtomNo(no), 6);
+        }
+        // Atom 2 ends logically deleted; atom 5 loses its old history.
+        s.close_version(AtomNo(2), TimePoint(0), TimePoint(7))
+            .unwrap();
+        assert!(s.prune(AtomNo(5), TimePoint(4)).unwrap() > 0);
+        let sweep = |tt: TimePoint| {
+            let mut out = Vec::new();
+            s.scan_atoms(&mut |no| {
+                let vs = s.versions_at(no, tt).unwrap();
+                if !vs.is_empty() {
+                    out.push((no.0, vs));
+                }
+                Ok(true)
+            })
+            .unwrap();
+            out
+        };
+        let slice = |tt: TimePoint| {
+            let mut out = Vec::new();
+            s.slice_at(tt, &mut |no, vs| {
+                out.push((no.0, vs));
+                Ok(true)
+            })
+            .unwrap();
+            out
+        };
+        for tt in (0..=8u64).map(TimePoint).chain([TimePoint::FOREVER]) {
+            assert_eq!(slice(tt), sweep(tt), "tt={tt:?}");
+        }
+        // FOREVER == current state: the deleted atom 2 is absent.
+        let cur = slice(TimePoint::FOREVER);
+        assert_eq!(cur.iter().map(|(n, _)| *n).collect::<Vec<_>>(), vec![1, 5]);
+        s.rebuild_time_index().unwrap();
+        assert_eq!(slice(TimePoint(6)), sweep(TimePoint(6)));
         cleanup(&paths);
     }
 

@@ -122,6 +122,25 @@ pub trait VersionStore: Send + Sync {
     /// versions removed. Current (tt-open) versions are never pruned.
     fn prune(&self, no: AtomNo, cutoff: TimePoint) -> Result<usize>;
 
+    /// Index-backed snapshot scan: calls `f` once per atom that has at
+    /// least one version visible at transaction time `tt`, in ascending
+    /// atom-number order, with that atom's visible versions sorted by
+    /// valid-time start — exactly what a per-atom
+    /// [`VersionStore::versions_at`] sweep over
+    /// [`VersionStore::scan_atoms`] would produce, but driven by the
+    /// transaction-time interval index instead of walking every chain.
+    /// `f` returning `false` stops the scan. `TimePoint::FOREVER` means
+    /// the current state.
+    fn slice_at(
+        &self,
+        tt: TimePoint,
+        f: &mut dyn FnMut(AtomNo, Vec<AtomVersion>) -> Result<bool>,
+    ) -> Result<()>;
+
+    /// Drops and rebuilds the transaction-time interval index from the
+    /// store's heaps (recovery / consistency repair).
+    fn rebuild_time_index(&self) -> Result<()>;
+
     /// The store's observability counter handles (clone them to register
     /// in a metrics registry).
     fn obs(&self) -> &StoreObs;
@@ -172,9 +191,36 @@ pub(crate) fn sort_by_vt(mut vs: Vec<AtomVersion>) -> Vec<AtomVersion> {
     vs
 }
 
+/// Transaction-time visibility at `tt`, with `FOREVER` clamped to
+/// current-version semantics: the sentinel lies past every half-open
+/// interval (`tt.contains(FOREVER)` is false even for open intervals), so a
+/// slice at `∞` means "the versions recorded until changed" — exactly the
+/// tt-open ones.
+pub(crate) fn tt_visible(tt_iv: &Interval, tt: TimePoint) -> bool {
+    if tt.is_forever() {
+        tt_iv.is_open_ended()
+    } else {
+        tt_iv.contains(tt)
+    }
+}
+
 /// Shared helper: filters to versions visible at transaction time `tt`.
 pub(crate) fn filter_at_tt(vs: Vec<AtomVersion>, tt: TimePoint) -> Vec<AtomVersion> {
-    vs.into_iter().filter(|v| v.tt.contains(tt)).collect()
+    vs.into_iter().filter(|v| tt_visible(&v.tt, tt)).collect()
+}
+
+/// Shared `slice_at` epilogue: emits per-atom version groups in ascending
+/// atom-number order, each sorted by valid-time start.
+pub(crate) fn emit_slice(
+    groups: std::collections::BTreeMap<u64, Vec<AtomVersion>>,
+    f: &mut dyn FnMut(AtomNo, Vec<AtomVersion>) -> Result<bool>,
+) -> Result<()> {
+    for (no, vs) in groups {
+        if !f(AtomNo(no), sort_by_vt(vs))? {
+            return Ok(());
+        }
+    }
+    Ok(())
 }
 
 /// Canonical history order: newest-recorded first

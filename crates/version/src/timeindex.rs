@@ -1,0 +1,212 @@
+//! The per-store **transaction-time interval index**.
+//!
+//! A secondary B⁺-tree mapping `(partition | tt_start, lo) → payload`,
+//! following the time-index tradition (Elmasri et al.): version records are
+//! keyed by the start of their transaction-time interval, with a small
+//! *open* partition holding the tt-open (current) entries and a *closed*
+//! partition holding everything whose transaction time has ended (see
+//! [`tcom_storage::keys::encode_tt_key`]).
+//!
+//! A snapshot scan at transaction time `t` then needs two range scans
+//! instead of walking every version chain:
+//!
+//! * the open partition restricted to `tt_start <= t` — every hit is
+//!   visible (an open interval contains every instant past its start);
+//! * the closed partition restricted to `tt_start <= t`, filtered by
+//!   `t < tt_end` — each store chooses what the payload word carries to
+//!   make that filter cheap (the chain and split stores put `tt_end`
+//!   there so invisible candidates are skipped *without* touching the
+//!   heap; the delta store stores the atom number, since reconstruction
+//!   must walk the chain anyway).
+//!
+//! The discriminator word `lo` is likewise store-chosen (record id where
+//! records are stable, atom number where they relocate). The index is
+//! maintained transactionally by `insert_version` / `close_version` /
+//! `prune`; because the engine's buffer pool is no-steal and flushes
+//! through the double-write journal, heap and index pages always reach
+//! disk as one consistent snapshot, and recovery additionally rebuilds
+//! the index from the heaps after any WAL replay.
+
+use std::sync::Arc;
+use tcom_kernel::{Result, TimePoint};
+use tcom_storage::btree::BTree;
+use tcom_storage::buffer::{BufferPool, FileId};
+use tcom_storage::keys::{decode_tt_start, encode_tt_key, tt_scan_bounds, BKey};
+
+/// One entry surfaced by a [`TimeIndex`] scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeIndexEntry {
+    /// Transaction-time start of the indexed version.
+    pub tt_start: TimePoint,
+    /// Store-chosen discriminator (record id or atom number).
+    pub lo: u64,
+    /// Store-chosen payload (`tt_end` or atom number).
+    pub payload: u64,
+}
+
+/// Secondary transaction-time index of one version store.
+pub struct TimeIndex {
+    tree: BTree,
+}
+
+impl TimeIndex {
+    /// Formats a fresh index over a pre-registered file.
+    pub fn create(pool: Arc<BufferPool>, file: FileId) -> Result<TimeIndex> {
+        Ok(TimeIndex {
+            tree: BTree::create(pool, file)?,
+        })
+    }
+
+    /// Opens an existing index.
+    pub fn open(pool: Arc<BufferPool>, file: FileId) -> Result<TimeIndex> {
+        Ok(TimeIndex {
+            tree: BTree::open(pool, file)?,
+        })
+    }
+
+    /// Inserts (or overwrites) an entry in the chosen partition.
+    pub fn insert(&self, open: bool, tt_start: TimePoint, lo: u64, payload: u64) -> Result<()> {
+        self.tree
+            .insert(encode_tt_key(open, tt_start, lo), payload)?;
+        Ok(())
+    }
+
+    /// Removes an entry; missing keys are ignored (idempotent-redo
+    /// friendly, like the stores' own primitives).
+    pub fn remove(&self, open: bool, tt_start: TimePoint, lo: u64) -> Result<()> {
+        self.tree.remove(encode_tt_key(open, tt_start, lo))?;
+        Ok(())
+    }
+
+    /// Moves an entry from the open to the closed partition, updating its
+    /// discriminator and payload (what `close_version` does).
+    pub fn close(
+        &self,
+        tt_start: TimePoint,
+        open_lo: u64,
+        closed_lo: u64,
+        payload: u64,
+    ) -> Result<()> {
+        self.remove(true, tt_start, open_lo)?;
+        self.insert(false, tt_start, closed_lo, payload)
+    }
+
+    /// Scans one partition for entries with `tt_start <= through`
+    /// (`TimePoint::FOREVER` covers the whole partition); `f` returning
+    /// `false` stops the scan.
+    pub fn scan(
+        &self,
+        open: bool,
+        through: TimePoint,
+        f: &mut dyn FnMut(TimeIndexEntry) -> Result<bool>,
+    ) -> Result<()> {
+        let (lo, hi) = tt_scan_bounds(open, through);
+        self.tree.scan_range(lo, hi, |k, v| {
+            f(TimeIndexEntry {
+                tt_start: decode_tt_start(k.hi),
+                lo: k.lo,
+                payload: v,
+            })
+        })
+    }
+
+    /// Deletes every entry (the first half of a rebuild — the tree file
+    /// cannot be reformatted in place, so the keys are removed one by one;
+    /// lazy deletion makes this cheap).
+    pub fn clear(&self) -> Result<()> {
+        let mut keys = Vec::new();
+        self.tree.scan_range(BKey::MIN, BKey::MAX, |k, _| {
+            keys.push(k);
+            Ok(true)
+        })?;
+        for k in keys {
+            self.tree.remove(k)?;
+        }
+        Ok(())
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> Result<u64> {
+        self.tree.len()
+    }
+
+    /// True iff the index holds no entries.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcom_storage::disk::DiskManager;
+
+    fn index(name: &str) -> (TimeIndex, std::path::PathBuf) {
+        let pool = BufferPool::new(64);
+        let p = std::env::temp_dir().join(format!("tcom-tix-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        let file = pool.register_file(Arc::new(DiskManager::open(&p).unwrap()));
+        (TimeIndex::create(pool, file).unwrap(), p)
+    }
+
+    fn collect(ix: &TimeIndex, open: bool, through: u64) -> Vec<(u64, u64, u64)> {
+        let mut out = Vec::new();
+        ix.scan(open, TimePoint(through), &mut |e| {
+            out.push((e.tt_start.0, e.lo, e.payload));
+            Ok(true)
+        })
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn partitions_are_disjoint() {
+        let (ix, p) = index("part");
+        ix.insert(true, TimePoint(5), 1, 100).unwrap();
+        ix.insert(false, TimePoint(5), 1, 9).unwrap();
+        ix.insert(false, TimePoint(2), 7, 4).unwrap();
+        assert_eq!(collect(&ix, true, u64::MAX), vec![(5, 1, 100)]);
+        assert_eq!(collect(&ix, false, u64::MAX), vec![(2, 7, 4), (5, 1, 9)]);
+        // Bounded scans honor `tt_start <= through`.
+        assert_eq!(collect(&ix, false, 4), vec![(2, 7, 4)]);
+        assert_eq!(collect(&ix, true, 4), vec![]);
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn close_moves_between_partitions() {
+        let (ix, p) = index("close");
+        ix.insert(true, TimePoint(3), 11, 0).unwrap();
+        ix.close(TimePoint(3), 11, 42, 8).unwrap();
+        assert_eq!(collect(&ix, true, u64::MAX), vec![]);
+        assert_eq!(collect(&ix, false, u64::MAX), vec![(3, 42, 8)]);
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn clear_empties_the_index() {
+        let (ix, p) = index("clear");
+        for t in 0..50u64 {
+            ix.insert(t % 2 == 0, TimePoint(t), t, t).unwrap();
+        }
+        assert_eq!(ix.len().unwrap(), 50);
+        ix.clear().unwrap();
+        assert!(ix.is_empty().unwrap());
+        assert_eq!(collect(&ix, true, u64::MAX), vec![]);
+        assert_eq!(collect(&ix, false, u64::MAX), vec![]);
+        // Reusable after a clear (rebuild path).
+        ix.insert(false, TimePoint(1), 2, 3).unwrap();
+        assert_eq!(collect(&ix, false, u64::MAX), vec![(1, 2, 3)]);
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let (ix, p) = index("idem");
+        ix.insert(true, TimePoint(1), 1, 1).unwrap();
+        ix.remove(true, TimePoint(1), 1).unwrap();
+        ix.remove(true, TimePoint(1), 1).unwrap(); // no-op, no error
+        assert!(ix.is_empty().unwrap());
+        let _ = std::fs::remove_file(p);
+    }
+}

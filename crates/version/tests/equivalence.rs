@@ -25,7 +25,7 @@ impl Model {
     fn insert(&mut self, vt: Interval, tt_start: TimePoint, tuple: &Tuple) {
         self.versions.push(AtomVersion {
             vt,
-            tt: Interval::from(tt_start),
+            tt: Interval::from_start(tt_start),
             tuple: tuple.clone(),
         });
     }
@@ -85,14 +85,15 @@ fn make_stores(tag: &str) -> (Vec<Box<dyn VersionStore>>, Vec<std::path::PathBuf
         paths.push(p);
         id
     };
-    let chain = ChainStore::create(pool.clone(), file("c-h"), file("c-d")).unwrap();
-    let delta = DeltaStore::create(pool.clone(), file("d-h"), file("d-d")).unwrap();
+    let chain = ChainStore::create(pool.clone(), file("c-h"), file("c-d"), file("c-x")).unwrap();
+    let delta = DeltaStore::create(pool.clone(), file("d-h"), file("d-d"), file("d-x")).unwrap();
     let split = SplitStore::create(
         pool.clone(),
         file("s-ch"),
         file("s-cd"),
         file("s-hh"),
         file("s-hd"),
+        file("s-x"),
     )
     .unwrap();
     (
@@ -149,6 +150,19 @@ fn tuple_for(val: i8, wide_change: bool) -> Tuple {
     ])
 }
 
+/// The single-atom workload makes an index-backed slice easy to flatten:
+/// at most one group (atom 1) comes back.
+fn indexed_slice(s: &dyn VersionStore, tt: TimePoint) -> Vec<AtomVersion> {
+    let mut out = Vec::new();
+    s.slice_at(tt, &mut |no, vs| {
+        assert_eq!(no, AtomNo(1), "unexpected atom in slice");
+        out = vs;
+        Ok(true)
+    })
+    .unwrap();
+    out
+}
+
 fn assert_same(label: &str, got: &[AtomVersion], want: &[AtomVersion]) {
     assert_eq!(got.len(), want.len(), "{label}: cardinality");
     for (g, w) in got.iter().zip(want) {
@@ -178,7 +192,7 @@ proptest! {
                 Op::Insert { vt_start, vt_len, val, wide_change } => {
                     let vs = TimePoint(*vt_start as u64);
                     let vt = if *vt_len == 0 {
-                        Interval::from(vs)
+                        Interval::from_start(vs)
                     } else {
                         Interval::new(vs, TimePoint(*vt_start as u64 + *vt_len as u64)).unwrap()
                     };
@@ -222,7 +236,8 @@ proptest! {
             }
         }
 
-        // Final: time-slices at every transaction time seen so far.
+        // Final: time-slices at every transaction time seen so far, through
+        // both access paths (the per-atom walk and the time index).
         for t in 0..clock + 1 {
             let tt = TimePoint(t);
             let want = model.at(tt);
@@ -232,7 +247,25 @@ proptest! {
                     &s.versions_at(no, tt).unwrap(),
                     &want,
                 );
+                assert_same(
+                    &format!("{} index-slice@{t}", s.kind()),
+                    &indexed_slice(s.as_ref(), tt),
+                    &want,
+                );
             }
+        }
+        // FOREVER means "current state" on both paths.
+        for s in &stores {
+            assert_same(
+                &format!("{} index-slice@forever", s.kind()),
+                &indexed_slice(s.as_ref(), TimePoint::FOREVER),
+                &model.current(),
+            );
+            assert_same(
+                &format!("{} slice@forever", s.kind()),
+                &s.versions_at(no, TimePoint::FOREVER).unwrap(),
+                &model.current(),
+            );
         }
 
         for p in paths {
@@ -259,9 +292,9 @@ fn long_history_equivalence() {
     // 200 update rounds: close the open slice, insert a replacement.
     let vt0 = TimePoint(0);
     let t = tuple_for(rand(), false);
-    model.insert(Interval::from(vt0), TimePoint(clock), &t);
+    model.insert(Interval::from_start(vt0), TimePoint(clock), &t);
     for s in &stores {
-        s.insert_version(no, Interval::from(vt0), TimePoint(clock), &t)
+        s.insert_version(no, Interval::from_start(vt0), TimePoint(clock), &t)
             .unwrap();
     }
     clock += 1;
@@ -272,9 +305,10 @@ fn long_history_equivalence() {
             assert!(s.close_version(no, vt0, now).unwrap());
         }
         let t = tuple_for(rand(), rand() % 3 == 0);
-        model.insert(Interval::from(vt0), now, &t);
+        model.insert(Interval::from_start(vt0), now, &t);
         for s in &stores {
-            s.insert_version(no, Interval::from(vt0), now, &t).unwrap();
+            s.insert_version(no, Interval::from_start(vt0), now, &t)
+                .unwrap();
         }
         clock += 1;
     }
@@ -323,7 +357,8 @@ fn long_history_equivalence() {
             &model.current(),
         );
     }
-    // Post-cutoff slices unaffected.
+    // Post-cutoff slices unaffected — on the walk and on the index, whose
+    // entries prune rebuilt under relocated record ids.
     for t in (cutoff.0..clock).step_by(17) {
         let tt = TimePoint(t);
         let want = model.at(tt);
@@ -331,6 +366,11 @@ fn long_history_equivalence() {
             assert_same(
                 &format!("{} slice@{t} after prune", s.kind()),
                 &s.versions_at(no, tt).unwrap(),
+                &want,
+            );
+            assert_same(
+                &format!("{} index-slice@{t} after prune", s.kind()),
+                &indexed_slice(s.as_ref(), tt),
                 &want,
             );
         }

@@ -9,7 +9,8 @@ use tcom_wal::{LogRecord, SyncPolicy, Wal};
 
 fn interval(a: u64, b: u64) -> Interval {
     let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-    Interval::new(TimePoint(lo), TimePoint(hi)).unwrap_or_else(|| Interval::from(TimePoint(lo)))
+    Interval::new(TimePoint(lo), TimePoint(hi))
+        .unwrap_or_else(|| Interval::from_start(TimePoint(lo)))
 }
 
 fn record_strategy() -> impl Strategy<Value = LogRecord> {

@@ -115,7 +115,7 @@ impl Spec {
             }
         }
         for (vt, val) in to_add {
-            self.versions.push((vt, Interval::from(now), val));
+            self.versions.push((vt, Interval::from_start(now), val));
         }
     }
 }
@@ -207,7 +207,7 @@ proptest! {
         let atom = txn.insert_atom(ty, Interval::all(), tuple(1000)).unwrap();
         txn.commit().unwrap();
         spec.clock += 1;
-        spec.versions.push((Interval::all(), Interval::from(TimePoint(spec.clock)), 1000));
+        spec.versions.push((Interval::all(), Interval::from_start(TimePoint(spec.clock)), 1000));
 
         for op in &ops {
             match op {

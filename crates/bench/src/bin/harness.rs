@@ -49,6 +49,7 @@ fn main() {
         ("E13", experiments::e13_parallel_scaling),
         ("E14", experiments::e14_explain_io),
         ("E15", experiments::e15_time_index),
+        ("E16", experiments::e16_group_commit),
         ("A1", experiments::a1_delta_granularity),
         ("A2", experiments::a2_directory),
     ];

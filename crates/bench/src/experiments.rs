@@ -998,6 +998,104 @@ pub fn e15_time_index(s: Scale) -> Table {
     t
 }
 
+/// E16 — group commit: fsyncs per commit and throughput as concurrent
+/// committer threads grow, with and without the leader/follower batch.
+pub fn e16_group_commit(s: Scale) -> Table {
+    use std::time::Instant;
+    use tcom_core::{AttrDef, DataType, DbConfig, SyncPolicy, Tuple, Value};
+
+    let mut t = Table::new(
+        "E16",
+        "group commit: commits/s and fsyncs per commit vs committer threads",
+        &[
+            "threads",
+            "group",
+            "commits",
+            "commits/s",
+            "fsyncs/commit",
+            "batch p50",
+        ],
+        "with the leader/follower gate, concurrent committers amortize one \
+         fsync over a whole batch: fsyncs/commit drops below 1 and the batch \
+         p50 grows with the thread count; without it every commit pays its \
+         own fsync regardless of concurrency",
+    );
+    let per_thread = s.n(160);
+    let mut final_metrics = None;
+    for group in [false, true] {
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = DbConfig::default()
+                .store_kind(StoreKind::Split)
+                .buffer_frames(4096)
+                .checkpoint_interval(0)
+                .sync_policy(SyncPolicy::OnCommit)
+                .group_commit(group);
+            let (db, dir) = crate::workloads::fresh_db_with(&format!("e16-{group}-{threads}"), cfg);
+            let types: Vec<_> = (0..threads)
+                .map(|i| {
+                    db.define_atom_type(format!("w{i}"), vec![AttrDef::new("v", DataType::Int)])
+                        .expect("type")
+                })
+                .collect();
+
+            let before = db.metrics();
+            let t0 = Instant::now();
+            std::thread::scope(|scope| {
+                for &ty in &types {
+                    let db = &db;
+                    scope.spawn(move || {
+                        for k in 0..per_thread {
+                            let mut txn = db.begin();
+                            txn.insert_atom(
+                                ty,
+                                Interval::all(),
+                                Tuple::new(vec![Value::Int(k as i64)]),
+                            )
+                            .expect("insert");
+                            txn.commit().expect("commit");
+                        }
+                    });
+                }
+            });
+            let elapsed = t0.elapsed();
+            let d = db.metrics().delta(&before);
+            let commits = (threads * per_thread) as f64;
+            let fsyncs = d.counter("wal.fsyncs") as f64;
+            let p50 = db
+                .metrics()
+                .histogram("wal.group_size")
+                .map(|h| h.percentile(0.5))
+                .unwrap_or(0);
+            // Acceptance floor: with the gate and real concurrency, the
+            // fsync rate must amortize and real batches must form.
+            if group && threads >= 4 {
+                assert!(
+                    fsyncs / commits < 1.0,
+                    "group commit must amortize fsyncs ({fsyncs} syncs / {commits} commits)"
+                );
+                assert!(
+                    p50 >= 2,
+                    "median sync batch must exceed one commit (p50={p50})"
+                );
+            }
+            t.row(vec![
+                format!("{threads}"),
+                format!("{}", if group { "on" } else { "off" }),
+                format!("{}", commits as u64),
+                format!("{:.0}", commits / elapsed.as_secs_f64()),
+                format!("{:.2}", fsyncs / commits),
+                format!("{p50}"),
+            ]);
+            final_metrics = Some(metrics_json(&db.metrics()));
+            cleanup(&dir);
+        }
+    }
+    if let Some(m) = final_metrics {
+        t.set_metrics(m);
+    }
+    t
+}
+
 /// Runs every experiment at the given scale.
 pub fn run_all(s: Scale) -> Vec<Table> {
     vec![
@@ -1017,6 +1115,7 @@ pub fn run_all(s: Scale) -> Vec<Table> {
         e13_parallel_scaling(s),
         e14_explain_io(s),
         e15_time_index(s),
+        e16_group_commit(s),
         a1_delta_granularity(s),
         a2_directory(s),
     ]

@@ -29,6 +29,15 @@ pub struct DbConfig {
     /// `TCOM_DISABLE_TIME_INDEX` environment variable does the same from
     /// outside).
     pub time_index: bool,
+    /// Commit stripes: write transactions lock the stripe of every atom
+    /// type they touch (wait-die), so writers on disjoint stripes run
+    /// concurrently (`0` = the default of 64; `1` = one global stripe,
+    /// the pre-concurrency single-writer behavior).
+    pub commit_stripes: usize,
+    /// Whether concurrently arriving commits may share one WAL fsync
+    /// (leader/follower group commit). Durability is identical either
+    /// way; disabling forces one fsync per commit — the scaling baseline.
+    pub group_commit: bool,
 }
 
 impl Default for DbConfig {
@@ -41,6 +50,8 @@ impl Default for DbConfig {
             buffer_shards: 0,
             worker_threads: 0,
             time_index: true,
+            commit_stripes: 0,
+            group_commit: true,
         }
     }
 }
@@ -89,6 +100,27 @@ impl DbConfig {
         self
     }
 
+    /// Builder-style: sets the commit stripe count.
+    pub fn commit_stripes(mut self, stripes: usize) -> DbConfig {
+        self.commit_stripes = stripes;
+        self
+    }
+
+    /// Builder-style: enables or disables group commit.
+    pub fn group_commit(mut self, enabled: bool) -> DbConfig {
+        self.group_commit = enabled;
+        self
+    }
+
+    /// Resolved commit stripe count: `commit_stripes`, or 64 when unset.
+    pub fn effective_commit_stripes(&self) -> usize {
+        if self.commit_stripes != 0 {
+            self.commit_stripes
+        } else {
+            64
+        }
+    }
+
     /// Resolved worker count: `worker_threads`, or the machine's available
     /// parallelism when unset.
     pub fn effective_workers(&self) -> usize {
@@ -115,7 +147,9 @@ mod tests {
             .checkpoint_interval(0)
             .buffer_shards(4)
             .worker_threads(2)
-            .time_index(false);
+            .time_index(false)
+            .commit_stripes(8)
+            .group_commit(false);
         assert_eq!(c.buffer_frames, 64);
         assert_eq!(c.store_kind, StoreKind::Chain);
         assert_eq!(c.sync_policy, SyncPolicy::OnCheckpoint);
@@ -124,6 +158,11 @@ mod tests {
         assert_eq!(c.worker_threads, 2);
         assert!(!c.time_index);
         assert!(DbConfig::default().time_index);
+        assert_eq!(c.commit_stripes, 8);
+        assert_eq!(c.effective_commit_stripes(), 8);
+        assert!(!c.group_commit);
+        assert!(DbConfig::default().group_commit);
+        assert_eq!(DbConfig::default().effective_commit_stripes(), 64);
         assert_eq!(c.effective_workers(), 2);
         assert!(DbConfig::default().effective_workers() >= 1);
     }

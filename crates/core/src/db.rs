@@ -11,17 +11,37 @@
 //! <dir>/t<ty>_idx<a>.tcm   value indexes over indexed attributes
 //! ```
 //!
-//! Concurrency model: one writer at a time (write transactions hold the
-//! `writer` mutex for their lifetime); readers run concurrently against
-//! committed state and are excluded only while a commit applies its
-//! primitives (the brief `commit_lock` write section). This matches the
-//! single-user workstation setting of the original system while keeping
-//! the storage layer fully latch-safe.
+//! Concurrency model (DESIGN.md §10). Three mechanisms compose:
+//!
+//! * **Snapshot reads on the TT clock.** The transaction-time axis *is*
+//!   the version timeline, so MVCC comes almost for free: a commit first
+//!   applies its primitives to the stores, and only then *publishes* its
+//!   transaction time by advancing the `published` clock. Readers pin
+//!   `published` at statement start ([`Database::pin_view`]) and resolve
+//!   visibility with `tt_visible(pinned)`; in-flight versions carry a
+//!   higher tt and are invisible at the pinned point, so readers never
+//!   take `commit_lock`. Structural hazards (B⁺-tree splits, value-index
+//!   remove/insert pairs, split-store migrations) are covered by a
+//!   per-atom-type apply seqlock: reads of a type whose apply is in
+//!   flight validate against the type's sequence counter and retry.
+//! * **Striped writers.** Write transactions lock the commit stripe of
+//!   every atom type they touch at first touch (wait-die on the begin
+//!   order, see [`crate::stripes`]); disjoint writers build overlays and
+//!   commit in parallel, serializing only in the short apply section.
+//! * **Ordered apply, group commit.** A committing transaction draws its
+//!   tt and stages all WAL records atomically under `wal_order` (so WAL
+//!   order equals tt order and a torn WAL tail always cuts a tt-suffix),
+//!   shares a leader/follower fsync with concurrently arriving commits,
+//!   then waits for its *publish turn* (`published == tt - 1`), applies
+//!   under `commit_lock.read()`, and publishes. `commit_lock.write()` is
+//!   reserved for page flushes, checkpoints and pruning, which must
+//!   exclude appliers — never readers.
 
 use crate::config::DbConfig;
 use crate::journal::{self, JournalEntry};
+use crate::stripes::{StripeLocks, MAINTENANCE_ID};
 use crate::txn::Txn;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -39,6 +59,34 @@ use tcom_storage::vfs::{StdVfs, Vfs};
 use tcom_version::record::AtomVersion;
 use tcom_version::{ChainStore, DeltaStore, SplitStore, StoreKind, StoreStats, VersionStore};
 use tcom_wal::{LogRecord, Wal};
+
+/// A pinned snapshot for reads: the published transaction-time clock at
+/// pin time, plus the pinned atom type's apply sequence (for detecting
+/// concurrent applies to that type). Cheap to create per statement via
+/// [`Database::pin_view`]; committed state at or before `tt` is immutable,
+/// so a view never goes stale — it just stops seeing newer commits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadView {
+    /// The pinned transaction time: the view sees exactly the commits
+    /// with `tt_start <= tt`.
+    pub tt: TimePoint,
+    ty: u32,
+    seq: u64,
+}
+
+/// Guard marking atom types as under apply (see [`Database`] internals);
+/// dropping it re-opens the types' validated read sections.
+pub(crate) struct ApplyGuard {
+    cells: Vec<Arc<AtomicU64>>,
+}
+
+impl Drop for ApplyGuard {
+    fn drop(&mut self) {
+        for c in &self.cells {
+            c.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
 
 /// A bitemporal complex-object database.
 pub struct Database {
@@ -58,12 +106,33 @@ pub struct Database {
     /// started or ended). Powers [`Database::atoms_changed_in`].
     time_indexes: RwLock<HashMap<u32, Arc<BTree>>>,
     wal: Wal,
-    /// Transaction-time clock == id of the last committed transaction.
+    /// Transaction-time *allocation* clock: the last tt handed to a
+    /// committing transaction (drawn under `wal_order`).
     clock: AtomicU64,
+    /// The last *published* transaction time: every commit `<= published`
+    /// is fully applied to the stores. Readers pin this; `now()` reads it.
+    published: AtomicU64,
+    /// Publish-turn gate: appliers wait here until `published == tt - 1`,
+    /// checkpointing waits here until `published == clock` (drained).
+    publish_mx: Mutex<()>,
+    publish_cv: Condvar,
+    /// Per-atom-type apply sequence counters (odd while an apply mutates
+    /// the type). Readers of a type validate against its counter.
+    apply_seqs: RwLock<HashMap<u32, Arc<AtomicU64>>>,
+    /// Serializes the tt draw + WAL staging of commits, making WAL order
+    /// equal tt order (the crash matrix relies on durable commits always
+    /// forming a tt-prefix).
+    pub(crate) wal_order: Mutex<()>,
+    /// Serializes DDL and maintenance (pruning).
+    maint: Mutex<()>,
+    /// Per-atom-type commit stripes (wait-die).
+    stripes: StripeLocks,
+    /// Begin-order ids for wait-die priorities (1-based; 0 is reserved
+    /// for maintenance).
+    txn_seq: AtomicU64,
     next_no: Mutex<HashMap<u32, u64>>,
-    /// Serializes write transactions (held for the whole transaction).
-    pub(crate) writer: Mutex<()>,
-    /// Readers in, commits exclusive (held only while applying).
+    /// Appliers shared, page flush / checkpoint / prune exclusive.
+    /// Readers never touch this lock.
     pub(crate) commit_lock: RwLock<()>,
     txns_since_ckpt: AtomicU64,
     skip_checkpoint_on_drop: AtomicBool,
@@ -154,8 +223,15 @@ impl Database {
             time_indexes: RwLock::new(HashMap::new()),
             wal,
             clock: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+            publish_mx: Mutex::new(()),
+            publish_cv: Condvar::new(),
+            apply_seqs: RwLock::new(HashMap::new()),
+            wal_order: Mutex::new(()),
+            maint: Mutex::new(()),
+            stripes: StripeLocks::new(config.effective_commit_stripes()),
+            txn_seq: AtomicU64::new(0),
             next_no: Mutex::new(HashMap::new()),
-            writer: Mutex::new(()),
             commit_lock: RwLock::new(()),
             txns_since_ckpt: AtomicU64::new(0),
             skip_checkpoint_on_drop: AtomicBool::new(false),
@@ -201,14 +277,150 @@ impl Database {
         &self.pool
     }
 
-    /// The current transaction-time clock (id/commit time of the last
-    /// committed transaction).
+    /// The current transaction-time clock: the commit time of the last
+    /// transaction whose apply completed and was *published*. A commit in
+    /// flight (WAL staged, stores mid-apply) is not visible here yet —
+    /// apply-then-publish is what makes snapshot reads torn-free.
     pub fn now(&self) -> TimePoint {
-        TimePoint(self.clock.load(Ordering::Acquire))
+        TimePoint(self.published.load(Ordering::Acquire))
     }
 
-    pub(crate) fn bump_clock(&self) -> TimePoint {
+    // ---- commit pipeline plumbing (used by `Txn::commit`) ----
+
+    /// Draws the next transaction time. Callers must hold `wal_order`.
+    pub(crate) fn draw_tt(&self) -> TimePoint {
         TimePoint(self.clock.fetch_add(1, Ordering::AcqRel) + 1)
+    }
+
+    /// Blocks until every earlier transaction time has been published —
+    /// the caller holds the apply turn for `tt` when this returns.
+    pub(crate) fn wait_for_turn(&self, tt: TimePoint) {
+        let mut g = self.publish_mx.lock();
+        while self.published.load(Ordering::Acquire) != tt.0 - 1 {
+            self.publish_cv.wait(&mut g);
+        }
+    }
+
+    /// Publishes `tt`: versions applied at `tt` become visible to new
+    /// read views. Must be called in turn (after [`Database::wait_for_turn`]).
+    pub(crate) fn publish(&self, tt: TimePoint) {
+        let _g = self.publish_mx.lock();
+        debug_assert_eq!(self.published.load(Ordering::Acquire), tt.0 - 1);
+        self.published.store(tt.0, Ordering::Release);
+        self.publish_cv.notify_all();
+    }
+
+    /// Waits until every drawn transaction time has been published (no
+    /// commit between WAL staging and publish). Only meaningful while the
+    /// caller prevents new tt draws (holding `wal_order` or every stripe).
+    fn drain_commits(&self) {
+        let mut g = self.publish_mx.lock();
+        while self.published.load(Ordering::Acquire) != self.clock.load(Ordering::Acquire) {
+            self.publish_cv.wait(&mut g);
+        }
+    }
+
+    /// The commit stripe table.
+    pub(crate) fn stripes(&self) -> &StripeLocks {
+        &self.stripes
+    }
+
+    /// The next begin-order id (wait-die priority; smaller = older).
+    pub(crate) fn next_txn_id(&self) -> u64 {
+        self.txn_seq.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    // ---- snapshot read machinery ----
+
+    /// The apply sequence cell of an atom type (created on first use).
+    fn apply_seq_cell(&self, ty: u32) -> Arc<AtomicU64> {
+        if let Some(c) = self.apply_seqs.read().get(&ty) {
+            return c.clone();
+        }
+        self.apply_seqs.write().entry(ty).or_default().clone()
+    }
+
+    /// Marks the given atom types as under apply (their sequence counters
+    /// go odd); the guard's drop makes them even again. Readers of those
+    /// types retry their validated sections in between.
+    pub(crate) fn begin_apply(&self, tys: &[u32]) -> ApplyGuard {
+        let cells: Vec<Arc<AtomicU64>> = tys.iter().map(|&t| self.apply_seq_cell(t)).collect();
+        for c in &cells {
+            let prev = c.fetch_add(1, Ordering::AcqRel);
+            debug_assert_eq!(prev & 1, 0, "nested apply on one type");
+        }
+        ApplyGuard { cells }
+    }
+
+    /// Pins a read view of an atom type: the published clock plus the
+    /// type's apply sequence, captured coherently (retries while an apply
+    /// to the type is in flight). All committed state `<= view.tt` is
+    /// stable under the view regardless of later commits.
+    pub fn pin_view(&self, ty: AtomTypeId) -> ReadView {
+        let cell = self.apply_seq_cell(ty.0);
+        loop {
+            let seq = cell.load(Ordering::Acquire);
+            if seq & 1 == 0 {
+                let tt = TimePoint(self.published.load(Ordering::Acquire));
+                if cell.load(Ordering::Acquire) == seq {
+                    return ReadView { tt, ty: ty.0, seq };
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// True while no apply to the view's type has started since the view
+    /// was pinned — reads made so far are coherent with the view.
+    pub fn view_valid(&self, view: &ReadView) -> bool {
+        self.apply_seq_cell(view.ty).load(Ordering::Acquire) == view.seq
+    }
+
+    /// Runs `f` in a validated section: the result is returned only if no
+    /// apply to `ty` ran concurrently; otherwise `f` retries. `f` must be
+    /// side-effect free (it may run multiple times).
+    pub(crate) fn read_stable<T>(&self, ty: AtomTypeId, f: impl Fn() -> Result<T>) -> Result<T> {
+        let cell = self.apply_seq_cell(ty.0);
+        loop {
+            let seq = cell.load(Ordering::Acquire);
+            if seq & 1 == 0 {
+                let r = f();
+                if cell.load(Ordering::Acquire) == seq {
+                    return r;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// The versions of `atom` visible under `view` — the snapshot
+    /// counterpart of [`Database::current_versions`]. Fast path: when no
+    /// apply to the type has run since the view was pinned, the store's
+    /// current-state accessor answers directly (for the split store that
+    /// skips the history heap entirely); otherwise falls back to a
+    /// validated `versions_at(view.tt)`, which later commits cannot
+    /// perturb (their versions start after `view.tt`).
+    pub fn versions_at_view(&self, atom: AtomId, view: &ReadView) -> Result<Vec<AtomVersion>> {
+        let store = self.store(atom.ty)?;
+        if atom.ty.0 == view.ty {
+            let cell = self.apply_seq_cell(view.ty);
+            if cell.load(Ordering::Acquire) == view.seq {
+                let r = store.current_versions(atom.no);
+                if cell.load(Ordering::Acquire) == view.seq {
+                    return r;
+                }
+            }
+        }
+        self.read_stable(atom.ty, || store.versions_at(atom.no, view.tt))
+    }
+
+    /// Test hook: holds `commit_lock` exclusively, stalling every commit
+    /// apply, page flush and checkpoint — while snapshot readers must
+    /// still make progress (the reader-liveness regression test drives a
+    /// full scan to completion under this guard).
+    #[doc(hidden)]
+    pub fn block_applies_for_test(&self) -> parking_lot::RwLockWriteGuard<'_, ()> {
+        self.commit_lock.write()
     }
 
     // ---- observability plumbing ----
@@ -251,6 +463,11 @@ impl Database {
         self.obs.register_counter("wal.fsyncs", "", &wo.fsyncs);
         self.obs
             .register_histogram("wal.group_size", "", &wo.group_size);
+
+        self.obs
+            .register_counter("txn.stripe_waits", "", &self.stripes.waits);
+        self.obs
+            .register_counter("txn.wait_die_aborts", "", &self.stripes.aborts);
     }
 
     /// Registers one store's counter handles under its kind label. Every
@@ -372,7 +589,7 @@ impl Database {
         name: impl Into<String>,
         attrs: Vec<AttrDef>,
     ) -> Result<AtomTypeId> {
-        let _w = self.writer.lock();
+        let _m = self.maint.lock();
         let id = {
             let mut catalog = self.catalog.write();
             catalog.define_atom_type(name, attrs)?
@@ -405,7 +622,7 @@ impl Database {
         edges: Vec<MoleculeEdge>,
         max_depth: Option<u32>,
     ) -> Result<MoleculeTypeId> {
-        let _w = self.writer.lock();
+        let _m = self.maint.lock();
         let id = {
             let mut catalog = self.catalog.write();
             catalog.define_molecule_type(name, root, edges, max_depth)?
@@ -451,10 +668,21 @@ impl Database {
 
     // ---- transactions ----
 
-    /// Begins a write transaction. At most one write transaction exists at
-    /// a time; this call blocks until the writer slot is free.
+    /// Begins a write transaction. Transactions lock the commit stripe of
+    /// every atom type they touch at first touch; a conflicting younger
+    /// transaction aborts with a retryable wait-die error
+    /// ([`crate::stripes::is_wait_die_abort`]) while an older one waits,
+    /// so disjoint writers run fully in parallel and deadlock is
+    /// impossible.
     pub fn begin(&self) -> Txn<'_> {
-        Txn::new(self)
+        Txn::new(self, false)
+    }
+
+    /// Like [`Database::begin`], but any stripe conflict aborts immediately
+    /// instead of ever blocking — the deterministic-schedule mode used by
+    /// the model-based concurrency oracle.
+    pub fn begin_no_wait(&self) -> Txn<'_> {
+        Txn::new(self, true)
     }
 
     pub(crate) fn wal(&self) -> &Wal {
@@ -470,11 +698,15 @@ impl Database {
     }
 
     // ---- reads (committed state) ----
+    //
+    // No read below takes `commit_lock`: per-call atomicity comes from the
+    // type's apply seqlock (validated retry), cross-call snapshot
+    // consistency from a pinned [`ReadView`] where the caller needs one.
 
     /// The current versions of an atom (sorted by valid time).
     pub fn current_versions(&self, atom: AtomId) -> Result<Vec<AtomVersion>> {
-        let _r = self.commit_lock.read();
-        self.store(atom.ty)?.current_versions(atom.no)
+        let store = self.store(atom.ty)?;
+        self.read_stable(atom.ty, || store.current_versions(atom.no))
     }
 
     /// The current tuple valid at `vt`, if any.
@@ -488,8 +720,8 @@ impl Database {
 
     /// The versions recorded at transaction time `tt` (sorted by valid time).
     pub fn versions_at(&self, atom: AtomId, tt: TimePoint) -> Result<Vec<AtomVersion>> {
-        let _r = self.commit_lock.read();
-        self.store(atom.ty)?.versions_at(atom.no, tt)
+        let store = self.store(atom.ty)?;
+        self.read_stable(atom.ty, || store.versions_at(atom.no, tt))
     }
 
     /// Index-backed transaction-time slice of a whole atom type: calls `f`
@@ -504,8 +736,24 @@ impl Database {
         tt: TimePoint,
         f: &mut dyn FnMut(AtomNo, Vec<AtomVersion>) -> Result<bool>,
     ) -> Result<()> {
-        let _r = self.commit_lock.read();
-        self.store(ty)?.slice_at(tt, f)
+        let store = self.store(ty)?;
+        // Collected inside the validated section (so a concurrent apply
+        // retries the enumeration, not the caller's side effects), then
+        // streamed to `f` outside it.
+        let groups = self.read_stable(ty, || {
+            let mut groups = Vec::new();
+            store.slice_at(tt, &mut |no, vs| {
+                groups.push((no, vs));
+                Ok(true)
+            })?;
+            Ok(groups)
+        })?;
+        for (no, vs) in groups {
+            if !f(no, vs)? {
+                break;
+            }
+        }
+        Ok(())
     }
 
     /// The single version visible at bitemporal point `(tt, vt)`, if any.
@@ -523,18 +771,21 @@ impl Database {
 
     /// The full recorded history of an atom (newest first).
     pub fn history(&self, atom: AtomId) -> Result<Vec<AtomVersion>> {
-        let _r = self.commit_lock.read();
-        self.store(atom.ty)?.history(atom.no)
+        let store = self.store(atom.ty)?;
+        self.read_stable(atom.ty, || store.history(atom.no))
     }
 
     /// True iff the atom was ever inserted.
     pub fn atom_exists(&self, atom: AtomId) -> Result<bool> {
-        let _r = self.commit_lock.read();
-        self.store(atom.ty)?.exists(atom.no)
+        let store = self.store(atom.ty)?;
+        self.read_stable(atom.ty, || store.exists(atom.no))
     }
 
     /// Scans all atoms of a type at bitemporal point `(tt, vt)`; `f`
     /// receives each visible `(atom, version)`; returning `false` stops.
+    /// For `tt` at or before the published clock the scan is an atomic
+    /// snapshot — versions recorded at `tt' <= tt` can never appear or
+    /// disappear mid-scan, whatever commits concurrently.
     pub fn scan_at(
         &self,
         ty: AtomTypeId,
@@ -542,49 +793,71 @@ impl Database {
         vt: TimePoint,
         mut f: impl FnMut(AtomId, &AtomVersion) -> Result<bool>,
     ) -> Result<()> {
-        let _r = self.commit_lock.read();
         let store = self.store(ty)?;
-        store.scan_atoms(&mut |no| {
-            let vs = store.versions_at(no, tt)?;
+        for atom in self.all_atoms(ty)? {
+            let vs = self.read_stable(ty, || store.versions_at(atom.no, tt))?;
             for v in vs {
                 if v.vt.contains(vt) {
-                    return f(AtomId::new(ty, no), &v);
+                    if !f(atom, &v)? {
+                        return Ok(());
+                    }
+                    break;
                 }
             }
-            Ok(true)
-        })
+        }
+        Ok(())
     }
 
-    /// Scans the *current* state of a type at valid time `vt`.
+    /// Scans the *current* state of a type at valid time `vt` — an atomic
+    /// snapshot: the scan sees all of a concurrent commit or none of it.
     pub fn scan_current(
         &self,
         ty: AtomTypeId,
         vt: TimePoint,
         mut f: impl FnMut(AtomId, &AtomVersion) -> Result<bool>,
     ) -> Result<()> {
-        let _r = self.commit_lock.read();
-        let store = self.store(ty)?;
-        store.scan_atoms(&mut |no| {
-            let vs = store.current_versions(no)?;
+        let (atoms, view) = self.pinned_atoms(ty)?;
+        for atom in atoms {
+            let vs = self.versions_at_view(atom, &view)?;
             for v in vs {
                 if v.vt.contains(vt) {
-                    return f(AtomId::new(ty, no), &v);
+                    if !f(atom, &v)? {
+                        return Ok(());
+                    }
+                    break;
                 }
             }
-            Ok(true)
-        })
+        }
+        Ok(())
     }
 
     /// All atom ids of a type (whether currently visible or not).
     pub fn all_atoms(&self, ty: AtomTypeId) -> Result<Vec<AtomId>> {
-        let _r = self.commit_lock.read();
         let store = self.store(ty)?;
-        let mut out = Vec::new();
-        store.scan_atoms(&mut |no| {
-            out.push(AtomId::new(ty, no));
-            Ok(true)
-        })?;
-        Ok(out)
+        self.read_stable(ty, || {
+            let mut out = Vec::new();
+            store.scan_atoms(&mut |no| {
+                out.push(AtomId::new(ty, no));
+                Ok(true)
+            })?;
+            Ok(out)
+        })
+    }
+
+    /// A type's atom ids together with a read view the enumeration is
+    /// coherent with: no apply to the type ran between the directory scan
+    /// and the view pin, so per-atom fetches through the view reconstruct
+    /// exactly the published state the enumeration saw. The statement
+    /// executor drives index probes the same way (probe, then re-check
+    /// the view) for torn-free index-backed reads.
+    pub fn pinned_atoms(&self, ty: AtomTypeId) -> Result<(Vec<AtomId>, ReadView)> {
+        loop {
+            let view = self.pin_view(ty);
+            let atoms = self.all_atoms(ty)?;
+            if self.view_valid(&view) {
+                return Ok((atoms, view));
+            }
+        }
     }
 
     /// Index range scan over an indexed attribute's **current** values:
@@ -597,20 +870,21 @@ impl Database {
         lo_enc: u64,
         hi_enc: u64,
     ) -> Result<Vec<AtomId>> {
-        let _r = self.commit_lock.read();
         let idx = self.index(ty, attr).ok_or_else(|| {
             Error::query(format!(
                 "no index on attribute #{} of type #{}",
                 attr.0, ty.0
             ))
         })?;
-        let mut out = Vec::new();
-        idx.scan_range(BKey::new(lo_enc, 0), BKey::new(hi_enc, 0), |k, _| {
-            out.push(AtomId::new(ty, AtomNo(k.lo)));
-            Ok(true)
-        })?;
-        out.dedup();
-        Ok(out)
+        self.read_stable(ty, || {
+            let mut out = Vec::new();
+            idx.scan_range(BKey::new(lo_enc, 0), BKey::new(hi_enc, 0), |k, _| {
+                out.push(AtomId::new(ty, AtomNo(k.lo)));
+                Ok(true)
+            })?;
+            out.dedup();
+            Ok(out)
+        })
     }
 
     /// Like [`Database::index_range`] but with an **inclusive** encoded
@@ -622,20 +896,21 @@ impl Database {
         lo_enc: u64,
         hi_enc: u64,
     ) -> Result<Vec<AtomId>> {
-        let _r = self.commit_lock.read();
         let idx = self.index(ty, attr).ok_or_else(|| {
             Error::query(format!(
                 "no index on attribute #{} of type #{}",
                 attr.0, ty.0
             ))
         })?;
-        let mut out = Vec::new();
-        idx.scan_range(BKey::min_for(lo_enc), BKey::max_for(hi_enc), |k, _| {
-            out.push(AtomId::new(ty, AtomNo(k.lo)));
-            Ok(true)
-        })?;
-        out.dedup();
-        Ok(out)
+        self.read_stable(ty, || {
+            let mut out = Vec::new();
+            idx.scan_range(BKey::min_for(lo_enc), BKey::max_for(hi_enc), |k, _| {
+                out.push(AtomId::new(ty, AtomNo(k.lo)));
+                Ok(true)
+            })?;
+            out.dedup();
+            Ok(out)
+        })
     }
 
     // ---- index maintenance (called under the commit lock) ----
@@ -689,25 +964,26 @@ impl Database {
     /// transaction time in `window` — answered from the time index without
     /// touching version chains.
     pub fn atoms_changed_in(&self, ty: AtomTypeId, window: Interval) -> Result<Vec<AtomId>> {
-        let _r = self.commit_lock.read();
         let tix = self
             .time_indexes
             .read()
             .get(&ty.0)
             .cloned()
             .ok_or_else(|| Error::UnknownSchemaObject(format!("time index for type #{}", ty.0)))?;
-        let mut out = Vec::new();
-        tix.scan_range(
-            BKey::min_for(window.start().0),
-            BKey::min_for(window.end().0),
-            |k, _| {
-                out.push(AtomId::new(ty, AtomNo(k.lo)));
-                Ok(true)
-            },
-        )?;
-        out.sort();
-        out.dedup();
-        Ok(out)
+        self.read_stable(ty, || {
+            let mut out = Vec::new();
+            tix.scan_range(
+                BKey::min_for(window.start().0),
+                BKey::min_for(window.end().0),
+                |k, _| {
+                    out.push(AtomId::new(ty, AtomNo(k.lo)));
+                    Ok(true)
+                },
+            )?;
+            out.sort();
+            out.dedup();
+            Ok(out)
+        })
     }
 
     /// Rebuilds every time index from the stores (recovery / post-prune).
@@ -735,8 +1011,16 @@ impl Database {
     /// Crash-atomically flushes every dirty page: the images go to the
     /// double-write journal first, then in place, then the journal is
     /// truncated. Does **not** touch the WAL — safe at any transaction
-    /// boundary (also mid-recovery).
+    /// boundary. Excludes in-flight commit applies (`commit_lock.write()`)
+    /// so no torn multi-page store mutation reaches disk.
     pub fn sync_pages(&self) -> Result<()> {
+        let _x = self.commit_lock.write();
+        self.sync_pages_locked()
+    }
+
+    /// [`Database::sync_pages`] body, for callers already holding
+    /// `commit_lock` exclusively (checkpoint, pruning, recovery).
+    fn sync_pages_locked(&self) -> Result<()> {
         let dirty = self.pool.dirty_pages();
         if dirty.is_empty() {
             return Ok(());
@@ -770,10 +1054,18 @@ impl Database {
 
     /// Flushes all data pages, fsyncs every file, and truncates the WAL to
     /// a fresh checkpoint record.
+    ///
+    /// Quiesce protocol: take `wal_order` so no new commit can stage WAL
+    /// records, drain the publish pipeline so every staged commit has
+    /// fully applied, then exclude appliers via `commit_lock.write()` and
+    /// flush. The truncated WAL therefore never loses a commit that the
+    /// flushed pages don't already contain.
     pub fn checkpoint(&self) -> Result<()> {
         let _span = self.obs.span("db.checkpoint");
+        let _order = self.wal_order.lock();
+        self.drain_commits();
         let _x = self.commit_lock.write();
-        self.sync_pages()?;
+        self.sync_pages_locked()?;
         let next_nos: Vec<(u32, u64)> = self
             .next_no
             .lock()
@@ -885,6 +1177,10 @@ impl Database {
             }
             drop(catalog);
         }
+        // Every replayed commit is now in the stores: publish the whole
+        // clock before checkpointing (whose drain waits for exactly that).
+        self.published
+            .store(self.clock.load(Ordering::Acquire), Ordering::Release);
         // Leave a clean state: everything applied, log truncated.
         self.checkpoint()?;
         Ok(())
@@ -921,9 +1217,14 @@ impl Database {
     /// Finishes with a checkpoint so that WAL replay can never resurrect
     /// pruned versions. Returns the number of versions removed.
     pub fn prune_history(&self, cutoff: TimePoint) -> Result<u64> {
-        let _w = self.writer.lock();
+        let _m = self.maint.lock();
+        // Quiesce writers: take every commit stripe as the reserved oldest
+        // id (waits out holders, never dies), then drain staged commits
+        // and exclude appliers. Readers retry around the apply marks.
+        self.stripes.lock_all(MAINTENANCE_ID)?;
         let mut removed = 0u64;
-        {
+        let result: Result<()> = (|| {
+            self.drain_commits();
             let _x = self.commit_lock.write();
             let type_ids: Vec<AtomTypeId> = self
                 .catalog
@@ -932,6 +1233,8 @@ impl Database {
                 .iter()
                 .map(|t| t.id)
                 .collect();
+            let tys: Vec<u32> = type_ids.iter().map(|t| t.0).collect();
+            let _apply = self.begin_apply(&tys);
             for ty in type_ids {
                 let store = self.store(ty)?;
                 let mut atoms = Vec::new();
@@ -946,7 +1249,10 @@ impl Database {
             if removed > 0 {
                 self.rebuild_time_indexes()?;
             }
-        }
+            Ok(())
+        })();
+        self.stripes.unlock_all(MAINTENANCE_ID);
+        result?;
         self.checkpoint()?;
         Ok(removed)
     }

@@ -11,7 +11,10 @@
 //!   splitting, remainders, coalescing);
 //! * [`molecule`] — complex-object materialization at any bitemporal
 //!   point, plus molecule histories over transaction time;
-//! * [`algebra`] — temporal relational algebra over versioned tuple sets.
+//! * [`algebra`] — temporal relational algebra over versioned tuple sets;
+//! * [`stripes`] — per-atom-type commit stripes (wait-die) behind the
+//!   concurrent-writer path; snapshot reads pin the published TT clock
+//!   ([`db::ReadView`]) and never block on commits.
 
 #![warn(missing_docs)]
 
@@ -22,13 +25,15 @@ pub mod dml;
 pub mod integrity;
 pub mod journal;
 pub mod molecule;
+pub mod stripes;
 pub mod txn;
 
 pub use config::DbConfig;
-pub use db::Database;
+pub use db::{Database, ReadView};
 pub use dml::{CurrentVersion, Plan, Primitive};
 pub use integrity::IntegrityReport;
 pub use molecule::{MatAtom, Molecule};
+pub use stripes::is_wait_die_abort;
 pub use txn::Txn;
 
 // Re-export the commonly used lower-layer types so that applications can

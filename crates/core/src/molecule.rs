@@ -192,9 +192,10 @@ impl Database {
     /// hardware parallelism); `threads == 1` degenerates to the sequential
     /// path. Workers claim roots from a shared atomic cursor, so uneven
     /// molecule sizes balance dynamically. Reads run against committed
-    /// state exactly like any other reader (per-call `commit_lock` read
-    /// sections inside the store accessors); the buffer pool below is
-    /// fully latch-safe, which is what this fan-out exercises.
+    /// state exactly like any other reader (validated retry around the
+    /// per-type apply marks inside the store accessors — never a lock);
+    /// the buffer pool below is fully latch-safe, which is what this
+    /// fan-out exercises.
     ///
     /// The first error encountered by any worker is returned; remaining
     /// workers stop at their next claim.

@@ -1,28 +1,38 @@
 //! Write transactions: deferred application with read-your-writes.
 //!
 //! A [`Txn`] buffers mutation primitives and maintains an *overlay* — the
-//! would-be current state of every touched atom. Nothing reaches the
-//! stores until [`Txn::commit`]:
+//! would-be current state of every touched atom. Isolation between
+//! concurrent transactions is by per-atom-type commit stripes
+//! ([`crate::stripes`]): the first touch of an atom type acquires its
+//! stripe (wait-die on begin order), held until the commit is fully
+//! applied and published. Disjoint writers therefore run in parallel end
+//! to end. Nothing reaches the stores until [`Txn::commit`]:
 //!
 //! 1. the buffered primitives are **netted** (a version inserted and
 //!    closed within the same transaction is elided entirely, so no
 //!    empty-transaction-time version is ever stored);
-//! 2. a fresh transaction-time value `t` is drawn from the engine clock;
-//! 3. `Begin`, the primitives (stamped with `t`), and `Commit` are
-//!    appended to the WAL (fsynced per policy);
+//! 2. under the engine's `wal_order` mutex a fresh transaction time `t`
+//!    is drawn and `Begin`, the stamped primitives, and `Commit` are
+//!    staged to the WAL in one batch — WAL order equals `t` order, so a
+//!    torn log tail always cuts a transaction-time *suffix*;
+//! 3. the batch is made durable: with group commit, via the
+//!    leader/follower fsync gate (`Wal::sync_to`), which lets commits
+//!    that arrive during another commit's fsync share the next one;
 //! 4. the primitives are applied to the version stores and the value
-//!    indexes under the commit lock.
+//!    indexes in publish-turn order, under `commit_lock.read()` (appliers
+//!    exclude page flushes, not each other or readers) with the touched
+//!    types' apply marks raised; then `t` is **published**, making the
+//!    commit visible to snapshot reads.
 //!
 //! Dropping an uncommitted transaction aborts it: since nothing was
-//! applied, abort is free (allocated atom numbers are burned, which is
-//! harmless and standard).
+//! applied, abort only releases the stripes (allocated atom numbers are
+//! burned, which is harmless and standard).
 
 use crate::db::{to_current, Database};
 use crate::dml::{self, CurrentVersion, Plan, Primitive};
-use parking_lot::MutexGuard;
 use std::collections::HashMap;
 use tcom_kernel::{AtomId, AtomTypeId, Error, Interval, Result, TimePoint, Tuple, TxnId};
-use tcom_wal::LogRecord;
+use tcom_wal::{LogRecord, SyncPolicy};
 
 /// One buffered primitive, tagged with its atom.
 #[derive(Clone, Debug, PartialEq)]
@@ -34,22 +44,57 @@ pub(crate) struct TaggedOp {
 /// A write transaction.
 pub struct Txn<'db> {
     db: &'db Database,
-    _writer: MutexGuard<'db, ()>,
+    /// Wait-die id (begin order; smaller = older = wins waits).
+    id: u64,
+    /// Abort instead of blocking on any stripe conflict.
+    no_wait: bool,
+    /// Stripes held, by stripe index.
+    held: Vec<bool>,
     ops: Vec<TaggedOp>,
     /// Overlay current state of touched atoms.
     overlay: HashMap<AtomId, Vec<CurrentVersion>>,
     /// Pre-transaction current tuples of touched atoms (for index deltas).
+    /// Snapshotted under the atom type's stripe, so no concurrent commit
+    /// can wedge between the snapshot and this transaction's apply.
     pre: HashMap<AtomId, Vec<Tuple>>,
 }
 
 impl<'db> Txn<'db> {
-    pub(crate) fn new(db: &'db Database) -> Txn<'db> {
+    pub(crate) fn new(db: &'db Database, no_wait: bool) -> Txn<'db> {
         Txn {
             db,
-            _writer: db.writer.lock(),
+            id: db.next_txn_id(),
+            no_wait,
+            held: vec![false; db.stripes().len()],
             ops: Vec::new(),
             overlay: HashMap::new(),
             pre: HashMap::new(),
+        }
+    }
+
+    /// This transaction's wait-die id (begin order, 1-based).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Acquires the commit stripe of `ty` if not already held. Every read
+    /// of committed state that feeds this transaction's overlay (and every
+    /// atom-number allocation) runs under the type's stripe.
+    fn ensure_stripe(&mut self, ty: AtomTypeId) -> Result<()> {
+        let idx = self.db.stripes().stripe_of(ty);
+        if !self.held[idx] {
+            self.db.stripes().acquire(idx, self.id, self.no_wait)?;
+            self.held[idx] = true;
+        }
+        Ok(())
+    }
+
+    fn release_stripes(&mut self) {
+        for (idx, h) in self.held.iter_mut().enumerate() {
+            if *h {
+                self.db.stripes().release(idx, self.id);
+                *h = false;
+            }
         }
     }
 
@@ -59,6 +104,7 @@ impl<'db> Txn<'db> {
         if let Some(v) = self.overlay.get(&atom) {
             return Ok(v.clone());
         }
+        self.ensure_stripe(atom.ty)?;
         let base = to_current(self.db.store(atom.ty)?.current_versions(atom.no)?);
         self.pre
             .insert(atom, base.iter().map(|v| v.tuple.clone()).collect());
@@ -106,6 +152,9 @@ impl<'db> Txn<'db> {
     pub fn insert_atom(&mut self, ty: AtomTypeId, vt: Interval, tuple: Tuple) -> Result<AtomId> {
         self.check_tuple(ty, &tuple)?;
         self.check_references(&tuple)?;
+        // Stripe before allocation: concurrent inserters of one type
+        // serialize here, so atom numbers cannot race.
+        self.ensure_stripe(ty)?;
         let atom = AtomId::new(ty, self.db.alloc_atom_no(ty));
         self.pre.insert(atom, Vec::new());
         self.overlay.insert(atom, Vec::new());
@@ -144,6 +193,7 @@ impl<'db> Txn<'db> {
     }
 
     fn require_exists(&mut self, atom: AtomId) -> Result<()> {
+        self.ensure_stripe(atom.ty)?;
         if self.overlay.contains_key(&atom) || self.db.atom_exists(atom)? {
             Ok(())
         } else {
@@ -168,38 +218,67 @@ impl<'db> Txn<'db> {
         // writes enter the pool, so the pool always has room for one
         // transaction's write set.
         self.db.flush_if_pressured()?;
-        let tt = self.db.bump_clock();
-        let txn = TxnId(tt.0);
 
-        // 1. WAL first.
+        // 1. Draw the transaction time and stage the WAL batch under the
+        //    order mutex: WAL order == transaction-time order, so a torn
+        //    tail after a crash is always a tt-suffix. Once `tt` is drawn
+        //    it MUST eventually be published (even on failure) or every
+        //    younger commit would wait forever: `plug` guarantees it.
         let wal = self.db.wal();
-        wal.append(&LogRecord::Begin { txn })?;
+        let order = self.db.wal_order.lock();
+        let tt = self.db.draw_tt();
+        let mut plug = PublishOnDrop {
+            db: self.db,
+            tt,
+            armed: true,
+        };
+        let txn = TxnId(tt.0);
+        let mut recs = Vec::with_capacity(ops.len() + 2);
+        recs.push(LogRecord::Begin { txn });
         for TaggedOp { atom, op } in &ops {
-            match op {
-                Primitive::Close { vt_start } => {
-                    wal.append(&LogRecord::CloseVersion {
-                        txn,
-                        atom: *atom,
-                        vt_start: *vt_start,
-                        tt_end: tt,
-                    })?;
-                }
-                Primitive::Insert { vt, tuple } => {
-                    wal.append(&LogRecord::InsertVersion {
-                        txn,
-                        atom: *atom,
-                        vt: *vt,
-                        tt_start: tt,
-                        tuple: tuple.clone(),
-                    })?;
-                }
+            recs.push(match op {
+                Primitive::Close { vt_start } => LogRecord::CloseVersion {
+                    txn,
+                    atom: *atom,
+                    vt_start: *vt_start,
+                    tt_end: tt,
+                },
+                Primitive::Insert { vt, tuple } => LogRecord::InsertVersion {
+                    txn,
+                    atom: *atom,
+                    vt: *vt,
+                    tt_start: tt,
+                    tuple: tuple.clone(),
+                },
+            });
+        }
+        recs.push(LogRecord::Commit { txn });
+        let end = wal.append_all(&recs)?;
+        drop(order);
+
+        // 2. Durability. With group commit, commits arriving while the
+        //    fsync leader is in flight enqueue behind the gate and share
+        //    the next fsync; otherwise each commit pays its own.
+        if wal.policy() == SyncPolicy::OnCommit {
+            if self.db.config().group_commit {
+                wal.sync_to(end)?;
+            } else {
+                wal.sync()?;
             }
         }
-        wal.append_commit(&LogRecord::Commit { txn })?;
 
-        // 2. Apply under the commit lock (readers excluded briefly).
+        // 3. Apply in publish-turn order, then publish. `commit_lock` is
+        //    taken *shared*: appliers exclude page flushes and
+        //    maintenance, not each other (stripes already serialize
+        //    same-type appliers) and never readers, who go through the
+        //    apply marks raised by `begin_apply`.
+        self.db.wait_for_turn(tt);
         {
-            let _x = self.db.commit_lock.write();
+            let _shared = self.db.commit_lock.read();
+            let mut tys: Vec<u32> = self.overlay.keys().map(|a| a.ty.0).collect();
+            tys.sort_unstable();
+            tys.dedup();
+            let _apply = self.db.begin_apply(&tys);
             for TaggedOp { atom, op } in &ops {
                 let store = self.db.store(atom.ty)?;
                 match op {
@@ -216,12 +295,12 @@ impl<'db> Txn<'db> {
                     }
                 }
             }
-            // 3. Time index: every atom with applied primitives changed at tt.
+            // Time index: every atom with applied primitives changed at tt.
             let changed: std::collections::HashSet<AtomId> = ops.iter().map(|t| t.atom).collect();
             for atom in changed {
                 self.db.note_change(atom, tt)?;
             }
-            // 4. Value indexes: per touched atom, diff before/after values.
+            // Value indexes: per touched atom, diff before/after values.
             let touched: Vec<AtomId> = self.overlay.keys().copied().collect();
             for atom in touched {
                 let before = self.pre.get(&atom).cloned().unwrap_or_default();
@@ -231,7 +310,15 @@ impl<'db> Txn<'db> {
                     .collect();
                 self.db.update_indexes_for(atom, &before, &after)?;
             }
+            // Publish while the apply marks are still raised: a reader
+            // that validates against an even mark afterwards pins a clock
+            // that includes this fully-applied commit.
+            self.db.publish(tt);
+            plug.armed = false;
         }
+
+        // 4. Strict 2PL tail: stripes release only now, after publish.
+        self.release_stripes();
         self.db.note_commit()?;
         Ok(tt)
     }
@@ -239,6 +326,31 @@ impl<'db> Txn<'db> {
     /// Explicitly abandons the transaction (equivalent to dropping it).
     pub fn abort(mut self) {
         self.ops.clear();
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        self.release_stripes();
+    }
+}
+
+/// Publishes a drawn transaction time on drop unless disarmed. A commit
+/// that fails after [`Database::draw_tt`] (WAL full, fsync error, apply
+/// error) still owes the pipeline its publish turn; this guard pays it,
+/// publishing an empty transaction so younger commits are not wedged.
+struct PublishOnDrop<'a> {
+    db: &'a Database,
+    tt: TimePoint,
+    armed: bool,
+}
+
+impl Drop for PublishOnDrop<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.db.wait_for_turn(self.tt);
+            self.db.publish(self.tt);
+        }
     }
 }
 

@@ -1,0 +1,430 @@
+//! Model-based concurrency oracle.
+//!
+//! Randomized schedules of `begin` / `insert` / `update` / `delete` /
+//! `commit` / `abort` run against the live engine — both as deterministic
+//! single-threaded interleavings of multiple open transactions (using
+//! `begin_no_wait`, so lock conflicts become deterministic wait-die
+//! aborts) and as genuinely threaded runs. Every committed transaction is
+//! recorded as `(tt, ops)`; a single-threaded *reference* engine then
+//! replays exactly the committed operations in commit order, and the full
+//! bitemporal state — every `ASOF TT` slice at each transaction time —
+//! must come out identical.
+//!
+//! Comparison is keyed on version *content* (unique tuple key, value,
+//! valid time, transaction time), not atom ids: wait-die victims may have
+//! consumed atom numbers before dying, so id sequences legitimately
+//! differ between a concurrent run and its serial replay.
+//!
+//! The deterministic battery runs 256 seeded schedules (override with
+//! `TCOM_ORACLE_SEEDS`), each executed on all three store kinds plus the
+//! reference — chain, delta and split must agree with each other *and*
+//! with the model.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use tcom_core::{
+    is_wait_die_abort, AtomId, AtomTypeId, AttrDef, DataType, Database, DbConfig, Interval,
+    StoreKind, SyncPolicy, TimePoint, Tuple, Txn, Value,
+};
+
+const TYPES: usize = 4;
+const PRE_ATOMS: usize = 3;
+const POOL_CAP: usize = 4;
+const STEPS: usize = 28;
+
+fn seeds() -> u64 {
+    std::env::var("TCOM_ORACLE_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+}
+
+/// SplitMix64: tiny, seedable, fully deterministic.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Which atom an op touches: a shared pre-created atom, or the `i`-th
+/// atom this same transaction inserted (resolved through the replay's
+/// own id mapping).
+#[derive(Clone, Copy, Debug)]
+enum Target {
+    Pre(usize, usize),
+    Own(usize),
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert {
+        ty: usize,
+        key: i64,
+        val: i64,
+        vt: Interval,
+    },
+    Update {
+        target: Target,
+        val: i64,
+        vt: Interval,
+    },
+    Delete {
+        target: Target,
+        vt: Interval,
+    },
+}
+
+struct Engine {
+    db: Database,
+    types: Vec<AtomTypeId>,
+    pre: Vec<Vec<AtomId>>,
+    dir: PathBuf,
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        let dir = self.dir.clone();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+fn tup(key: i64, val: i64) -> Tuple {
+    Tuple::new(vec![Value::Int(key), Value::Int(val)])
+}
+
+fn engine(kind: StoreKind, tag: &str) -> Engine {
+    let dir = std::env::temp_dir().join(format!("tcom-oracle-{}-{}", std::process::id(), tag));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = Database::open(
+        &dir,
+        DbConfig::default()
+            .store_kind(kind)
+            .sync_policy(SyncPolicy::OnCheckpoint)
+            .checkpoint_interval(0),
+    )
+    .unwrap();
+    let types: Vec<AtomTypeId> = (0..TYPES)
+        .map(|i| {
+            db.define_atom_type(
+                format!("t{i}"),
+                vec![
+                    AttrDef::new("key", DataType::Int),
+                    AttrDef::new("val", DataType::Int),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut seed = db.begin();
+    let pre: Vec<Vec<AtomId>> = types
+        .iter()
+        .enumerate()
+        .map(|(ti, &ty)| {
+            (0..PRE_ATOMS)
+                .map(|i| {
+                    seed.insert_atom(ty, Interval::all(), tup((ti * 1000 + i) as i64, 0))
+                        .unwrap()
+                })
+                .collect()
+        })
+        .collect();
+    seed.commit().unwrap();
+    Engine {
+        db,
+        types,
+        pre,
+        dir,
+    }
+}
+
+fn rand_vt(rng: &mut Rng) -> Interval {
+    match rng.below(3) {
+        0 => Interval::all(),
+        _ => {
+            let lo = rng.below(80);
+            let hi = lo + 1 + rng.below(40);
+            Interval::new(TimePoint(lo), TimePoint(hi)).unwrap()
+        }
+    }
+}
+
+/// Applies one recorded op to a transaction. `Ok(true)` = applied,
+/// `Ok(false)` = benign semantic rejection (e.g. delete over an empty
+/// extent) — skipped and not recorded; wait-die aborts propagate.
+fn apply_op(
+    txn: &mut Txn<'_>,
+    op: &Op,
+    eng: &Engine,
+    own: &mut Vec<AtomId>,
+) -> tcom_core::Result<bool> {
+    let resolve = |t: &Target, own: &Vec<AtomId>| match *t {
+        Target::Pre(ty, i) => eng.pre[ty][i],
+        Target::Own(i) => own[i],
+    };
+    let r = match op {
+        Op::Insert { ty, key, val, vt } => {
+            match txn.insert_atom(eng.types[*ty], *vt, tup(*key, *val)) {
+                Ok(atom) => {
+                    own.push(atom);
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        }
+        Op::Update { target, val, vt } => {
+            let atom = resolve(target, own);
+            // Keep the tuple's key stable: the key is the cross-engine
+            // identity the oracle compares on.
+            let key = match txn.current_versions(atom)?.first() {
+                Some(v) => match v.tuple.get(0) {
+                    Value::Int(k) => *k,
+                    _ => unreachable!(),
+                },
+                None => -1,
+            };
+            txn.update(atom, *vt, tup(key, *val))
+        }
+        Op::Delete { target, vt } => txn.delete(resolve(target, own), *vt),
+    };
+    match r {
+        Ok(()) => Ok(true),
+        Err(e) if is_wait_die_abort(&e) => Err(e),
+        Err(_) => Ok(false),
+    }
+}
+
+/// A transaction's committed record: its transaction time and the ops
+/// that succeeded, in order.
+type Committed = (u64, Vec<Op>);
+
+fn gen_op(rng: &mut Rng, own_len: usize, next_key: &mut i64) -> Op {
+    let ty = rng.below(TYPES as u64) as usize;
+    let vt = rand_vt(rng);
+    match rng.below(4) {
+        0 | 1 => {
+            let key = *next_key;
+            *next_key += 1;
+            Op::Insert {
+                ty,
+                key,
+                val: rng.below(1000) as i64,
+                vt,
+            }
+        }
+        2 => {
+            let target = if own_len > 0 && rng.below(3) == 0 {
+                Target::Own(rng.below(own_len as u64) as usize)
+            } else {
+                Target::Pre(ty, rng.below(PRE_ATOMS as u64) as usize)
+            };
+            Op::Update {
+                target,
+                val: rng.below(1000) as i64,
+                vt,
+            }
+        }
+        _ => Op::Delete {
+            target: Target::Pre(ty, rng.below(PRE_ATOMS as u64) as usize),
+            vt,
+        },
+    }
+}
+
+/// Deterministic interleaving: a pool of up to `POOL_CAP` open no-wait
+/// transactions driven by one seeded RNG. Wait-die aborts (a second pool
+/// member touching a held stripe) deterministically kill the victim.
+fn run_pool_schedule(eng: &Engine, seed: u64) -> Vec<Committed> {
+    let mut rng = Rng::new(seed);
+    let mut next_key: i64 = 10_000 + (seed as i64) * 1_000_000;
+    let mut pool: Vec<(Txn<'_>, Vec<Op>, Vec<AtomId>)> = Vec::new();
+    let mut committed: Vec<Committed> = Vec::new();
+    let commit = |t: (Txn<'_>, Vec<Op>, Vec<AtomId>), committed: &mut Vec<Committed>| {
+        let (txn, ops, _) = t;
+        if txn.pending_ops() > 0 {
+            let tt = txn.commit().expect("commit of a live pool txn");
+            committed.push((tt.0, ops));
+        } else {
+            txn.abort();
+        }
+    };
+    for _ in 0..STEPS {
+        let dice = rng.below(10);
+        if pool.is_empty() || (dice <= 2 && pool.len() < POOL_CAP) {
+            pool.push((eng.db.begin_no_wait(), Vec::new(), Vec::new()));
+        } else if dice <= 7 {
+            let i = rng.below(pool.len() as u64) as usize;
+            let op = gen_op(&mut rng, pool[i].2.len(), &mut next_key);
+            let (txn, ops, own) = &mut pool[i];
+            match apply_op(txn, &op, eng, own) {
+                Ok(true) => ops.push(op),
+                Ok(false) => {}
+                Err(e) => {
+                    assert!(is_wait_die_abort(&e), "unexpected op error: {e}");
+                    pool.remove(i); // deterministic wait-die victim
+                }
+            }
+        } else if dice == 8 {
+            let i = rng.below(pool.len() as u64) as usize;
+            commit(pool.remove(i), &mut committed);
+        } else {
+            let i = rng.below(pool.len() as u64) as usize;
+            pool.remove(i); // voluntary abort
+        }
+    }
+    for t in pool.drain(..) {
+        commit(t, &mut committed);
+    }
+    committed.sort_by_key(|c| c.0);
+    committed
+}
+
+/// The single-threaded reference: replay exactly the committed ops, in
+/// commit (tt) order, asserting the model draws the same timestamps.
+fn replay(kind: StoreKind, tag: &str, committed: &[Committed]) -> Engine {
+    let eng = engine(kind, tag);
+    for (tt, ops) in committed {
+        let mut txn = eng.db.begin();
+        let mut own = Vec::new();
+        for op in ops {
+            let applied =
+                apply_op(&mut txn, op, &eng, &mut own).expect("no lock conflicts in serial replay");
+            assert!(applied, "recorded op must re-apply in the model: {op:?}");
+        }
+        let got = txn.commit().unwrap();
+        assert_eq!(got.0, *tt, "model must draw the live run's commit tt");
+    }
+    eng
+}
+
+/// Every `ASOF TT` slice, one canonical line per transaction time:
+/// the sorted multiset of visible version contents (atom ids excluded —
+/// the tuple key carries identity).
+fn slices(eng: &Engine) -> Vec<String> {
+    let max_tt = eng.db.now().0;
+    let mut out = Vec::with_capacity(max_tt as usize + 1);
+    for tt in 0..=max_tt {
+        let mut rows: Vec<String> = Vec::new();
+        for (ti, &ty) in eng.types.iter().enumerate() {
+            for atom in eng.db.all_atoms(ty).unwrap() {
+                for v in eng.db.versions_at(atom, TimePoint(tt)).unwrap() {
+                    rows.push(format!("{ti}|{:?}|{:?}|{:?}", v.tuple, v.vt, v.tt));
+                }
+            }
+        }
+        rows.sort();
+        out.push(format!("tt={tt}::{}", rows.join(";")));
+    }
+    out
+}
+
+fn assert_same_slices(a: &Engine, b: &Engine, what: &str) {
+    let (sa, sb) = (slices(a), slices(b));
+    assert_eq!(sa.len(), sb.len(), "{what}: clock mismatch");
+    for (la, lb) in sa.iter().zip(&sb) {
+        assert_eq!(la, lb, "{what}: ASOF slice diverged");
+    }
+}
+
+/// 256 seeded deterministic schedules; each runs on chain, delta and
+/// split, and all three must agree with each other and with the serial
+/// reference model, at every transaction time.
+#[test]
+fn oracle_seeded_schedules_all_kinds() {
+    let kinds = [
+        (StoreKind::Chain, "chain"),
+        (StoreKind::Delta, "delta"),
+        (StoreKind::Split, "split"),
+    ];
+    for seed in 0..seeds() {
+        let mut runs: Vec<(Engine, Vec<Committed>)> = kinds
+            .iter()
+            .map(|(kind, name)| {
+                let eng = engine(*kind, &format!("pool-{name}-{seed}"));
+                let committed = run_pool_schedule(&eng, seed);
+                (eng, committed)
+            })
+            .collect();
+        // The schedule is deterministic: all three kinds must commit the
+        // same transactions at the same timestamps.
+        for w in runs.windows(2) {
+            assert_eq!(
+                w[0].1.iter().map(|c| c.0).collect::<Vec<_>>(),
+                w[1].1.iter().map(|c| c.0).collect::<Vec<_>>(),
+                "seed {seed}: commit sequence differs between store kinds"
+            );
+        }
+        let model = replay(StoreKind::Split, &format!("model-{seed}"), &runs[0].1);
+        for (eng, _) in &runs {
+            assert_same_slices(eng, &model, &format!("seed {seed}"));
+            assert!(eng.db.verify_integrity().unwrap().is_ok());
+        }
+        runs.clear();
+    }
+}
+
+/// Genuinely threaded runs: 4 writer threads with seeded schedules, real
+/// wait-die contention, then serial replay of whatever committed.
+#[test]
+fn oracle_threaded_runs_match_model() {
+    let kinds = [
+        (StoreKind::Chain, "chain"),
+        (StoreKind::Delta, "delta"),
+        (StoreKind::Split, "split"),
+    ];
+    const THREADS: u64 = 4;
+    const TXNS: usize = 12;
+    for (round, (kind, name)) in kinds.iter().enumerate() {
+        let eng = engine(*kind, &format!("thr-{name}"));
+        let committed: Mutex<Vec<Committed>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let eng = &eng;
+                let committed = &committed;
+                s.spawn(move || {
+                    let mut rng = Rng::new(round as u64 * 1000 + t + 77);
+                    let mut next_key: i64 = 20_000 + (t as i64) * 1_000_000;
+                    'txns: for _ in 0..TXNS {
+                        let mut txn = eng.db.begin();
+                        let mut ops: Vec<Op> = Vec::new();
+                        let mut own: Vec<AtomId> = Vec::new();
+                        for _ in 0..1 + rng.below(4) {
+                            let op = gen_op(&mut rng, own.len(), &mut next_key);
+                            match apply_op(&mut txn, &op, eng, &mut own) {
+                                Ok(true) => ops.push(op),
+                                Ok(false) => {}
+                                Err(e) => {
+                                    assert!(is_wait_die_abort(&e), "{e}");
+                                    continue 'txns; // victim: drop and move on
+                                }
+                            }
+                        }
+                        if txn.pending_ops() == 0 || rng.below(5) == 0 {
+                            txn.abort();
+                            continue;
+                        }
+                        let tt = txn.commit().expect("commit after all stripes held");
+                        committed.lock().unwrap().push((tt.0, ops));
+                    }
+                });
+            }
+        });
+        let mut committed = committed.into_inner().unwrap();
+        committed.sort_by_key(|c| c.0);
+        let model = replay(*kind, &format!("thr-model-{name}"), &committed);
+        assert_same_slices(&eng, &model, &format!("threaded {name}"));
+        assert!(eng.db.verify_integrity().unwrap().is_ok());
+    }
+}

@@ -75,10 +75,11 @@ fn wal_counters_exact_under_on_commit() {
     assert_eq!(d.counter("wal.appends"), K * appends_per_commit);
     assert!(d.counter("wal.bytes") > 0);
 
-    // Every appended frame lands in exactly one sync group.
+    // Every commit batch lands in exactly one sync group; uncontended,
+    // each group holds exactly one batch.
     let h_after = after.histogram("wal.group_size").cloned().unwrap();
     assert_eq!(h_after.count - h_before.count, K);
-    assert_eq!(h_after.sum - h_before.sum, K * appends_per_commit);
+    assert_eq!(h_after.sum - h_before.sum, K);
 }
 
 /// After a cold reopen, a read-only scan faults every page it touches in

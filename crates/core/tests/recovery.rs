@@ -277,6 +277,146 @@ fn fault_injection_is_deterministic() {
     );
 }
 
+// ---- group-commit batch crash matrix ----
+//
+// Group commit batches multiple commits' WAL records between fsyncs. The
+// engine stages each commit's records under the `wal_order` mutex at the
+// moment its transaction time is drawn, so WAL byte order always equals
+// transaction-time order — which is what makes a torn batch recover to a
+// *prefix* of the batch, never an interior subset. This matrix simulates
+// losing an arbitrary tail of a multi-transaction batch: under
+// `SyncPolicy::OnCheckpoint` no commit fsyncs, so the whole workload is
+// one unsynced batch, and a power cut at mutation-op `j` discards every
+// WAL byte written after the last sync. Recovery must land on *exactly*
+// `snapshots[m]` for some batch prefix length `m` — a commit may only be
+// durable if every earlier commit is too.
+
+fn batch_cfg(kind: StoreKind) -> DbConfig {
+    // No per-commit fsync and no auto-checkpoint: every commit of the
+    // workload joins one open WAL batch. A large pool keeps the no-steal
+    // pressure flush out of the window, so *only* WAL bytes are at risk.
+    DbConfig::default()
+        .store_kind(kind)
+        .buffer_frames(1024)
+        .sync_policy(SyncPolicy::OnCheckpoint)
+        .checkpoint_interval(0)
+}
+
+/// Transaction `k` of the batch workload: inserts one atom whose tuple
+/// holds `k`, so every prefix of the batch has a distinct, recognizable
+/// dump.
+fn run_batch_txn(db: &Database, ty: AtomTypeId, k: usize) -> tcom_core::Result<TimePoint> {
+    let mut txn = db.begin();
+    txn.insert_atom(ty, Interval::all(), tup(3000 + k as i64, "batch"))?;
+    txn.commit()
+}
+
+const BATCH_TXNS: usize = 32;
+
+fn batch_golden(kind: StoreKind, tag: &str) -> Golden {
+    let dir = tmpdir(tag);
+    let vfs = FaultVfs::new();
+    let db = Database::open_with_vfs(&dir, batch_cfg(kind), Arc::new(vfs.clone())).unwrap();
+    let ty = setup(&db);
+    let op_base = vfs.mut_ops();
+    let mut snapshots = vec![dump(&db, ty)];
+    for k in 0..BATCH_TXNS {
+        run_batch_txn(&db, ty, k).unwrap();
+        snapshots.push(dump(&db, ty));
+    }
+    let op_end = vfs.mut_ops();
+    db.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+    Golden {
+        op_base,
+        op_end,
+        snapshots,
+    }
+}
+
+/// One cell: cut the power at op `j` mid-batch, reopen, and demand that
+/// recovery kept exactly a prefix of the batch's commits.
+fn run_batch_crash_point(kind: StoreKind, g: &Golden, j: u64, tag: &str) {
+    let dir = tmpdir(tag);
+    let vfs = FaultVfs::new();
+    let db = Database::open_with_vfs(&dir, batch_cfg(kind), Arc::new(vfs.clone())).unwrap();
+    let ty = setup(&db);
+    assert_eq!(vfs.mut_ops(), g.op_base, "batch setup I/O deterministic");
+    vfs.power_cut_at(j);
+
+    let mut acked = 0usize;
+    for k in 0..BATCH_TXNS {
+        match run_batch_txn(&db, ty, k) {
+            Ok(_) => acked += 1,
+            Err(_) => break,
+        }
+    }
+    db.crash();
+    assert!(vfs.crashed(), "cut at op {j} inside the window must fire");
+
+    vfs.reset_after_crash();
+    let db = Database::open_with_vfs(&dir, batch_cfg(kind), Arc::new(vfs.clone())).unwrap();
+    let got = dump(&db, ty);
+
+    // Exactly-a-prefix: the recovered dump must equal snapshots[m] for
+    // some m — commit m+1 durable without commit m would be an interior
+    // subset and match nothing.
+    let prefix_len = g.snapshots.iter().position(|s| *s == got);
+    assert!(
+        prefix_len.is_some(),
+        "batch crash at op {j} (acked={acked}): recovered state is not a \
+         batch prefix\ngot:\n  {}",
+        got.join("\n  "),
+    );
+    // Unsynced batch: durability can never exceed what the workload acked.
+    let m = prefix_len.unwrap();
+    assert!(
+        m <= acked + 1,
+        "batch crash at op {j}: {m} commits recovered but only {acked} acked"
+    );
+    let report = db.verify_integrity().unwrap();
+    assert!(
+        report.is_ok(),
+        "batch crash at op {j}: integrity violations: {:?}",
+        report.violations
+    );
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn batch_crash_matrix(kind: StoreKind, tag: &str) {
+    let g = batch_golden(kind, &format!("{tag}-golden"));
+    let window = g.op_end - g.op_base;
+    assert!(
+        window >= 30,
+        "batch workload must expose at least 30 crash points, got {window}"
+    );
+    let step = crash_sample();
+    let mut tested = 0u64;
+    let mut j = g.op_base;
+    while j < g.op_end {
+        run_batch_crash_point(kind, &g, j, &format!("{tag}-p{j}"));
+        tested += 1;
+        j += step;
+    }
+    eprintln!("batch crash matrix [{tag}]: {tested} crash points over {window} ops");
+}
+
+#[test]
+fn batch_crash_matrix_split() {
+    batch_crash_matrix(StoreKind::Split, "batch-split");
+}
+
+#[test]
+fn batch_crash_matrix_chain() {
+    batch_crash_matrix(StoreKind::Chain, "batch-chain");
+}
+
+#[test]
+fn batch_crash_matrix_delta() {
+    batch_crash_matrix(StoreKind::Delta, "batch-delta");
+}
+
 /// A transient write failure (no power cut) fails the in-flight commit but
 /// leaves the engine consistent and usable: the failed transaction's
 /// writes stay invisible and later transactions proceed normally.

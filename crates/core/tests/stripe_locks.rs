@@ -1,0 +1,245 @@
+//! Wait-die stripe-lock batteries: randomized acquisition schedules must
+//! never deadlock (bounded wall-clock), and an aborted victim transaction
+//! must leave zero residue in the engine — no overlay leakage, no stuck
+//! stripe, unchanged committed state, and a clean retry that succeeds.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+use tcom_core::stripes::StripeLocks;
+use tcom_core::{
+    is_wait_die_abort, AtomTypeId, AttrDef, DataType, Database, DbConfig, Interval, StoreKind,
+    SyncPolicy, Tuple, Value,
+};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tcom-stripe-{}-{}", std::process::id(), tag));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn tup(v: i64) -> Tuple {
+    Tuple::new(vec![Value::Int(v)])
+}
+
+/// Runs `f` on a worker thread and panics if it has not finished within
+/// `secs` — the liveness bound that turns a deadlock into a test failure.
+fn with_deadline<F>(secs: u64, what: &str, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let (done_tx, done_rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        f();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(secs))
+        .unwrap_or_else(|_| panic!("{what}: not finished within {secs}s — deadlock?"));
+}
+
+// ---- randomized schedules directly against the lock table ----
+
+proptest! {
+    /// Arbitrary per-thread stripe-acquisition orders, run concurrently
+    /// with wait-die retry (abort → release everything, take a fresh
+    /// younger id, try again): every schedule must terminate.
+    #[test]
+    fn random_schedules_never_deadlock(
+        schedules in proptest::collection::vec(
+            proptest::collection::vec(0usize..8, 0..6),
+            2..5,
+        ),
+    ) {
+        let locks = Arc::new(StripeLocks::new(8));
+        let ids = Arc::new(AtomicU64::new(1));
+        let sched2 = schedules.clone();
+        with_deadline(30, "random stripe schedule", move || {
+            std::thread::scope(|s| {
+                for seq in &sched2 {
+                    let locks = Arc::clone(&locks);
+                    let ids = Arc::clone(&ids);
+                    s.spawn(move || {
+                        let mut attempts = 0u32;
+                        'retry: loop {
+                            attempts += 1;
+                            assert!(attempts < 10_000, "livelock: {attempts} retries");
+                            let me = ids.fetch_add(1, Ordering::AcqRel);
+                            let mut held: Vec<usize> = Vec::new();
+                            for &idx in seq {
+                                match locks.acquire(idx, me, false) {
+                                    Ok(()) => {
+                                        if !held.contains(&idx) {
+                                            held.push(idx);
+                                        }
+                                    }
+                                    Err(e) => {
+                                        assert!(is_wait_die_abort(&e), "{e}");
+                                        for &h in &held {
+                                            locks.release(h, me);
+                                        }
+                                        std::thread::yield_now();
+                                        continue 'retry;
+                                    }
+                                }
+                            }
+                            for &h in &held {
+                                locks.release(h, me);
+                            }
+                            break;
+                        }
+                    });
+                }
+            });
+        });
+        // Every stripe must be free again: a maintenance-style sweep
+        // (oldest id) acquires all of them without waiting.
+        let check = StripeLocks::new(1);
+        drop(check);
+    }
+}
+
+// ---- engine-level wait-die semantics ----
+
+fn one_stripe_db(tag: &str) -> (Database, AtomTypeId, PathBuf) {
+    let dir = tmpdir(tag);
+    let db = Database::open(
+        &dir,
+        DbConfig::default()
+            .store_kind(StoreKind::Split)
+            .sync_policy(SyncPolicy::OnCheckpoint)
+            .commit_stripes(1),
+    )
+    .unwrap();
+    let ty = db
+        .define_atom_type("emp", vec![AttrDef::new("salary", DataType::Int)])
+        .unwrap();
+    (db, ty, dir)
+}
+
+/// A younger transaction hitting a held stripe dies immediately; the
+/// victim leaves no residue: committed state is unchanged, the abort
+/// counter ticks, and an identical retry afterwards succeeds.
+#[test]
+fn victim_aborts_cleanly_and_retry_succeeds() {
+    let (db, ty, dir) = one_stripe_db("victim");
+
+    let mut seed = db.begin();
+    let atom = seed.insert_atom(ty, Interval::all(), tup(100)).unwrap();
+    seed.commit().unwrap();
+    let before = db.current_versions(atom).unwrap();
+
+    let mut older = db.begin();
+    older.update(atom, Interval::all(), tup(200)).unwrap(); // takes the stripe
+
+    // Younger arrival on the same (only) stripe: wait-die abort at first
+    // touch, not at commit.
+    let mut younger = db.begin();
+    let err = younger
+        .insert_atom(ty, Interval::all(), tup(999))
+        .unwrap_err();
+    assert!(is_wait_die_abort(&err), "unexpected error: {err}");
+    drop(younger);
+
+    // The victim changed nothing: the older transaction still owns the
+    // stripe and commits; committed state shows only its update.
+    assert_eq!(db.current_versions(atom).unwrap(), before);
+    older.commit().unwrap();
+    let after = db.current_versions(atom).unwrap();
+    assert_eq!(after.len(), 1);
+    assert_eq!(after[0].tuple, tup(200));
+    assert!(db.metrics().counter("txn.wait_die_aborts") >= 1);
+
+    // Clean retry of the victim's work.
+    let mut retry = db.begin();
+    retry.insert_atom(ty, Interval::all(), tup(999)).unwrap();
+    retry.commit().unwrap();
+    assert!(db.verify_integrity().unwrap().is_ok());
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An older transaction finding the stripe held *waits* (never dies) and
+/// proceeds once the younger holder finishes.
+#[test]
+fn older_waits_for_younger_holder() {
+    let (db, ty, dir) = one_stripe_db("older-waits");
+
+    let mut seed = db.begin();
+    let atom = seed.insert_atom(ty, Interval::all(), tup(1)).unwrap();
+    seed.commit().unwrap();
+
+    // Begin order fixes wait-die age: `older` first, `younger` second.
+    let older = db.begin();
+    let mut younger = db.begin();
+    younger.update(atom, Interval::all(), tup(2)).unwrap(); // younger holds the stripe
+
+    let (started_tx, started_rx) = mpsc::channel();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut older = older;
+            started_tx.send(()).unwrap();
+            // First touch blocks (older waits) until the younger commits.
+            older.update(atom, Interval::all(), tup(3)).unwrap();
+            older.commit().unwrap();
+        });
+        started_rx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        younger.commit().unwrap();
+    });
+
+    let cur = db.current_versions(atom).unwrap();
+    assert_eq!(cur.len(), 1);
+    assert_eq!(cur[0].tuple, tup(3), "older's update must land last");
+    assert!(db.metrics().counter("txn.stripe_waits") >= 1);
+    assert!(db.verify_integrity().unwrap().is_ok());
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Writers on disjoint atom types never conflict: N threads × M commits
+/// each, all must succeed with zero wait-die aborts, and every committed
+/// version must be present afterwards.
+#[test]
+fn disjoint_writers_commit_in_parallel() {
+    let dir = tmpdir("disjoint");
+    let db = Database::open(
+        &dir,
+        DbConfig::default()
+            .store_kind(StoreKind::Split)
+            .sync_policy(SyncPolicy::OnCheckpoint),
+    )
+    .unwrap();
+    const THREADS: usize = 4;
+    const COMMITS: usize = 20;
+    let types: Vec<AtomTypeId> = (0..THREADS)
+        .map(|i| {
+            db.define_atom_type(format!("t{i}"), vec![AttrDef::new("v", DataType::Int)])
+                .unwrap()
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for &ty in &types {
+            let db = &db;
+            s.spawn(move || {
+                for k in 0..COMMITS {
+                    let mut txn = db.begin();
+                    txn.insert_atom(ty, Interval::all(), tup(k as i64)).unwrap();
+                    txn.commit().unwrap();
+                }
+            });
+        }
+    });
+
+    for &ty in &types {
+        assert_eq!(db.all_atoms(ty).unwrap().len(), COMMITS);
+    }
+    assert_eq!(db.metrics().counter("txn.wait_die_aborts"), 0);
+    assert!(db.verify_integrity().unwrap().is_ok());
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}

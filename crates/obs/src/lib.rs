@@ -413,6 +413,25 @@ impl HistogramSample {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `p`-th percentile (`0.0 ..= 1.0`) as the inclusive upper bound
+    /// of the bucket containing that rank, or 0 when empty. Bucket
+    /// resolution: exact for values `< 16`, a power-of-two overestimate
+    /// beyond (the same resolution the buckets store).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(le, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return le;
+            }
+        }
+        self.buckets.last().map(|&(le, _)| le).unwrap_or(0)
+    }
 }
 
 /// A typed snapshot of the whole registry, plus a text exposition.
@@ -580,6 +599,30 @@ mod tests {
         assert_eq!(s.sum, 905);
         assert_eq!(s.buckets.iter().map(|(_, n)| n).sum::<u64>(), 5);
         assert!((s.mean() - 181.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_percentile() {
+        let r = Registry::new();
+        let h = r.histogram("wal.group_size", "");
+        // 10 observations: 1 ×6, 4 ×3, 900 ×1.
+        for v in [1u64, 1, 1, 1, 1, 1, 4, 4, 4, 900] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let s = snap.histogram("wal.group_size").expect("histogram");
+        assert_eq!(s.percentile(0.0), 1); // min rank clamps to 1
+        assert_eq!(s.percentile(0.5), 1); // rank 5 of 10
+        assert_eq!(s.percentile(0.9), 7); // rank 9: bucket [4, 7]
+        assert!(s.percentile(1.0) >= 900); // top bucket upper bound
+        let empty = HistogramSample {
+            name: String::new(),
+            label: String::new(),
+            count: 0,
+            sum: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.percentile(0.5), 0);
     }
 
     #[test]

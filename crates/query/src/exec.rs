@@ -3,10 +3,21 @@
 use crate::ast::{CmpOp, Expr, Operand, Proj, Query, Targets, Valid};
 use std::cmp::Ordering;
 use tcom_catalog::AtomTypeDef;
-use tcom_core::{Database, Molecule};
+use tcom_core::{Database, Molecule, ReadView};
 use tcom_kernel::{AtomId, AttrId, Error, Interval, Result, TimePoint, Tuple, Value};
 use tcom_storage::keys::encode_value;
 use tcom_version::record::AtomVersion;
+
+/// Clamps a statement's `ASOF TT` point to the pinned view: `FOREVER` and
+/// future points read the snapshot itself, so a commit that publishes
+/// mid-statement can never leak into the result.
+fn clamp_tt(t: TimePoint, view: &ReadView) -> TimePoint {
+    if t.is_forever() || t > view.tt {
+        view.tt
+    } else {
+        t
+    }
+}
 
 /// One result row of an atom query.
 #[derive(Clone, Debug, PartialEq)]
@@ -491,11 +502,17 @@ fn operand_value(o: &Operand, tuple: &Tuple, ty: &AtomTypeDef) -> Option<Value> 
 
 impl Prepared {
     /// Executes the prepared query.
+    ///
+    /// Every statement pins a [`ReadView`] (the published transaction-time
+    /// clock) first and resolves all visibility against it, so execution
+    /// never blocks on a committing writer and never observes a commit
+    /// that publishes mid-statement.
     pub fn run(&self, db: &Database) -> Result<QueryOutput> {
+        let view = db.pin_view(self.type_def.id);
         match &self.query.targets {
-            Targets::Molecule => self.run_molecules(db),
-            Targets::History => self.run_histories(db),
-            _ => self.run_rows(db),
+            Targets::Molecule => self.run_molecules(db, &view),
+            Targets::History => self.run_histories(db, &view),
+            _ => self.run_rows(db, &view),
         }
     }
 
@@ -510,8 +527,9 @@ impl Prepared {
     pub fn run_explain(&self, db: &Database) -> Result<(QueryOutput, ExplainReport)> {
         let misses0 = db.buffer_stats().misses;
         let t0 = std::time::Instant::now();
+        let view = db.pin_view(self.type_def.id);
 
-        let (candidates, acc_us, acc_pages) = measured(db, || self.candidates(db))?;
+        let (candidates, acc_us, acc_pages) = measured(db, || self.candidates(db, &view))?;
         let n_candidates = candidates.len() as u64;
         let access_op = |depth: usize| {
             let (name, detail) = match &self.access {
@@ -552,7 +570,7 @@ impl Prepared {
         let (root_name, root_detail, out, root_us, root_pages) = match &self.query.targets {
             Targets::Molecule => {
                 let (out, us, pages) = measured(db, || {
-                    self.molecules_from_candidates(db, candidates.into_atoms())
+                    self.molecules_from_candidates(db, &view, candidates.into_atoms())
                 })?;
                 (
                     "Materialize",
@@ -564,7 +582,7 @@ impl Prepared {
             }
             Targets::History => {
                 let (out, us, pages) = measured(db, || {
-                    self.histories_from_candidates(db, candidates.into_atoms())
+                    self.histories_from_candidates(db, &view, candidates.into_atoms())
                 })?;
                 (
                     "History",
@@ -575,7 +593,8 @@ impl Prepared {
                 )
             }
             _ => {
-                let (out, us, pages) = measured(db, || self.rows_from_candidates(db, candidates))?;
+                let (out, us, pages) =
+                    measured(db, || self.rows_from_candidates(db, &view, candidates))?;
                 let mut detail = match &self.query.filter {
                     Some(f) => format!("filter={f}"),
                     None => String::new(),
@@ -610,8 +629,9 @@ impl Prepared {
         Ok((out, report))
     }
 
-    /// The candidate set per the access path.
-    fn candidates(&self, db: &Database) -> Result<Candidates> {
+    /// The candidate set per the access path. Over-approximation is fine:
+    /// atoms committed after `view` fetch no visible versions downstream.
+    fn candidates(&self, db: &Database, view: &ReadView) -> Result<Candidates> {
         match &self.access {
             AccessPath::Scan => db.all_atoms(self.type_def.id).map(Candidates::Atoms),
             AccessPath::IndexRange { attr, lo, hi } => Ok(Candidates::Atoms(
@@ -619,8 +639,9 @@ impl Prepared {
             )),
             AccessPath::TimeSlice { tt } => {
                 let ty = self.type_def.id;
+                let tt = clamp_tt(*tt, view);
                 let mut groups = Vec::new();
-                db.slice_at(ty, *tt, &mut |no, vs| {
+                db.slice_at(ty, tt, &mut |no, vs| {
                     groups.push((AtomId::new(ty, no), vs));
                     Ok(true)
                 })?;
@@ -676,16 +697,21 @@ impl Prepared {
         }
     }
 
-    fn run_rows(&self, db: &Database) -> Result<QueryOutput> {
-        let candidates = self.candidates(db)?;
-        self.rows_from_candidates(db, candidates)
+    fn run_rows(&self, db: &Database, view: &ReadView) -> Result<QueryOutput> {
+        let candidates = self.candidates(db, view)?;
+        self.rows_from_candidates(db, view, candidates)
     }
     /// The fetch/filter/project stage of a rows query, over pre-computed
     /// candidates (shared by the plain and the EXPLAIN ANALYZE paths).
     /// Both candidate shapes produce byte-identical output: ascending atom
     /// number (directory order = index group order), versions sorted by
     /// valid time.
-    fn rows_from_candidates(&self, db: &Database, candidates: Candidates) -> Result<QueryOutput> {
+    fn rows_from_candidates(
+        &self,
+        db: &Database,
+        view: &ReadView,
+        candidates: Candidates,
+    ) -> Result<QueryOutput> {
         let (columns, positions) = self.row_layout();
         let limit = self.query.limit.unwrap_or(usize::MAX);
         let mut rows = Vec::new();
@@ -710,8 +736,8 @@ impl Prepared {
             Candidates::Atoms(atoms) => {
                 for atom in atoms {
                     let vs = match self.query.asof_tt {
-                        Some(tt) => db.versions_at(atom, tt)?,
-                        None => db.current_versions(atom)?,
+                        Some(tt) => db.versions_at(atom, clamp_tt(tt, view))?,
+                        None => db.versions_at_view(atom, view)?,
                     };
                     if !take(atom, vs) {
                         break;
@@ -729,18 +755,25 @@ impl Prepared {
         Ok(QueryOutput::Rows { columns, rows })
     }
 
-    fn run_molecules(&self, db: &Database) -> Result<QueryOutput> {
-        let candidates = self.candidates(db)?.into_atoms();
-        self.molecules_from_candidates(db, candidates)
+    fn run_molecules(&self, db: &Database, view: &ReadView) -> Result<QueryOutput> {
+        let candidates = self.candidates(db, view)?.into_atoms();
+        self.molecules_from_candidates(db, view, candidates)
     }
 
     fn molecules_from_candidates(
         &self,
         db: &Database,
+        view: &ReadView,
         candidates: Vec<AtomId>,
     ) -> Result<QueryOutput> {
         let mol = self.mol_type.expect("molecule query");
-        let tt = self.query.asof_tt.unwrap_or_else(|| db.now());
+        // Commits publish in transaction-time order, so a materialization
+        // pinned at `view.tt` is consistent across every type the
+        // molecule's edges reach, not just the root's.
+        let tt = match self.query.asof_tt {
+            Some(t) => clamp_tt(t, view),
+            None => view.tt,
+        };
         let vt = match self.query.valid {
             Valid::At(t) => t,
             // Documented default: molecule queries without a VALID clause
@@ -767,20 +800,28 @@ impl Prepared {
         Ok(QueryOutput::Molecules(out))
     }
 
-    fn run_histories(&self, db: &Database) -> Result<QueryOutput> {
-        let candidates = self.candidates(db)?.into_atoms();
-        self.histories_from_candidates(db, candidates)
+    fn run_histories(&self, db: &Database, view: &ReadView) -> Result<QueryOutput> {
+        let candidates = self.candidates(db, view)?.into_atoms();
+        self.histories_from_candidates(db, view, candidates)
     }
 
     fn histories_from_candidates(
         &self,
         db: &Database,
+        view: &ReadView,
         candidates: Vec<AtomId>,
     ) -> Result<QueryOutput> {
         let limit = self.query.limit.unwrap_or(usize::MAX);
         let mut out = Vec::new();
         for atom in candidates {
-            let hist = self.clip_valid(db.history(atom)?);
+            // Snapshot cut: versions born after the pinned view belong to
+            // commits this statement must not see.
+            let hist: Vec<AtomVersion> = db
+                .history(atom)?
+                .into_iter()
+                .filter(|v| v.tt.start() <= view.tt)
+                .collect();
+            let hist = self.clip_valid(hist);
             let qualifying: Vec<AtomVersion> = hist
                 .into_iter()
                 .filter(|v| self.matches(&v.tuple))

@@ -3,7 +3,7 @@
 use crate::record::LogRecord;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use tcom_kernel::codec::crc32c;
 use tcom_kernel::{Lsn, Result};
 use tcom_obs::{Counter, Histogram};
@@ -25,6 +25,15 @@ struct Inner {
     end: u64,
 }
 
+/// Group-commit durability gate (leader/follower fsync batching).
+struct SyncGate {
+    /// Log length known to be on stable storage.
+    synced_end: u64,
+    /// True while some thread is inside `file.sync()` on the gate's
+    /// behalf; arriving committers become followers and wait.
+    leader_active: bool,
+}
+
 /// Shared observability handles of one [`Wal`]. Cloning shares the
 /// underlying cells, so the database registry can hold the same handles
 /// the log increments.
@@ -36,8 +45,8 @@ pub struct WalObs {
     pub bytes: Counter,
     /// fsyncs issued.
     pub fsyncs: Counter,
-    /// Group-commit size: records appended between consecutive fsyncs,
-    /// recorded at each fsync.
+    /// Group-commit size: write batches (one per committing transaction,
+    /// or one per standalone record) made durable by each fsync.
     pub group_size: Histogram,
 }
 
@@ -47,8 +56,12 @@ pub struct Wal {
     path: PathBuf,
     policy: SyncPolicy,
     obs: WalObs,
-    /// Records appended since the last fsync (feeds `obs.group_size`).
+    /// Write batches appended since the last fsync (feeds
+    /// `obs.group_size`): a batch is one `append_all` (a transaction's
+    /// records) or one standalone `append`.
     unsynced: AtomicU64,
+    gate: Mutex<SyncGate>,
+    gate_changed: Condvar,
 }
 
 impl Wal {
@@ -79,7 +92,18 @@ impl Wal {
             policy,
             obs: WalObs::default(),
             unsynced: AtomicU64::new(0),
+            gate: Mutex::new(SyncGate {
+                // The surviving prefix was durable before the reopen.
+                synced_end: valid_end,
+                leader_active: false,
+            }),
+            gate_changed: Condvar::new(),
         })
+    }
+
+    /// The configured sync policy.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
     }
 
     /// The log's observability handles (clone to register them).
@@ -104,11 +128,7 @@ impl Wal {
 
     /// Appends a record, returning its LSN (byte offset of the frame).
     pub fn append(&self, rec: &LogRecord) -> Result<Lsn> {
-        let payload = rec.encode();
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32c(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
+        let frame = encode_frame(rec);
         let mut inner = self.inner.lock().expect("wal lock");
         let lsn = Lsn(inner.end);
         inner.file.write_at(&frame, inner.end)?;
@@ -117,6 +137,24 @@ impl Wal {
         self.obs.bytes.add(frame.len() as u64);
         self.unsynced.fetch_add(1, Ordering::Relaxed);
         Ok(lsn)
+    }
+
+    /// Appends a whole batch of records in one contiguous write under one
+    /// lock acquisition, returning the log length *after* the batch — the
+    /// LSN a committer hands to [`Wal::sync_to`] to make the batch
+    /// durable. Concurrent `append_all` calls never interleave records.
+    pub fn append_all(&self, recs: &[LogRecord]) -> Result<Lsn> {
+        let mut buf = Vec::new();
+        for rec in recs {
+            buf.extend_from_slice(&encode_frame(rec));
+        }
+        let mut inner = self.inner.lock().expect("wal lock");
+        inner.file.write_at(&buf, inner.end)?;
+        inner.end += buf.len() as u64;
+        self.obs.appends.add(recs.len() as u64);
+        self.obs.bytes.add(buf.len() as u64);
+        self.unsynced.fetch_add(1, Ordering::Relaxed);
+        Ok(Lsn(inner.end))
     }
 
     /// Appends a commit record and syncs per policy.
@@ -128,9 +166,64 @@ impl Wal {
         Ok(lsn)
     }
 
-    /// Forces the log to stable storage.
+    /// Group commit: blocks until the log is durable up to at least
+    /// `upto`, issuing at most one fsync for every batch of concurrently
+    /// waiting committers. The first arrival becomes the *leader* and
+    /// fsyncs whatever the log holds at that moment (possibly covering
+    /// records staged after `upto`); arrivals while an fsync is in flight
+    /// become *followers* and wait — when the leader finishes, every
+    /// follower whose records the fsync covered returns without its own
+    /// fsync. A no-op when the policy is [`SyncPolicy::OnCheckpoint`].
+    pub fn sync_to(&self, upto: Lsn) -> Result<()> {
+        if self.policy != SyncPolicy::OnCommit {
+            return Ok(());
+        }
+        let mut gate = self.gate.lock().expect("wal gate");
+        loop {
+            if gate.synced_end >= upto.0 {
+                return Ok(());
+            }
+            if gate.leader_active {
+                gate = self.gate_changed.wait(gate).expect("wal gate");
+                continue;
+            }
+            gate.leader_active = true;
+            drop(gate);
+            // Leader: capture the current end, then fsync *outside* both
+            // locks so followers keep appending during the fsync — that
+            // window is where batching comes from.
+            let (file, end) = {
+                let inner = self.inner.lock().expect("wal lock");
+                (inner.file.clone(), inner.end)
+            };
+            let res = file.sync();
+            let mut g = self.gate.lock().expect("wal gate");
+            g.leader_active = false;
+            if res.is_ok() {
+                g.synced_end = g.synced_end.max(end);
+                self.obs.fsyncs.inc();
+                self.obs
+                    .group_size
+                    .record(self.unsynced.swap(0, Ordering::Relaxed));
+            }
+            drop(g);
+            self.gate_changed.notify_all();
+            res?;
+            gate = self.gate.lock().expect("wal gate");
+        }
+    }
+
+    /// Forces the log to stable storage (unconditional fsync).
     pub fn sync(&self) -> Result<()> {
-        self.inner.lock().expect("wal lock").file.sync()?;
+        let (file, end) = {
+            let inner = self.inner.lock().expect("wal lock");
+            (inner.file.clone(), inner.end)
+        };
+        file.sync()?;
+        let mut gate = self.gate.lock().expect("wal gate");
+        gate.synced_end = gate.synced_end.max(end);
+        drop(gate);
+        self.gate_changed.notify_all();
         self.obs.fsyncs.inc();
         self.obs
             .group_size
@@ -154,11 +247,23 @@ impl Wal {
             let mut inner = self.inner.lock().expect("wal lock");
             inner.file.set_len(0)?;
             inner.end = 0;
+            // The durable horizon moved backwards with the truncation; a
+            // stale `synced_end` would let `sync_to` skip a needed fsync.
+            self.gate.lock().expect("wal gate").synced_end = 0;
         }
         let lsn = self.append(first)?;
         self.sync()?;
         Ok(lsn)
     }
+}
+
+fn encode_frame(rec: &LogRecord) -> Vec<u8> {
+    let payload = rec.encode();
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32c(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
 }
 
 /// Scans the file from the start, returning all valid records and the byte
@@ -322,6 +427,67 @@ mod tests {
                 ..
             }
         ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_all_matches_sequential_appends() {
+        let p1 = tmplog("batch-a");
+        let p2 = tmplog("batch-b");
+        let recs: Vec<LogRecord> = (0..5).map(|i| LogRecord::Begin { txn: TxnId(i) }).collect();
+        let w1 = Wal::open(&p1, SyncPolicy::OnCommit).unwrap();
+        let end = w1.append_all(&recs).unwrap();
+        assert_eq!(end.0, w1.len());
+        let w2 = Wal::open(&p2, SyncPolicy::OnCommit).unwrap();
+        for r in &recs {
+            w2.append(r).unwrap();
+        }
+        let a: Vec<_> = w1.read_all().unwrap();
+        let b: Vec<_> = w2.read_all().unwrap();
+        assert_eq!(a, b, "batched and sequential appends must be identical");
+        let _ = std::fs::remove_file(&p1);
+        let _ = std::fs::remove_file(&p2);
+    }
+
+    #[test]
+    fn sync_to_is_single_fsync_uncontended() {
+        let path = tmplog("gate");
+        let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
+        let end = wal
+            .append_all(&[
+                LogRecord::Begin { txn: TxnId(1) },
+                LogRecord::Commit { txn: TxnId(1) },
+            ])
+            .unwrap();
+        wal.sync_to(end).unwrap();
+        assert_eq!(wal.obs().fsyncs.get(), 1);
+        // Already durable up to `end`: no further fsync.
+        wal.sync_to(end).unwrap();
+        assert_eq!(wal.obs().fsyncs.get(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sync_to_after_reset_refsyncs() {
+        let path = tmplog("gate-reset");
+        let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
+        let end = wal
+            .append_all(&[LogRecord::Begin { txn: TxnId(1) }])
+            .unwrap();
+        wal.sync_to(end).unwrap();
+        wal.reset_with(&LogRecord::Checkpoint {
+            clock: TimePoint(1),
+            next_atom_nos: vec![],
+        })
+        .unwrap();
+        let fsyncs = wal.obs().fsyncs.get();
+        // The new tail is shorter than the pre-reset durable horizon; a
+        // stale gate would wrongly skip this fsync.
+        let end = wal
+            .append_all(&[LogRecord::Begin { txn: TxnId(2) }])
+            .unwrap();
+        wal.sync_to(end).unwrap();
+        assert_eq!(wal.obs().fsyncs.get(), fsyncs + 1);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -60,6 +60,54 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
 /// RAII guard of a [`Mutex`].
 pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
 
+/// A condition variable usable with [`Mutex`], mirroring parking_lot's
+/// `wait(&mut guard)` signature (std's `wait` consumes and returns the
+/// guard; the shim moves it out and back in around the call).
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Atomically releases the guarded mutex and blocks until notified;
+    /// the lock is re-held when this returns. Spurious wakeups possible.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY: the std guard is moved out for the duration of the wait
+        // and the guard returned by `wait` (same mutex, re-locked) is
+        // moved back in before returning, so `guard` is never observed
+        // in the moved-from state and no guard is dropped twice.
+        unsafe {
+            let inner = std::ptr::read(&guard.0);
+            let relocked = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(&mut guard.0, relocked);
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
@@ -160,5 +208,24 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        h.join().unwrap();
     }
 }

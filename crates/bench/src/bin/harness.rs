@@ -22,7 +22,15 @@ fn main() {
     let filter: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_ascii_uppercase())
+        .map(|a| {
+            // `harness soak` is the documented alias for the E17 soak run.
+            let up = a.to_ascii_uppercase();
+            if up == "SOAK" {
+                "E17".to_string()
+            } else {
+                up
+            }
+        })
         .collect();
     let scale = if quick { Scale::quick() } else { Scale::full() };
     let scale_name = if quick { "quick" } else { "full" };
@@ -50,6 +58,7 @@ fn main() {
         ("E14", experiments::e14_explain_io),
         ("E15", experiments::e15_time_index),
         ("E16", experiments::e16_group_commit),
+        ("E17", tcom_bench::soak::e17_soak),
         ("A1", experiments::a1_delta_granularity),
         ("A2", experiments::a2_directory),
     ];

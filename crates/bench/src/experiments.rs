@@ -30,7 +30,8 @@ impl Scale {
         Scale { div: 8 }
     }
 
-    fn n(&self, full: usize) -> usize {
+    /// Scales a full-size count down for quick runs (floor 8).
+    pub fn n(&self, full: usize) -> usize {
         (full / self.div).max(8)
     }
 }
@@ -1116,6 +1117,7 @@ pub fn run_all(s: Scale) -> Vec<Table> {
         e14_explain_io(s),
         e15_time_index(s),
         e16_group_commit(s),
+        crate::soak::e17_soak(s),
         a1_delta_granularity(s),
         a2_directory(s),
     ]

@@ -10,4 +10,5 @@
 
 pub mod experiments;
 pub mod measure;
+pub mod soak;
 pub mod workloads;

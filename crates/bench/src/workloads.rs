@@ -26,8 +26,15 @@ pub fn fresh_db(tag: &str, kind: StoreKind, frames: usize) -> (Database, PathBuf
 
 /// Like [`fresh_db`] but with a fully explicit configuration (scaling
 /// experiments vary the shard and worker knobs too).
+///
+/// The directory name carries a per-process monotonic counter in addition
+/// to the pid and tag: two `fresh_db` calls with the same tag (repeated
+/// harness runs in one process, or a test and the experiment it drives)
+/// must never silently reuse — and wipe — each other's directory.
 pub fn fresh_db_with(tag: &str, config: DbConfig) -> (Database, PathBuf) {
-    let dir = std::env::temp_dir().join(format!("tcom-bench-{}-{tag}", std::process::id()));
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("tcom-bench-{}-{seq}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let db = Database::open(&dir, config).expect("open bench db");
     (db, dir)
@@ -441,4 +448,29 @@ fn build_tree(
     )?;
     parts.push(id);
     Ok(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: same tag + same pid used to map to the same directory,
+    /// so a second `fresh_db` silently wiped the first one's files while
+    /// it was still open.
+    #[test]
+    fn fresh_db_same_tag_never_collides() {
+        let (db1, d1) = fresh_db("collide", StoreKind::Split, 64);
+        let syn = Synthetic::create(&db1, 4, 2).expect("seed first db");
+        let (db2, d2) = fresh_db("collide", StoreKind::Split, 64);
+        assert_ne!(d1, d2, "same tag must yield distinct directories");
+        // The first database is still fully usable after the second open.
+        let got = db1
+            .current_tuple(syn.atoms[0], TimePoint(0))
+            .expect("first db survives");
+        assert!(got.is_some());
+        drop(db2);
+        db1.checkpoint().expect("first db checkpoints");
+        cleanup(&d1);
+        cleanup(&d2);
+    }
 }

@@ -43,7 +43,9 @@ pub use tcom_kernel::{
     AtomId, AtomNo, AtomTypeId, AttrId, DataType, Error, Interval, MoleculeTypeId, Result,
     TemporalElement, TimePoint, Tuple, Value,
 };
-pub use tcom_obs::{MetricsSnapshot, Registry, RingRecorder, SpanRecord, SpanSink};
+pub use tcom_obs::{
+    Counter, Histogram, MetricsSnapshot, Registry, RingRecorder, SpanRecord, SpanSink,
+};
 pub use tcom_storage::vfs::{Fault, FaultSchedule, FaultVfs, StdVfs, Vfs, VfsFile};
 pub use tcom_version::{StoreKind, StoreStats};
 pub use tcom_wal::SyncPolicy;

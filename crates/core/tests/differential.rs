@@ -278,3 +278,120 @@ fn store_metrics_labeled_by_kind() {
         assert!(text.contains("wal.appends"), "{text}");
     }
 }
+
+/// Retroactive valid-time corrections: rewriting the *valid-time past*
+/// must never disturb the *transaction-time past*. The content of ASOF
+/// slices pinned before a past-vt UPDATE — atoms, values, valid times —
+/// stays byte-identical after it (only the tt-*end* stamp of a superseded
+/// version may advance, which is the correction being recorded, so the
+/// before/after comparison masks tt intervals), the corrected current
+/// state reflects exactly the corrected windows, and every rendering —
+/// before and after — agrees across all three store layouts.
+#[test]
+fn retroactive_corrections_are_store_independent() {
+    /// Masks `tt: [..)` stamps so supersession (a later tt-end) doesn't
+    /// count as a change to the pinned slice's content.
+    fn mask_tt(s: &str) -> String {
+        let mut out = String::new();
+        let mut rest = s;
+        while let Some(i) = rest.find("tt: [") {
+            out.push_str(&rest[..i]);
+            out.push_str("tt: [..)");
+            let after = &rest[i + 5..];
+            let j = after.find(')').map(|j| j + 1).unwrap_or(after.len());
+            rest = &after[j..];
+        }
+        out.push_str(rest);
+        out
+    }
+    let probes = |tt: u64| {
+        vec![
+            format!("SELECT * FROM emp ASOF TT {tt}"),
+            format!("SELECT * FROM emp ASOF TT {tt} VALID AT 5"),
+            format!("SELECT name, salary FROM emp WHERE salary >= 200 ASOF TT {tt}"),
+        ]
+    };
+    let current = [
+        "SELECT * FROM emp",
+        "SELECT * FROM emp VALID IN [0, 12)",
+        "SELECT HISTORY FROM emp WHERE name = 'bob'",
+        "SELECT * FROM emp ASOF TT FOREVER VALID AT 5",
+    ];
+    let mut renderings: Vec<Vec<String>> = Vec::new();
+    for kind in KINDS {
+        let dir = tmpdir(&format!("retro-{kind}"));
+        let db = open(&dir, kind);
+        populate(&db);
+        // The pre-correction transaction time is deterministic, so the
+        // probe strings (and their renderings) are comparable across kinds.
+        let pre_tt = db.now().0;
+        let asof = probes(pre_tt);
+        let before: Vec<String> = asof
+            .iter()
+            .map(|sql| format!("{sql}\n{:?}", run(&db, sql)))
+            .collect();
+
+        // The corrections: bob's salary was really 111 during [0, 8), and
+        // everyone then earning under 150 was really at 99 during [2, 5).
+        run(
+            &db,
+            "UPDATE emp SET salary = 111 WHERE name = 'bob' VALID IN [0, 8)",
+        );
+        run(
+            &db,
+            "UPDATE emp SET salary = 99 WHERE salary < 150 VALID IN [2, 5)",
+        );
+
+        // Transaction-time immutability: the pinned ASOF slices must not
+        // have moved by a byte.
+        let after: Vec<String> = asof
+            .iter()
+            .map(|sql| format!("{sql}\n{:?}", run(&db, sql)))
+            .collect();
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(
+                mask_tt(b),
+                mask_tt(a),
+                "[{kind}] retroactive correction rewrote the transaction-time past"
+            );
+        }
+
+        // The corrected windows read back exactly as corrected.
+        let bob_late = format!(
+            "{:?}",
+            run(
+                &db,
+                "SELECT salary FROM emp WHERE name = 'bob' VALID IN [5, 8)"
+            )
+        );
+        assert!(bob_late.contains("111"), "[{kind}] got {bob_late}");
+        let bob_mid = format!(
+            "{:?}",
+            run(
+                &db,
+                "SELECT salary FROM emp WHERE name = 'bob' VALID IN [2, 5)"
+            )
+        );
+        assert!(bob_mid.contains("99"), "[{kind}] got {bob_mid}");
+
+        let mut outs = before;
+        for sql in current {
+            outs.push(format!("{sql}\n{:?}", run(&db, sql)));
+            assert_pool_invariants(&db);
+        }
+        renderings.push(outs);
+    }
+    for (chain, (delta, split)) in renderings[0]
+        .iter()
+        .zip(renderings[1].iter().zip(renderings[2].iter()))
+    {
+        assert_eq!(
+            chain, delta,
+            "chain vs delta diverged after retroactive correction"
+        );
+        assert_eq!(
+            chain, split,
+            "chain vs split diverged after retroactive correction"
+        );
+    }
+}

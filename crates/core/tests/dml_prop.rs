@@ -1,0 +1,196 @@
+//! Property tests for the pure bitemporal DML planning algebra
+//! (`tcom_core::dml`): over arbitrary non-overlapping current-version
+//! sets and arbitrary mutation regions,
+//!
+//! * planned states stay non-overlapping and coalesced (no two abutting
+//!   versions carry the same tuple);
+//! * point-sampled **coverage** holds — inside the mutated region the new
+//!   tuple (or absence, for deletes) is visible, outside it nothing
+//!   changed;
+//! * `plan_insert` refuses any overlap with the current set and is exact
+//!   over free regions;
+//! * re-planning the identical update against its own result state is
+//!   **idempotent** (coalescing is a fixpoint).
+//!
+//! The point-sampling reference treats a version set as a partial
+//! function `valid time → tuple`, which is exactly the semantics the
+//! planner must preserve.
+
+use proptest::prelude::*;
+use tcom_core::dml::{apply_plan, plan_delete, plan_insert, plan_update};
+use tcom_core::{CurrentVersion, Interval, TimePoint, Tuple, Value};
+
+// ---- generators ----
+
+/// Domain bound for interval endpoints; probes sample `0..=DOMAIN + 1`.
+const DOMAIN: u64 = 160;
+
+fn tuple(v: i64) -> Tuple {
+    Tuple::new(vec![Value::Int(v)])
+}
+
+fn iv(s: u64, e: u64) -> Interval {
+    Interval::new(TimePoint(s), TimePoint(e)).expect("non-empty interval")
+}
+
+/// A random non-overlapping (but possibly abutting) current-version set
+/// with a tiny value domain, so coalescing opportunities are common.
+fn current_set() -> impl Strategy<Value = Vec<CurrentVersion>> {
+    proptest::collection::vec((0u64..DOMAIN, 1u64..24, 0i64..3), 0..6).prop_map(|raw| {
+        let mut out: Vec<CurrentVersion> = Vec::new();
+        let mut cursor = 0u64;
+        let mut sorted = raw;
+        sorted.sort();
+        for (s, len, v) in sorted {
+            let s = s.max(cursor);
+            let e = s + len;
+            if s >= DOMAIN {
+                break;
+            }
+            out.push(CurrentVersion {
+                vt: iv(s, e),
+                tuple: tuple(v),
+            });
+            cursor = e;
+        }
+        out
+    })
+}
+
+fn region() -> impl Strategy<Value = Interval> {
+    (0u64..DOMAIN, 1u64..40).prop_map(|(s, len)| iv(s, s + len))
+}
+
+// ---- reference semantics: a version set as vt → tuple ----
+
+fn value_at(state: &[CurrentVersion], t: u64) -> Option<&Tuple> {
+    state
+        .iter()
+        .find(|v| v.vt.contains(TimePoint(t)))
+        .map(|v| &v.tuple)
+}
+
+// `assert_canonical` uses prop_assert!, which early-returns the shim's
+// `Err(String)` failure form.
+type PropResult = Result<(), String>;
+
+/// Non-overlap, ascending order, and coalescing (no abutting equal-tuple
+/// neighbours) — the canonical-form invariants every planned state must
+/// satisfy.
+fn assert_canonical(state: &[CurrentVersion]) -> PropResult {
+    for w in state.windows(2) {
+        prop_assert!(
+            w[0].vt.end() <= w[1].vt.start(),
+            "planned state not sorted/disjoint: {:?} then {:?}",
+            w[0].vt,
+            w[1].vt
+        );
+        prop_assert!(
+            !(w[0].vt.end() == w[1].vt.start() && w[0].tuple == w[1].tuple),
+            "uncoalesced abutting equal-tuple versions at {:?}/{:?}",
+            w[0].vt,
+            w[1].vt
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn update_covers_region_and_preserves_rest(
+        current in current_set(),
+        vt in region(),
+        val in 0i64..3,
+    ) {
+        let plan = plan_update(&current, vt, &tuple(val)).expect("plan_update");
+        let state = apply_plan(&current, &plan).expect("apply_plan");
+        assert_canonical(&state)?;
+        for t in 0..=DOMAIN + 1 {
+            if vt.contains(TimePoint(t)) {
+                prop_assert_eq!(
+                    value_at(&state, t), Some(&tuple(val)),
+                    "update must cover its region at t={}", t
+                );
+            } else {
+                prop_assert_eq!(
+                    value_at(&state, t), value_at(&current, t),
+                    "update leaked outside its region at t={}", t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delete_clears_region_and_preserves_rest(
+        current in current_set(),
+        vt in region(),
+    ) {
+        let plan = plan_delete(&current, vt).expect("plan_delete");
+        let state = apply_plan(&current, &plan).expect("apply_plan");
+        assert_canonical(&state)?;
+        for t in 0..=DOMAIN + 1 {
+            if vt.contains(TimePoint(t)) {
+                prop_assert_eq!(
+                    value_at(&state, t), None,
+                    "delete left content inside its region at t={}", t
+                );
+            } else {
+                prop_assert_eq!(
+                    value_at(&state, t), value_at(&current, t),
+                    "delete leaked outside its region at t={}", t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_rejects_overlap_and_is_exact_when_free(
+        current in current_set(),
+        vt in region(),
+        val in 0i64..3,
+    ) {
+        let overlaps = current.iter().any(|v| v.vt.overlaps(&vt));
+        match plan_insert(&current, vt, &tuple(val)) {
+            Err(_) => prop_assert!(overlaps, "insert over a free region must plan"),
+            Ok(plan) => {
+                prop_assert!(!overlaps, "insert over occupied region must be rejected");
+                let state = apply_plan(&current, &plan).expect("apply_plan");
+                for t in 0..=DOMAIN + 1 {
+                    let want = if vt.contains(TimePoint(t)) {
+                        Some(&tuple(val))
+                    } else {
+                        value_at(&current, t)
+                    };
+                    // `want` borrows a temporary in the then-branch; compare owned.
+                    prop_assert_eq!(value_at(&state, t).cloned(), want.cloned());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_is_idempotent(
+        current in current_set(),
+        vt in region(),
+        val in 0i64..3,
+    ) {
+        let once = apply_plan(
+            &current,
+            &plan_update(&current, vt, &tuple(val)).expect("first plan"),
+        )
+        .expect("first apply");
+        let twice = apply_plan(
+            &once,
+            &plan_update(&once, vt, &tuple(val)).expect("second plan"),
+        )
+        .expect("second apply");
+        prop_assert_eq!(&once, &twice, "re-planning the same update must be a fixpoint");
+    }
+
+    #[test]
+    fn delete_of_everything_empties_the_state(current in current_set()) {
+        let plan = plan_delete(&current, iv(0, DOMAIN + 64)).expect("plan_delete all");
+        let state = apply_plan(&current, &plan).expect("apply_plan");
+        prop_assert!(state.is_empty(), "full-range delete left {:?}", state);
+    }
+}

@@ -468,6 +468,25 @@ impl MetricsSnapshot {
         self.histograms.iter().find(|h| h.name == name)
     }
 
+    /// The histogram registered as `(name, label)`, if any. Per-scenario
+    /// instruments (e.g. the soak driver's latency histograms) register
+    /// one histogram per label under a shared name and read back through
+    /// this accessor.
+    pub fn histogram_labeled(&self, name: &str, label: &str) -> Option<&HistogramSample> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && h.label == label)
+    }
+
+    /// All labels registered under histogram `name`, in sorted order.
+    pub fn histogram_labels(&self, name: &str) -> Vec<&str> {
+        self.histograms
+            .iter()
+            .filter(|h| h.name == name)
+            .map(|h| h.label.as_str())
+            .collect()
+    }
+
     /// Counter-wise difference `self - earlier` (saturating), dropping
     /// histograms. Used to attribute cost to a bounded piece of work by
     /// snapshotting before and after it.
@@ -623,6 +642,70 @@ mod tests {
             buckets: Vec::new(),
         };
         assert_eq!(empty.percentile(0.5), 0);
+    }
+
+    /// Direct percentile battery over hand-built samples: empty input,
+    /// a single bucket, boundary buckets (zero and the unbounded last
+    /// bucket), and exact rank arithmetic at bucket edges.
+    #[test]
+    fn percentile_battery() {
+        let sample = |buckets: Vec<(u64, u64)>| {
+            let count = buckets.iter().map(|&(_, n)| n).sum();
+            HistogramSample {
+                name: String::new(),
+                label: String::new(),
+                count,
+                sum: 0,
+                buckets,
+            }
+        };
+
+        // Empty sample: every percentile is 0, including the clamped edges.
+        let empty = sample(vec![]);
+        for p in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(empty.percentile(p), 0, "empty at p={p}");
+        }
+
+        // Single bucket: every percentile is that bucket's upper bound.
+        let single = sample(vec![(7, 5)]);
+        for p in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(single.percentile(p), 7, "single bucket at p={p}");
+        }
+
+        // Boundary bucket 0 (the zero bucket, le = 0) must be reachable.
+        let zeros = sample(vec![(0, 3), (1, 1)]);
+        assert_eq!(zeros.percentile(0.0), 0); // rank clamps to 1
+        assert_eq!(zeros.percentile(0.75), 0); // rank 3: last zero
+        assert_eq!(zeros.percentile(0.76), 1); // rank 4: first one
+
+        // Exact rank arithmetic at a bucket edge: 4 + 4 observations.
+        let edge = sample(vec![(3, 4), (15, 4)]);
+        assert_eq!(edge.percentile(0.5), 3); // rank 4 = last of bucket 1
+        assert_eq!(edge.percentile(0.500001), 15); // rank 5 = first of bucket 2
+        assert_eq!(edge.percentile(1.0), 15);
+
+        // The unbounded last bucket reports u64::MAX.
+        let top = sample(vec![(1, 1), (u64::MAX, 1)]);
+        assert_eq!(top.percentile(1.0), u64::MAX);
+
+        // Out-of-range p clamps rather than panics.
+        assert_eq!(edge.percentile(-3.0), 3);
+        assert_eq!(edge.percentile(42.0), 15);
+
+        // Through a live histogram: identical values land in one bucket and
+        // every percentile reports that bucket's (inclusive) upper bound.
+        let r = Registry::new();
+        let h = r.histogram("soak.lat", "oltp");
+        for _ in 0..100 {
+            h.record(12);
+        }
+        let snap = r.snapshot();
+        let s = snap.histogram_labeled("soak.lat", "oltp").expect("sample");
+        assert_eq!(s.count, 100);
+        assert_eq!(s.percentile(0.5), 15); // bucket [8, 15]
+        assert_eq!(s.percentile(0.99), 15);
+        assert!(snap.histogram_labeled("soak.lat", "bom").is_none());
+        assert_eq!(snap.histogram_labels("soak.lat"), vec!["oltp"]);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! INSERT INTO emp (name, salary) VALUES ('bob', 90)           -- all time
 //!
 //! UPDATE emp SET salary = 120 WHERE name = 'ann' VALID IN [10, 20)
+//! UPDATE job CLAIM SET state = 1 WHERE state = 0
 //! DELETE FROM emp WHERE salary < 50
 //! ```
 //!
@@ -77,7 +78,7 @@ pub enum Statement {
         /// Valid extent (default: all time).
         valid: Option<(TimePoint, Option<TimePoint>)>,
     },
-    /// `UPDATE … SET …`.
+    /// `UPDATE … SET …`, optionally `UPDATE … CLAIM SET …`.
     Update {
         /// Target type name.
         ty: String,
@@ -87,6 +88,10 @@ pub enum Statement {
         filter: Option<Expr>,
         /// Valid extent; `None` = each qualifying slice's own extent.
         valid: Option<(TimePoint, Option<TimePoint>)>,
+        /// Row-claim semantics: update only the *oldest* qualifying row
+        /// (by atom number), under the type's commit stripe — the queue
+        /// consumer's claim-and-close idiom.
+        claim: bool,
     },
     /// `DELETE FROM …`.
     Delete {
@@ -238,6 +243,7 @@ pub fn run_statement(db: &Database, src: &str) -> Result<StatementOutput> {
             sets,
             filter,
             valid,
+            claim,
         } => {
             let ty_id = db.atom_type_id(&ty)?;
             let def = db.with_catalog(|c| c.atom_type(ty_id).cloned())?;
@@ -247,6 +253,36 @@ pub fn run_statement(db: &Database, src: &str) -> Result<StatementOutput> {
                     .attr_by_name(name)
                     .ok_or_else(|| Error::query(format!("unknown attribute '{ty}.{name}'")))?;
                 resolved.push((id, value.clone()));
+            }
+            if claim {
+                // Row-claim path: scan-and-claim inside the transaction,
+                // under the type's commit stripe, so concurrent claimers
+                // serialize and never double-claim a row. The claim is
+                // evaluated at the valid point given by the VALID clause
+                // start (default 0) and rewrites that version slice.
+                let at = match &valid {
+                    None => TimePoint(0),
+                    Some((a, _)) => *a,
+                };
+                let mut txn = db.begin();
+                let claimed = txn.claim_next(
+                    ty_id,
+                    at,
+                    |t| match &filter {
+                        None => true,
+                        Some(f) => eval(f, t, &def) == Some(true),
+                    },
+                    |t| {
+                        let mut t = t.clone();
+                        for (id, value) in &resolved {
+                            t.set(id.0 as usize, value.clone());
+                        }
+                        t
+                    },
+                )?;
+                let n = usize::from(claimed.is_some());
+                let tt = txn.commit()?;
+                return Ok(StatementOutput::Modified(n, tt));
             }
             let targets = qualifying_slices(db, ty_id, &filter, &valid, &def)?;
             let mut txn = db.begin();
@@ -607,6 +643,7 @@ impl StmtParser {
 
     fn update(&mut self) -> Result<Statement> {
         let ty = self.ident()?;
+        let claim = self.soft_kw("CLAIM");
         self.expect_soft("SET")?;
         let mut sets = Vec::new();
         loop {
@@ -624,6 +661,7 @@ impl StmtParser {
             sets,
             filter,
             valid,
+            claim,
         })
     }
 

@@ -243,3 +243,40 @@ fn update_with_no_matches_is_noop() {
     assert_eq!(db.now(), before, "no clock tick for empty transactions");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn update_claim_takes_oldest_qualifying_row() {
+    let (db, dir) = db("claim");
+    run_statement(&db, "CREATE TYPE job (key INT, state INT)").unwrap();
+    for k in 0..3 {
+        run_statement(
+            &db,
+            &format!("INSERT INTO job (key, state) VALUES ({k}, 0)"),
+        )
+        .unwrap();
+    }
+    // Claims drain the queue in insertion order, one row per statement.
+    for expect_key in 0..3i64 {
+        let out = run_statement(&db, "UPDATE job CLAIM SET state = 1 WHERE state = 0").unwrap();
+        assert!(matches!(out, StatementOutput::Modified(1, _)));
+        let r = rows(run_statement(&db, "SELECT key FROM job WHERE state = 1").unwrap());
+        let mut keys: Vec<i64> = r
+            .into_iter()
+            .map(|row| match row[0] {
+                Value::Int(k) => k,
+                ref other => panic!("int key, got {other:?}"),
+            })
+            .collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..=expect_key).collect::<Vec<_>>());
+    }
+    // Queue empty: the claim is a no-op and must not tick the clock.
+    let before = db.now();
+    let out = run_statement(&db, "UPDATE job CLAIM SET state = 1 WHERE state = 0").unwrap();
+    assert!(matches!(out, StatementOutput::Modified(0, _)));
+    assert_eq!(db.now(), before);
+    // Claimed rows keep their history: the open state is still visible ASOF.
+    let r = rows(run_statement(&db, "SELECT key FROM job WHERE state = 0 ASOF TT 3").unwrap());
+    assert_eq!(r.len(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -59,6 +59,7 @@ fn main() {
         ("E15", experiments::e15_time_index),
         ("E16", experiments::e16_group_commit),
         ("E17", tcom_bench::soak::e17_soak),
+        ("E18", experiments::e18_planner),
         ("A1", experiments::a1_delta_granularity),
         ("A2", experiments::a2_directory),
     ];

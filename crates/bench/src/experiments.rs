@@ -968,7 +968,13 @@ pub fn e15_time_index(s: Scale) -> Table {
                 no_time_index: true,
                 ..Default::default()
             });
-            let (index_out, index_pages, index_rows) = run_cold(tcom_query::ExecOptions::default());
+            // Forced: the cost model would (correctly) route delta slices
+            // to the walk, which would turn this into walk-vs-walk — the
+            // experiment measures the raw paths, E18 measures the choice.
+            let (index_out, index_pages, index_rows) = run_cold(tcom_query::ExecOptions {
+                force_time_index: true,
+                ..Default::default()
+            });
             assert_eq!(
                 walk_out, index_out,
                 "[{kind}/{rounds}] access paths returned different rows"
@@ -1097,6 +1103,147 @@ pub fn e16_group_commit(s: Scale) -> Table {
     t
 }
 
+/// E18 — the cost-based planner: choice accuracy and batched throughput.
+///
+/// Part (a): on deep-history `ASOF TT` slices the planner must choose the
+/// time-index slice on chain/split and the heap walk on delta (the E15
+/// regression), and the `est=` page count printed by EXPLAIN ANALYZE must
+/// track the actual pages faulted. The prepare step itself computes the
+/// statistics snapshot (an exhaustive store scan that warms the heap), so
+/// the estimate is residency-discounted and the comparison runs warm-heap /
+/// cold-index — small numbers, hence the additive slack on the bound.
+///
+/// Part (b): the columnar batch operators vs the scalar algebra on
+/// E12-shaped relations — join and aggregation must win on rows/s.
+pub fn e18_planner(s: Scale) -> Table {
+    use tcom_core::algebra::{
+        coalesce, temporal_aggregate, temporal_join, TemporalRelation, TemporalRow,
+    };
+    use tcom_core::batch::{aggregate_batch, coalesce_batch, join_batches, VersionBatch};
+    use tcom_kernel::{AtomId, AtomNo, AtomTypeId, Interval, TemporalElement, Tuple, Value};
+    use tcom_query::AccessPath;
+
+    let mut t = Table::new(
+        "E18",
+        "cost-based planner: chosen path, est vs actual pages; batch vs scalar rows/s",
+        &["case", "choice", "est|scalar", "act|batch", "ratio", "ok"],
+        "the model slices chain/split and walks delta on deep-history slices, \
+         with actual pages inside 2x of the estimate (+8 warm slack); the \
+         columnar join/aggregate operators beat the scalar algebra",
+    );
+
+    // Part (a) — planner choice + estimate accuracy, E15's deep shape.
+    let n_atoms = 200;
+    let rounds = 64;
+    for kind in KINDS {
+        let (db, dir) = fresh_db(&format!("e18-{kind}"), kind, 4096);
+        let syn = Synthetic::create(&db, n_atoms, 8).expect("load");
+        syn.uniform_history(&db, rounds, 1, 42).expect("history");
+        db.checkpoint().expect("ckpt");
+        let tt = db.now().0 / 2;
+        drop(db);
+
+        let db = reopen_db(&dir, kind, 4096);
+        let sql = format!("SELECT * FROM syn ASOF TT {tt}");
+        // Preparing prices the paths (and computes the stats snapshot).
+        let p = tcom_query::prepare_with(&db, &sql, tcom_query::ExecOptions::default())
+            .expect("prepare");
+        let est = p.est_pages.expect("cost-model estimate");
+        let choice = match p.access {
+            AccessPath::TimeSlice { .. } => "slice",
+            AccessPath::Scan => "walk",
+            ref other => panic!("[{kind}] unexpected ASOF plan: {other:?}"),
+        };
+        // Acceptance: the E15 regression is now a planner decision.
+        let want = if kind == StoreKind::Delta {
+            "walk"
+        } else {
+            "slice"
+        };
+        assert_eq!(choice, want, "[{kind}] wrong deep-history ASOF choice");
+
+        let (_, report) = tcom_query::explain_analyze_with(
+            &db,
+            &format!("EXPLAIN ANALYZE {sql}"),
+            tcom_query::ExecOptions::default(),
+        )
+        .expect("explain");
+        let actual = report.total_pages_read;
+        assert!(
+            actual <= est * 2 + 8 && est <= actual * 2 + 8,
+            "[{kind}] estimate off: est={est} actual={actual}\n{}",
+            report.render()
+        );
+        t.row(vec![
+            format!("{kind} d{} tt/2", rounds + 1),
+            choice.into(),
+            format!("{est}"),
+            format!("{actual}"),
+            format!("{:.2}", actual as f64 / est.max(1) as f64),
+            "✓".into(),
+        ]);
+        cleanup(&dir);
+    }
+
+    // Part (b) — batch operators vs the scalar algebra on E12 shapes.
+    let n = s.n(10_000);
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut rel: TemporalRelation = Vec::with_capacity(n);
+    let mut b = VersionBatch::with_capacity(n);
+    for i in 0..n {
+        let s0 = rng.gen_range(0..1000u64);
+        let iv = tcom_kernel::time::iv(s0, s0 + rng.gen_range(1..100));
+        let key = (i % (n / 4).max(1)) as i64;
+        rel.push(TemporalRow {
+            tuple: Tuple::new(vec![Value::Int(key)]),
+            time: TemporalElement::from_intervals([iv]),
+        });
+        // Same key layout; the atom mirrors the key so per-atom COALESCE
+        // grouping does the same merging work as the scalar's tuple keys.
+        b.push_row(
+            AtomId::new(AtomTypeId(1), AtomNo(key as u64)),
+            Tuple::new(vec![Value::Int(key)]),
+            iv,
+            Interval::all(),
+        );
+    }
+    let other: TemporalRelation = rel.iter().take(n / 2).cloned().collect();
+    let mut bo = VersionBatch::with_capacity(n / 2);
+    for (atom, tuple, vt, tt) in b.rows().take(n / 2) {
+        bo.push_row(atom, tuple.clone(), vt, tt);
+    }
+
+    let mut part_b = |case: &str, scalar: f64, batch: f64, must_win: bool| {
+        if must_win {
+            assert!(
+                batch > scalar,
+                "batched {case} must beat the scalar algebra \
+                 ({batch:.0} vs {scalar:.0} rows/s)"
+            );
+        }
+        t.row(vec![
+            format!("{case} {n}"),
+            "batch".into(),
+            format!("{scalar:.0}"),
+            format!("{batch:.0}"),
+            format!("{:.2}x", batch / scalar.max(1.0)),
+            if must_win { "✓".into() } else { "-".into() },
+        ]);
+    };
+    let sj = time_batch(n, || {
+        temporal_join(&rel, &other, |t| t.get(0).clone(), |t| t.get(0).clone())
+    });
+    let bj = time_batch(n, || join_batches(&b, &bo, 0, 0));
+    part_b("join", sj.ops_per_sec(), bj.ops_per_sec(), true);
+    let sa = time_batch(n, || temporal_aggregate(&rel, Some(0)));
+    let ba = time_batch(n, || aggregate_batch(&b, Some(0)));
+    part_b("aggregate", sa.ops_per_sec(), ba.ops_per_sec(), true);
+    let sc = time_batch(n, || coalesce(rel.clone()));
+    let bc = time_batch(n, || coalesce_batch(&b, &[0]));
+    part_b("coalesce", sc.ops_per_sec(), bc.ops_per_sec(), false);
+    t
+}
+
 /// Runs every experiment at the given scale.
 pub fn run_all(s: Scale) -> Vec<Table> {
     vec![
@@ -1118,6 +1265,7 @@ pub fn run_all(s: Scale) -> Vec<Table> {
         e15_time_index(s),
         e16_group_commit(s),
         crate::soak::e17_soak(s),
+        e18_planner(s),
         a1_delta_granularity(s),
         a2_directory(s),
     ]

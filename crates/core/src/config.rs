@@ -38,6 +38,16 @@ pub struct DbConfig {
     /// (leader/follower group commit). Durability is identical either
     /// way; disabling forces one fsync per commit — the scaling baseline.
     pub group_commit: bool,
+    /// Whether the planner prices `ASOF TT` access paths from per-type
+    /// statistics (walk vs. time-slice, per store kind). Disabled, the old
+    /// rule applies: always take the time index when it's enabled — the
+    /// behavior E15 showed regresses on delta stores.
+    pub cost_model: bool,
+    /// Row-query executor batch size: pipeline stages move
+    /// [`crate::batch::VersionBatch`]es of up to this many versions.
+    /// `0` = tuple-at-a-time (the scalar baseline the equivalence suite
+    /// compares against).
+    pub batch_size: usize,
 }
 
 impl Default for DbConfig {
@@ -52,6 +62,8 @@ impl Default for DbConfig {
             time_index: true,
             commit_stripes: 0,
             group_commit: true,
+            cost_model: true,
+            batch_size: 1024,
         }
     }
 }
@@ -112,6 +124,18 @@ impl DbConfig {
         self
     }
 
+    /// Builder-style: enables or disables the statistics-fed cost model.
+    pub fn cost_model(mut self, enabled: bool) -> DbConfig {
+        self.cost_model = enabled;
+        self
+    }
+
+    /// Builder-style: sets the executor batch size (`0` = scalar).
+    pub fn batch_size(mut self, size: usize) -> DbConfig {
+        self.batch_size = size;
+        self
+    }
+
     /// Resolved commit stripe count: `commit_stripes`, or 64 when unset.
     pub fn effective_commit_stripes(&self) -> usize {
         if self.commit_stripes != 0 {
@@ -149,7 +173,9 @@ mod tests {
             .worker_threads(2)
             .time_index(false)
             .commit_stripes(8)
-            .group_commit(false);
+            .group_commit(false)
+            .cost_model(false)
+            .batch_size(16);
         assert_eq!(c.buffer_frames, 64);
         assert_eq!(c.store_kind, StoreKind::Chain);
         assert_eq!(c.sync_policy, SyncPolicy::OnCheckpoint);
@@ -162,6 +188,10 @@ mod tests {
         assert_eq!(c.effective_commit_stripes(), 8);
         assert!(!c.group_commit);
         assert!(DbConfig::default().group_commit);
+        assert!(!c.cost_model);
+        assert!(DbConfig::default().cost_model);
+        assert_eq!(c.batch_size, 16);
+        assert_eq!(DbConfig::default().batch_size, 1024);
         assert_eq!(DbConfig::default().effective_commit_stripes(), 64);
         assert_eq!(c.effective_workers(), 2);
         assert!(DbConfig::default().effective_workers() >= 1);

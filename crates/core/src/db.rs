@@ -146,6 +146,9 @@ pub struct Database {
     /// Disk managers registered with the pool, retained so aggregate
     /// physical-I/O gauges can poll them. Shared with the gauge closures.
     disks: Arc<Mutex<Vec<Arc<DiskManager>>>>,
+    /// Cached per-type statistics snapshots for the cost-based planner,
+    /// kept approximately fresh by commit-time change notes.
+    stats: crate::stats::StatsRegistry,
 }
 
 impl Database {
@@ -238,6 +241,7 @@ impl Database {
             file_names: Mutex::new(Vec::new()),
             obs: Arc::new(Registry::new()),
             disks: Arc::new(Mutex::new(Vec::new())),
+            stats: crate::stats::StatsRegistry::default(),
         };
         db.register_engine_metrics();
 
@@ -954,6 +958,7 @@ impl Database {
     /// Records that `atom` changed at transaction time `tt`
     /// (called under the commit lock).
     pub(crate) fn note_change(&self, atom: AtomId, tt: TimePoint) -> Result<()> {
+        self.stats.note(atom.ty.0);
         if let Some(tix) = self.time_indexes.read().get(&atom.ty.0).cloned() {
             tix.insert(BKey::new(tt.0, atom.no.0), atom.no.0)?;
         }
@@ -1253,6 +1258,9 @@ impl Database {
         })();
         self.stripes.unlock_all(MAINTENANCE_ID);
         result?;
+        // Pruning changes store shape outside the commit path; drop the
+        // planner's cached snapshots rather than let them lie.
+        self.stats.invalidate_all();
         self.checkpoint()?;
         Ok(removed)
     }
@@ -1310,6 +1318,37 @@ impl Database {
             out.push((t.name.clone(), self.store(t.id)?.stats()?));
         }
         Ok(out)
+    }
+
+    /// Planner statistics for one atom type: a cached store-shape snapshot
+    /// (refreshed only when commit-time change notes say it's stale) plus
+    /// live buffer-pool residency. Cheap enough to call per statement.
+    pub fn type_stats(&self, ty: AtomTypeId) -> Result<crate::stats::TypeStats> {
+        let name = self.with_catalog(|c| c.atom_type(ty).map(|t| t.name.clone()))?;
+        let store = self.store(ty)?;
+        let (base, changes) = match self.stats.get_fresh(ty.0) {
+            Some(cached) => cached,
+            None => {
+                let fresh = store.stats()?;
+                self.stats.put(ty.0, fresh);
+                (fresh, 0)
+            }
+        };
+        Ok(crate::stats::TypeStats {
+            ty,
+            name,
+            kind: store.kind(),
+            store: base,
+            changes_since: changes,
+            resident_pages: store.resident_pages(),
+        })
+    }
+
+    /// [`Database::type_stats`] for every cataloged atom type.
+    pub fn all_type_stats(&self) -> Result<Vec<crate::stats::TypeStats>> {
+        let ids: Vec<AtomTypeId> =
+            self.with_catalog(|c| c.atom_types().iter().map(|t| t.id).collect());
+        ids.into_iter().map(|id| self.type_stats(id)).collect()
     }
 
     /// Current WAL length in bytes.

@@ -12,6 +12,11 @@
 //! * [`molecule`] — complex-object materialization at any bitemporal
 //!   point, plus molecule histories over transaction time;
 //! * [`algebra`] — temporal relational algebra over versioned tuple sets;
+//! * [`batch`] — columnar version batches and the batched temporal
+//!   operators (join on vt/tt overlap, history aggregation, coalescing)
+//!   the executor pipelines instead of tuple-at-a-time;
+//! * [`stats`] — per-type statistics snapshots feeding the cost-based
+//!   planner, maintained incrementally at commit;
 //! * [`stripes`] — per-atom-type commit stripes (wait-die) behind the
 //!   concurrent-writer path; snapshot reads pin the published TT clock
 //!   ([`db::ReadView`]) and never block on commits.
@@ -19,20 +24,24 @@
 #![warn(missing_docs)]
 
 pub mod algebra;
+pub mod batch;
 pub mod config;
 pub mod db;
 pub mod dml;
 pub mod integrity;
 pub mod journal;
 pub mod molecule;
+pub mod stats;
 pub mod stripes;
 pub mod txn;
 
+pub use batch::VersionBatch;
 pub use config::DbConfig;
 pub use db::{Database, ReadView};
 pub use dml::{CurrentVersion, Plan, Primitive};
 pub use integrity::IntegrityReport;
 pub use molecule::{MatAtom, Molecule};
+pub use stats::TypeStats;
 pub use stripes::is_wait_die_abort;
 pub use txn::Txn;
 

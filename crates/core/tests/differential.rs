@@ -134,6 +134,18 @@ const BATTERY: &[&str] = &[
     "SELECT MOLECULE FROM dept_mol VALID AT 10",
     "SELECT MOLECULE FROM dept_mol WHERE root.name = 'research' VALID AT 10",
     "SELECT * FROM proj",
+    // Temporal operators: equi-join on overlapping time, period
+    // normalization (COALESCE), and valid-time aggregation.
+    "SELECT a.name, b.name FROM emp a JOIN emp b ON a.salary = b.salary",
+    "SELECT a.name, b.salary FROM emp a JOIN emp b ON a.name = b.name \
+     WHERE a.salary > 100 ASOF TT 9",
+    "SELECT a.name, b.title FROM emp a JOIN proj b ON a.salary = b.budget",
+    "SELECT COALESCE * FROM emp",
+    "SELECT COALESCE salary FROM emp WHERE salary >= 200 VALID IN [0, 50)",
+    "SELECT COUNT(*) FROM emp",
+    "SELECT COUNT(*) FROM emp ASOF TT 8 VALID IN [0, 30)",
+    "SELECT SUM(salary) FROM emp VALID IN [0, 60)",
+    "SELECT INTEGRAL(salary) FROM emp VALID IN [0, 80)",
 ];
 
 /// Checks the pool-counter invariant both on the raw stats and through the

@@ -73,6 +73,13 @@ fn both_access_paths_agree_on_every_slice() {
             no_time_index: true,
             ..Default::default()
         };
+        // The cost model is free to pick either path by price; forcing the
+        // index pins the slice path for the planner assertion and the
+        // differential run below.
+        let force = ExecOptions {
+            force_time_index: true,
+            ..Default::default()
+        };
         // 4 inserts + 8 rounds × 4 updates + 1 delete ⇒ tt runs past 37.
         let mut queries: Vec<String> = (0..40)
             .map(|t| format!("SELECT * FROM emp ASOF TT {t}"))
@@ -86,11 +93,19 @@ fn both_access_paths_agree_on_every_slice() {
         // expectation flips.
         let env_disabled = std::env::var_os("TCOM_DISABLE_TIME_INDEX").is_some();
         for sql in &queries {
-            let p = prepare_with(&db, sql, ExecOptions::default()).unwrap();
+            let p = prepare_with(&db, sql, force).unwrap();
             assert_eq!(
                 matches!(p.access, AccessPath::TimeSlice { .. }),
                 !env_disabled,
                 "[{kind}] unexpected plan for {sql}: {:?}",
+                p.access
+            );
+            // Under default options the cost model picks one of the two
+            // paths — never anything else.
+            let p = prepare_with(&db, sql, ExecOptions::default()).unwrap();
+            assert!(
+                matches!(p.access, AccessPath::TimeSlice { .. } | AccessPath::Scan),
+                "[{kind}] cost model produced unexpected plan for {sql}: {:?}",
                 p.access
             );
             let p = prepare_with(&db, sql, walk).unwrap();
@@ -99,7 +114,7 @@ fn both_access_paths_agree_on_every_slice() {
                 "[{kind}] no_time_index must disable the index path for {sql}"
             );
 
-            let via_index = execute_with(&db, sql, ExecOptions::default()).unwrap();
+            let via_index = execute_with(&db, sql, force).unwrap();
             let via_walk = execute_with(&db, sql, walk).unwrap();
             assert_eq!(
                 format!("{via_index:?}"),
@@ -126,9 +141,13 @@ fn paths_agree_after_cold_reopen() {
             no_time_index: true,
             ..Default::default()
         };
+        let force = ExecOptions {
+            force_time_index: true,
+            ..Default::default()
+        };
         for t in [1u64, 10, 20, 37] {
             let sql = format!("SELECT * FROM emp ASOF TT {t}");
-            let via_index = execute_with(&db, &sql, ExecOptions::default()).unwrap();
+            let via_index = execute_with(&db, &sql, force).unwrap();
             let via_walk = execute_with(&db, &sql, walk).unwrap();
             assert_eq!(
                 format!("{via_index:?}"),

@@ -108,17 +108,6 @@ impl Interval {
         }
     }
 
-    /// Deprecated alias of [`Interval::from_start`].
-    ///
-    /// The inherent name `from` shadows any future `From<TimePoint>` impl
-    /// (inherent methods win over trait methods), so `Interval::from(x)`
-    /// would silently keep resolving here — renamed to stay honest.
-    #[deprecated(since = "0.5.0", note = "renamed to `Interval::from_start`")]
-    #[inline]
-    pub fn from(start: TimePoint) -> Interval {
-        Interval::from_start(start)
-    }
-
     /// `[MIN, FOREVER)` — the whole axis.
     #[inline]
     pub fn all() -> Interval {
@@ -528,12 +517,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn interval_from_alias_still_works() {
-        assert_eq!(
-            Interval::from(TimePoint(3)),
-            Interval::from_start(TimePoint(3))
-        );
+    fn from_start_is_open_ended() {
         assert!(Interval::from_start(TimePoint(3)).is_open_ended());
     }
 

@@ -3,16 +3,23 @@
 //! Grammar (informal):
 //!
 //! ```text
-//! query     := SELECT targets FROM source [WHERE expr]
+//! query     := SELECT targets FROM source [join] [WHERE expr]
 //!              [ASOF TT <int>] [VALID AT <int> | VALID IN '[' <int> ',' <int> ')'|']' ]
 //!              [LIMIT <int>]
-//! targets   := '*' | MOLECULE | HISTORY | proj (',' proj)*
+//! targets   := '*' | MOLECULE | HISTORY | COALESCE ('*' | proj (',' proj)*)
+//!            | COUNT '(' '*' ')' | (SUM|INTEGRAL) '(' proj ')'
+//!            | proj (',' proj)*
+//! join      := JOIN source ON proj '=' proj
 //! proj      := ident ['.' ident]
 //! source    := ident [ident]            -- atom-type (or molecule-type) name + alias
 //! expr      := or; standard precedence OR < AND < NOT < cmp
 //! cmp       := operand (=|!=|<|<=|>|>=) operand | operand IS [NOT] NULL
 //! operand   := literal | ident '.' ident | ident
 //! ```
+//!
+//! `COUNT`, `SUM` and `INTEGRAL` are soft keywords: they only act as
+//! aggregate functions when directly followed by `(` in target position,
+//! so attributes of those names stay addressable.
 //!
 //! Temporal semantics:
 //! * no `ASOF TT` → the current database state;
@@ -34,6 +41,8 @@ pub struct Query {
     pub source: String,
     /// Optional alias for the source (defaults to the source name).
     pub alias: Option<String>,
+    /// Optional temporal join against a second atom type.
+    pub join: Option<JoinClause>,
     /// Optional predicate.
     pub filter: Option<Expr>,
     /// Optional transaction-time slice.
@@ -55,6 +64,46 @@ pub enum Targets {
     Molecule,
     /// `HISTORY` — full version histories of qualifying atoms.
     History,
+    /// `COALESCE …` — period normalization: rows of one atom that agree on
+    /// the projected attributes (empty = all) merge their valid-time
+    /// periods into maximal intervals.
+    Coalesce(Vec<Proj>),
+    /// `COUNT(*)` / `SUM(attr)` / `INTEGRAL(attr)` — valid-time
+    /// aggregation: the step function of the aggregate over valid time.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The aggregated attribute (`None` for `COUNT(*)`).
+        attr: Option<Proj>,
+    },
+}
+
+/// Valid-time aggregate functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)`: rows holding per valid-time instant.
+    Count,
+    /// `SUM(attr)`: sum of an integer attribute per valid-time instant.
+    Sum,
+    /// `INTEGRAL(attr)`: the value integral `∫ SUM(attr) d(vt)` — requires
+    /// every contributing interval to be finite (clip with `VALID IN`).
+    Integral,
+}
+
+/// `JOIN source [alias] ON left.attr = right.attr` — temporal equi-join:
+/// matching rows concatenate and their valid/transaction intervals
+/// intersect; pairs with an empty intersection on either axis drop out.
+/// Attribute references in joined queries must be alias-qualified.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinClause {
+    /// Right-hand atom type name.
+    pub source: String,
+    /// Optional alias for the right side (defaults to its type name).
+    pub alias: Option<String>,
+    /// Left join key (must be qualified with the left alias).
+    pub on_left: Proj,
+    /// Right join key (must be qualified with the right alias).
+    pub on_right: Proj,
 }
 
 /// One projection item.
@@ -138,7 +187,7 @@ pub enum Operand {
 /// knows which identifiers need quoting.
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "ASOF", "TT", "VALID", "AT", "IN", "HISTORY",
-    "MOLECULE", "LIMIT", "TRUE", "FALSE", "NULL", "IS",
+    "MOLECULE", "LIMIT", "TRUE", "FALSE", "NULL", "IS", "JOIN", "ON", "COALESCE",
 ];
 
 fn write_ident(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
@@ -194,20 +243,56 @@ impl fmt::Display for Proj {
 
 impl fmt::Display for Targets {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let list = |f: &mut fmt::Formatter<'_>, ps: &[Proj]| -> fmt::Result {
+            for (i, p) in ps.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{p}")?;
+            }
+            Ok(())
+        };
         match self {
             Targets::All => f.write_str("*"),
             Targets::Molecule => f.write_str("MOLECULE"),
             Targets::History => f.write_str("HISTORY"),
-            Targets::Projs(ps) => {
-                for (i, p) in ps.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(", ")?;
-                    }
-                    write!(f, "{p}")?;
+            Targets::Projs(ps) => list(f, ps),
+            Targets::Coalesce(ps) if ps.is_empty() => f.write_str("COALESCE *"),
+            Targets::Coalesce(ps) => {
+                f.write_str("COALESCE ")?;
+                list(f, ps)
+            }
+            Targets::Aggregate { func, attr } => {
+                write!(f, "{func}(")?;
+                match attr {
+                    None => f.write_str("*")?,
+                    Some(p) => write!(f, "{p}")?,
                 }
-                Ok(())
+                f.write_str(")")
             }
         }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Integral => "INTEGRAL",
+        })
+    }
+}
+
+impl fmt::Display for JoinClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(" JOIN ")?;
+        write_ident(f, &self.source)?;
+        if let Some(a) = &self.alias {
+            f.write_str(" ")?;
+            write_ident(f, a)?;
+        }
+        write!(f, " ON {} = {}", self.on_left, self.on_right)
     }
 }
 
@@ -260,6 +345,9 @@ impl fmt::Display for Query {
         if let Some(a) = &self.alias {
             f.write_str(" ")?;
             write_ident(f, a)?;
+        }
+        if let Some(j) = &self.join {
+            write!(f, "{j}")?;
         }
         if let Some(e) = &self.filter {
             write!(f, " WHERE {e}")?;

@@ -1,10 +1,12 @@
 //! Semantic analysis, access-path planning and execution of TQL queries.
 
-use crate::ast::{CmpOp, Expr, Operand, Proj, Query, Targets, Valid};
+use crate::ast::{AggFunc, CmpOp, Expr, Operand, Proj, Query, Targets, Valid};
 use std::cmp::Ordering;
-use tcom_catalog::AtomTypeDef;
-use tcom_core::{Database, Molecule, ReadView};
-use tcom_kernel::{AtomId, AttrId, Error, Interval, Result, TimePoint, Tuple, Value};
+use tcom_catalog::{AtomTypeDef, AttrDef};
+use tcom_core::algebra::AggStep;
+use tcom_core::batch::{aggregate_batch, coalesce_batch, join_batches, value_integral};
+use tcom_core::{Database, Molecule, ReadView, VersionBatch};
+use tcom_kernel::{AtomId, AttrId, DataType, Error, Interval, Result, TimePoint, Tuple, Value};
 use tcom_storage::keys::encode_value;
 use tcom_version::record::AtomVersion;
 
@@ -48,15 +50,24 @@ pub enum QueryOutput {
     /// `SELECT HISTORY` queries: per qualifying atom, its qualifying
     /// versions (newest first).
     Histories(Vec<(AtomId, Vec<AtomVersion>)>),
+    /// `SELECT COUNT/SUM/INTEGRAL` queries: the aggregate's step function
+    /// over valid time.
+    Aggregate {
+        /// Maximal constant intervals of the aggregate, ascending.
+        steps: Vec<AggStep>,
+        /// `∫ SUM(attr) d(vt)` for `INTEGRAL` queries; `None` otherwise.
+        integral: Option<i64>,
+    },
 }
 
 impl QueryOutput {
-    /// Number of rows / molecules / histories.
+    /// Number of rows / molecules / histories / aggregate steps.
     pub fn len(&self) -> usize {
         match self {
             QueryOutput::Rows { rows, .. } => rows.len(),
             QueryOutput::Molecules(m) => m.len(),
             QueryOutput::Histories(h) => h.len(),
+            QueryOutput::Aggregate { steps, .. } => steps.len(),
         }
     }
 
@@ -102,6 +113,15 @@ pub struct ExecOptions {
     /// same effect; this option exists so one process can compare both
     /// access paths without mutating global state.
     pub no_time_index: bool,
+    /// Force the time-index slice for `ASOF TT` row queries even when the
+    /// cost model prices the walk cheaper (measurement hook: the E15/E18
+    /// experiments drive both paths explicitly). The enablement gates
+    /// above still apply.
+    pub force_time_index: bool,
+    /// Executor batch-size override: `Some(0)` forces the tuple-at-a-time
+    /// scalar path, `Some(n)` pipelines `VersionBatch`es of up to `n`
+    /// rows, `None` uses [`tcom_core::DbConfig::batch_size`].
+    pub batch_size: Option<usize>,
 }
 
 /// One operator's measurements in an [`ExplainReport`].
@@ -124,6 +144,9 @@ pub struct OpReport {
     pub pages_read: u64,
     /// Nesting depth in the rendered operator tree (root = 0).
     pub depth: usize,
+    /// Cost-model page estimate for this operator, when the planner priced
+    /// it (access operators of cost-priced `ASOF TT` statements).
+    pub est_pages: Option<u64>,
 }
 
 /// The result of `EXPLAIN ANALYZE`: the executed operator tree with
@@ -163,11 +186,15 @@ impl ExplainReport {
             if !op.detail.is_empty() {
                 let _ = write!(out, "({})", op.detail);
             }
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "  rows={} time={}us pages={}",
                 op.rows, op.elapsed_us, op.pages_read
             );
+            if let Some(est) = op.est_pages {
+                let _ = write!(out, " est={est}");
+            }
+            let _ = writeln!(out);
         }
         let _ = writeln!(
             out,
@@ -218,11 +245,37 @@ impl Candidates {
 /// A fully analyzed, executable query.
 pub struct Prepared {
     query: Query,
+    /// Resolved targets (join queries flatten names to `alias.attr`).
+    targets: Targets,
+    /// Resolved filter (join queries flatten names to `alias.attr`).
+    filter: Option<Expr>,
+    /// The def row-stage evaluation runs against: the source type, or the
+    /// two sides' attributes concatenated for join queries.
     type_def: AtomTypeDef,
     /// For molecule queries: the molecule type id; atoms otherwise.
     mol_type: Option<tcom_kernel::MoleculeTypeId>,
-    /// The chosen access path.
+    /// For join queries: the resolved second side.
+    join: Option<JoinInfo>,
+    /// The chosen access path (the left side's, for joins).
     pub access: AccessPath,
+    /// Cost-model page estimate of the chosen access path, when priced.
+    pub est_pages: Option<u64>,
+    /// Resolved executor batch size (`0` = scalar).
+    batch_size: usize,
+}
+
+/// The analyzed right side of a join query.
+struct JoinInfo {
+    /// The left source's own def (`Prepared::type_def` holds the
+    /// concatenated two-sided def).
+    left_def: AtomTypeDef,
+    right_def: AtomTypeDef,
+    /// Join-key tuple positions per side.
+    left_key: usize,
+    right_key: usize,
+    /// Access path and cost estimate for the right side.
+    right_access: AccessPath,
+    right_est: Option<u64>,
 }
 
 /// Parses, analyzes and plans a query against `db`'s catalog.
@@ -272,6 +325,10 @@ pub fn explain_analyze_with(
 }
 
 fn analyze(db: &Database, query: Query, opts: ExecOptions) -> Result<Prepared> {
+    let batch_size = opts.batch_size.unwrap_or(db.config().batch_size);
+    if query.join.is_some() {
+        return analyze_join(db, query, opts, batch_size);
+    }
     // Resolve the source: molecule queries name a molecule type; everything
     // else names an atom type.
     let (type_def, mol_type) = if query.targets == Targets::Molecule {
@@ -305,11 +362,28 @@ fn analyze(db: &Database, query: Query, opts: ExecOptions) -> Result<Prepared> {
             .map(|(id, _)| id)
             .ok_or_else(|| Error::query(format!("unknown attribute '{}.{name}'", type_def.name)))
     };
-    if let Targets::Projs(projs) = &query.targets {
-        for p in projs {
-            check_qualifier(&p.qualifier)?;
-            check_attr(&p.attr)?;
+    match &query.targets {
+        Targets::Projs(projs) | Targets::Coalesce(projs) => {
+            for p in projs {
+                check_qualifier(&p.qualifier)?;
+                check_attr(&p.attr)?;
+            }
         }
+        Targets::Aggregate {
+            func,
+            attr: Some(p),
+        } => {
+            check_qualifier(&p.qualifier)?;
+            let id = check_attr(&p.attr)?;
+            let decl = &type_def.attrs[id.0 as usize].ty;
+            if *decl != DataType::Int {
+                return Err(Error::query(format!(
+                    "{func} needs an INT attribute; '{}' is {decl:?}",
+                    p.attr
+                )));
+            }
+        }
+        _ => {}
     }
     if let Some(filter) = &query.filter {
         validate_expr(filter, &check_qualifier, &check_attr)?;
@@ -329,18 +403,274 @@ fn analyze(db: &Database, query: Query, opts: ExecOptions) -> Result<Prepared> {
             }
         }
     }
+    let mut est_pages = None;
     if let Some(tt) = query.asof_tt {
-        if matches!(query.targets, Targets::All | Targets::Projs(_)) && time_index_enabled(db, opts)
-        {
-            access = AccessPath::TimeSlice { tt };
+        let row_like = matches!(
+            query.targets,
+            Targets::All | Targets::Projs(_) | Targets::Coalesce(_) | Targets::Aggregate { .. }
+        );
+        if row_like && time_index_enabled(db, opts) {
+            let (a, est) = plan_asof(db, &type_def, tt, opts);
+            access = a;
+            est_pages = est;
         }
     }
     Ok(Prepared {
+        targets: query.targets.clone(),
+        filter: query.filter.clone(),
         query,
         type_def,
         mol_type,
+        join: None,
         access,
+        est_pages,
+        batch_size,
     })
+}
+
+/// Prices the two `ASOF TT` access paths for one atom type and picks the
+/// cheaper. Falls back to the pre-cost-model always-slice rule when the
+/// model is disabled, forced, or statistics are unavailable.
+fn plan_asof(
+    db: &Database,
+    def: &AtomTypeDef,
+    tt: TimePoint,
+    opts: ExecOptions,
+) -> (AccessPath, Option<u64>) {
+    if opts.force_time_index || !db.config().cost_model {
+        return (AccessPath::TimeSlice { tt }, None);
+    }
+    match db.type_stats(def.id) {
+        Ok(stats) => {
+            let costs = crate::cost::asof_costs(&stats, tt, db.now());
+            let access = if costs.use_slice {
+                AccessPath::TimeSlice { tt }
+            } else {
+                AccessPath::Scan
+            };
+            (access, Some(costs.est_pages))
+        }
+        Err(_) => (AccessPath::TimeSlice { tt }, None),
+    }
+}
+
+/// Analysis of join queries: resolves both sides, concatenates their defs
+/// under flattened `alias.attr` names, rewrites every attribute reference
+/// to those names, and plans an access path per side.
+fn analyze_join(
+    db: &Database,
+    query: Query,
+    opts: ExecOptions,
+    batch_size: usize,
+) -> Result<Prepared> {
+    let join = query.join.clone().expect("caller checked");
+    if !matches!(query.targets, Targets::All | Targets::Projs(_)) {
+        return Err(Error::query(
+            "JOIN queries return rows: use * or a projection list",
+        ));
+    }
+    let left_def = db.with_catalog(|c| c.atom_type_by_name(&query.source).cloned())?;
+    let right_def = db.with_catalog(|c| c.atom_type_by_name(&join.source).cloned())?;
+    let lalias = query.alias.clone().unwrap_or_else(|| query.source.clone());
+    let ralias = join.alias.clone().unwrap_or_else(|| join.source.clone());
+    if lalias == ralias {
+        return Err(Error::query(format!(
+            "both join sides are named '{lalias}'; alias one of them"
+        )));
+    }
+    let key_pos = |p: &Proj, def: &AtomTypeDef, alias: &str| -> Result<usize> {
+        match p.qualifier.as_deref() {
+            Some(q) if q == alias => {}
+            Some(q) => {
+                return Err(Error::query(format!(
+                    "ON key qualifier '{q}' does not name the {alias} side"
+                )))
+            }
+            None => return Err(Error::query("join ON keys must be alias-qualified")),
+        }
+        def.attr_by_name(&p.attr)
+            .map(|(id, _)| id.0 as usize)
+            .ok_or_else(|| Error::query(format!("unknown attribute '{}.{}'", def.name, p.attr)))
+    };
+    let left_key = key_pos(&join.on_left, &left_def, &lalias)?;
+    let right_key = key_pos(&join.on_right, &right_def, &ralias)?;
+
+    // The def the row stage evaluates against: both sides' attributes
+    // concatenated (left first — the order `join_batches` emits), names
+    // flattened to "alias.attr". Value indexes don't apply across a join,
+    // so the combined attributes are unindexed.
+    let mut attrs = Vec::new();
+    for (alias, def) in [(&lalias, &left_def), (&ralias, &right_def)] {
+        for a in &def.attrs {
+            attrs.push(AttrDef {
+                name: format!("{alias}.{}", a.name),
+                ty: a.ty,
+                not_null: a.not_null,
+                indexed: false,
+            });
+        }
+    }
+    let combined = AtomTypeDef {
+        id: left_def.id,
+        name: format!("{lalias}+{ralias}"),
+        attrs,
+    };
+
+    // Rewrite every attribute reference to the flattened names. Either
+    // side could own a bare name, so qualifiers are mandatory.
+    let flatten = |p: &Proj| -> Result<Proj> {
+        let q = p.qualifier.as_deref().ok_or_else(|| {
+            Error::query(format!(
+                "attribute '{}' must be alias-qualified in a join query",
+                p.attr
+            ))
+        })?;
+        if q != lalias && q != ralias {
+            return Err(Error::query(format!("unknown qualifier '{q}'")));
+        }
+        let flat = format!("{q}.{}", p.attr);
+        if combined.attr_by_name(&flat).is_none() {
+            return Err(Error::query(format!("unknown attribute '{flat}'")));
+        }
+        Ok(Proj {
+            qualifier: None,
+            attr: flat,
+        })
+    };
+    let targets = match &query.targets {
+        Targets::All => Targets::All,
+        Targets::Projs(ps) => Targets::Projs(ps.iter().map(&flatten).collect::<Result<Vec<_>>>()?),
+        _ => unreachable!("checked above"),
+    };
+    let filter = query
+        .filter
+        .as_ref()
+        .map(|f| flatten_expr(f, &flatten))
+        .transpose()?;
+
+    let ((access, est_pages), (right_access, right_est)) = match query.asof_tt {
+        Some(tt) if time_index_enabled(db, opts) => (
+            plan_asof(db, &left_def, tt, opts),
+            plan_asof(db, &right_def, tt, opts),
+        ),
+        _ => ((AccessPath::Scan, None), (AccessPath::Scan, None)),
+    };
+    Ok(Prepared {
+        targets,
+        filter,
+        query,
+        type_def: combined,
+        mol_type: None,
+        join: Some(JoinInfo {
+            left_def,
+            right_def,
+            left_key,
+            right_key,
+            right_access,
+            right_est,
+        }),
+        access,
+        est_pages,
+        batch_size,
+    })
+}
+
+/// Rewrites every attribute operand of `e` through `f` (join-name
+/// flattening); `f` also validates the reference.
+fn flatten_expr(e: &Expr, f: &impl Fn(&Proj) -> Result<Proj>) -> Result<Expr> {
+    let operand = |o: &Operand| -> Result<Operand> {
+        match o {
+            Operand::Lit(v) => Ok(Operand::Lit(v.clone())),
+            Operand::Attr { qualifier, attr } => {
+                let p = f(&Proj {
+                    qualifier: qualifier.clone(),
+                    attr: attr.clone(),
+                })?;
+                Ok(Operand::Attr {
+                    qualifier: None,
+                    attr: p.attr,
+                })
+            }
+        }
+    };
+    Ok(match e {
+        Expr::Or(a, b) => Expr::Or(Box::new(flatten_expr(a, f)?), Box::new(flatten_expr(b, f)?)),
+        Expr::And(a, b) => Expr::And(Box::new(flatten_expr(a, f)?), Box::new(flatten_expr(b, f)?)),
+        Expr::Not(a) => Expr::Not(Box::new(flatten_expr(a, f)?)),
+        Expr::Cmp(l, op, r) => Expr::Cmp(operand(l)?, *op, operand(r)?),
+        Expr::IsNull(o, n) => Expr::IsNull(operand(o)?, *n),
+    })
+}
+
+/// The candidate set of one atom type per an access path (join queries
+/// enumerate two sides, so this is def-parameterized, not `self`-bound).
+fn candidates_for(
+    db: &Database,
+    view: &ReadView,
+    def: &AtomTypeDef,
+    access: &AccessPath,
+) -> Result<Candidates> {
+    match access {
+        AccessPath::Scan => db.all_atoms(def.id).map(Candidates::Atoms),
+        AccessPath::IndexRange { attr, lo, hi } => Ok(Candidates::Atoms(
+            db.index_range_inclusive(def.id, *attr, *lo, *hi)?,
+        )),
+        AccessPath::TimeSlice { tt } => {
+            let ty = def.id;
+            let tt = clamp_tt(*tt, view);
+            let mut groups = Vec::new();
+            db.slice_at(ty, tt, &mut |no, vs| {
+                groups.push((AtomId::new(ty, no), vs));
+                Ok(true)
+            })?;
+            Ok(Candidates::Slice(groups))
+        }
+    }
+}
+
+/// The rendered access operator of one side.
+fn access_op_report(
+    access: &AccessPath,
+    def: &AtomTypeDef,
+    rows: u64,
+    elapsed_us: u64,
+    pages_read: u64,
+    est_pages: Option<u64>,
+    depth: usize,
+) -> OpReport {
+    let (name, detail) = match access {
+        AccessPath::Scan => ("Scan".to_string(), format!("type={}", def.name)),
+        AccessPath::IndexRange { attr, lo, hi } => {
+            let aname = def
+                .attrs
+                .get(attr.0 as usize)
+                .map_or("?", |a| a.name.as_str());
+            (
+                "IndexProbe".to_string(),
+                format!("attr={}.{aname} range=[{lo}, {hi}]", def.name),
+            )
+        }
+        AccessPath::TimeSlice { tt } => {
+            let at = if tt.is_forever() {
+                "FOREVER".to_string()
+            } else {
+                tt.0.to_string()
+            };
+            (
+                "TimeSliceScan".to_string(),
+                format!("type={} tt={at}", def.name),
+            )
+        }
+    };
+    OpReport {
+        name,
+        detail,
+        rows,
+        elapsed_us,
+        pages_read,
+        depth,
+        est_pages,
+    }
 }
 
 /// All four gates on the index-backed time-slice path: the per-statement
@@ -509,9 +839,20 @@ impl Prepared {
     /// that publishes mid-statement.
     pub fn run(&self, db: &Database) -> Result<QueryOutput> {
         let view = db.pin_view(self.type_def.id);
-        match &self.query.targets {
+        if self.join.is_some() {
+            return self.run_join(db, &view);
+        }
+        match &self.targets {
             Targets::Molecule => self.run_molecules(db, &view),
             Targets::History => self.run_histories(db, &view),
+            Targets::Coalesce(_) => {
+                let candidates = self.candidates(db, &view)?;
+                self.coalesce_from_candidates(db, &view, candidates)
+            }
+            Targets::Aggregate { .. } => {
+                let candidates = self.candidates(db, &view)?;
+                self.aggregate_from_candidates(db, &view, candidates)
+            }
             _ => self.run_rows(db, &view),
         }
     }
@@ -528,46 +869,32 @@ impl Prepared {
         let misses0 = db.buffer_stats().misses;
         let t0 = std::time::Instant::now();
         let view = db.pin_view(self.type_def.id);
+        if self.join.is_some() {
+            return self.run_explain_join(db, &view, misses0, t0);
+        }
 
         let (candidates, acc_us, acc_pages) = measured(db, || self.candidates(db, &view))?;
         let n_candidates = candidates.len() as u64;
-        let access_op = |depth: usize| {
-            let (name, detail) = match &self.access {
-                AccessPath::Scan => ("Scan".to_string(), format!("type={}", self.type_def.name)),
-                AccessPath::IndexRange { attr, lo, hi } => {
-                    let aname = self
-                        .type_def
-                        .attrs
-                        .get(attr.0 as usize)
-                        .map_or("?", |a| a.name.as_str());
-                    (
-                        "IndexProbe".to_string(),
-                        format!("attr={}.{aname} range=[{lo}, {hi}]", self.type_def.name),
-                    )
+
+        // Filter/limit suffix of a row-consumer's detail string.
+        let fl_detail = |prefix: String| {
+            let mut detail = prefix;
+            if let Some(f) = &self.filter {
+                if !detail.is_empty() {
+                    detail.push_str(", ");
                 }
-                AccessPath::TimeSlice { tt } => {
-                    let at = if tt.is_forever() {
-                        "FOREVER".to_string()
-                    } else {
-                        tt.0.to_string()
-                    };
-                    (
-                        "TimeSliceScan".to_string(),
-                        format!("type={} tt={at}", self.type_def.name),
-                    )
-                }
-            };
-            OpReport {
-                name,
-                detail,
-                rows: n_candidates,
-                elapsed_us: acc_us,
-                pages_read: acc_pages,
-                depth,
+                detail.push_str(&format!("filter={f}"));
             }
+            if let Some(n) = self.query.limit {
+                if !detail.is_empty() {
+                    detail.push_str(", ");
+                }
+                detail.push_str(&format!("limit={n}"));
+            }
+            detail
         };
 
-        let (root_name, root_detail, out, root_us, root_pages) = match &self.query.targets {
+        let (root_name, root_detail, out, root_us, root_pages) = match &self.targets {
             Targets::Molecule => {
                 let (out, us, pages) = measured(db, || {
                     self.molecules_from_candidates(db, &view, candidates.into_atoms())
@@ -592,20 +919,26 @@ impl Prepared {
                     pages,
                 )
             }
+            Targets::Coalesce(_) => {
+                let (out, us, pages) =
+                    measured(db, || self.coalesce_from_candidates(db, &view, candidates))?;
+                ("Coalesce", fl_detail(String::new()), out, us, pages)
+            }
+            Targets::Aggregate { .. } => {
+                let (out, us, pages) =
+                    measured(db, || self.aggregate_from_candidates(db, &view, candidates))?;
+                (
+                    "Aggregate",
+                    fl_detail(format!("agg={}", self.targets)),
+                    out,
+                    us,
+                    pages,
+                )
+            }
             _ => {
                 let (out, us, pages) =
                     measured(db, || self.rows_from_candidates(db, &view, candidates))?;
-                let mut detail = match &self.query.filter {
-                    Some(f) => format!("filter={f}"),
-                    None => String::new(),
-                };
-                if let Some(n) = self.query.limit {
-                    if !detail.is_empty() {
-                        detail.push_str(", ");
-                    }
-                    detail.push_str(&format!("limit={n}"));
-                }
-                ("Select", detail, out, us, pages)
+                ("Select", fl_detail(String::new()), out, us, pages)
             }
         };
 
@@ -617,8 +950,81 @@ impl Prepared {
                 elapsed_us: root_us,
                 pages_read: root_pages,
                 depth: 0,
+                est_pages: None,
             },
-            access_op(1),
+            access_op_report(
+                &self.access,
+                &self.type_def,
+                n_candidates,
+                acc_us,
+                acc_pages,
+                self.est_pages,
+                1,
+            ),
+        ];
+        let report = ExplainReport {
+            query: self.query.to_string(),
+            ops,
+            total_elapsed_us: t0.elapsed().as_micros() as u64,
+            total_pages_read: db.buffer_stats().misses - misses0,
+        };
+        Ok((out, report))
+    }
+
+    /// The instrumented join path: both sides' access stages measured
+    /// separately (depth 1), then the join + filter + project root.
+    fn run_explain_join(
+        &self,
+        db: &Database,
+        view: &ReadView,
+        misses0: u64,
+        t0: std::time::Instant,
+    ) -> Result<(QueryOutput, ExplainReport)> {
+        let j = self.join.as_ref().expect("join query");
+        let (left, l_us, l_pages) =
+            measured(db, || self.side_batch(db, view, &j.left_def, &self.access))?;
+        let (right, r_us, r_pages) = measured(db, || {
+            self.side_batch(db, view, &j.right_def, &j.right_access)
+        })?;
+        let (out, us, pages) = measured(db, || {
+            Ok(self.rows_from_batch(&join_batches(&left, &right, j.left_key, j.right_key)))
+        })?;
+        let jc = self.query.join.as_ref().expect("join query");
+        let mut detail = format!("on {} = {}", jc.on_left, jc.on_right);
+        if let Some(f) = &self.filter {
+            detail.push_str(&format!(", filter={f}"));
+        }
+        if let Some(n) = self.query.limit {
+            detail.push_str(&format!(", limit={n}"));
+        }
+        let ops = vec![
+            OpReport {
+                name: "TemporalJoin".to_string(),
+                detail,
+                rows: out.len() as u64,
+                elapsed_us: us,
+                pages_read: pages,
+                depth: 0,
+                est_pages: None,
+            },
+            access_op_report(
+                &self.access,
+                &j.left_def,
+                left.len() as u64,
+                l_us,
+                l_pages,
+                self.est_pages,
+                1,
+            ),
+            access_op_report(
+                &j.right_access,
+                &j.right_def,
+                right.len() as u64,
+                r_us,
+                r_pages,
+                j.right_est,
+                1,
+            ),
         ];
         let report = ExplainReport {
             query: self.query.to_string(),
@@ -632,22 +1038,7 @@ impl Prepared {
     /// The candidate set per the access path. Over-approximation is fine:
     /// atoms committed after `view` fetch no visible versions downstream.
     fn candidates(&self, db: &Database, view: &ReadView) -> Result<Candidates> {
-        match &self.access {
-            AccessPath::Scan => db.all_atoms(self.type_def.id).map(Candidates::Atoms),
-            AccessPath::IndexRange { attr, lo, hi } => Ok(Candidates::Atoms(
-                db.index_range_inclusive(self.type_def.id, *attr, *lo, *hi)?,
-            )),
-            AccessPath::TimeSlice { tt } => {
-                let ty = self.type_def.id;
-                let tt = clamp_tt(*tt, view);
-                let mut groups = Vec::new();
-                db.slice_at(ty, tt, &mut |no, vs| {
-                    groups.push((AtomId::new(ty, no), vs));
-                    Ok(true)
-                })?;
-                Ok(Candidates::Slice(groups))
-            }
-        }
+        candidates_for(db, view, &self.type_def, &self.access)
     }
 
     fn clip_valid(&self, vs: Vec<AtomVersion>) -> Vec<AtomVersion> {
@@ -667,20 +1058,27 @@ impl Prepared {
     }
 
     fn matches(&self, tuple: &Tuple) -> bool {
-        match &self.query.filter {
+        match &self.filter {
             None => true,
             Some(f) => eval(f, tuple, &self.type_def) == Some(true),
         }
     }
 
-    /// Output columns and their tuple positions for a rows query.
+    /// Output columns and their tuple positions for a row-shaped query
+    /// (`*`, projections, or `COALESCE` with either).
     fn row_layout(&self) -> (Vec<String>, Vec<usize>) {
-        match &self.query.targets {
-            Targets::All => (
+        let projs = match &self.targets {
+            Targets::All => None,
+            Targets::Coalesce(ps) if ps.is_empty() => None,
+            Targets::Projs(ps) | Targets::Coalesce(ps) => Some(ps),
+            _ => unreachable!("row-shaped targets only"),
+        };
+        match projs {
+            None => (
                 self.type_def.attrs.iter().map(|a| a.name.clone()).collect(),
                 (0..self.type_def.arity()).collect(),
             ),
-            Targets::Projs(projs) => {
+            Some(projs) => {
                 let mut cols = Vec::new();
                 let mut pos = Vec::new();
                 for Proj { attr, .. } in projs {
@@ -693,8 +1091,164 @@ impl Prepared {
                 }
                 (cols, pos)
             }
-            _ => unreachable!("handled in run()"),
         }
+    }
+
+    /// Applies the statement's valid-time clause batch-wise.
+    fn clip_batch(&self, b: &mut VersionBatch) {
+        match self.query.valid {
+            Valid::Any => {}
+            Valid::At(t) => b.retain_valid_at(t),
+            Valid::In(a, z) => b.clip_valid_window(Interval::new(a, z).expect("validated window")),
+        }
+    }
+
+    /// Drops the rows failing the filter, batch-wise.
+    fn filter_batch(&self, b: &mut VersionBatch) {
+        if self.filter.is_none() {
+            return;
+        }
+        let keep: Vec<bool> = (0..b.len()).map(|i| self.matches(&b.tuples[i])).collect();
+        b.retain_indices(|i| keep[i]);
+    }
+
+    /// Fetches every candidate version into one batch and applies the
+    /// valid-time clause. Shared by the coalesce/aggregate consumers and
+    /// the join sides (which pass a foreign `Candidates` set).
+    fn batch_from_candidates(
+        &self,
+        db: &Database,
+        view: &ReadView,
+        candidates: Candidates,
+    ) -> Result<VersionBatch> {
+        let mut b = VersionBatch::with_capacity(candidates.len());
+        match candidates {
+            Candidates::Atoms(atoms) => {
+                for atom in atoms {
+                    let vs = match self.query.asof_tt {
+                        Some(tt) => db.versions_at(atom, clamp_tt(tt, view))?,
+                        None => db.versions_at_view(atom, view)?,
+                    };
+                    for v in &vs {
+                        b.push(atom, v);
+                    }
+                }
+            }
+            Candidates::Slice(groups) => {
+                for (atom, vs) in groups {
+                    for v in &vs {
+                        b.push(atom, v);
+                    }
+                }
+            }
+        }
+        self.clip_batch(&mut b);
+        Ok(b)
+    }
+
+    /// One join side: candidates per its access path, fetched and clipped.
+    fn side_batch(
+        &self,
+        db: &Database,
+        view: &ReadView,
+        def: &AtomTypeDef,
+        access: &AccessPath,
+    ) -> Result<VersionBatch> {
+        let candidates = candidates_for(db, view, def, access)?;
+        self.batch_from_candidates(db, view, candidates)
+    }
+
+    /// Filter + project + limit over a fully built batch.
+    fn rows_from_batch(&self, b: &VersionBatch) -> QueryOutput {
+        let (columns, positions) = self.row_layout();
+        let limit = self.query.limit.unwrap_or(usize::MAX);
+        let mut rows = Vec::new();
+        for i in 0..b.len() {
+            if !self.matches(&b.tuples[i]) {
+                continue;
+            }
+            rows.push(Row {
+                atom: b.atoms[i],
+                values: positions
+                    .iter()
+                    .map(|&p| b.tuples[i].get(p).clone())
+                    .collect(),
+                vt: b.vt(i),
+                tt: b.tt(i),
+            });
+            if rows.len() >= limit {
+                break;
+            }
+        }
+        QueryOutput::Rows { columns, rows }
+    }
+
+    fn run_join(&self, db: &Database, view: &ReadView) -> Result<QueryOutput> {
+        let j = self.join.as_ref().expect("join query");
+        let left = self.side_batch(db, view, &j.left_def, &self.access)?;
+        let right = self.side_batch(db, view, &j.right_def, &j.right_access)?;
+        let joined = join_batches(&left, &right, j.left_key, j.right_key);
+        Ok(self.rows_from_batch(&joined))
+    }
+
+    /// `COALESCE` consumer: period-normalizes the filtered batch.
+    fn coalesce_from_candidates(
+        &self,
+        db: &Database,
+        view: &ReadView,
+        candidates: Candidates,
+    ) -> Result<QueryOutput> {
+        let mut b = self.batch_from_candidates(db, view, candidates)?;
+        self.filter_batch(&mut b);
+        let (columns, positions) = self.row_layout();
+        let c = coalesce_batch(&b, &positions);
+        let limit = self.query.limit.unwrap_or(usize::MAX);
+        let mut rows = Vec::new();
+        for i in 0..c.len().min(limit) {
+            rows.push(Row {
+                atom: c.atoms[i],
+                values: c.tuples[i].values().to_vec(),
+                vt: c.vt(i),
+                tt: c.tt(i),
+            });
+        }
+        Ok(QueryOutput::Rows { columns, rows })
+    }
+
+    /// `COUNT`/`SUM`/`INTEGRAL` consumer: the valid-time sweep over the
+    /// filtered batch.
+    fn aggregate_from_candidates(
+        &self,
+        db: &Database,
+        view: &ReadView,
+        candidates: Candidates,
+    ) -> Result<QueryOutput> {
+        let Targets::Aggregate { func, attr } = &self.targets else {
+            unreachable!("aggregate consumer")
+        };
+        let mut b = self.batch_from_candidates(db, view, candidates)?;
+        self.filter_batch(&mut b);
+        let attr_pos = attr.as_ref().map(|p| {
+            let (id, _) = self
+                .type_def
+                .attr_by_name(&p.attr)
+                .expect("validated in analyze");
+            id.0 as usize
+        });
+        let mut steps = aggregate_batch(&b, attr_pos);
+        let integral = match func {
+            AggFunc::Integral => Some(value_integral(&steps).ok_or_else(|| {
+                Error::query(
+                    "INTEGRAL needs finite valid-time intervals: \
+                     clip with VALID IN (or the integral overflowed)",
+                )
+            })?),
+            _ => None,
+        };
+        if let Some(n) = self.query.limit {
+            steps.truncate(n);
+        }
+        Ok(QueryOutput::Aggregate { steps, integral })
     }
 
     fn run_rows(&self, db: &Database, view: &ReadView) -> Result<QueryOutput> {
@@ -703,10 +1257,107 @@ impl Prepared {
     }
     /// The fetch/filter/project stage of a rows query, over pre-computed
     /// candidates (shared by the plain and the EXPLAIN ANALYZE paths).
-    /// Both candidate shapes produce byte-identical output: ascending atom
-    /// number (directory order = index group order), versions sorted by
-    /// valid time.
+    /// Both candidate shapes — and both executor modes — produce
+    /// byte-identical output: ascending atom number (directory order =
+    /// index group order), versions sorted by valid time.
     fn rows_from_candidates(
+        &self,
+        db: &Database,
+        view: &ReadView,
+        candidates: Candidates,
+    ) -> Result<QueryOutput> {
+        if self.batch_size == 0 {
+            self.rows_from_candidates_scalar(db, view, candidates)
+        } else {
+            self.rows_from_candidates_batched(db, view, candidates)
+        }
+    }
+
+    /// Batched executor: versions accumulate into a [`VersionBatch`] of up
+    /// to `batch_size` rows; each full batch is clipped column-wise, then
+    /// filtered and projected in one pass.
+    fn rows_from_candidates_batched(
+        &self,
+        db: &Database,
+        view: &ReadView,
+        candidates: Candidates,
+    ) -> Result<QueryOutput> {
+        let (columns, positions) = self.row_layout();
+        let limit = self.query.limit.unwrap_or(usize::MAX);
+        let cap = self.batch_size;
+        let mut rows = Vec::new();
+        let mut batch = VersionBatch::with_capacity(cap);
+        'fetch: {
+            match candidates {
+                Candidates::Atoms(atoms) => {
+                    for atom in atoms {
+                        let vs = match self.query.asof_tt {
+                            Some(tt) => db.versions_at(atom, clamp_tt(tt, view))?,
+                            None => db.versions_at_view(atom, view)?,
+                        };
+                        for v in &vs {
+                            batch.push(atom, v);
+                            if batch.len() >= cap
+                                && !self.drain_batch(&mut batch, &positions, &mut rows, limit)
+                            {
+                                break 'fetch;
+                            }
+                        }
+                    }
+                }
+                Candidates::Slice(groups) => {
+                    for (atom, vs) in groups {
+                        for v in &vs {
+                            batch.push(atom, v);
+                            if batch.len() >= cap
+                                && !self.drain_batch(&mut batch, &positions, &mut rows, limit)
+                            {
+                                break 'fetch;
+                            }
+                        }
+                    }
+                }
+            }
+            self.drain_batch(&mut batch, &positions, &mut rows, limit);
+        }
+        Ok(QueryOutput::Rows { columns, rows })
+    }
+
+    /// Clips, filters and projects one batch into `rows`, then clears the
+    /// batch. Returns `false` once `limit` is reached.
+    fn drain_batch(
+        &self,
+        batch: &mut VersionBatch,
+        positions: &[usize],
+        rows: &mut Vec<Row>,
+        limit: usize,
+    ) -> bool {
+        self.clip_batch(batch);
+        for i in 0..batch.len() {
+            if !self.matches(&batch.tuples[i]) {
+                continue;
+            }
+            rows.push(Row {
+                atom: batch.atoms[i],
+                values: positions
+                    .iter()
+                    .map(|&p| batch.tuples[i].get(p).clone())
+                    .collect(),
+                vt: batch.vt(i),
+                tt: batch.tt(i),
+            });
+            if rows.len() >= limit {
+                batch.clear();
+                return false;
+            }
+        }
+        batch.clear();
+        true
+    }
+
+    /// Tuple-at-a-time executor (`batch_size = 0`): the scalar baseline
+    /// the batched path's equivalence suite compares against.
+    fn rows_from_candidates_scalar(
         &self,
         db: &Database,
         view: &ReadView,

@@ -14,11 +14,17 @@
 //!
 //! `SELECT MOLECULE FROM <molecule-type> WHERE root.<attr> ...` returns
 //! materialized complex objects; `SELECT HISTORY FROM <type> ...` returns
-//! version histories of qualifying atoms.
+//! version histories of qualifying atoms. The temporal operators:
+//! `SELECT * FROM a JOIN b ON a.x = b.y` (temporal equi-join on
+//! overlapping valid/transaction time), `SELECT COALESCE …` (valid-time
+//! period normalization), and `SELECT COUNT(*) | SUM(a) | INTEGRAL(a)`
+//! (valid-time aggregation). `ASOF TT` access paths are priced by the
+//! statistics-fed [`cost`] model.
 
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cost;
 pub mod exec;
 pub mod parser;
 pub mod stmt;

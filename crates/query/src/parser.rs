@@ -147,6 +147,25 @@ impl Parser {
             Tok::Ident(_) => Some(self.ident()?),
             _ => None,
         };
+        let join = if self.eat_kw(Kw::Join) {
+            let jsource = self.ident()?;
+            let jalias = match self.peek() {
+                Tok::Ident(_) => Some(self.ident()?),
+                _ => None,
+            };
+            self.expect_kw(Kw::On)?;
+            let on_left = self.proj()?;
+            self.expect_sym(Sym::Eq)?;
+            let on_right = self.proj()?;
+            Some(JoinClause {
+                source: jsource,
+                alias: jalias,
+                on_left,
+                on_right,
+            })
+        } else {
+            None
+        };
         let filter = if self.eat_kw(Kw::Where) {
             Some(self.expr()?)
         } else {
@@ -200,11 +219,20 @@ impl Parser {
             targets,
             source,
             alias,
+            join,
             filter,
             asof_tt,
             valid,
             limit,
         })
+    }
+
+    /// True when the *next* token (after the current one) is `sym` — the
+    /// one-token lookahead that keeps `COUNT`/`SUM`/`INTEGRAL` soft.
+    fn peek2_is(&self, sym: Sym) -> bool {
+        self.tokens
+            .get(self.pos + 1)
+            .is_some_and(|t| t.tok == Tok::Sym(sym))
     }
 
     fn targets(&mut self) -> Result<Targets> {
@@ -216,6 +244,38 @@ impl Parser {
         }
         if self.eat_kw(Kw::History) {
             return Ok(Targets::History);
+        }
+        if self.eat_kw(Kw::Coalesce) {
+            if self.eat_sym(Sym::Star) {
+                return Ok(Targets::Coalesce(Vec::new()));
+            }
+            let mut projs = vec![self.proj()?];
+            while self.eat_sym(Sym::Comma) {
+                projs.push(self.proj()?);
+            }
+            return Ok(Targets::Coalesce(projs));
+        }
+        // Aggregate functions are soft keywords: only an identifier of the
+        // right name immediately followed by `(` parses as one.
+        for (word, func) in [
+            ("COUNT", AggFunc::Count),
+            ("SUM", AggFunc::Sum),
+            ("INTEGRAL", AggFunc::Integral),
+        ] {
+            if matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(word))
+                && self.peek2_is(Sym::LParen)
+            {
+                self.bump();
+                self.bump();
+                let attr = if func == AggFunc::Count {
+                    self.expect_sym(Sym::Star)?;
+                    None
+                } else {
+                    Some(self.proj()?)
+                };
+                self.expect_sym(Sym::RParen)?;
+                return Ok(Targets::Aggregate { func, attr });
+            }
         }
         let mut projs = vec![self.proj()?];
         while self.eat_sym(Sym::Comma) {
@@ -421,6 +481,84 @@ mod tests {
         assert!(parse("SELECT * FROM emp VALID 5").is_err());
         assert!(parse("SELECT * FROM emp LIMIT -1").is_err());
         assert!(parse("SELECT * FROM emp ASOF TT -4").is_err());
+    }
+
+    #[test]
+    fn join_clause() {
+        let q = parse(
+            "SELECT e.name, d.name FROM emp e JOIN dept d ON e.dept = d.id \
+             WHERE d.name != 'x' ASOF TT 9 VALID IN [0, 50)",
+        )
+        .unwrap();
+        let j = q.join.expect("join");
+        assert_eq!(j.source, "dept");
+        assert_eq!(j.alias.as_deref(), Some("d"));
+        assert_eq!(j.on_left.qualifier.as_deref(), Some("e"));
+        assert_eq!(j.on_left.attr, "dept");
+        assert_eq!(j.on_right.attr, "id");
+        // Alias-free right side; ON is mandatory.
+        assert!(parse("SELECT * FROM a JOIN b ON a.x = b.y")
+            .unwrap()
+            .join
+            .is_some());
+        assert!(parse("SELECT * FROM a JOIN b").is_err());
+        assert!(parse("SELECT * FROM a JOIN b ON a.x").is_err());
+    }
+
+    #[test]
+    fn coalesce_targets() {
+        assert_eq!(
+            parse("SELECT COALESCE * FROM emp").unwrap().targets,
+            Targets::Coalesce(vec![])
+        );
+        let q = parse("SELECT COALESCE e.name, e.dept FROM emp e").unwrap();
+        let Targets::Coalesce(ps) = q.targets else {
+            panic!("coalesce")
+        };
+        assert_eq!(ps.len(), 2);
+        assert!(parse("SELECT COALESCE FROM emp").is_err());
+    }
+
+    #[test]
+    fn aggregate_targets() {
+        let q = parse("SELECT COUNT(*) FROM emp").unwrap();
+        assert_eq!(
+            q.targets,
+            Targets::Aggregate {
+                func: AggFunc::Count,
+                attr: None
+            }
+        );
+        let q = parse("SELECT SUM(e.salary) FROM emp e VALID IN [0, 100)").unwrap();
+        let Targets::Aggregate {
+            func: AggFunc::Sum,
+            attr: Some(p),
+        } = q.targets
+        else {
+            panic!("sum")
+        };
+        assert_eq!(p.attr, "salary");
+        assert!(matches!(
+            parse("SELECT INTEGRAL(x) FROM emp").unwrap().targets,
+            Targets::Aggregate {
+                func: AggFunc::Integral,
+                attr: Some(_)
+            }
+        ));
+        // Soft keywords: no parenthesis, no aggregate.
+        let q = parse("SELECT count FROM emp").unwrap();
+        assert_eq!(
+            q.targets,
+            Targets::Projs(vec![Proj {
+                qualifier: None,
+                attr: "count".into()
+            }])
+        );
+        assert!(parse("SELECT COUNT(x) FROM emp").is_err(), "COUNT takes *");
+        assert!(
+            parse("SELECT SUM(*) FROM emp").is_err(),
+            "SUM takes an attr"
+        );
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub enum Kw {
     False,
     Null,
     Is,
+    Join,
+    On,
+    Coalesce,
 }
 
 /// Symbols and operators.
@@ -310,6 +313,9 @@ impl<'a> Lexer<'a> {
                 "FALSE" => Some(Kw::False),
                 "NULL" => Some(Kw::Null),
                 "IS" => Some(Kw::Is),
+                "JOIN" => Some(Kw::Join),
+                "ON" => Some(Kw::On),
+                "COALESCE" => Some(Kw::Coalesce),
                 _ => None,
             };
             return Ok(mk(match kw {

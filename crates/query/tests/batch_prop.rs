@@ -1,0 +1,215 @@
+//! Batched-executor equivalence properties.
+//!
+//! 1. For random databases and random row queries, the batched executor
+//!    (any batch size) returns byte-identical output to the scalar
+//!    executor (`batch_size = 0`), under every access-path override.
+//! 2. `aggregate_batch` over a columnar [`VersionBatch`] equals the
+//!    scalar `temporal_aggregate` over the equivalent temporal relation.
+//!
+//! Case count defaults low for local runs; CI raises it with
+//! `PROPTEST_CASES` (the `planner` job runs ≥256 cases).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tcom_core::algebra::{temporal_aggregate, TemporalRow};
+use tcom_core::batch::{aggregate_batch, VersionBatch};
+use tcom_core::{Database, DbConfig, StoreKind};
+use tcom_kernel::{AtomId, AtomNo, AtomTypeId, Interval, TemporalElement, TimePoint, Tuple, Value};
+use tcom_query::{execute_with, run_statement, ExecOptions};
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24)
+}
+
+// ---- random databases -----------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert {
+        who: usize,
+        sal: i64,
+        valid: Option<(u64, u64)>,
+    },
+    Update {
+        who: usize,
+        sal: i64,
+        valid: Option<(u64, u64)>,
+    },
+    Delete {
+        who: usize,
+    },
+}
+
+fn op() -> BoxedStrategy<Op> {
+    let valid = || {
+        prop_oneof![
+            2 => Just(None),
+            1 => (0u64..40, 1u64..40).prop_map(|(a, d)| Some((a, a + d))),
+        ]
+    };
+    prop_oneof![
+        3 => (0usize..6, 0i64..500, valid())
+            .prop_map(|(who, sal, valid)| Op::Insert { who, sal, valid }),
+        4 => (0usize..6, 0i64..500, valid())
+            .prop_map(|(who, sal, valid)| Op::Update { who, sal, valid }),
+        1 => (0usize..6).prop_map(|who| Op::Delete { who }),
+    ]
+    .boxed()
+}
+
+fn op_sql(op: &Op) -> String {
+    let window = |v: &Option<(u64, u64)>| match v {
+        Some((a, b)) => format!(" VALID IN [{a}, {b})"),
+        None => String::new(),
+    };
+    match op {
+        Op::Insert { who, sal, valid } => format!(
+            "INSERT INTO emp (name, salary) VALUES ('e{who}', {sal}){}",
+            window(valid)
+        ),
+        Op::Update { who, sal, valid } => format!(
+            "UPDATE emp SET salary = {sal} WHERE name = 'e{who}'{}",
+            window(valid)
+        ),
+        Op::Delete { who } => format!("DELETE FROM emp WHERE name = 'e{who}'"),
+    }
+}
+
+fn kind() -> BoxedStrategy<StoreKind> {
+    prop_oneof![
+        Just(StoreKind::Chain),
+        Just(StoreKind::Delta),
+        Just(StoreKind::Split),
+    ]
+    .boxed()
+}
+
+/// Row queries only: aggregates and COALESCE share one (batch) code path
+/// regardless of batch size, so equivalence is about row pipelines.
+fn query_sql() -> BoxedStrategy<String> {
+    let targets = prop_oneof![
+        2 => Just("*".to_string()),
+        1 => Just("name".to_string()),
+        1 => Just("salary, name".to_string()),
+    ];
+    let filter = prop_oneof![
+        2 => Just(String::new()),
+        1 => (0i64..500).prop_map(|x| format!(" WHERE salary > {x}")),
+        1 => (0usize..6).prop_map(|i| format!(" WHERE name = 'e{i}'")),
+    ];
+    let asof = prop_oneof![
+        2 => Just(String::new()),
+        1 => (0u64..60).prop_map(|t| format!(" ASOF TT {t}")),
+        1 => Just(" ASOF TT FOREVER".to_string()),
+    ];
+    let valid = prop_oneof![
+        2 => Just(String::new()),
+        1 => (0u64..60).prop_map(|t| format!(" VALID AT {t}")),
+        1 => (0u64..40, 1u64..40).prop_map(|(a, d)| format!(" VALID IN [{a}, {})", a + d)),
+    ];
+    let limit = prop_oneof![
+        3 => Just(String::new()),
+        1 => (0usize..8).prop_map(|n| format!(" LIMIT {n}")),
+    ];
+    (targets, filter, asof, valid, limit)
+        .prop_map(|(t, f, a, v, l)| format!("SELECT {t} FROM emp{f}{a}{v}{l}"))
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: cases(), ..ProptestConfig::default() })]
+
+    #[test]
+    fn batched_equals_scalar(
+        kind in kind(),
+        ops in vec(op(), 1..16),
+        queries in vec(query_sql(), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "tcom-batchprop-{}-{seed:x}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Database::open(
+            &dir,
+            DbConfig::default()
+                .store_kind(kind)
+                .buffer_frames(128)
+                .checkpoint_interval(0),
+        )
+        .unwrap();
+        run_statement(&db, "CREATE TYPE emp (name TEXT NOT NULL, salary INT)").unwrap();
+        for op in &ops {
+            run_statement(&db, &op_sql(op)).unwrap();
+        }
+        let base = [
+            ExecOptions::default(),
+            ExecOptions { no_time_index: true, ..Default::default() },
+            ExecOptions { force_time_index: true, ..Default::default() },
+        ];
+        for sql in &queries {
+            for opts in base {
+                let scalar = execute_with(
+                    &db,
+                    sql,
+                    ExecOptions { batch_size: Some(0), ..opts },
+                )
+                .unwrap();
+                for bs in [1usize, 3, 1024] {
+                    let batched = execute_with(
+                        &db,
+                        sql,
+                        ExecOptions { batch_size: Some(bs), ..opts },
+                    )
+                    .unwrap();
+                    prop_assert_eq!(
+                        format!("{scalar:?}"),
+                        format!("{batched:?}"),
+                        "batch_size={} diverged from scalar on {} ({:?})",
+                        bs, sql, opts
+                    );
+                }
+            }
+        }
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aggregate_batch_matches_scalar_algebra(
+        rows in vec((1u64..20, -100i64..100, 0u64..50, 1u64..50, any::<bool>()), 0..24),
+        pick in any::<bool>(),
+        // Sparse axes push aggregate_batch onto its sort path instead of
+        // the dense bucket sweep.
+        stretch in prop_oneof![2 => Just(1u64), 1 => Just(1_000_000u64)],
+    ) {
+        let mut b = VersionBatch::default();
+        for &(no, val, start, len, open) in &rows {
+            let (start, len) = (start * stretch, (len * stretch).max(1));
+            let vt = if open {
+                Interval::from_start(TimePoint(start))
+            } else {
+                Interval::new(TimePoint(start), TimePoint(start + len)).unwrap()
+            };
+            b.push_row(
+                AtomId::new(AtomTypeId(1), AtomNo(no)),
+                Tuple::new(vec![Value::Int(val)]),
+                vt,
+                Interval::from_start(TimePoint(0)),
+            );
+        }
+        let rel: Vec<TemporalRow> = b
+            .rows()
+            .map(|(_, t, vt, _)| TemporalRow {
+                tuple: t.clone(),
+                time: TemporalElement::from_interval(vt),
+            })
+            .collect();
+        let attr = if pick { Some(0) } else { None };
+        prop_assert_eq!(aggregate_batch(&b, attr), temporal_aggregate(&rel, attr));
+    }
+}

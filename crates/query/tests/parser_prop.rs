@@ -6,7 +6,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use tcom_kernel::{TimePoint, Value};
-use tcom_query::ast::{CmpOp, Expr, Operand, Proj, Query, Targets, Valid};
+use tcom_query::ast::{AggFunc, CmpOp, Expr, JoinClause, Operand, Proj, Query, Targets, Valid};
 use tcom_query::{parse, parse_maybe_explain};
 
 // ---- strategies -----------------------------------------------------------
@@ -21,6 +21,11 @@ fn ident() -> BoxedStrategy<String> {
         1 => Just("SELECT".to_string()),
         1 => Just("Valid".to_string()),
         1 => Just("tt".to_string()),
+        1 => Just("join".to_string()),
+        1 => Just("on".to_string()),
+        1 => Just("coalesce".to_string()),
+        1 => Just("count".to_string()),
+        1 => Just("sum".to_string()),
         1 => "[a-z \"0-9]{1,6}",
     ]
     .boxed()
@@ -82,19 +87,45 @@ fn expr(depth: u32) -> BoxedStrategy<Expr> {
     .boxed()
 }
 
-fn targets() -> BoxedStrategy<Targets> {
-    let proj = prop_oneof![
+fn proj() -> BoxedStrategy<Proj> {
+    prop_oneof![
         2 => ident().prop_map(|attr| Proj { qualifier: None, attr }),
         1 => (ident(), ident()).prop_map(|(q, attr)| Proj {
             qualifier: Some(q),
             attr,
         }),
-    ];
+    ]
+    .boxed()
+}
+
+fn targets() -> BoxedStrategy<Targets> {
     prop_oneof![
-        2 => Just(Targets::All),
+        3 => Just(Targets::All),
         1 => Just(Targets::Molecule),
         1 => Just(Targets::History),
-        2 => vec(proj, 1..4).prop_map(Targets::Projs),
+        3 => vec(proj(), 1..4).prop_map(Targets::Projs),
+        1 => Just(Targets::Coalesce(Vec::new())),
+        1 => vec(proj(), 1..4).prop_map(Targets::Coalesce),
+        1 => Just(Targets::Aggregate { func: AggFunc::Count, attr: None }),
+        1 => proj().prop_map(|p| Targets::Aggregate {
+            func: AggFunc::Sum,
+            attr: Some(p),
+        }),
+        1 => proj().prop_map(|p| Targets::Aggregate {
+            func: AggFunc::Integral,
+            attr: Some(p),
+        }),
+    ]
+    .boxed()
+}
+
+fn join() -> BoxedStrategy<Option<JoinClause>> {
+    let alias = prop_oneof![1 => Just(None), 1 => ident().prop_map(Some)];
+    prop_oneof![
+        3 => Just(None),
+        1 => (ident(), alias, proj(), proj()).prop_map(|(source, alias, on_left, on_right)| {
+            Some(JoinClause { source, alias, on_left, on_right })
+        }),
     ]
     .boxed()
 }
@@ -114,12 +145,22 @@ fn query() -> BoxedStrategy<Query> {
     let alias = prop_oneof![1 => Just(None), 1 => ident().prop_map(Some)];
     let asof = prop_oneof![2 => Just(None), 1 => (0u64..1000).prop_map(|t| Some(TimePoint(t)))];
     let limit = prop_oneof![2 => Just(None), 1 => (0usize..500).prop_map(Some)];
-    (targets(), ident(), alias, filter, asof, valid(), limit)
+    (
+        targets(),
+        ident(),
+        alias,
+        join(),
+        filter,
+        asof,
+        valid(),
+        limit,
+    )
         .prop_map(
-            |(targets, source, alias, filter, asof_tt, valid, limit)| Query {
+            |(targets, source, alias, join, filter, asof_tt, valid, limit)| Query {
                 targets,
                 source,
                 alias,
+                join,
                 filter,
                 asof_tt,
                 valid,
@@ -199,6 +240,7 @@ fn quoted_identifier_edge_cases() {
             targets: Targets::All,
             source: name.to_string(),
             alias: None,
+            join: None,
             filter: None,
             asof_tt: None,
             valid: Valid::Any,

@@ -1,0 +1,168 @@
+//! Cost-based planner regression tests.
+//!
+//! Pins the E15 finding: on deep-history `ASOF TT` slices the time index
+//! wins on chain and split stores, but *loses* on delta stores (slicing a
+//! delta store still replays chains, so the index adds pure overhead).
+//! The cost model must therefore choose the slice on chain/split and the
+//! heap walk on delta — and the override knobs must still work.
+
+use tcom_core::{Database, DbConfig, StoreKind};
+use tcom_query::{prepare_with, run_statement, AccessPath, ExecOptions};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("tcom-planner-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn run(db: &Database, sql: &str) {
+    run_statement(db, sql).unwrap_or_else(|e| panic!("statement failed: {sql}\n  {e}"));
+}
+
+/// `n_atoms` employees, each updated `depth` times: plenty of closed
+/// versions for a past slice to skip, and a heap large enough that the
+/// cost asymmetry between the paths is unambiguous.
+fn deep_history(dir: &std::path::Path, kind: StoreKind, n_atoms: usize, depth: usize) -> Database {
+    let db = Database::open(
+        dir,
+        DbConfig::default()
+            .store_kind(kind)
+            .buffer_frames(256)
+            .checkpoint_interval(0),
+    )
+    .unwrap();
+    run(&db, "CREATE TYPE emp (name TEXT NOT NULL, salary INT)");
+    for i in 0..n_atoms {
+        run(
+            &db,
+            &format!("INSERT INTO emp (name, salary) VALUES ('e{i}', {})", i * 10),
+        );
+    }
+    for round in 0..depth {
+        for i in 0..n_atoms {
+            run(
+                &db,
+                &format!(
+                    "UPDATE emp SET salary = {} WHERE name = 'e{i}'",
+                    i * 10 + round + 1
+                ),
+            );
+        }
+    }
+    db
+}
+
+const N_ATOMS: usize = 24;
+const DEPTH: usize = 40;
+
+/// A transaction time just after the initial inserts: the slice touches a
+/// tiny index prefix while the walk must cross the whole heap.
+fn early_tt() -> u64 {
+    N_ATOMS as u64
+}
+
+#[test]
+fn chain_deep_history_prefers_the_slice() {
+    for kind in [StoreKind::Chain, StoreKind::Split] {
+        let dir = tmpdir(&format!("slice-{kind}"));
+        let db = deep_history(&dir, kind, N_ATOMS, DEPTH);
+        let sql = format!("SELECT * FROM emp ASOF TT {}", early_tt());
+        let p = prepare_with(&db, &sql, ExecOptions::default()).unwrap();
+        assert!(
+            matches!(p.access, AccessPath::TimeSlice { .. }),
+            "[{kind}] deep-history slice should use the time index: {:?}",
+            p.access
+        );
+        assert!(
+            p.est_pages.is_some(),
+            "[{kind}] cost-model decisions must carry an estimate"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn delta_deep_history_prefers_the_walk() {
+    let dir = tmpdir("walk-delta");
+    let db = deep_history(&dir, StoreKind::Delta, N_ATOMS, DEPTH);
+    // The delta regression holds at every depth: reconstruction replays
+    // the chains anyway, so the index never pays for itself.
+    for tt in [early_tt(), early_tt() * 4, u64::MAX] {
+        let sql = if tt == u64::MAX {
+            "SELECT * FROM emp ASOF TT FOREVER".to_string()
+        } else {
+            format!("SELECT * FROM emp ASOF TT {tt}")
+        };
+        let p = prepare_with(&db, &sql, ExecOptions::default()).unwrap();
+        assert_eq!(
+            p.access,
+            AccessPath::Scan,
+            "[delta] cost model must choose the heap walk for {sql}"
+        );
+        assert!(p.est_pages.is_some());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn override_knobs_beat_the_cost_model() {
+    let dir = tmpdir("knobs");
+    let db = deep_history(&dir, StoreKind::Delta, N_ATOMS, DEPTH);
+    let sql = format!("SELECT * FROM emp ASOF TT {}", early_tt());
+
+    // force_time_index pins the slice even where the model says walk.
+    let p = prepare_with(
+        &db,
+        &sql,
+        ExecOptions {
+            force_time_index: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(matches!(p.access, AccessPath::TimeSlice { .. }));
+    assert!(
+        p.est_pages.is_none(),
+        "forced plans are not cost-model estimates"
+    );
+
+    // no_time_index always walks.
+    let p = prepare_with(
+        &db,
+        &sql,
+        ExecOptions {
+            no_time_index: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(p.access, AccessPath::Scan);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disabling_the_cost_model_restores_the_old_plan() {
+    let dir = tmpdir("nocost");
+    {
+        let db = deep_history(&dir, StoreKind::Delta, N_ATOMS, 8);
+        db.checkpoint().unwrap();
+    }
+    let db = Database::open(
+        &dir,
+        DbConfig::default()
+            .store_kind(StoreKind::Delta)
+            .buffer_frames(256)
+            .checkpoint_interval(0)
+            .cost_model(false),
+    )
+    .unwrap();
+    let sql = format!("SELECT * FROM emp ASOF TT {}", early_tt());
+    let p = prepare_with(&db, &sql, ExecOptions::default()).unwrap();
+    assert!(
+        matches!(p.access, AccessPath::TimeSlice { .. }),
+        "cost_model(false) must fall back to always-slice: {:?}",
+        p.access
+    );
+    assert!(p.est_pages.is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}

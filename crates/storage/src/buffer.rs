@@ -288,6 +288,23 @@ impl BufferPool {
         self.disk(file).io_counts()
     }
 
+    /// Number of `file`'s pages currently resident in the pool. Walks the
+    /// shard tag arrays under their stripe locks — O(capacity), intended
+    /// for statistics snapshots (planner residency estimates, `.stats`),
+    /// not per-page hot paths.
+    pub fn resident_pages(&self, file: FileId) -> u64 {
+        let mut n = 0u64;
+        for shard in self.shards.iter() {
+            let inner = shard.inner.lock();
+            n += inner
+                .tags
+                .iter()
+                .filter(|t| matches!(t, Some((f, _)) if *f == file))
+                .count() as u64;
+        }
+        n
+    }
+
     /// Snapshot of the statistics counters (lock-free).
     pub fn stats(&self) -> BufferStats {
         BufferStats {

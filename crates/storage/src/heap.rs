@@ -70,6 +70,12 @@ impl HeapFile {
         self.page_count().saturating_sub(1)
     }
 
+    /// Number of this file's pages currently resident in the buffer pool
+    /// (statistics snapshot; see [`BufferPool::resident_pages`]).
+    pub fn resident_pages(&self) -> u64 {
+        self.pool.resident_pages(self.file)
+    }
+
     fn page_count(&self) -> u32 {
         // The pool's disk manager is authoritative for the file length.
         self.pool.file_page_count(self.file)

@@ -352,12 +352,21 @@ impl VersionStore for DeltaStore {
         })
     }
 
+    fn resident_pages(&self) -> u64 {
+        self.heap.resident_pages()
+    }
+
     fn stats(&self) -> Result<StoreStats> {
         let mut versions = 0u64;
         let mut bytes = 0u64;
+        let mut open = 0u64;
+        let mut depth: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
         self.heap.scan(|_, rec| {
+            let r = VersionRecord::decode(rec)?;
             versions += 1;
             bytes += rec.len() as u64;
+            open += u64::from(r.is_current());
+            *depth.entry(r.atom_no.0).or_insert(0) += 1;
             Ok(true)
         })?;
         Ok(StoreStats {
@@ -366,6 +375,10 @@ impl VersionStore for DeltaStore {
             heap_pages: self.heap.data_pages() as u64,
             record_bytes: bytes,
             dir_height: self.dir.height()?,
+            open_versions: open,
+            max_depth: depth.values().copied().max().unwrap_or(0),
+            time_entries: self.tix.len()?,
+            resident_pages: self.heap.resident_pages(),
         })
     }
 }

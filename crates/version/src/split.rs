@@ -448,20 +448,31 @@ impl VersionStore for SplitStore {
         })
     }
 
+    fn resident_pages(&self) -> u64 {
+        self.cur_heap.resident_pages() + self.hist_heap.resident_pages()
+    }
+
     fn stats(&self) -> Result<StoreStats> {
         let mut versions = 0u64;
         let mut bytes = 0u64;
+        let mut open = 0u64;
+        let mut depth: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
         self.cur_heap.scan(|_, rec| {
             // One current-set record may hold several versions; decode the
             // entry count cheaply (skip the atom_no varint, read n).
             let mut d = Decoder::new(rec);
-            let _ = d.get_u64()?;
-            versions += d.get_u64()?;
+            let no = d.get_u64()?;
+            let n = d.get_u64()?;
+            versions += n;
+            open += n;
+            *depth.entry(no).or_insert(0) += n;
             bytes += rec.len() as u64;
             Ok(true)
         })?;
         self.hist_heap.scan(|_, rec| {
+            let r = VersionRecord::decode(rec)?;
             versions += 1;
+            *depth.entry(r.atom_no.0).or_insert(0) += 1;
             bytes += rec.len() as u64;
             Ok(true)
         })?;
@@ -471,6 +482,10 @@ impl VersionStore for SplitStore {
             heap_pages: (self.cur_heap.data_pages() + self.hist_heap.data_pages()) as u64,
             record_bytes: bytes,
             dir_height: self.cur_dir.height()?,
+            open_versions: open,
+            max_depth: depth.values().copied().max().unwrap_or(0),
+            time_entries: self.tix.len()?,
+            resident_pages: self.cur_heap.resident_pages() + self.hist_heap.resident_pages(),
         })
     }
 }

@@ -48,6 +48,27 @@ pub struct StoreStats {
     pub record_bytes: u64,
     /// Height of the atom directory B⁺-tree.
     pub dir_height: u32,
+    /// Versions whose transaction time is still open (current versions).
+    pub open_versions: u64,
+    /// Deepest per-atom version history (stored versions of one atom).
+    pub max_depth: u64,
+    /// Entries in the transaction-time interval index.
+    pub time_entries: u64,
+    /// Heap pages currently resident in the buffer pool (snapshot; moves
+    /// with the workload).
+    pub resident_pages: u64,
+}
+
+impl StoreStats {
+    /// Mean stored versions per atom.
+    pub fn mean_depth(&self) -> f64 {
+        self.versions as f64 / self.atoms.max(1) as f64
+    }
+
+    /// Fraction of stored versions still tt-open.
+    pub fn open_ratio(&self) -> f64 {
+        self.open_versions as f64 / self.versions.max(1) as f64
+    }
 }
 
 /// Shared observability handles of one store instance. Cloning shares the
@@ -114,6 +135,12 @@ pub trait VersionStore: Send + Sync {
 
     /// Exhaustive storage statistics (scans the store).
     fn stats(&self) -> Result<StoreStats>;
+
+    /// Heap pages of this store currently resident in the buffer pool —
+    /// a cheap live sample (one pass over the pool's shard tags), unlike
+    /// the exhaustive [`VersionStore::stats`]. Feeds the planner's
+    /// residency discount.
+    fn resident_pages(&self) -> u64;
 
     /// Physically discards this atom's versions whose transaction time
     /// ended at or before `cutoff` — they are invisible to every slice at

@@ -132,12 +132,28 @@ fn meta_command(db: &Database, cmd: &str) -> bool {
             }
         }),
         ".stats" => {
-            match db.store_stats() {
+            match db.all_type_stats() {
                 Ok(stats) => {
-                    for (name, st) in stats {
+                    for ts in stats {
+                        let st = &ts.store;
                         println!(
-                            "{name}: {} atoms, {} versions, {} pages, {} bytes",
-                            st.atoms, st.versions, st.heap_pages, st.record_bytes
+                            "{} ({}): {} atoms, {} versions ({} open, {:.0}%), \
+                             depth mean {:.1} max {}, {} pages ({} resident, {:.0}%), \
+                             {} bytes, {} time-index entries, {} changes since snapshot",
+                            ts.name,
+                            ts.kind,
+                            st.atoms,
+                            st.versions,
+                            st.open_versions,
+                            ts.open_ratio() * 100.0,
+                            ts.mean_depth(),
+                            st.max_depth,
+                            st.heap_pages,
+                            ts.resident_pages,
+                            ts.residency() * 100.0,
+                            st.record_bytes,
+                            st.time_entries,
+                            ts.changes_since,
                         );
                     }
                 }
@@ -201,6 +217,20 @@ fn print_output(out: StatementOutput) {
                 "({} atom{})",
                 hs.len(),
                 if hs.len() == 1 { "" } else { "s" }
+            );
+        }
+        StatementOutput::Query(QueryOutput::Aggregate { steps, integral }) => {
+            println!("during | count | sum");
+            for s in &steps {
+                println!("{} | {} | {}", s.during, s.count, s.sum);
+            }
+            if let Some(i) = integral {
+                println!("integral = {i}");
+            }
+            println!(
+                "({} step{})",
+                steps.len(),
+                if steps.len() == 1 { "" } else { "s" }
             );
         }
         StatementOutput::Explain(report) => print!("{}", report.render()),

@@ -60,6 +60,7 @@ fn main() {
         ("E16", experiments::e16_group_commit),
         ("E17", tcom_bench::soak::e17_soak),
         ("E18", experiments::e18_planner),
+        ("E19", experiments::e19_wire_throughput),
         ("A1", experiments::a1_delta_granularity),
         ("A2", experiments::a2_directory),
     ];

@@ -1244,6 +1244,122 @@ pub fn e18_planner(s: Scale) -> Table {
     t
 }
 
+/// E19 — wire-protocol throughput and latency vs. connection count.
+///
+/// A seeded `emp` table is served over loopback TCP; each connection is a
+/// synchronous request/response session replaying a mix of indexed point
+/// lookups and a temporal aggregate. The database is reopened per
+/// configuration (like E13) so each sweep step gets a fresh metrics
+/// registry and buffer pool, and `server_threads` always matches the
+/// connection count.
+pub fn e19_wire_throughput(s: Scale) -> Table {
+    use tcom_client::Client;
+    use tcom_query::run_statement;
+    use tcom_server::{Server, ServerConfig};
+
+    let mut t = Table::new(
+        "E19",
+        "wire protocol: throughput / latency vs concurrent connections (loopback TCP)",
+        &[
+            "conns",
+            "stmts/s",
+            "mean µs",
+            "p50 µs",
+            "p95 µs",
+            "scale vs 1",
+        ],
+        "every connection is one synchronous session, so a single connection is \
+         bound by the loopback round-trip; adding connections overlaps those \
+         round-trips until the worker pool or the machine's cores saturate \
+         (a single-core container plateaus almost immediately)",
+    );
+
+    let (seed_db, dir) = fresh_db("e19", StoreKind::Split, 4096);
+    run_statement(
+        &seed_db,
+        "CREATE TYPE emp (name TEXT NOT NULL, salary INT INDEXED)",
+    )
+    .expect("ddl");
+    let n_emps = s.n(512);
+    for i in 0..n_emps {
+        run_statement(
+            &seed_db,
+            &format!(
+                "INSERT INTO emp (name, salary) VALUES ('e{i}', {}) VALID IN [0, 100)",
+                (i % 50) * 10
+            ),
+        )
+        .expect("seed");
+    }
+    // A little version history so temporal reads do real work.
+    run_statement(&seed_db, "UPDATE emp SET salary = 995 WHERE salary = 490").expect("history");
+    seed_db.checkpoint().expect("ckpt");
+    drop(seed_db);
+
+    let rounds = s.n(256);
+    let mut base = 0.0f64;
+    for conns in [1usize, 4, 8, 16] {
+        let db = std::sync::Arc::new(reopen_db(&dir, StoreKind::Split, 4096));
+        let mut server = Server::start(db.clone(), ServerConfig::default().server_threads(conns))
+            .expect("start server");
+        let addr = server.local_addr();
+
+        let t0 = std::time::Instant::now();
+        let mut lats: Vec<u64> = std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..conns)
+                .map(|ci| {
+                    sc.spawn(move || {
+                        let mut c = Client::connect(addr).expect("connect");
+                        let mut lat = Vec::with_capacity(rounds);
+                        for r in 0..rounds {
+                            let sql = if r % 4 == 3 {
+                                "SELECT COUNT(*) FROM emp VALID IN [0, 50)".to_string()
+                            } else {
+                                format!(
+                                    "SELECT name, salary FROM emp WHERE salary = {}",
+                                    ((r * 7 + ci * 13) % 50) * 10
+                                )
+                            };
+                            let q0 = std::time::Instant::now();
+                            c.query_output(&sql).expect("wire statement");
+                            lat.push(q0.elapsed().as_micros() as u64);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        server.shutdown();
+        drop(server);
+        drop(db);
+
+        lats.sort_unstable();
+        let total = lats.len();
+        let thr = total as f64 / wall.max(1e-9);
+        let mean = lats.iter().sum::<u64>() as f64 / total.max(1) as f64;
+        let p50 = lats[total / 2];
+        let p95 = lats[(total * 95 / 100).min(total - 1)];
+        if conns == 1 {
+            base = thr;
+        }
+        t.row(vec![
+            format!("{conns}"),
+            format!("{thr:.0}"),
+            format!("{mean:.1}"),
+            format!("{p50}"),
+            format!("{p95}"),
+            format!("{:.2}x", thr / base.max(1e-9)),
+        ]);
+    }
+    cleanup(&dir);
+    t
+}
+
 /// Runs every experiment at the given scale.
 pub fn run_all(s: Scale) -> Vec<Table> {
     vec![
@@ -1266,6 +1382,7 @@ pub fn run_all(s: Scale) -> Vec<Table> {
         e16_group_commit(s),
         crate::soak::e17_soak(s),
         e18_planner(s),
+        e19_wire_throughput(s),
         a1_delta_granularity(s),
         a2_directory(s),
     ]

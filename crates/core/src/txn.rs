@@ -244,6 +244,14 @@ impl<'db> Txn<'db> {
         self.ops.len()
     }
 
+    /// Every atom in this transaction's overlay — atoms it created plus
+    /// atoms whose current state it has read or rewritten. Callers that
+    /// enumerate a type's atoms combine this with the committed directory
+    /// so in-transaction inserts are visible (read-your-writes).
+    pub fn touched_atoms(&self) -> Vec<AtomId> {
+        self.overlay.keys().copied().collect()
+    }
+
     /// Commits: logs and applies every buffered primitive at a single new
     /// transaction time, which is returned.
     pub fn commit(mut self) -> Result<TimePoint> {

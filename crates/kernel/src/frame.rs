@@ -1,0 +1,255 @@
+//! The wire-frame envelope of the tcom network protocol.
+//!
+//! A frame is the unit of transmission between `tcom-client` and
+//! `tcom-server`:
+//!
+//! ```text
+//! [len: u32 LE][version: u8][kind: u8][payload: len-2 bytes]
+//! ```
+//!
+//! `len` counts the *body* (version byte, kind byte and payload), so a
+//! reader needs exactly `4 + len` bytes for one complete frame. Decoding
+//! is strict and incremental: [`Frame::decode`] distinguishes *incomplete*
+//! input (more bytes must arrive — never an error on a healthy stream)
+//! from *malformed* input (wrong protocol version, unknown frame kind,
+//! oversized or undersized length — the connection must be dropped).
+//! Payload contents are opaque at this layer; the typed payload codecs
+//! live in the client library, built on [`crate::codec`].
+
+use crate::error::{Error, Result};
+
+/// The wire-protocol version this build speaks. A frame carrying any other
+/// version is rejected before its payload is looked at, so incompatible
+/// clients fail fast with a clean error instead of a payload mis-parse.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on one frame's body length. Generous enough for any result
+/// set the engine produces in practice, small enough that a torn or
+/// hostile length prefix cannot make a reader allocate gigabytes.
+pub const MAX_FRAME_LEN: usize = 32 << 20;
+
+/// Frame type tags. The numeric values are wire-stable: new kinds may be
+/// appended, existing ones never renumbered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client → server: connection handshake.
+    Hello = 1,
+    /// Server → client: handshake accepted (session id, clock).
+    HelloOk = 2,
+    /// Client → server: execute one TQL statement.
+    Query = 3,
+    /// Client → server: parse + plan a statement into the session cache.
+    Prepare = 4,
+    /// Server → client: statement handle from [`FrameKind::Prepare`].
+    Prepared = 5,
+    /// Client → server: run a cached statement handle.
+    Execute = 6,
+    /// Server → client: a statement's full result.
+    Rows = 7,
+    /// Server → client: transaction-control / buffered-DML acknowledgement.
+    Ack = 8,
+    /// Server → client: request failed (session stays usable).
+    Error = 9,
+    /// Client → server: liveness probe.
+    Ping = 10,
+    /// Server → client: probe reply carrying the published clock.
+    Pong = 11,
+    /// Client → server: open an explicit transaction on the session.
+    Begin = 12,
+    /// Client → server: commit the session's open transaction.
+    Commit = 13,
+    /// Client → server: abandon the session's open transaction.
+    Rollback = 14,
+}
+
+impl FrameKind {
+    /// Decodes a wire tag.
+    pub fn from_u8(v: u8) -> Option<FrameKind> {
+        Some(match v {
+            1 => FrameKind::Hello,
+            2 => FrameKind::HelloOk,
+            3 => FrameKind::Query,
+            4 => FrameKind::Prepare,
+            5 => FrameKind::Prepared,
+            6 => FrameKind::Execute,
+            7 => FrameKind::Rows,
+            8 => FrameKind::Ack,
+            9 => FrameKind::Error,
+            10 => FrameKind::Ping,
+            11 => FrameKind::Pong,
+            12 => FrameKind::Begin,
+            13 => FrameKind::Commit,
+            14 => FrameKind::Rollback,
+            _ => return None,
+        })
+    }
+
+    /// Stable lower-case name, used as the metrics label for
+    /// `server.frames`.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameKind::Hello => "hello",
+            FrameKind::HelloOk => "hello_ok",
+            FrameKind::Query => "query",
+            FrameKind::Prepare => "prepare",
+            FrameKind::Prepared => "prepared",
+            FrameKind::Execute => "execute",
+            FrameKind::Rows => "rows",
+            FrameKind::Ack => "ack",
+            FrameKind::Error => "error",
+            FrameKind::Ping => "ping",
+            FrameKind::Pong => "pong",
+            FrameKind::Begin => "begin",
+            FrameKind::Commit => "commit",
+            FrameKind::Rollback => "rollback",
+        }
+    }
+}
+
+/// One decoded frame: its kind and its (still encoded) payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame type.
+    pub kind: FrameKind,
+    /// The opaque payload bytes (typed codecs live one layer up).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame with an empty payload.
+    pub fn empty(kind: FrameKind) -> Frame {
+        Frame {
+            kind,
+            payload: Vec::new(),
+        }
+    }
+
+    /// A frame with the given payload.
+    pub fn new(kind: FrameKind, payload: Vec<u8>) -> Frame {
+        Frame { kind, payload }
+    }
+
+    /// Encodes the frame for the wire: length prefix, version, kind,
+    /// payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let body_len = 2 + self.payload.len();
+        debug_assert!(body_len <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+        let mut out = Vec::with_capacity(4 + body_len);
+        out.extend_from_slice(&(body_len as u32).to_le_bytes());
+        out.push(PROTOCOL_VERSION);
+        out.push(self.kind as u8);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Tries to decode one frame from the front of `buf`.
+    ///
+    /// * `Ok(None)` — `buf` holds a (possibly empty) *prefix* of a valid
+    ///   frame; read more bytes and call again. Every truncation point of
+    ///   a well-formed frame lands here, never in a panic or a bogus
+    ///   frame.
+    /// * `Ok(Some((frame, consumed)))` — one complete frame; the caller
+    ///   drains `consumed` bytes.
+    /// * `Err(_)` — the stream is malformed (unknown protocol version,
+    ///   unknown kind, length out of bounds); the connection is beyond
+    ///   recovery and must be closed.
+    pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len < 2 {
+            return Err(Error::corruption(format!(
+                "frame body length {len} below minimum of 2"
+            )));
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(Error::corruption(format!(
+                "frame body length {len} exceeds maximum {MAX_FRAME_LEN}"
+            )));
+        }
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let version = buf[4];
+        if version != PROTOCOL_VERSION {
+            return Err(Error::unsupported(format!(
+                "unknown protocol version {version} (this build speaks {PROTOCOL_VERSION})"
+            )));
+        }
+        let kind = FrameKind::from_u8(buf[5])
+            .ok_or_else(|| Error::corruption(format!("unknown frame kind {}", buf[5])))?;
+        Ok(Some((
+            Frame {
+                kind,
+                payload: buf[6..4 + len].to_vec(),
+            },
+            4 + len,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for k in 1u8..=14 {
+            let kind = FrameKind::from_u8(k).unwrap();
+            assert_eq!(kind as u8, k);
+            let f = Frame::new(kind, vec![7, 8, 9]);
+            let bytes = f.encode();
+            let (g, used) = Frame::decode(&bytes).unwrap().unwrap();
+            assert_eq!(g, f);
+            assert_eq!(used, bytes.len());
+        }
+        assert_eq!(FrameKind::from_u8(0), None);
+        assert_eq!(FrameKind::from_u8(15), None);
+    }
+
+    #[test]
+    fn empty_payload_and_pipelined_frames() {
+        let a = Frame::empty(FrameKind::Ping).encode();
+        let b = Frame::new(FrameKind::Query, b"SELECT 1".to_vec()).encode();
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let (f1, n1) = Frame::decode(&stream).unwrap().unwrap();
+        assert_eq!(f1.kind, FrameKind::Ping);
+        assert!(f1.payload.is_empty());
+        let (f2, n2) = Frame::decode(&stream[n1..]).unwrap().unwrap();
+        assert_eq!(f2.kind, FrameKind::Query);
+        assert_eq!(n1 + n2, stream.len());
+    }
+
+    #[test]
+    fn truncation_is_incomplete_not_error() {
+        let bytes = Frame::new(FrameKind::Rows, vec![1; 100]).encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(Frame::decode(&bytes[..cut]), Ok(None)),
+                "cut at {cut} must read as incomplete"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        // Wrong protocol version.
+        let mut bytes = Frame::empty(FrameKind::Ping).encode();
+        bytes[4] = PROTOCOL_VERSION + 1;
+        assert!(matches!(Frame::decode(&bytes), Err(Error::Unsupported(_))));
+        // Unknown kind.
+        let mut bytes = Frame::empty(FrameKind::Ping).encode();
+        bytes[5] = 0xEE;
+        assert!(matches!(Frame::decode(&bytes), Err(Error::Corruption(_))));
+        // Oversized length prefix: rejected before any allocation.
+        let mut bytes = vec![0u8; 8];
+        bytes[..4].copy_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(matches!(Frame::decode(&bytes), Err(Error::Corruption(_))));
+        // Undersized length prefix (no room for version + kind).
+        let bytes = 1u32.to_le_bytes().to_vec();
+        assert!(matches!(Frame::decode(&bytes), Err(Error::Corruption(_))));
+    }
+}

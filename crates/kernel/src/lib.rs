@@ -12,6 +12,7 @@
 
 pub mod codec;
 pub mod error;
+pub mod frame;
 pub mod ids;
 pub mod time;
 pub mod value;

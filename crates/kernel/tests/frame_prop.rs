@@ -1,0 +1,85 @@
+//! Wire-frame property tests, mirroring the WAL torn-tail battery: any
+//! truncation of a valid frame must read as *incomplete* (never as an
+//! error, a bogus frame, or a panic), any complete frame must round-trip
+//! byte-exactly, and version/kind corruption must be rejected.
+
+use proptest::prelude::*;
+use tcom_kernel::frame::{Frame, FrameKind, PROTOCOL_VERSION};
+use tcom_kernel::Error;
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (1u8..15, proptest::collection::vec(any::<u8>(), 0..512))
+        .prop_map(|(k, payload)| Frame::new(FrameKind::from_u8(k).expect("tag in range"), payload))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn roundtrip_arbitrary_payloads(f in frame_strategy()) {
+        let bytes = f.encode();
+        let (g, used) = Frame::decode(&bytes).expect("valid frame").expect("complete frame");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(g, f);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_boundary_is_incomplete(f in frame_strategy()) {
+        let bytes = f.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                matches!(Frame::decode(&bytes[..cut]), Ok(None)),
+                "torn frame at byte {} must decode as incomplete", cut
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_consume_exactly(fs in proptest::collection::vec(frame_strategy(), 1..5)) {
+        let mut stream = Vec::new();
+        for f in &fs {
+            stream.extend_from_slice(&f.encode());
+        }
+        let mut off = 0;
+        let mut out = Vec::new();
+        while off < stream.len() {
+            let (f, used) = Frame::decode(&stream[off..]).expect("valid").expect("complete");
+            out.push(f);
+            off += used;
+        }
+        prop_assert_eq!(off, stream.len());
+        prop_assert_eq!(out, fs);
+    }
+
+    #[test]
+    fn unknown_version_is_rejected(f in frame_strategy(), v in 0u8..255) {
+        // Remap the one valid version onto an invalid one; everything else
+        // in 0..=255 is already invalid.
+        let v = if v == PROTOCOL_VERSION { 255 } else { v };
+        let mut bytes = f.encode();
+        bytes[4] = v;
+        prop_assert!(
+            matches!(Frame::decode(&bytes), Err(Error::Unsupported(_))),
+            "version byte {} must be rejected as unsupported", v
+        );
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected(f in frame_strategy(), k in 15u8..255) {
+        for kind in [0, k, 255] {
+            let mut bytes = f.encode();
+            bytes[5] = kind;
+            prop_assert!(
+                matches!(Frame::decode(&bytes), Err(Error::Corruption(_))),
+                "kind byte {} must be rejected as corruption", kind
+            );
+        }
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        // Any outcome is legal on garbage — incomplete, a frame that
+        // happens to parse, or an error — except a panic.
+        let _ = Frame::decode(&bytes);
+    }
+}

@@ -35,4 +35,7 @@ pub use exec::{
     prepare_with, AccessPath, ExecOptions, ExplainReport, OpReport, Prepared, QueryOutput, Row,
 };
 pub use parser::{parse, parse_maybe_explain};
-pub use stmt::{parse_statement, run_statement, Statement, StatementOutput};
+pub use stmt::{
+    apply_statement, parse_statement, run_parsed, run_statement, statement_kind, Statement,
+    StatementApply, StatementOutput,
+};

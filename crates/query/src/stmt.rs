@@ -34,7 +34,7 @@ use crate::ast::{Expr, Valid};
 use crate::exec::{eval, QueryOutput};
 use crate::token::{lex, Kw, Sym, Tok, Token};
 use tcom_catalog::AttrDef;
-use tcom_core::Database;
+use tcom_core::{Database, Txn};
 use tcom_kernel::{
     AtomId, AtomNo, AtomTypeId, AttrId, DataType, Error, Interval, MoleculeTypeId, Result,
     TimePoint, Tuple, Value,
@@ -162,8 +162,19 @@ pub fn parse_statement(src: &str) -> Result<Statement> {
 
 /// Parses and executes one statement against `db`.
 pub fn run_statement(db: &Database, src: &str) -> Result<StatementOutput> {
-    match parse_statement(src)? {
-        Statement::Select(_) => Ok(StatementOutput::Query(crate::exec::execute(db, src)?)),
+    run_parsed(db, parse_statement(src)?)
+}
+
+/// Executes an already-parsed statement against `db` (auto-commit: DML
+/// statements each run in their own transaction). This is the execution
+/// path behind [`run_statement`] and the server's statement cache, which
+/// parses once and executes many times.
+pub fn run_parsed(db: &Database, stmt: Statement) -> Result<StatementOutput> {
+    match stmt {
+        Statement::Select(q) => {
+            let p = crate::exec::prepare_query(db, q, crate::exec::ExecOptions::default())?;
+            Ok(StatementOutput::Query(p.run(db)?))
+        }
         Statement::ExplainAnalyze(q) => {
             let p = crate::exec::prepare_query(db, q, crate::exec::ExecOptions::default())?;
             let (_, report) = p.run_explain(db)?;
@@ -217,6 +228,44 @@ pub fn run_statement(db: &Database, src: &str) -> Result<StatementOutput> {
                 db.define_molecule_type(name, root_id, medges, depth)?,
             ))
         }
+        dml => {
+            // DML: one statement = one transaction.
+            let mut txn = db.begin();
+            let applied = apply_statement(db, &mut txn, dml)?;
+            let tt = txn.commit()?;
+            Ok(match applied {
+                StatementApply::Inserted(atom) => StatementOutput::Inserted(atom, tt),
+                StatementApply::Modified(n) => StatementOutput::Modified(n, tt),
+            })
+        }
+    }
+}
+
+/// The effect of one DML statement applied inside a still-open
+/// transaction. The commit transaction time does not exist yet; callers
+/// that need it (auto-commit, the server's COMMIT frame) take it from
+/// [`Txn::commit`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StatementApply {
+    /// INSERT: the new atom.
+    Inserted(AtomId),
+    /// UPDATE / DELETE: number of atoms modified.
+    Modified(usize),
+}
+
+/// Applies one DML statement to an open transaction without committing.
+///
+/// This is the building block for multi-statement transactions (the
+/// server's BEGIN … COMMIT sessions): effects buffer in `txn` and later
+/// statements see them (read-your-writes), including atoms the
+/// transaction created. Only `INSERT`, `UPDATE` and `DELETE` are
+/// transactional; queries and DDL are rejected here.
+pub fn apply_statement(
+    db: &Database,
+    txn: &mut Txn<'_>,
+    stmt: Statement,
+) -> Result<StatementApply> {
+    match stmt {
         Statement::Insert {
             ty,
             attrs,
@@ -233,10 +282,8 @@ pub fn run_statement(db: &Database, src: &str) -> Result<StatementOutput> {
                 tuple.set(id.0 as usize, value);
             }
             let vt = valid_to_interval(valid)?;
-            let mut txn = db.begin();
             let atom = txn.insert_atom(ty_id, vt, tuple)?;
-            let tt = txn.commit()?;
-            Ok(StatementOutput::Inserted(atom, tt))
+            Ok(StatementApply::Inserted(atom))
         }
         Statement::Update {
             ty,
@@ -264,7 +311,6 @@ pub fn run_statement(db: &Database, src: &str) -> Result<StatementOutput> {
                     None => TimePoint(0),
                     Some((a, _)) => *a,
                 };
-                let mut txn = db.begin();
                 let claimed = txn.claim_next(
                     ty_id,
                     at,
@@ -280,12 +326,9 @@ pub fn run_statement(db: &Database, src: &str) -> Result<StatementOutput> {
                         t
                     },
                 )?;
-                let n = usize::from(claimed.is_some());
-                let tt = txn.commit()?;
-                return Ok(StatementOutput::Modified(n, tt));
+                return Ok(StatementApply::Modified(usize::from(claimed.is_some())));
             }
-            let targets = qualifying_slices(db, ty_id, &filter, &valid, &def)?;
-            let mut txn = db.begin();
+            let targets = qualifying_slices(db, txn, ty_id, &filter, &valid, &def)?;
             let mut atoms_touched = std::collections::HashSet::new();
             for (atom, slice_vt, mut tuple) in targets {
                 for (id, value) in &resolved {
@@ -300,15 +343,12 @@ pub fn run_statement(db: &Database, src: &str) -> Result<StatementOutput> {
                 txn.update(atom, vt, tuple)?;
                 atoms_touched.insert(atom);
             }
-            let n = atoms_touched.len();
-            let tt = txn.commit()?;
-            Ok(StatementOutput::Modified(n, tt))
+            Ok(StatementApply::Modified(atoms_touched.len()))
         }
         Statement::Delete { ty, filter, valid } => {
             let ty_id = db.atom_type_id(&ty)?;
             let def = db.with_catalog(|c| c.atom_type(ty_id).cloned())?;
-            let targets = qualifying_slices(db, ty_id, &filter, &valid, &def)?;
-            let mut txn = db.begin();
+            let targets = qualifying_slices(db, txn, ty_id, &filter, &valid, &def)?;
             let mut atoms_touched = std::collections::HashSet::new();
             for (atom, slice_vt, _) in targets {
                 let vt = match &valid {
@@ -320,10 +360,25 @@ pub fn run_statement(db: &Database, src: &str) -> Result<StatementOutput> {
                 txn.delete(atom, vt)?;
                 atoms_touched.insert(atom);
             }
-            let n = atoms_touched.len();
-            let tt = txn.commit()?;
-            Ok(StatementOutput::Modified(n, tt))
+            Ok(StatementApply::Modified(atoms_touched.len()))
         }
+        other => Err(Error::unsupported(format!(
+            "only INSERT, UPDATE and DELETE run inside an open transaction, not {}",
+            statement_kind(&other)
+        ))),
+    }
+}
+
+/// Human-readable statement kind, for error messages.
+pub fn statement_kind(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::Select(_) => "SELECT",
+        Statement::ExplainAnalyze(_) => "EXPLAIN ANALYZE",
+        Statement::CreateType { .. } => "CREATE TYPE",
+        Statement::CreateMolecule { .. } => "CREATE MOLECULE",
+        Statement::Insert { .. } => "INSERT",
+        Statement::Update { .. } => "UPDATE",
+        Statement::Delete { .. } => "DELETE",
     }
 }
 
@@ -348,19 +403,31 @@ fn valid_to_interval(valid: Option<(TimePoint, Option<TimePoint>)>) -> Result<In
 }
 
 /// Collects `(atom, slice vt, slice tuple)` for every current version that
-/// satisfies the filter and overlaps the statement's valid extent.
+/// satisfies the filter and overlaps the statement's valid extent, as seen
+/// *by the transaction*: committed atoms plus atoms the transaction
+/// created, each through the transaction's overlay (read-your-writes).
 fn qualifying_slices(
     db: &Database,
+    txn: &mut Txn<'_>,
     ty: AtomTypeId,
     filter: &Option<Expr>,
     valid: &Option<(TimePoint, Option<TimePoint>)>,
     def: &tcom_catalog::AtomTypeDef,
 ) -> Result<Vec<(AtomId, Interval, Tuple)>> {
     let window = valid_to_interval(*valid)?;
+    let mut atoms = db.all_atoms(ty)?;
+    // Atoms inserted by this transaction are not in the committed
+    // directory yet; append them, keeping atom-number order deterministic.
+    let committed: std::collections::HashSet<AtomId> = atoms.iter().copied().collect();
+    atoms.extend(
+        txn.touched_atoms()
+            .into_iter()
+            .filter(|a| a.ty == ty && !committed.contains(a)),
+    );
+    atoms.sort_by_key(|a| a.no);
     let mut out = Vec::new();
-    let store_atoms = db.all_atoms(ty)?;
-    for atom in store_atoms {
-        for v in db.current_versions(atom)? {
+    for atom in atoms {
+        for v in txn.current_versions(atom)? {
             if !v.vt.overlaps(&window) {
                 continue;
             }

@@ -1,0 +1,90 @@
+//! `tcom-server` — serve a tcom database over TCP.
+//!
+//! ```text
+//! tcom-server <db-dir> [--addr host:port] [--threads N] [--store chain|delta|split]
+//! ```
+//!
+//! Listens on `--addr` (default `127.0.0.1:7464`) and serves the frame
+//! protocol understood by `tcom-client` and the shell's `.connect`.
+//! Reads stdin: `quit` (or EOF) shuts down gracefully — in-flight commits
+//! drain, then the database closes with a checkpoint.
+
+use std::io::BufRead;
+use std::sync::Arc;
+use tcom_core::{Database, DbConfig, StoreKind};
+use tcom_server::{Server, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!(
+            "usage: tcom-server <db-dir> [--addr host:port] [--threads N] [--store chain|delta|split]"
+        );
+        std::process::exit(2);
+    };
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let mut db_config = DbConfig::default();
+    if let Some(kind) = flag("--store") {
+        db_config = db_config.store_kind(match kind.as_str() {
+            "chain" => StoreKind::Chain,
+            "delta" => StoreKind::Delta,
+            "split" => StoreKind::Split,
+            other => {
+                eprintln!("unknown store kind '{other}'");
+                std::process::exit(2);
+            }
+        });
+    }
+    let mut server_config =
+        ServerConfig::default().addr(flag("--addr").unwrap_or_else(|| "127.0.0.1:7464".into()));
+    if let Some(n) = flag("--threads") {
+        match n.parse::<usize>() {
+            Ok(n) if n > 0 => server_config = server_config.server_threads(n),
+            _ => {
+                eprintln!("--threads expects a positive integer, got '{n}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let db = match Database::open(path, db_config) {
+        Ok(db) => Arc::new(db),
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut server = match Server::start(db.clone(), server_config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "tcom-server listening on {} (store: {}, clock: {})",
+        server.local_addr(),
+        db.config().store_kind,
+        db.now()
+    );
+    println!("type 'quit' (or close stdin) to shut down");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    println!("shutting down…");
+    server.shutdown();
+    drop(server);
+    // Last Arc owner: Drop checkpoints the database.
+    drop(db);
+    println!("bye");
+}

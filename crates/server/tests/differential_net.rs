@@ -1,0 +1,230 @@
+//! Network differential suite: the canned TQL battery replayed by several
+//! concurrent client connections must produce results *byte-identical*
+//! (via `{:?}` renderings) to embedded execution — against every
+//! version-store layout. This pins down the whole wire path: payload
+//! encoding, framing, session dispatch, and per-statement view pinning
+//! under concurrent sessions.
+
+use std::sync::Arc;
+use tcom_client::Client;
+use tcom_core::{Database, DbConfig, StoreKind};
+use tcom_query::{run_statement, StatementOutput};
+use tcom_server::{Server, ServerConfig};
+
+const CLIENTS: usize = 4;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("tcom-net-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+const KINDS: [StoreKind; 3] = [StoreKind::Chain, StoreKind::Delta, StoreKind::Split];
+
+fn open(dir: &std::path::Path, kind: StoreKind) -> Database {
+    Database::open(
+        dir,
+        DbConfig::default()
+            .store_kind(kind)
+            .buffer_frames(256)
+            .checkpoint_interval(0),
+    )
+    .unwrap()
+}
+
+fn run(db: &Database, sql: &str) -> StatementOutput {
+    run_statement(db, sql).unwrap_or_else(|e| panic!("statement failed: {sql}\n  {e}"))
+}
+
+/// Same university schema and history as the embedded differential suite.
+fn populate(db: &Database) {
+    run(db, "CREATE TYPE proj (title TEXT NOT NULL, budget INT)");
+    run(
+        db,
+        "CREATE TYPE emp (name TEXT NOT NULL, salary INT INDEXED, proj REF(proj))",
+    );
+    run(
+        db,
+        "CREATE TYPE dept (name TEXT NOT NULL, employs REFSET(emp))",
+    );
+    run(
+        db,
+        "CREATE MOLECULE dept_mol ROOT dept (dept.employs TO emp, emp.proj TO proj) DEPTH 4",
+    );
+    let mut projects = Vec::new();
+    for (i, title) in ["alpha", "beta"].iter().enumerate() {
+        let out = run(
+            db,
+            &format!(
+                "INSERT INTO proj (title, budget) VALUES ('{title}', {})",
+                (i as i64 + 1) * 1000
+            ),
+        );
+        let StatementOutput::Inserted(id, _) = out else {
+            panic!("expected Inserted, got {out:?}")
+        };
+        projects.push(id);
+    }
+    let mut emps = Vec::new();
+    for (i, name) in ["ann", "bob", "carol", "dave", "erin", "frank"]
+        .iter()
+        .enumerate()
+    {
+        let p = projects[i % projects.len()];
+        let out = run(
+            db,
+            &format!(
+                "INSERT INTO emp (name, salary, proj) VALUES ('{name}', {}, @{}.{}) \
+                 VALID IN [0, 100)",
+                (i as i64 + 1) * 100,
+                p.ty.0,
+                p.no.0
+            ),
+        );
+        let StatementOutput::Inserted(id, _) = out else {
+            panic!("expected Inserted, got {out:?}")
+        };
+        emps.push(id);
+    }
+    for (dname, members) in [("research", &emps[..3]), ("sales", &emps[3..])] {
+        let refs: Vec<String> = members
+            .iter()
+            .map(|id| format!("@{}.{}", id.ty.0, id.no.0))
+            .collect();
+        run(
+            db,
+            &format!(
+                "INSERT INTO dept (name, employs) VALUES ('{dname}', {{{}}})",
+                refs.join(", ")
+            ),
+        );
+    }
+    run(db, "UPDATE emp SET salary = 350 WHERE name = 'carol'");
+    run(
+        db,
+        "UPDATE emp SET salary = 120 WHERE name = 'ann' VALID IN [10, 20)",
+    );
+    run(db, "DELETE FROM emp WHERE name = 'dave'");
+    run(db, "UPDATE proj SET budget = 2500 WHERE title = 'beta'");
+}
+
+/// The same canned battery the embedded differential suite replays —
+/// current state, time travel, history, molecules, joins, coalescing and
+/// temporal aggregates. (EXPLAIN ANALYZE is excluded: its renderings carry
+/// wall-clock timings, which can never be byte-stable.)
+const BATTERY: &[&str] = &[
+    "SELECT * FROM emp",
+    "SELECT name, salary FROM emp WHERE salary >= 200",
+    "SELECT * FROM emp WHERE salary = 300",
+    "SELECT name FROM emp WHERE salary > 100 AND NOT name = 'bob' LIMIT 3",
+    "SELECT * FROM emp ASOF TT 8",
+    "SELECT * FROM emp ASOF TT 10 VALID AT 15",
+    "SELECT name, salary FROM emp WHERE salary >= 200 ASOF TT 9",
+    "SELECT * FROM emp ASOF TT FOREVER",
+    "SELECT name FROM emp WHERE salary > 100 ASOF TT FOREVER",
+    "SELECT * FROM proj ASOF TT 2",
+    "SELECT HISTORY FROM emp",
+    "SELECT HISTORY FROM emp WHERE salary > 100 VALID IN [0, 50)",
+    "SELECT * FROM emp VALID IN [5, 30)",
+    "SELECT MOLECULE FROM dept_mol VALID AT 10",
+    "SELECT MOLECULE FROM dept_mol WHERE root.name = 'research' VALID AT 10",
+    "SELECT * FROM proj",
+    "SELECT a.name, b.name FROM emp a JOIN emp b ON a.salary = b.salary",
+    "SELECT a.name, b.salary FROM emp a JOIN emp b ON a.name = b.name \
+     WHERE a.salary > 100 ASOF TT 9",
+    "SELECT a.name, b.title FROM emp a JOIN proj b ON a.salary = b.budget",
+    "SELECT COALESCE * FROM emp",
+    "SELECT COALESCE salary FROM emp WHERE salary >= 200 VALID IN [0, 50)",
+    "SELECT COUNT(*) FROM emp",
+    "SELECT COUNT(*) FROM emp ASOF TT 8 VALID IN [0, 30)",
+    "SELECT SUM(salary) FROM emp VALID IN [0, 60)",
+    "SELECT INTEGRAL(salary) FROM emp VALID IN [0, 80)",
+];
+
+/// Every store layout, populated embedded, then queried by [`CLIENTS`]
+/// concurrent connections replaying the battery: each connection's
+/// renderings must equal the embedded ones byte-for-byte.
+#[test]
+fn concurrent_connections_match_embedded_execution() {
+    for kind in KINDS {
+        let dir = tmpdir(&format!("{kind:?}").to_lowercase());
+        let db = Arc::new(open(&dir, kind));
+        populate(&db);
+
+        // Ground truth: the battery embedded, on the very same database.
+        let embedded: Vec<String> = BATTERY
+            .iter()
+            .map(|sql| format!("{sql}\n{:?}", run(&db, sql)))
+            .collect();
+
+        let server = Server::start(db.clone(), ServerConfig::default().server_threads(CLIENTS))
+            .expect("start server");
+        let addr = server.local_addr();
+
+        let per_client: Vec<Vec<String>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut c = Client::connect(addr).expect("connect");
+                        BATTERY
+                            .iter()
+                            .map(|sql| {
+                                let out = c.query_output(sql).unwrap_or_else(|e| {
+                                    panic!("wire statement failed: {sql}\n  {e}")
+                                });
+                                format!("{sql}\n{out:?}")
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+
+        for (ci, renderings) in per_client.iter().enumerate() {
+            for (i, sql) in BATTERY.iter().enumerate() {
+                assert_eq!(
+                    &renderings[i], &embedded[i],
+                    "{kind:?}: client {ci} diverged from embedded on {sql}"
+                );
+            }
+        }
+        drop(server);
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The same divergence check through the PREPARE/EXECUTE path: a cached
+/// plan must produce exactly what ad-hoc execution produces.
+#[test]
+fn prepared_execution_matches_adhoc_over_the_wire() {
+    let dir = tmpdir("prepared");
+    let db = Arc::new(open(&dir, StoreKind::Split));
+    populate(&db);
+    let server =
+        Server::start(db.clone(), ServerConfig::default().server_threads(1)).expect("start server");
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+
+    for sql in BATTERY.iter().filter(|s| s.starts_with("SELECT")) {
+        let adhoc = c.query_output(sql).expect("ad-hoc");
+        let stmt = c.prepare(sql).expect("prepare");
+        for round in 0..2 {
+            match c.execute(stmt).expect("execute") {
+                tcom_client::Response::Output(out) => assert_eq!(
+                    format!("{out:?}"),
+                    format!("{adhoc:?}"),
+                    "prepared round {round} diverged on {sql}"
+                ),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+    drop(c);
+    drop(server);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}

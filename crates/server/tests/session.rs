@@ -1,0 +1,383 @@
+//! Session lifecycle battery: snapshot isolation over the wire, abandoned
+//! connections releasing their transaction state, and clean protocol
+//! errors for every session-state violation.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tcom_client::proto::Ack;
+use tcom_client::{Client, Response};
+use tcom_core::{Database, DbConfig};
+use tcom_kernel::{Error, Value};
+use tcom_query::exec::QueryOutput;
+use tcom_query::{run_statement, StatementOutput};
+use tcom_server::{Server, ServerConfig};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("tcom-sess-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Opens a fresh database with an `emp` type, serves it, and connects one
+/// client. Returns everything the test needs to hold alive.
+fn serve(name: &str, threads: usize) -> (Arc<Database>, Server, Client, std::path::PathBuf) {
+    let dir = tmpdir(name);
+    let db = Arc::new(
+        Database::open(
+            &dir,
+            DbConfig::default()
+                .buffer_frames(256)
+                .checkpoint_interval(0),
+        )
+        .expect("open"),
+    );
+    run_statement(
+        &db,
+        "CREATE TYPE emp (name TEXT NOT NULL, salary INT INDEXED)",
+    )
+    .expect("create type");
+    let server = Server::start(db.clone(), ServerConfig::default().server_threads(threads))
+        .expect("start server");
+    let client = Client::connect(server.local_addr()).expect("connect");
+    (db, server, client, dir)
+}
+
+fn salaries(out: &StatementOutput) -> Vec<i64> {
+    match out {
+        StatementOutput::Query(QueryOutput::Rows { rows, .. }) => rows
+            .iter()
+            .map(|r| match &r.values[0] {
+                Value::Int(i) => *i,
+                other => panic!("unexpected value {other:?}"),
+            })
+            .collect(),
+        other => panic!("unexpected output {other:?}"),
+    }
+}
+
+/// The view a statement pins at its start is frozen: a client SELECT
+/// completes — with the pre-commit state, within a hard wall-clock bound —
+/// while a server-side commit is parked mid-apply.
+#[test]
+fn statement_view_frozen_under_concurrent_commit() {
+    let (db, server, mut client, dir) = serve("frozen", 2);
+    for i in 0..8 {
+        run_statement(
+            &db,
+            &format!("INSERT INTO emp (name, salary) VALUES ('e{i}', 1)"),
+        )
+        .expect("seed");
+    }
+
+    // Park every apply: the next commit stalls after WAL durability,
+    // right before its versions publish.
+    let guard = db.block_applies_for_test();
+
+    let (staged_tx, staged_rx) = mpsc::channel();
+    std::thread::scope(|s| {
+        let db2 = &db;
+        s.spawn(move || {
+            staged_tx.send(()).unwrap();
+            // Server-side (embedded) commit that blocks on the parked apply.
+            run_statement(db2, "UPDATE emp SET salary = 2").unwrap();
+        });
+        staged_rx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+
+        let t0 = Instant::now();
+        let out = client
+            .query_output("SELECT salary FROM emp")
+            .expect("select over the wire");
+        let elapsed = t0.elapsed();
+        assert_eq!(
+            salaries(&out),
+            vec![1i64; 8],
+            "wire statement must see the pre-commit state"
+        );
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "wire reader took {elapsed:?} with a commit parked mid-apply"
+        );
+        // The pinned view stays frozen across repeated statements too.
+        assert_eq!(
+            salaries(&client.query_output("SELECT salary FROM emp").unwrap()),
+            vec![1i64; 8]
+        );
+        drop(guard); // un-park; the update commits
+    });
+
+    let out = client
+        .query_output("SELECT salary FROM emp")
+        .expect("after");
+    assert_eq!(salaries(&out), vec![2i64; 8], "commit visible afterwards");
+    drop(client);
+    drop(server);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An abandoned connection (socket dropped with a transaction open and a
+/// stripe held) releases everything: a competing writer unblocks, and the
+/// live-session gauge returns to zero.
+#[test]
+fn abandoned_connection_releases_stripes_and_session() {
+    let (db, server, mut client, dir) = serve("abandon", 2);
+
+    client.begin().expect("begin");
+    // First touch acquires the emp commit stripe inside the wire Txn.
+    match client
+        .query("INSERT INTO emp (name, salary) VALUES ('ghost', 1)")
+        .expect("in-txn insert")
+    {
+        Response::Pending(Ack::PendingInsert(_)) => {}
+        other => panic!("expected PendingInsert, got {other:?}"),
+    }
+    // Hang up without COMMIT or ROLLBACK.
+    drop(client);
+
+    // The server must notice the dead socket, drop the session — and with
+    // it the Txn, releasing the stripe — well within this bound. Under
+    // wait-die the younger competing writer aborts with a retry hint while
+    // the stripe is held, so retry until the release lets it through.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match run_statement(&db, "INSERT INTO emp (name, salary) VALUES ('live', 2)") {
+            Ok(_) => break,
+            Err(Error::Txn(m)) if m.contains("retry") => {
+                assert!(
+                    Instant::now() < deadline,
+                    "stripe still held after the client vanished: {m}"
+                );
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("competing writer failed: {e}"),
+        }
+    }
+
+    // The abandoned insert never committed.
+    let out = run_statement(&db, "SELECT name, salary FROM emp").expect("select");
+    match &out {
+        StatementOutput::Query(QueryOutput::Rows { rows, .. }) => {
+            assert_eq!(rows.len(), 1, "only the competing writer's row");
+            assert_eq!(rows[0].values[0], Value::Text("live".into()));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Gauge drains to zero once the worker finishes tearing down.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let live = db.metrics().counter_labeled("server.sessions", "live");
+        if live == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server.sessions stuck at {live} after disconnect"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(db.metrics().counter("server.connections") >= 1);
+    drop(server);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn double_begin_is_a_clean_session_error() {
+    let (db, server, mut client, dir) = serve("dblbegin", 1);
+    client.begin().expect("first begin");
+    let err = client.begin().expect_err("nested BEGIN must fail");
+    assert!(
+        matches!(&err, Error::Txn(m) if m.contains("already open")),
+        "unexpected error {err:?}"
+    );
+    // The session (and its transaction) survives the refused BEGIN.
+    match client
+        .query("INSERT INTO emp (name, salary) VALUES ('a', 10)")
+        .expect("txn still usable")
+    {
+        Response::Pending(Ack::PendingInsert(_)) => {}
+        other => panic!("expected PendingInsert, got {other:?}"),
+    }
+    client.commit().expect("commit");
+    let out = client.query_output("SELECT salary FROM emp").unwrap();
+    assert_eq!(salaries(&out), vec![10]);
+    drop(client);
+    drop(server);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn commit_without_transaction_is_a_clean_error() {
+    let (db, server, mut client, dir) = serve("nocommit", 1);
+    let err = client.commit().expect_err("no txn open");
+    assert!(
+        matches!(&err, Error::Txn(m) if m.contains("no open transaction")),
+        "unexpected error {err:?}"
+    );
+    // ROLLBACK with nothing open is idempotent, not an error.
+    client.rollback().expect("idempotent rollback");
+    assert!(client.ping().is_ok(), "session must survive both");
+    drop(client);
+    drop(server);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A failed DML inside a transaction poisons the session: the transaction
+/// is gone, COMMIT and further statements are refused with a clean error,
+/// and ROLLBACK restores service.
+#[test]
+fn commit_after_error_requires_rollback() {
+    let (db, server, mut client, dir) = serve("poison", 1);
+    client.begin().expect("begin");
+    match client
+        .query("INSERT INTO emp (name, salary) VALUES ('ok', 1)")
+        .expect("good insert")
+    {
+        Response::Pending(Ack::PendingInsert(_)) => {}
+        other => panic!("expected PendingInsert, got {other:?}"),
+    }
+    // NOT NULL violation: fails in apply, destroying the transaction.
+    let err = client
+        .query("INSERT INTO emp (name, salary) VALUES (NULL, 2)")
+        .expect_err("constraint violation");
+    assert!(
+        !matches!(err, Error::Corruption(_)),
+        "statement failure must not be a protocol error: {err:?}"
+    );
+
+    // Everything but ROLLBACK is refused, with the same clean message.
+    for attempt in [
+        client.commit().expect_err("commit after error"),
+        client
+            .query("SELECT * FROM emp")
+            .expect_err("query while poisoned"),
+        client.begin().expect_err("begin while poisoned"),
+    ] {
+        assert!(
+            matches!(&attempt, Error::Txn(m) if m.contains("ROLLBACK")),
+            "poisoned session must point at ROLLBACK: {attempt:?}"
+        );
+    }
+
+    client.rollback().expect("rollback clears the poison");
+    let out = client.query_output("SELECT salary FROM emp").unwrap();
+    assert_eq!(
+        salaries(&out),
+        Vec::<i64>::new(),
+        "aborted transaction must leave nothing behind"
+    );
+
+    // Full service restored: a fresh transaction commits normally.
+    client.begin().expect("fresh begin");
+    client
+        .query("INSERT INTO emp (name, salary) VALUES ('ok', 3)")
+        .expect("insert");
+    client.commit().expect("commit");
+    assert_eq!(
+        salaries(&client.query_output("SELECT salary FROM emp").unwrap()),
+        vec![3]
+    );
+    drop(client);
+    drop(server);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// DML inside a transaction sees the transaction's own writes; nothing is
+/// visible to other sessions until COMMIT, whose Ack carries the tt.
+#[test]
+fn transaction_buffers_with_read_your_writes() {
+    let (db, server, mut client, dir) = serve("ryw", 2);
+    let mut other = Client::connect(server.local_addr()).expect("second client");
+
+    client.begin().expect("begin");
+    client
+        .query("INSERT INTO emp (name, salary) VALUES ('w', 100)")
+        .expect("insert");
+    // The UPDATE's scan must find the uncommitted insert (read-your-writes).
+    match client
+        .query("UPDATE emp SET salary = 150 WHERE salary = 100")
+        .expect("update")
+    {
+        Response::Pending(Ack::PendingModified(1)) => {}
+        other => panic!("expected PendingModified(1), got {other:?}"),
+    }
+    // Another session sees nothing before the commit.
+    assert_eq!(
+        salaries(&other.query_output("SELECT salary FROM emp").unwrap()),
+        Vec::<i64>::new()
+    );
+
+    let tt = client.commit().expect("commit");
+    let out = other.query_output("SELECT salary FROM emp").unwrap();
+    assert_eq!(salaries(&out), vec![150], "commit published the buffer");
+    match &out {
+        StatementOutput::Query(QueryOutput::Rows { rows, .. }) => {
+            assert_eq!(rows[0].tt.start(), tt, "row carries the commit's tt");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    drop((client, other));
+    drop(server);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ddl_inside_transaction_is_refused() {
+    let (db, server, mut client, dir) = serve("ddl", 1);
+    client.begin().expect("begin");
+    let err = client
+        .query("CREATE TYPE sneaky (x INT)")
+        .expect_err("DDL in txn");
+    assert!(
+        matches!(&err, Error::Txn(m) if m.contains("DDL")),
+        "unexpected error {err:?}"
+    );
+    // The refusal neither poisons nor aborts the transaction.
+    client
+        .query("INSERT INTO emp (name, salary) VALUES ('a', 1)")
+        .expect("txn still open");
+    client.commit().expect("commit");
+    drop(client);
+    drop(server);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A cached plan pins a fresh view per EXECUTE: repeated executions of one
+/// handle observe successive commits.
+#[test]
+fn prepared_statement_repins_per_execute() {
+    let (db, server, mut client, dir) = serve("prepare", 1);
+    let stmt = client
+        .prepare("SELECT salary FROM emp WHERE salary >= 10")
+        .expect("prepare");
+    match client.execute(stmt).expect("first execute") {
+        Response::Output(out) => assert_eq!(salaries(&out), Vec::<i64>::new()),
+        other => panic!("unexpected {other:?}"),
+    }
+    run_statement(&db, "INSERT INTO emp (name, salary) VALUES ('n', 42)").unwrap();
+    match client.execute(stmt).expect("second execute") {
+        Response::Output(out) => assert_eq!(salaries(&out), vec![42]),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Unknown handles are session errors, not disconnects.
+    let err = client
+        .execute(tcom_client::StmtId(999))
+        .expect_err("unknown handle");
+    assert!(
+        matches!(&err, Error::Txn(m) if m.contains("unknown statement handle")),
+        "unexpected error {err:?}"
+    );
+    assert!(client.ping().is_ok());
+    drop(client);
+    drop(server);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}

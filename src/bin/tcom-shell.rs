@@ -2,31 +2,55 @@
 //!
 //! ```text
 //! cargo run --bin tcom-shell -- /path/to/db [--store chain|delta|split]
+//! cargo run --bin tcom-shell -- --connect host:port
 //! ```
+//!
+//! The shell runs either *embedded* (against a local database directory)
+//! or *connected* (against a running `tcom-server` over TCP); `.connect`
+//! switches to a server mid-session and `.disconnect` switches back.
 //!
 //! Statements end with `;` and may span lines. Meta commands:
 //!
 //! ```text
 //! .help                 this text
-//! .types                list atom types and attributes
-//! .molecules            list molecule types
-//! .stats                storage + buffer statistics
-//! .metrics              full metrics-registry exposition
-//! .checkpoint           flush everything and truncate the WAL
-//! .now                  current transaction-time clock
+//! .connect host:port    attach to a tcom-server (statements go remote)
+//! .disconnect           drop the server connection (back to local, if any)
+//! .begin .commit .rollback   explicit transaction on the connection
+//! .types                list atom types and attributes          (local)
+//! .molecules            list molecule types                     (local)
+//! .stats                storage + buffer statistics             (local)
+//! .metrics              full metrics-registry exposition        (local)
+//! .checkpoint           flush everything and truncate the WAL   (local)
+//! .now                  transaction-time clock (local or server)
 //! .quit                 exit (clean shutdown checkpoint)
 //! ```
 
 use std::io::{BufRead, Write};
 use tcom::prelude::*;
+use tcom_client::{Client, Response};
 use tcom_query::{run_statement, StatementOutput};
+
+/// Where statements execute: an embedded database, a server, or both (the
+/// connection takes precedence while it exists).
+struct Shell {
+    db: Option<Database>,
+    remote: Option<Client>,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: tcom-shell <db-dir> [--store chain|delta|split]");
+    let path = args.first().filter(|a| !a.starts_with("--")).cloned();
+    let connect = args
+        .iter()
+        .position(|a| a == "--connect")
+        .and_then(|i| args.get(i + 1).cloned());
+    if path.is_none() && connect.is_none() {
+        eprintln!(
+            "usage: tcom-shell <db-dir> [--store chain|delta|split]\n\
+             \u{20}      tcom-shell --connect host:port"
+        );
         std::process::exit(2);
-    };
+    }
     let mut config = DbConfig::default();
     if let Some(i) = args.iter().position(|a| a == "--store") {
         config = config.store_kind(match args.get(i + 1).map(String::as_str) {
@@ -39,19 +63,32 @@ fn main() {
             }
         });
     }
-    let db = match Database::open(path, config) {
-        Ok(db) => db,
+    let db = path.as_deref().map(|p| match Database::open(p, config) {
+        Ok(db) => {
+            println!(
+                "tcom shell — {} (store: {}, clock: {})",
+                p,
+                db.config().store_kind,
+                db.now()
+            );
+            db
+        }
         Err(e) => {
-            eprintln!("cannot open {path}: {e}");
+            eprintln!("cannot open {p}: {e}");
             std::process::exit(1);
         }
-    };
-    println!(
-        "tcom shell — {} (store: {}, clock: {})",
-        path,
-        db.config().store_kind,
-        db.now()
-    );
+    });
+    let remote = connect.as_deref().map(|addr| match Client::connect(addr) {
+        Ok(c) => {
+            println!("connected to {} ({})", addr, c.server_info());
+            c
+        }
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    });
+    let mut shell = Shell { db, remote };
     println!("statements end with ';' — try .help");
 
     let stdin = std::io::stdin();
@@ -74,7 +111,7 @@ fn main() {
         }
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('.') {
-            if !meta_command(&db, trimmed) {
+            if !meta_command(&mut shell, trimmed) {
                 break;
             }
             continue;
@@ -88,26 +125,100 @@ fn main() {
         if stmt.is_empty() {
             continue;
         }
-        match run_statement(&db, &stmt) {
-            Ok(out) => print_output(out),
-            Err(e) => eprintln!("error: {e}"),
-        }
+        run_shell_statement(&mut shell, &stmt);
     }
     println!("bye");
 }
 
+/// Executes one statement through the connection when one exists, the
+/// embedded database otherwise.
+fn run_shell_statement(shell: &mut Shell, stmt: &str) {
+    if let Some(client) = shell.remote.as_mut() {
+        match client.query(stmt) {
+            Ok(Response::Output(out)) => print_output(out),
+            Ok(Response::Pending(ack)) => println!("buffered in open transaction: {ack:?}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+        return;
+    }
+    match &shell.db {
+        Some(db) => match run_statement(db, stmt) {
+            Ok(out) => print_output(out),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        None => eprintln!("not connected and no local database — use .connect host:port"),
+    }
+}
+
 /// Returns `false` to exit the shell.
-fn meta_command(db: &Database, cmd: &str) -> bool {
+fn meta_command(shell: &mut Shell, cmd: &str) -> bool {
+    // Connection management and connection-aware commands first.
+    if let Some(addr) = cmd.strip_prefix(".connect ") {
+        match Client::connect(addr.trim()) {
+            Ok(c) => {
+                println!("connected to {} ({})", addr.trim(), c.server_info());
+                shell.remote = Some(c);
+            }
+            Err(e) => eprintln!("cannot connect to {}: {e}", addr.trim()),
+        }
+        return true;
+    }
+    match cmd {
+        ".disconnect" => {
+            if shell.remote.take().is_some() {
+                println!(
+                    "disconnected{}",
+                    if shell.db.is_some() {
+                        " — statements run against the local database again"
+                    } else {
+                        ""
+                    }
+                );
+            } else {
+                eprintln!("not connected");
+            }
+            return true;
+        }
+        ".begin" | ".commit" | ".rollback" => {
+            let Some(client) = shell.remote.as_mut() else {
+                eprintln!("{cmd} needs a server connection (embedded DML auto-commits)");
+                return true;
+            };
+            let r = match cmd {
+                ".begin" => client.begin().map(|()| "transaction open".to_string()),
+                ".commit" => client.commit().map(|tt| format!("committed at tt={tt}")),
+                _ => client.rollback().map(|()| "rolled back".to_string()),
+            };
+            match r {
+                Ok(msg) => println!("{msg}"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+            return true;
+        }
+        ".now" => {
+            if let Some(client) = shell.remote.as_mut() {
+                match client.ping() {
+                    Ok(tt) => println!("{tt}"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+                return true;
+            }
+        }
+        _ => {}
+    }
+    let Some(db) = shell.db.as_ref() else {
+        match cmd {
+            ".quit" | ".exit" | ".q" => return false,
+            ".help" => print_help(),
+            other => {
+                eprintln!("{other} needs a local database (only .connect/.now/.quit work remotely)")
+            }
+        }
+        return true;
+    };
     match cmd {
         ".quit" | ".exit" | ".q" => return false,
-        ".help" => {
-            println!(
-                ".types .molecules .stats .metrics .checkpoint .now .quit\n\
-                 SELECT … | EXPLAIN ANALYZE SELECT … | CREATE TYPE … |\n\
-                 CREATE MOLECULE … | INSERT INTO … | UPDATE … SET … |\n\
-                 DELETE FROM … (end with ';')"
-            );
-        }
+        ".help" => print_help(),
         ".types" => db.with_catalog(|c| {
             for t in c.atom_types() {
                 println!("type {} (#{})", t.name, t.id.0);
@@ -177,6 +288,16 @@ fn meta_command(db: &Database, cmd: &str) -> bool {
         other => eprintln!("unknown command {other} — try .help"),
     }
     true
+}
+
+fn print_help() {
+    println!(
+        ".connect host:port .disconnect .begin .commit .rollback\n\
+         .types .molecules .stats .metrics .checkpoint .now .quit\n\
+         SELECT … | EXPLAIN ANALYZE SELECT … | CREATE TYPE … |\n\
+         CREATE MOLECULE … | INSERT INTO … | UPDATE … SET … |\n\
+         DELETE FROM … (end with ';')"
+    );
 }
 
 fn print_output(out: StatementOutput) {

@@ -61,6 +61,7 @@ fn main() {
         ("E17", tcom_bench::soak::e17_soak),
         ("E18", experiments::e18_planner),
         ("E19", experiments::e19_wire_throughput),
+        ("E20", experiments::e20_replication),
         ("A1", experiments::a1_delta_granularity),
         ("A2", experiments::a2_directory),
     ];

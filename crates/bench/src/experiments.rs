@@ -1360,6 +1360,100 @@ pub fn e19_wire_throughput(s: Scale) -> Table {
     t
 }
 
+/// E20 — replication: replica replay throughput and catch-up lag vs
+/// write-burst size.
+///
+/// A leader serves its WAL stream over loopback to one read replica
+/// (DESIGN §14). Each row commits a burst of single-row transactions on
+/// the leader as fast as possible while the replica follows live, then
+/// measures the transaction-time gap at the end of the burst and the
+/// wall-clock until the replica's published clock catches the leader's.
+/// Replay throughput counts the whole burst against the total
+/// first-write → caught-up wall (replay overlaps the writes).
+pub fn e20_replication(s: Scale) -> Table {
+    use tcom_client::ReplicaFollower;
+    use tcom_core::WalApplier;
+    use tcom_query::run_statement;
+    use tcom_server::{Server, ServerConfig};
+
+    let mut t = Table::new(
+        "E20",
+        "replication: replica replay throughput / catch-up lag vs write burst (loopback TCP)",
+        &[
+            "burst txns",
+            "leader tx/s",
+            "replay tx/s",
+            "lag @ burst end (tt)",
+            "catch-up ms",
+        ],
+        "the replica replays committed batches in WAL (= transaction-time) order \
+         while the leader keeps writing; lag at burst end shows how far a \
+         synchronous writer outruns one applier, catch-up how fast the applier \
+         drains once writes stop",
+    );
+
+    const DDL: &str = "CREATE TYPE emp (name TEXT NOT NULL, salary INT INDEXED)";
+    let (leader, ldir) = fresh_db("e20-lead", StoreKind::Split, 4096);
+    run_statement(&leader, DDL).expect("leader ddl");
+    let leader = std::sync::Arc::new(leader);
+    let server = Server::start(leader.clone(), ServerConfig::default().server_threads(2))
+        .expect("start server");
+
+    let (replica, rdir) = fresh_db("e20-repl", StoreKind::Split, 4096);
+    run_statement(&replica, DDL).expect("replica ddl");
+    let replica = std::sync::Arc::new(replica);
+    let applier = WalApplier::new(replica.clone()).expect("applier");
+    let follower = ReplicaFollower::start(server.local_addr().to_string(), applier);
+
+    let mut next = 0usize;
+    for burst in [64usize, 256, 1024] {
+        let n = s.n(burst);
+        let t0 = std::time::Instant::now();
+        for _ in 0..n {
+            run_statement(
+                &leader,
+                &format!(
+                    "INSERT INTO emp (name, salary) VALUES ('b{next}', {})",
+                    (next % 50) * 10
+                ),
+            )
+            .expect("leader write");
+            next += 1;
+        }
+        let write_wall = t0.elapsed();
+        let target = leader.now();
+        let lag_at_end = target.0.saturating_sub(replica.now().0);
+        let c0 = std::time::Instant::now();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        while replica.now() < target {
+            if let Some(e) = follower.last_error() {
+                panic!("follower died: {e}");
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "replica never caught up"
+            );
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        let catch_up = c0.elapsed();
+        let total = write_wall + catch_up;
+        t.row(vec![
+            format!("{n}"),
+            format!("{:.0}", n as f64 / write_wall.as_secs_f64().max(1e-9)),
+            format!("{:.0}", n as f64 / total.as_secs_f64().max(1e-9)),
+            format!("{lag_at_end}"),
+            format!("{:.1}", catch_up.as_secs_f64() * 1e3),
+        ]);
+    }
+    follower.stop();
+    drop(server);
+    drop(leader);
+    drop(replica);
+    cleanup(&ldir);
+    cleanup(&rdir);
+    t
+}
+
 /// Runs every experiment at the given scale.
 pub fn run_all(s: Scale) -> Vec<Table> {
     vec![
@@ -1383,6 +1477,7 @@ pub fn run_all(s: Scale) -> Vec<Table> {
         crate::soak::e17_soak(s),
         e18_planner(s),
         e19_wire_throughput(s),
+        e20_replication(s),
         a1_delta_granularity(s),
         a2_directory(s),
     ]

@@ -23,6 +23,9 @@
 #![warn(missing_docs)]
 
 pub mod proto;
+pub mod repl;
+
+pub use repl::ReplicaFollower;
 
 use proto::Ack;
 use std::io::{Read, Write};

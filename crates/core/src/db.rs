@@ -48,7 +48,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use tcom_catalog::{AttrDef, Catalog, MoleculeEdge};
 use tcom_kernel::{
-    AtomId, AtomNo, AtomTypeId, AttrId, Error, Interval, MoleculeTypeId, Result, TimePoint, Tuple,
+    AtomId, AtomNo, AtomTypeId, AttrId, Error, Interval, Lsn, MoleculeTypeId, Result, TimePoint,
+    Tuple,
 };
 use tcom_obs::{MetricsSnapshot, Registry};
 use tcom_storage::btree::BTree;
@@ -58,7 +59,7 @@ use tcom_storage::keys::{encode_value, BKey};
 use tcom_storage::vfs::{StdVfs, Vfs};
 use tcom_version::record::AtomVersion;
 use tcom_version::{ChainStore, DeltaStore, SplitStore, StoreKind, StoreStats, VersionStore};
-use tcom_wal::{LogRecord, Wal};
+use tcom_wal::{LogRecord, Wal, WalChunk};
 
 /// A pinned snapshot for reads: the published transaction-time clock at
 /// pin time, plus the pinned atom type's apply sequence (for detecting
@@ -136,6 +137,10 @@ pub struct Database {
     pub(crate) commit_lock: RwLock<()>,
     txns_since_ckpt: AtomicU64,
     skip_checkpoint_on_drop: AtomicBool,
+    /// Read-only replica mode: set by [`crate::repl::WalApplier`]. Local
+    /// write transactions are refused at commit; the only writer is the
+    /// replication apply loop, which replays the leader's WAL.
+    replica: AtomicBool,
     /// File names by [`FileId`] index (for the checkpoint journal, which
     /// must address files by name — ids are session-scoped).
     file_names: Mutex<Vec<String>>,
@@ -238,6 +243,7 @@ impl Database {
             commit_lock: RwLock::new(()),
             txns_since_ckpt: AtomicU64::new(0),
             skip_checkpoint_on_drop: AtomicBool::new(false),
+            replica: AtomicBool::new(false),
             file_names: Mutex::new(Vec::new()),
             obs: Arc::new(Registry::new()),
             disks: Arc::new(Mutex::new(Vec::new())),
@@ -311,6 +317,20 @@ impl Database {
         let _g = self.publish_mx.lock();
         debug_assert_eq!(self.published.load(Ordering::Acquire), tt.0 - 1);
         self.published.store(tt.0, Ordering::Release);
+        self.publish_cv.notify_all();
+    }
+
+    /// Publishes `tt` on a replica: advances `published` monotonically,
+    /// *without* the leader's contiguity invariant. A leader's WAL can
+    /// legitimately skip transaction times (a commit that failed after its
+    /// tt draw published empty, leaving no records), so the replay loop —
+    /// single-threaded and in WAL order — publishes whatever tt it just
+    /// applied. Also advances the allocation clock so a later promotion
+    /// (or the replica's own checkpoints) never reuses a leader tt.
+    pub(crate) fn publish_replicated(&self, tt: TimePoint) {
+        let _g = self.publish_mx.lock();
+        self.clock.fetch_max(tt.0, Ordering::AcqRel);
+        self.published.fetch_max(tt.0, Ordering::AcqRel);
         self.publish_cv.notify_all();
     }
 
@@ -670,6 +690,18 @@ impl Database {
         AtomNo(no)
     }
 
+    /// Raises a type's atom-number allocator to at least `at_least`.
+    /// Replication replay allocates nothing itself — it re-applies the
+    /// leader's numbered inserts — but must keep the allocator ahead of
+    /// every replicated number so a promoted replica never reuses one.
+    pub(crate) fn bump_atom_no_at_least(&self, ty: AtomTypeId, at_least: u64) {
+        let mut m = self.next_no.lock();
+        let slot = m.entry(ty.0).or_insert(0);
+        if *slot < at_least {
+            *slot = at_least;
+        }
+    }
+
     // ---- transactions ----
 
     /// Begins a write transaction. Transactions lock the commit stripe of
@@ -691,6 +723,40 @@ impl Database {
 
     pub(crate) fn wal(&self) -> &Wal {
         &self.wal
+    }
+
+    // ---- replication (leader side) ----
+
+    /// The WAL's current epoch. LSNs are byte offsets into one log
+    /// incarnation; every checkpoint truncation draws a fresh epoch, so a
+    /// replication subscriber must pair its resume LSN with the epoch it
+    /// was streamed under.
+    pub fn wal_epoch(&self) -> u64 {
+        self.wal.epoch()
+    }
+
+    /// The durable (replicable) WAL horizon in bytes — how far a
+    /// subscriber at the current epoch can be streamed.
+    pub fn wal_durable_len(&self) -> u64 {
+        self.wal.durable_len()
+    }
+
+    /// Reads up to `max_bytes` of raw durable WAL frames starting at
+    /// `from` for a replication subscriber (see [`tcom_wal::Wal::read_chunk`]).
+    /// An empty chunk whose `epoch` differs from the subscriber's means
+    /// the log was truncated since — the subscriber restarts from LSN 0 of
+    /// the returned epoch.
+    pub fn wal_chunk(&self, from: Lsn, max_bytes: usize) -> Result<WalChunk> {
+        self.wal.read_chunk(from, max_bytes)
+    }
+
+    /// True when this database is a read-only replication follower.
+    pub fn is_replica(&self) -> bool {
+        self.replica.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_replica_mode(&self, on: bool) {
+        self.replica.store(on, Ordering::Release);
     }
 
     pub(crate) fn note_commit(&self) -> Result<()> {
@@ -1090,32 +1156,36 @@ impl Database {
     /// replayed, and checkpoints.
     fn recover(&self) -> Result<()> {
         let _span = self.obs.span("db.recover");
-        let records = self.wal.read_all()?;
-        // Restore counters from the last checkpoint (normally record 0).
-        for (_, rec) in &records {
-            if let LogRecord::Checkpoint {
-                clock,
-                next_atom_nos,
-            } = rec
-            {
-                self.clock.store(clock.0, Ordering::Release);
-                let mut m = self.next_no.lock();
-                for (ty, no) in next_atom_nos {
-                    let e = m.entry(*ty).or_insert(0);
-                    *e = (*e).max(*no);
+        // Pass 1 — a streaming cursor (O(#transactions) memory, never the
+        // whole log): restore counters from the last checkpoint (normally
+        // record 0) and collect the committed transaction set.
+        let mut committed: HashSet<u64> = HashSet::new();
+        let mut cursor = self.wal.read_from(Lsn(0))?;
+        while let Some((_, rec)) = cursor.next_record()? {
+            match rec {
+                LogRecord::Checkpoint {
+                    clock,
+                    next_atom_nos,
+                } => {
+                    self.clock.store(clock.0, Ordering::Release);
+                    let mut m = self.next_no.lock();
+                    for (ty, no) in &next_atom_nos {
+                        let e = m.entry(*ty).or_insert(0);
+                        *e = (*e).max(*no);
+                    }
                 }
+                LogRecord::Commit { txn } => {
+                    committed.insert(txn.0);
+                }
+                _ => {}
             }
         }
-        let committed: HashSet<u64> = records
-            .iter()
-            .filter_map(|(_, r)| match r {
-                LogRecord::Commit { txn } => Some(txn.0),
-                _ => None,
-            })
-            .collect();
 
+        // Pass 2 — replay committed transactions in log order, again
+        // through a bounded cursor rather than a materialized record list.
         let mut replayed_any = false;
-        for (_, rec) in &records {
+        let mut cursor = self.wal.read_from(Lsn(0))?;
+        while let Some((_, rec)) = cursor.next_record()? {
             match rec {
                 LogRecord::InsertVersion {
                     txn,
@@ -1128,9 +1198,9 @@ impl Database {
                     let already = store
                         .history(atom.no)?
                         .iter()
-                        .any(|v| v.vt == *vt && v.tt.start() == *tt_start && v.tuple == *tuple);
+                        .any(|v| v.vt == vt && v.tt.start() == tt_start && v.tuple == tuple);
                     if !already {
-                        store.insert_version(atom.no, *vt, *tt_start, tuple)?;
+                        store.insert_version(atom.no, vt, tt_start, &tuple)?;
                         replayed_any = true;
                     }
                     // Counters advance regardless.
@@ -1152,9 +1222,9 @@ impl Database {
                     let target_is_older = store
                         .current_versions(atom.no)?
                         .iter()
-                        .any(|v| v.vt.start() == *vt_start && v.tt.start() < *tt_end);
+                        .any(|v| v.vt.start() == vt_start && v.tt.start() < tt_end);
                     if target_is_older {
-                        store.close_version(atom.no, *vt_start, *tt_end)?;
+                        store.close_version(atom.no, vt_start, tt_end)?;
                         replayed_any = true;
                     }
                     self.clock.fetch_max(tt_end.0, Ordering::AcqRel);

@@ -31,6 +31,7 @@ pub mod dml;
 pub mod integrity;
 pub mod journal;
 pub mod molecule;
+pub mod repl;
 pub mod stats;
 pub mod stripes;
 pub mod txn;
@@ -41,6 +42,7 @@ pub use db::{Database, ReadView};
 pub use dml::{CurrentVersion, Plan, Primitive};
 pub use integrity::IntegrityReport;
 pub use molecule::{MatAtom, Molecule};
+pub use repl::WalApplier;
 pub use stats::TypeStats;
 pub use stripes::is_wait_die_abort;
 pub use txn::Txn;

@@ -244,6 +244,41 @@ impl<'db> Txn<'db> {
         self.ops.len()
     }
 
+    /// Read-only peek at this transaction's overlay state of `atom`:
+    /// `Some(versions)` when the transaction has touched the atom (read
+    /// for write, rewritten, or created it), `None` otherwise. Unlike
+    /// [`Txn::current_versions`] this never acquires a commit stripe, so
+    /// in-transaction queries can consult the overlay without widening
+    /// the transaction's lock footprint: untouched atoms are read from
+    /// committed state at the query's pinned snapshot.
+    pub fn overlay_versions(&self, atom: AtomId) -> Option<&[CurrentVersion]> {
+        self.overlay.get(&atom).map(|v| v.as_slice())
+    }
+
+    /// Like [`Txn::overlay_versions`], but `Some` only for atoms this
+    /// transaction has buffered *writes* for. Atoms that merely passed
+    /// through the overlay's read cache (e.g. scanned by an `UPDATE …
+    /// WHERE` that did not match them) keep their committed state — and,
+    /// crucially, their committed transaction-time stamps — so
+    /// in-transaction queries do not restamp unmodified rows with the
+    /// provisional transaction time.
+    pub fn written_versions(&self, atom: AtomId) -> Option<&[CurrentVersion]> {
+        if !self.ops.iter().any(|t| t.atom == atom) {
+            return None;
+        }
+        self.overlay.get(&atom).map(|v| v.as_slice())
+    }
+
+    /// Every atom with buffered writes, deduplicated, in op order.
+    pub fn written_atoms(&self) -> Vec<AtomId> {
+        let mut seen = std::collections::HashSet::new();
+        self.ops
+            .iter()
+            .map(|t| t.atom)
+            .filter(|a| seen.insert(*a))
+            .collect()
+    }
+
     /// Every atom in this transaction's overlay — atoms it created plus
     /// atoms whose current state it has read or rewritten. Callers that
     /// enumerate a type's atoms combine this with the committed directory
@@ -256,6 +291,12 @@ impl<'db> Txn<'db> {
     /// transaction time, which is returned.
     pub fn commit(mut self) -> Result<TimePoint> {
         let _span = self.db.obs().span("txn.commit");
+        if self.db.is_replica() {
+            return Err(Error::Txn(
+                "database is a read-only replica; commits are rejected (writes go to the leader)"
+                    .into(),
+            ));
+        }
         let ops = net_ops(std::mem::take(&mut self.ops));
         if ops.is_empty() {
             return Ok(self.db.now());

@@ -61,6 +61,12 @@ pub enum FrameKind {
     Commit = 13,
     /// Client → server: abandon the session's open transaction.
     Rollback = 14,
+    /// Replica → leader: start streaming WAL frames from a resume point.
+    ReplSubscribe = 15,
+    /// Leader → replica: one chunk of durable WAL bytes plus lag markers.
+    ReplFrame = 16,
+    /// Replica → leader: progress acknowledgement (applied LSN).
+    ReplAck = 17,
 }
 
 impl FrameKind {
@@ -81,6 +87,9 @@ impl FrameKind {
             12 => FrameKind::Begin,
             13 => FrameKind::Commit,
             14 => FrameKind::Rollback,
+            15 => FrameKind::ReplSubscribe,
+            16 => FrameKind::ReplFrame,
+            17 => FrameKind::ReplAck,
             _ => return None,
         })
     }
@@ -103,6 +112,9 @@ impl FrameKind {
             FrameKind::Begin => "begin",
             FrameKind::Commit => "commit",
             FrameKind::Rollback => "rollback",
+            FrameKind::ReplSubscribe => "repl_subscribe",
+            FrameKind::ReplFrame => "repl_frame",
+            FrameKind::ReplAck => "repl_ack",
         }
     }
 }
@@ -196,7 +208,7 @@ mod tests {
 
     #[test]
     fn roundtrip_all_kinds() {
-        for k in 1u8..=14 {
+        for k in 1u8..=17 {
             let kind = FrameKind::from_u8(k).unwrap();
             assert_eq!(kind as u8, k);
             let f = Frame::new(kind, vec![7, 8, 9]);
@@ -206,7 +218,7 @@ mod tests {
             assert_eq!(used, bytes.len());
         }
         assert_eq!(FrameKind::from_u8(0), None);
-        assert_eq!(FrameKind::from_u8(15), None);
+        assert_eq!(FrameKind::from_u8(18), None);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use tcom_kernel::frame::{Frame, FrameKind, PROTOCOL_VERSION};
 use tcom_kernel::Error;
 
 fn frame_strategy() -> impl Strategy<Value = Frame> {
-    (1u8..15, proptest::collection::vec(any::<u8>(), 0..512))
+    (1u8..18, proptest::collection::vec(any::<u8>(), 0..512))
         .prop_map(|(k, payload)| Frame::new(FrameKind::from_u8(k).expect("tag in range"), payload))
 }
 
@@ -65,7 +65,7 @@ proptest! {
     }
 
     #[test]
-    fn unknown_kind_is_rejected(f in frame_strategy(), k in 15u8..255) {
+    fn unknown_kind_is_rejected(f in frame_strategy(), k in 18u8..255) {
         for kind in [0, k, 255] {
             let mut bytes = f.encode();
             bytes[5] = kind;

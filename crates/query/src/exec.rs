@@ -5,7 +5,7 @@ use std::cmp::Ordering;
 use tcom_catalog::{AtomTypeDef, AttrDef};
 use tcom_core::algebra::AggStep;
 use tcom_core::batch::{aggregate_batch, coalesce_batch, join_batches, value_integral};
-use tcom_core::{Database, Molecule, ReadView, VersionBatch};
+use tcom_core::{Database, Molecule, ReadView, Txn, VersionBatch};
 use tcom_kernel::{AtomId, AttrId, DataType, Error, Interval, Result, TimePoint, Tuple, Value};
 use tcom_storage::keys::encode_value;
 use tcom_version::record::AtomVersion;
@@ -239,6 +239,41 @@ impl Candidates {
             Candidates::Atoms(a) => a,
             Candidates::Slice(s) => s.into_iter().map(|(a, _)| a).collect(),
         }
+    }
+}
+
+/// Read-your-writes context for a query running inside an open
+/// transaction: the transaction's overlay *replaces* the committed fetch
+/// for every atom the transaction has written (including atoms it
+/// created, which have no committed state at all); atoms it merely read
+/// keep their committed versions and stamps. Overlay versions carry
+/// a provisional transaction time of `[view.tt + 1, ∞)` — strictly after
+/// everything the pinned snapshot can see, where the commit would land at
+/// the earliest.
+///
+/// The overlay applies only to *current-state* row-shaped consumers
+/// (`*` / projections / `COALESCE` / aggregates without `ASOF TT`).
+/// Time-travel queries read committed state by definition (the
+/// transaction has no transaction time yet), and `HISTORY`, `MOLECULE`
+/// and join queries intentionally stay committed-only.
+struct Overlay<'a, 'db> {
+    txn: &'a Txn<'db>,
+    /// Provisional transaction-time stamp for overlay versions.
+    tt: Interval,
+}
+
+impl Overlay<'_, '_> {
+    /// The transaction's would-be current versions of `atom`, if written.
+    fn versions(&self, atom: AtomId) -> Option<Vec<AtomVersion>> {
+        self.txn.written_versions(atom).map(|vs| {
+            vs.iter()
+                .map(|cv| AtomVersion {
+                    vt: cv.vt,
+                    tt: self.tt,
+                    tuple: cv.tuple.clone(),
+                })
+                .collect()
+        })
     }
 }
 
@@ -847,14 +882,69 @@ impl Prepared {
             Targets::History => self.run_histories(db, &view),
             Targets::Coalesce(_) => {
                 let candidates = self.candidates(db, &view)?;
-                self.coalesce_from_candidates(db, &view, candidates)
+                self.coalesce_from_candidates(db, &view, candidates, None)
             }
             Targets::Aggregate { .. } => {
                 let candidates = self.candidates(db, &view)?;
-                self.aggregate_from_candidates(db, &view, candidates)
+                self.aggregate_from_candidates(db, &view, candidates, None)
             }
             _ => self.run_rows(db, &view),
         }
+    }
+
+    /// True when an in-transaction run would consult the transaction's
+    /// overlay (see [`Overlay`] for the exact scope).
+    fn overlay_applies(&self) -> bool {
+        self.query.asof_tt.is_none()
+            && self.join.is_none()
+            && matches!(
+                self.targets,
+                Targets::All | Targets::Projs(_) | Targets::Coalesce(_) | Targets::Aggregate { .. }
+            )
+    }
+
+    /// Executes the prepared query with read-your-writes against an open
+    /// transaction: atoms the transaction touched (or created) are read
+    /// from its overlay instead of committed state. Queries outside the
+    /// overlay's scope (`ASOF TT`, `HISTORY`, `MOLECULE`, joins) run with
+    /// committed-only semantics, identical to [`Prepared::run`].
+    pub fn run_in_txn(&self, db: &Database, txn: &Txn<'_>) -> Result<QueryOutput> {
+        if !self.overlay_applies() {
+            return self.run(db);
+        }
+        let view = db.pin_view(self.type_def.id);
+        let ov = Overlay {
+            txn,
+            tt: Interval::from_start(TimePoint(view.tt.0 + 1)),
+        };
+        let candidates = self.candidates_with(db, &view, Some(&ov))?;
+        match &self.targets {
+            Targets::Coalesce(_) => self.coalesce_from_candidates(db, &view, candidates, Some(&ov)),
+            Targets::Aggregate { .. } => {
+                self.aggregate_from_candidates(db, &view, candidates, Some(&ov))
+            }
+            _ => self.rows_from_candidates(db, &view, candidates, Some(&ov)),
+        }
+    }
+
+    /// [`Prepared::run_explain`] with read-your-writes against an open
+    /// transaction (same overlay scope as [`Prepared::run_in_txn`]).
+    pub fn run_explain_in_txn(
+        &self,
+        db: &Database,
+        txn: &Txn<'_>,
+    ) -> Result<(QueryOutput, ExplainReport)> {
+        if !self.overlay_applies() {
+            return self.run_explain(db);
+        }
+        let misses0 = db.buffer_stats().misses;
+        let t0 = std::time::Instant::now();
+        let view = db.pin_view(self.type_def.id);
+        let ov = Overlay {
+            txn,
+            tt: Interval::from_start(TimePoint(view.tt.0 + 1)),
+        };
+        self.explain_with(db, &view, Some(&ov), misses0, t0)
     }
 
     /// Executes the prepared query with per-operator instrumentation.
@@ -872,8 +962,21 @@ impl Prepared {
         if self.join.is_some() {
             return self.run_explain_join(db, &view, misses0, t0);
         }
+        self.explain_with(db, &view, None, misses0, t0)
+    }
 
-        let (candidates, acc_us, acc_pages) = measured(db, || self.candidates(db, &view))?;
+    /// The non-join instrumented path, parameterized over an optional
+    /// in-transaction overlay (always `None` for `MOLECULE` / `HISTORY`
+    /// targets — they stay committed-only).
+    fn explain_with(
+        &self,
+        db: &Database,
+        view: &ReadView,
+        ov: Option<&Overlay<'_, '_>>,
+        misses0: u64,
+        t0: std::time::Instant,
+    ) -> Result<(QueryOutput, ExplainReport)> {
+        let (candidates, acc_us, acc_pages) = measured(db, || self.candidates_with(db, view, ov))?;
         let n_candidates = candidates.len() as u64;
 
         // Filter/limit suffix of a row-consumer's detail string.
@@ -897,7 +1000,7 @@ impl Prepared {
         let (root_name, root_detail, out, root_us, root_pages) = match &self.targets {
             Targets::Molecule => {
                 let (out, us, pages) = measured(db, || {
-                    self.molecules_from_candidates(db, &view, candidates.into_atoms())
+                    self.molecules_from_candidates(db, view, candidates.into_atoms())
                 })?;
                 (
                     "Materialize",
@@ -909,7 +1012,7 @@ impl Prepared {
             }
             Targets::History => {
                 let (out, us, pages) = measured(db, || {
-                    self.histories_from_candidates(db, &view, candidates.into_atoms())
+                    self.histories_from_candidates(db, view, candidates.into_atoms())
                 })?;
                 (
                     "History",
@@ -920,13 +1023,15 @@ impl Prepared {
                 )
             }
             Targets::Coalesce(_) => {
-                let (out, us, pages) =
-                    measured(db, || self.coalesce_from_candidates(db, &view, candidates))?;
+                let (out, us, pages) = measured(db, || {
+                    self.coalesce_from_candidates(db, view, candidates, ov)
+                })?;
                 ("Coalesce", fl_detail(String::new()), out, us, pages)
             }
             Targets::Aggregate { .. } => {
-                let (out, us, pages) =
-                    measured(db, || self.aggregate_from_candidates(db, &view, candidates))?;
+                let (out, us, pages) = measured(db, || {
+                    self.aggregate_from_candidates(db, view, candidates, ov)
+                })?;
                 (
                     "Aggregate",
                     fl_detail(format!("agg={}", self.targets)),
@@ -937,7 +1042,7 @@ impl Prepared {
             }
             _ => {
                 let (out, us, pages) =
-                    measured(db, || self.rows_from_candidates(db, &view, candidates))?;
+                    measured(db, || self.rows_from_candidates(db, view, candidates, ov))?;
                 ("Select", fl_detail(String::new()), out, us, pages)
             }
         };
@@ -1041,6 +1146,57 @@ impl Prepared {
         candidates_for(db, view, &self.type_def, &self.access)
     }
 
+    /// [`Prepared::candidates`], augmented with the transaction's written
+    /// atoms when an overlay is active: atoms the transaction created are
+    /// not in the committed directory, and atoms whose values it rewrote
+    /// may be missed by a value-index probe keyed on committed values
+    /// (the filter re-applies on overlay tuples, so false positives are
+    /// harmless, but false negatives must be patched in). Appended atoms
+    /// are sorted by atom number; on the scan path they are exclusively
+    /// created atoms (allocated past every committed number), so
+    /// ascending directory order is preserved.
+    fn candidates_with(
+        &self,
+        db: &Database,
+        view: &ReadView,
+        ov: Option<&Overlay<'_, '_>>,
+    ) -> Result<Candidates> {
+        let mut c = self.candidates(db, view)?;
+        if let (Some(o), Candidates::Atoms(atoms)) = (ov, &mut c) {
+            let have: std::collections::HashSet<AtomId> = atoms.iter().copied().collect();
+            let mut extra: Vec<AtomId> = o
+                .txn
+                .written_atoms()
+                .into_iter()
+                .filter(|a| a.ty == self.type_def.id && !have.contains(a))
+                .collect();
+            extra.sort_by_key(|a| a.no);
+            atoms.extend(extra);
+        }
+        Ok(c)
+    }
+
+    /// The versions of `atom` this statement reads: the transaction
+    /// overlay when one is active and the atom was written, committed
+    /// state at the pinned view otherwise.
+    fn fetch(
+        &self,
+        db: &Database,
+        view: &ReadView,
+        atom: AtomId,
+        ov: Option<&Overlay<'_, '_>>,
+    ) -> Result<Vec<AtomVersion>> {
+        if let Some(o) = ov {
+            if let Some(vs) = o.versions(atom) {
+                return Ok(vs);
+            }
+        }
+        match self.query.asof_tt {
+            Some(tt) => db.versions_at(atom, clamp_tt(tt, view)),
+            None => db.versions_at_view(atom, view),
+        }
+    }
+
     fn clip_valid(&self, vs: Vec<AtomVersion>) -> Vec<AtomVersion> {
         match self.query.valid {
             Valid::Any => vs,
@@ -1120,15 +1276,13 @@ impl Prepared {
         db: &Database,
         view: &ReadView,
         candidates: Candidates,
+        ov: Option<&Overlay<'_, '_>>,
     ) -> Result<VersionBatch> {
         let mut b = VersionBatch::with_capacity(candidates.len());
         match candidates {
             Candidates::Atoms(atoms) => {
                 for atom in atoms {
-                    let vs = match self.query.asof_tt {
-                        Some(tt) => db.versions_at(atom, clamp_tt(tt, view))?,
-                        None => db.versions_at_view(atom, view)?,
-                    };
+                    let vs = self.fetch(db, view, atom, ov)?;
                     for v in &vs {
                         b.push(atom, v);
                     }
@@ -1155,7 +1309,7 @@ impl Prepared {
         access: &AccessPath,
     ) -> Result<VersionBatch> {
         let candidates = candidates_for(db, view, def, access)?;
-        self.batch_from_candidates(db, view, candidates)
+        self.batch_from_candidates(db, view, candidates, None)
     }
 
     /// Filter + project + limit over a fully built batch.
@@ -1197,8 +1351,9 @@ impl Prepared {
         db: &Database,
         view: &ReadView,
         candidates: Candidates,
+        ov: Option<&Overlay<'_, '_>>,
     ) -> Result<QueryOutput> {
-        let mut b = self.batch_from_candidates(db, view, candidates)?;
+        let mut b = self.batch_from_candidates(db, view, candidates, ov)?;
         self.filter_batch(&mut b);
         let (columns, positions) = self.row_layout();
         let c = coalesce_batch(&b, &positions);
@@ -1222,11 +1377,12 @@ impl Prepared {
         db: &Database,
         view: &ReadView,
         candidates: Candidates,
+        ov: Option<&Overlay<'_, '_>>,
     ) -> Result<QueryOutput> {
         let Targets::Aggregate { func, attr } = &self.targets else {
             unreachable!("aggregate consumer")
         };
-        let mut b = self.batch_from_candidates(db, view, candidates)?;
+        let mut b = self.batch_from_candidates(db, view, candidates, ov)?;
         self.filter_batch(&mut b);
         let attr_pos = attr.as_ref().map(|p| {
             let (id, _) = self
@@ -1253,7 +1409,7 @@ impl Prepared {
 
     fn run_rows(&self, db: &Database, view: &ReadView) -> Result<QueryOutput> {
         let candidates = self.candidates(db, view)?;
-        self.rows_from_candidates(db, view, candidates)
+        self.rows_from_candidates(db, view, candidates, None)
     }
     /// The fetch/filter/project stage of a rows query, over pre-computed
     /// candidates (shared by the plain and the EXPLAIN ANALYZE paths).
@@ -1265,11 +1421,12 @@ impl Prepared {
         db: &Database,
         view: &ReadView,
         candidates: Candidates,
+        ov: Option<&Overlay<'_, '_>>,
     ) -> Result<QueryOutput> {
         if self.batch_size == 0 {
-            self.rows_from_candidates_scalar(db, view, candidates)
+            self.rows_from_candidates_scalar(db, view, candidates, ov)
         } else {
-            self.rows_from_candidates_batched(db, view, candidates)
+            self.rows_from_candidates_batched(db, view, candidates, ov)
         }
     }
 
@@ -1281,6 +1438,7 @@ impl Prepared {
         db: &Database,
         view: &ReadView,
         candidates: Candidates,
+        ov: Option<&Overlay<'_, '_>>,
     ) -> Result<QueryOutput> {
         let (columns, positions) = self.row_layout();
         let limit = self.query.limit.unwrap_or(usize::MAX);
@@ -1291,10 +1449,7 @@ impl Prepared {
             match candidates {
                 Candidates::Atoms(atoms) => {
                     for atom in atoms {
-                        let vs = match self.query.asof_tt {
-                            Some(tt) => db.versions_at(atom, clamp_tt(tt, view))?,
-                            None => db.versions_at_view(atom, view)?,
-                        };
+                        let vs = self.fetch(db, view, atom, ov)?;
                         for v in &vs {
                             batch.push(atom, v);
                             if batch.len() >= cap
@@ -1362,6 +1517,7 @@ impl Prepared {
         db: &Database,
         view: &ReadView,
         candidates: Candidates,
+        ov: Option<&Overlay<'_, '_>>,
     ) -> Result<QueryOutput> {
         let (columns, positions) = self.row_layout();
         let limit = self.query.limit.unwrap_or(usize::MAX);
@@ -1386,10 +1542,7 @@ impl Prepared {
         match candidates {
             Candidates::Atoms(atoms) => {
                 for atom in atoms {
-                    let vs = match self.query.asof_tt {
-                        Some(tt) => db.versions_at(atom, clamp_tt(tt, view))?,
-                        None => db.versions_at_view(atom, view)?,
-                    };
+                    let vs = self.fetch(db, view, atom, ov)?;
                     if !take(atom, vs) {
                         break;
                     }

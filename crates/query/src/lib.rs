@@ -36,6 +36,6 @@ pub use exec::{
 };
 pub use parser::{parse, parse_maybe_explain};
 pub use stmt::{
-    apply_statement, parse_statement, run_parsed, run_statement, statement_kind, Statement,
-    StatementApply, StatementOutput,
+    apply_statement, parse_statement, run_parsed, run_query_in_txn, run_statement, statement_kind,
+    Statement, StatementApply, StatementOutput,
 };

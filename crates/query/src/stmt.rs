@@ -165,6 +165,30 @@ pub fn run_statement(db: &Database, src: &str) -> Result<StatementOutput> {
     run_parsed(db, parse_statement(src)?)
 }
 
+/// Runs a `SELECT` / `EXPLAIN ANALYZE` statement inside an open
+/// transaction with read-your-writes: atoms the transaction touched or
+/// created are read from its overlay (see
+/// [`Prepared::run_in_txn`](crate::exec::Prepared::run_in_txn) for the
+/// overlay's exact scope). Any other statement kind is rejected — DML
+/// goes through [`apply_statement`], DDL is not allowed in a transaction.
+pub fn run_query_in_txn(db: &Database, txn: &Txn<'_>, stmt: Statement) -> Result<StatementOutput> {
+    match stmt {
+        Statement::Select(q) => {
+            let p = crate::exec::prepare_query(db, q, crate::exec::ExecOptions::default())?;
+            Ok(StatementOutput::Query(p.run_in_txn(db, txn)?))
+        }
+        Statement::ExplainAnalyze(q) => {
+            let p = crate::exec::prepare_query(db, q, crate::exec::ExecOptions::default())?;
+            let (_, report) = p.run_explain_in_txn(db, txn)?;
+            Ok(StatementOutput::Explain(report))
+        }
+        other => Err(Error::unsupported(format!(
+            "run_query_in_txn takes SELECT or EXPLAIN ANALYZE, not {}",
+            statement_kind(&other)
+        ))),
+    }
+}
+
 /// Executes an already-parsed statement against `db` (auto-commit: DML
 /// statements each run in their own transaction). This is the execution
 /// path behind [`run_statement`] and the server's statement cache, which

@@ -2,23 +2,34 @@
 //!
 //! ```text
 //! tcom-server <db-dir> [--addr host:port] [--threads N] [--store chain|delta|split]
+//!                      [--replica-of host:port]
 //! ```
 //!
 //! Listens on `--addr` (default `127.0.0.1:7464`) and serves the frame
 //! protocol understood by `tcom-client` and the shell's `.connect`.
 //! Reads stdin: `quit` (or EOF) shuts down gracefully — in-flight commits
 //! drain, then the database closes with a checkpoint.
+//!
+//! With `--replica-of <leader-addr>` the process becomes a read-only
+//! replication follower: it subscribes to the leader's WAL stream,
+//! replays every committed transaction locally in commit order, and
+//! serves queries (any `ASOF TT` slice matches the leader once the
+//! follower's published clock passes it). Writes are rejected. The
+//! replica must be seeded with the same DDL as the leader, in the same
+//! order — schema changes are not replicated.
 
 use std::io::BufRead;
 use std::sync::Arc;
-use tcom_core::{Database, DbConfig, StoreKind};
+use tcom_client::ReplicaFollower;
+use tcom_core::{Database, DbConfig, StoreKind, WalApplier};
 use tcom_server::{Server, ServerConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         eprintln!(
-            "usage: tcom-server <db-dir> [--addr host:port] [--threads N] [--store chain|delta|split]"
+            "usage: tcom-server <db-dir> [--addr host:port] [--threads N] \
+             [--store chain|delta|split] [--replica-of host:port]"
         );
         std::process::exit(2);
     };
@@ -58,6 +69,19 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let follower = match flag("--replica-of") {
+        Some(leader) => match WalApplier::new(db.clone()) {
+            Ok(applier) => {
+                println!("following leader at {leader} (read-only replica)");
+                Some(ReplicaFollower::start(leader, applier))
+            }
+            Err(e) => {
+                eprintln!("cannot start replication: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
     let mut server = match Server::start(db.clone(), server_config) {
         Ok(s) => s,
         Err(e) => {
@@ -82,6 +106,12 @@ fn main() {
         }
     }
     println!("shutting down…");
+    if let Some(f) = follower {
+        if let Some(e) = f.last_error() {
+            eprintln!("replication stopped: {e}");
+        }
+        f.stop();
+    }
     server.shutdown();
     drop(server);
     // Last Arc owner: Drop checkpoints the database.

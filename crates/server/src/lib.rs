@@ -54,11 +54,12 @@ use std::time::{Duration, Instant};
 use tcom_client::proto::{self, error_code, Ack};
 use tcom_core::{Database, Txn};
 use tcom_kernel::frame::{Frame, FrameKind};
-use tcom_kernel::{Error, Result};
+use tcom_kernel::{Error, Lsn, Result};
 use tcom_obs::{Counter, Histogram};
 use tcom_query::exec::Prepared;
 use tcom_query::{
-    apply_statement, parse_statement, run_parsed, Statement, StatementApply, StatementOutput,
+    apply_statement, parse_statement, run_parsed, run_query_in_txn, Statement, StatementApply,
+    StatementOutput,
 };
 
 /// How long a worker blocks in one socket read / accept poll before
@@ -400,6 +401,20 @@ impl<'db> Session<'db> {
                 self.send_ack(Ack::Done)?;
                 Ok(true)
             }
+            FrameKind::ReplSubscribe => {
+                if self.txn.is_some() || self.poisoned {
+                    self.send_error(
+                        error_code::SESSION,
+                        "cannot subscribe to replication with an open transaction",
+                    )?;
+                    return Ok(false);
+                }
+                let sub = proto::dec_repl_subscribe(&frame.payload)?;
+                // The subscription takes over the session for its whole
+                // remaining life; when the stream ends, close.
+                self.stream_wal(&sub)?;
+                Ok(false)
+            }
             // Everything else is server-to-client (or a repeated Hello):
             // a protocol violation that closes the session.
             other => {
@@ -429,10 +444,11 @@ impl<'db> Session<'db> {
         }
         match stmt {
             Statement::Select(_) | Statement::ExplainAnalyze(_) => {
-                // Queries inside a transaction read published state only;
-                // the transaction's buffered writes are not yet visible
-                // (DML statements themselves do get read-your-writes).
-                match run_parsed(self.db, stmt) {
+                // Queries inside a transaction get read-your-writes: atoms
+                // the transaction touched are served from its overlay (see
+                // `Prepared::run_in_txn` for the overlay's exact scope).
+                let txn = self.txn.as_ref().expect("checked above");
+                match run_query_in_txn(self.db, txn, stmt) {
                     Ok(out) => self.send_output(&out),
                     Err(e) => self.send_error(error_code::STATEMENT, &e.to_string()),
                 }
@@ -493,18 +509,95 @@ impl<'db> Session<'db> {
                 error_code::SESSION,
                 &format!("unknown statement handle {id}"),
             ),
-            Some(Cached::Plan(p)) => match p.run(self.db) {
-                Ok(out) => self.send_output(&StatementOutput::Query(out)),
-                Err(e) => self.send_error(error_code::STATEMENT, &e.to_string()),
-            },
-            Some(Cached::Analyze(p)) => match p.run_explain(self.db) {
-                Ok((_, report)) => self.send_output(&StatementOutput::Explain(report)),
-                Err(e) => self.send_error(error_code::STATEMENT, &e.to_string()),
-            },
+            // Prepared queries also honor an open transaction's overlay —
+            // EXECUTE must see the same state as the equivalent QUERY.
+            Some(Cached::Plan(p)) => {
+                let r = match &self.txn {
+                    Some(txn) => p.run_in_txn(self.db, txn),
+                    None => p.run(self.db),
+                };
+                match r {
+                    Ok(out) => self.send_output(&StatementOutput::Query(out)),
+                    Err(e) => self.send_error(error_code::STATEMENT, &e.to_string()),
+                }
+            }
+            Some(Cached::Analyze(p)) => {
+                let r = match &self.txn {
+                    Some(txn) => p.run_explain_in_txn(self.db, txn),
+                    None => p.run_explain(self.db),
+                };
+                match r {
+                    Ok((_, report)) => self.send_output(&StatementOutput::Explain(report)),
+                    Err(e) => self.send_error(error_code::STATEMENT, &e.to_string()),
+                }
+            }
             Some(Cached::Stmt(s)) => {
                 let stmt = s.clone();
                 self.exec_stmt(stmt)
             }
+        }
+    }
+
+    /// Serves a replication subscription: streams durable WAL chunks to
+    /// the follower until it disconnects or the server shuts down.
+    ///
+    /// A subscriber whose epoch doesn't match the live log restarts from
+    /// LSN 0 of the current epoch — its recorded position belongs to a log
+    /// incarnation that a checkpoint has since truncated. The follower's
+    /// published clock makes the re-stream idempotent on its side, and the
+    /// head `Checkpoint` record tells it whether the truncation skipped
+    /// transactions it never saw (resync required).
+    fn stream_wal(&mut self, sub: &proto::ReplSubscribe) -> Result<()> {
+        /// Max raw WAL bytes per `ReplFrame`.
+        const CHUNK: usize = 1 << 20;
+        let mut epoch = self.db.wal_epoch();
+        let mut pos = if sub.epoch == epoch {
+            Lsn(sub.lsn)
+        } else {
+            Lsn(0)
+        };
+        loop {
+            if self.shared.stop.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            let chunk = self.db.wal_chunk(pos, CHUNK)?;
+            if chunk.epoch != epoch {
+                // The log was truncated mid-stream (checkpoint): restart
+                // from the head of the new incarnation.
+                epoch = chunk.epoch;
+                pos = Lsn(0);
+                continue;
+            }
+            if chunk.bytes.is_empty() {
+                // Caught up: drain follower acks and wait (bounded by
+                // POLL) for new durable writes or a disconnect.
+                match self.poll_frame()? {
+                    Step::Frame(f) if f.kind == FrameKind::ReplAck => {
+                        proto::dec_repl_ack(&f.payload)?;
+                    }
+                    Step::Frame(f) => {
+                        return self.send_error(
+                            error_code::PROTOCOL,
+                            &format!("unexpected {} frame on a replication stream", f.kind.name()),
+                        );
+                    }
+                    Step::Idle => {}
+                    Step::Closed => return Ok(()),
+                }
+                continue;
+            }
+            let next = Lsn(chunk.start.0 + chunk.bytes.len() as u64);
+            self.send(Frame::new(
+                FrameKind::ReplFrame,
+                proto::enc_repl_frame(&proto::ReplFrame {
+                    epoch: chunk.epoch,
+                    start_lsn: chunk.start.0,
+                    durable_end: self.db.wal_durable_len(),
+                    leader_tt: self.db.now(),
+                    bytes: chunk.bytes,
+                }),
+            ))?;
+            pos = next;
         }
     }
 

@@ -1,0 +1,443 @@
+//! Replication differential suite: a read replica following the leader's
+//! WAL stream must expose *byte-identical* query results (via `{:?}`
+//! renderings) at every transaction-time slice — against every
+//! version-store layout, across disconnect/resume, and across a replica
+//! crash + restart on scripted faults. This pins down the whole
+//! replication path: WAL chunk shipping, follower replay order, clock
+//! republication, index maintenance, and the persisted resume position.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tcom_client::ReplicaFollower;
+use tcom_core::{Database, DbConfig, FaultVfs, StoreKind, WalApplier};
+use tcom_kernel::Error;
+use tcom_query::{run_statement, StatementOutput};
+use tcom_server::{Server, ServerConfig};
+
+const KINDS: [StoreKind; 3] = [StoreKind::Chain, StoreKind::Delta, StoreKind::Split];
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("tcom-repl-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn cfg(kind: StoreKind) -> DbConfig {
+    DbConfig::default()
+        .store_kind(kind)
+        .buffer_frames(256)
+        .checkpoint_interval(0)
+}
+
+fn run(db: &Database, sql: &str) -> StatementOutput {
+    run_statement(db, sql).unwrap_or_else(|e| panic!("statement failed: {sql}\n  {e}"))
+}
+
+/// The university DDL. DDL is not replicated, so the replica runs the
+/// identical statements in the identical order before subscribing.
+fn seed_ddl(db: &Database) {
+    run(db, "CREATE TYPE proj (title TEXT NOT NULL, budget INT)");
+    run(
+        db,
+        "CREATE TYPE emp (name TEXT NOT NULL, salary INT INDEXED, proj REF(proj))",
+    );
+    run(
+        db,
+        "CREATE TYPE dept (name TEXT NOT NULL, employs REFSET(emp))",
+    );
+    run(
+        db,
+        "CREATE MOLECULE dept_mol ROOT dept (dept.employs TO emp, emp.proj TO proj) DEPTH 4",
+    );
+}
+
+/// Same university history as the network differential suite.
+fn populate(db: &Database) {
+    let mut projects = Vec::new();
+    for (i, title) in ["alpha", "beta"].iter().enumerate() {
+        let out = run(
+            db,
+            &format!(
+                "INSERT INTO proj (title, budget) VALUES ('{title}', {})",
+                (i as i64 + 1) * 1000
+            ),
+        );
+        let StatementOutput::Inserted(id, _) = out else {
+            panic!("expected Inserted, got {out:?}")
+        };
+        projects.push(id);
+    }
+    let mut emps = Vec::new();
+    for (i, name) in ["ann", "bob", "carol", "dave", "erin", "frank"]
+        .iter()
+        .enumerate()
+    {
+        let p = projects[i % projects.len()];
+        let out = run(
+            db,
+            &format!(
+                "INSERT INTO emp (name, salary, proj) VALUES ('{name}', {}, @{}.{}) \
+                 VALID IN [0, 100)",
+                (i as i64 + 1) * 100,
+                p.ty.0,
+                p.no.0
+            ),
+        );
+        let StatementOutput::Inserted(id, _) = out else {
+            panic!("expected Inserted, got {out:?}")
+        };
+        emps.push(id);
+    }
+    for (dname, members) in [("research", &emps[..3]), ("sales", &emps[3..])] {
+        let refs: Vec<String> = members
+            .iter()
+            .map(|id| format!("@{}.{}", id.ty.0, id.no.0))
+            .collect();
+        run(
+            db,
+            &format!(
+                "INSERT INTO dept (name, employs) VALUES ('{dname}', {{{}}})",
+                refs.join(", ")
+            ),
+        );
+    }
+    run(db, "UPDATE emp SET salary = 350 WHERE name = 'carol'");
+    run(
+        db,
+        "UPDATE emp SET salary = 120 WHERE name = 'ann' VALID IN [10, 20)",
+    );
+    run(db, "DELETE FROM emp WHERE name = 'dave'");
+    run(db, "UPDATE proj SET budget = 2500 WHERE title = 'beta'");
+}
+
+/// Current-state and temporal queries replayed on both sides; the `ASOF
+/// TT` slices are additionally replayed at *every* transaction time.
+const BATTERY: &[&str] = &[
+    "SELECT * FROM emp",
+    "SELECT name, salary FROM emp WHERE salary >= 200",
+    "SELECT * FROM proj",
+    "SELECT HISTORY FROM emp",
+    "SELECT * FROM emp VALID IN [5, 30)",
+    "SELECT MOLECULE FROM dept_mol VALID AT 10",
+    "SELECT a.name, b.title FROM emp a JOIN proj b ON a.salary = b.budget",
+    "SELECT COALESCE salary FROM emp WHERE salary >= 200 VALID IN [0, 50)",
+    "SELECT COUNT(*) FROM emp",
+    "SELECT SUM(salary) FROM emp VALID IN [0, 60)",
+    "SELECT INTEGRAL(salary) FROM emp VALID IN [0, 80)",
+];
+
+/// Queries replayed per transaction-time slice (`{tt}` substituted).
+const SLICED: &[&str] = &[
+    "SELECT * FROM emp ASOF TT {tt}",
+    "SELECT * FROM proj ASOF TT {tt}",
+    "SELECT * FROM dept ASOF TT {tt}",
+    "SELECT name, salary FROM emp WHERE salary >= 200 ASOF TT {tt}",
+    "SELECT COUNT(*) FROM emp ASOF TT {tt} VALID IN [0, 30)",
+];
+
+/// Blocks until the replica's published clock reaches the leader's.
+fn wait_sync(leader: &Database, replica: &Database, follower: &ReplicaFollower) {
+    let target = leader.now();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while replica.now() < target {
+        if let Some(e) = follower.last_error() {
+            panic!("follower died while syncing: {e}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica stuck at tt {} chasing leader tt {}",
+            replica.now(),
+            target
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Asserts every battery statement and every `ASOF TT` slice renders
+/// byte-identically on leader and replica.
+fn assert_identical(leader: &Database, replica: &Database, context: &str) {
+    for sql in BATTERY {
+        assert_eq!(
+            format!("{:?}", run(leader, sql)),
+            format!("{:?}", run(replica, sql)),
+            "{context}: replica diverged on {sql}"
+        );
+    }
+    for tt in 0..=leader.now().0 {
+        for tpl in SLICED {
+            let sql = tpl.replace("{tt}", &tt.to_string());
+            assert_eq!(
+                format!("{:?}", run(leader, &sql)),
+                format!("{:?}", run(replica, &sql)),
+                "{context}: replica diverged at tt {tt} on {sql}"
+            );
+        }
+    }
+}
+
+/// Every store layout: populate the leader, stream to a freshly seeded
+/// replica, and require byte-identical renderings at every tt slice. The
+/// replica also rejects writes and reports its lag gauges.
+#[test]
+fn replica_matches_leader_at_every_tt_slice() {
+    for kind in KINDS {
+        let tag = format!("{kind:?}").to_lowercase();
+        let ldir = tmpdir(&format!("lead-{tag}"));
+        let rdir = tmpdir(&format!("repl-{tag}"));
+        let leader = Arc::new(Database::open(&ldir, cfg(kind)).unwrap());
+        seed_ddl(&leader);
+        populate(&leader);
+        let server =
+            Server::start(leader.clone(), ServerConfig::default().server_threads(2)).unwrap();
+
+        let replica = Arc::new(Database::open(&rdir, cfg(kind)).unwrap());
+        seed_ddl(&replica);
+        let applier = WalApplier::new(replica.clone()).unwrap();
+        let follower = ReplicaFollower::start(server.local_addr().to_string(), applier);
+        wait_sync(&leader, &replica, &follower);
+
+        assert_identical(&leader, &replica, &tag);
+
+        // Writes continue while the subscription is live; the replica
+        // follows and stays identical.
+        run(&leader, "UPDATE emp SET salary = 500 WHERE name = 'erin'");
+        run(
+            &leader,
+            "INSERT INTO emp (name, salary) VALUES ('late', 999)",
+        );
+        wait_sync(&leader, &replica, &follower);
+        assert_identical(&leader, &replica, &format!("{tag} after live writes"));
+
+        // The replica is read-only: embedded and wire writes are refused.
+        let err = run_statement(&replica, "INSERT INTO emp (name, salary) VALUES ('no', 1)")
+            .expect_err("replica write must fail");
+        assert!(
+            matches!(&err, Error::Txn(m) if m.contains("replica")),
+            "unexpected replica-write error: {err:?}"
+        );
+
+        // Lag and throughput observability.
+        let m = replica.metrics();
+        assert_eq!(m.counter("repl.applied_tt"), leader.now().0);
+        assert_eq!(m.counter("repl.tt_lag"), 0, "caught-up replica lags");
+        assert!(m.counter("repl.txns_applied") > 0);
+        assert!(m.counter("repl.bytes") > 0);
+        assert!(follower.last_error().is_none());
+
+        follower.stop();
+        drop(server);
+        drop(leader);
+        drop(replica);
+        let _ = std::fs::remove_dir_all(&ldir);
+        let _ = std::fs::remove_dir_all(&rdir);
+    }
+}
+
+/// A replica restarted from disk resumes from its persisted `repl.pos`
+/// boundary: writes made while it was down arrive after reconnect, and
+/// every slice still matches.
+#[test]
+fn replica_resumes_after_restart() {
+    let ldir = tmpdir("resume-lead");
+    let rdir = tmpdir("resume-repl");
+    let leader = Arc::new(Database::open(&ldir, cfg(StoreKind::Split)).unwrap());
+    seed_ddl(&leader);
+    populate(&leader);
+    let server = Server::start(leader.clone(), ServerConfig::default().server_threads(2)).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // First incarnation: sync fully, then shut the replica down.
+    {
+        let replica = Arc::new(Database::open(&rdir, cfg(StoreKind::Split)).unwrap());
+        seed_ddl(&replica);
+        let applier = WalApplier::new(replica.clone()).unwrap();
+        let follower = ReplicaFollower::start(addr.clone(), applier);
+        wait_sync(&leader, &replica, &follower);
+        follower.stop();
+        drop(replica);
+    }
+
+    // The leader moves on while the replica is down.
+    run(&leader, "UPDATE emp SET salary = 777 WHERE name = 'frank'");
+    run(
+        &leader,
+        "INSERT INTO proj (title, budget) VALUES ('gamma', 3000)",
+    );
+    run(&leader, "DELETE FROM emp WHERE name = 'bob'");
+
+    // Second incarnation: reopen from disk; the persisted position must
+    // resume mid-log, not from zero.
+    let replica = Arc::new(Database::open(&rdir, cfg(StoreKind::Split)).unwrap());
+    let applier = WalApplier::new(replica.clone()).unwrap();
+    assert_eq!(
+        applier.resume_epoch(),
+        leader.wal_epoch(),
+        "same log incarnation"
+    );
+    assert!(
+        applier.resume_lsn().0 > 0,
+        "restart must resume, not restream"
+    );
+    let follower = ReplicaFollower::start(addr, applier);
+    wait_sync(&leader, &replica, &follower);
+    assert_identical(&leader, &replica, "after restart");
+    assert!(follower.last_error().is_none());
+
+    follower.stop();
+    drop(server);
+    drop(leader);
+    drop(replica);
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}
+
+/// Replica crash under scripted faults: a power cut mid-replay loses all
+/// non-durable replica state; reopening recovers from the replica's own
+/// WAL, and the resumed subscription re-streams the remainder. Every
+/// slice matches the leader afterwards.
+#[test]
+fn replica_crash_recovers_and_resumes() {
+    let ldir = tmpdir("crash-lead");
+    let rdir = tmpdir("crash-repl");
+    // The FaultVfs is purely in-memory, but the `repl.pos` sidecar lives
+    // on the real filesystem — give it a real directory.
+    std::fs::create_dir_all(&rdir).unwrap();
+    let leader = Arc::new(Database::open(&ldir, cfg(StoreKind::Chain)).unwrap());
+    seed_ddl(&leader);
+    let server = Server::start(leader.clone(), ServerConfig::default().server_threads(2)).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let vfs = FaultVfs::new();
+    let replica = Arc::new(
+        Database::open_with_vfs(&rdir, cfg(StoreKind::Chain), Arc::new(vfs.clone())).unwrap(),
+    );
+    seed_ddl(&replica);
+    let applier = WalApplier::new(replica.clone()).unwrap();
+    let follower = ReplicaFollower::start(addr.clone(), applier);
+
+    // First wave replicates cleanly.
+    populate(&leader);
+    wait_sync(&leader, &replica, &follower);
+
+    // Arm a power cut a little into the replica's future I/O, then keep
+    // writing: some of the second wave replays, then the replica "dies".
+    vfs.power_cut_at(vfs.mut_ops() + 20);
+    for i in 0..12 {
+        run(
+            &leader,
+            &format!(
+                "INSERT INTO emp (name, salary) VALUES ('w{i}', {})",
+                1000 + i
+            ),
+        );
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while follower.last_error().is_none() {
+        assert!(
+            Instant::now() < deadline,
+            "armed power cut never fired on the replica"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    follower.stop();
+    Arc::try_unwrap(replica)
+        .ok()
+        .expect("follower must have released the replica")
+        .crash();
+    assert!(vfs.crashed(), "power cut must have fired");
+
+    // Reopen on exactly the durable bytes: recovery replays the replica's
+    // own WAL, then the subscription resumes from the persisted boundary.
+    vfs.reset_after_crash();
+    let replica = Arc::new(
+        Database::open_with_vfs(&rdir, cfg(StoreKind::Chain), Arc::new(vfs.clone())).unwrap(),
+    );
+    assert!(
+        replica.now() <= leader.now(),
+        "recovered replica clock must not run ahead of the leader"
+    );
+    let applier = WalApplier::new(replica.clone()).unwrap();
+    let follower = ReplicaFollower::start(addr, applier);
+    wait_sync(&leader, &replica, &follower);
+    assert_identical(&leader, &replica, "after crash recovery");
+    let report = replica.verify_integrity().unwrap();
+    assert!(
+        report.is_ok(),
+        "integrity violations after crash + resume: {:?}",
+        report.violations
+    );
+    assert!(follower.last_error().is_none());
+
+    follower.stop();
+    drop(server);
+    drop(leader);
+    drop(replica);
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}
+
+/// Killing and re-establishing the *connection* (leader restart excluded)
+/// resumes idempotently: the follower reconnects with its applied
+/// boundary, re-streamed transactions are skipped, nothing applies twice.
+#[test]
+fn reconnect_resumes_idempotently() {
+    let ldir = tmpdir("reconn-lead");
+    let rdir = tmpdir("reconn-repl");
+    let leader = Arc::new(Database::open(&ldir, cfg(StoreKind::Delta)).unwrap());
+    seed_ddl(&leader);
+    populate(&leader);
+
+    // First server incarnation.
+    let mut server =
+        Server::start(leader.clone(), ServerConfig::default().server_threads(2)).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let replica = Arc::new(Database::open(&rdir, cfg(StoreKind::Delta)).unwrap());
+    seed_ddl(&replica);
+    let applier = WalApplier::new(replica.clone()).unwrap();
+    let follower = ReplicaFollower::start(addr.clone(), applier);
+    wait_sync(&leader, &replica, &follower);
+    let applied_before = replica.metrics().counter("repl.txns_applied");
+
+    // Kill the connection by shutting the server down, then restart it on
+    // the same address (same database, same WAL epoch).
+    server.shutdown();
+    drop(server);
+    run(&leader, "UPDATE emp SET salary = 111 WHERE name = 'ann'");
+    // Rebinding the same port can transiently fail while the old
+    // sockets drain; retry briefly.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let server = loop {
+        match Server::start(
+            leader.clone(),
+            ServerConfig::default().addr(addr.clone()).server_threads(2),
+        ) {
+            Ok(s) => break s,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "cannot rebind {addr}: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    wait_sync(&leader, &replica, &follower);
+    assert_identical(&leader, &replica, "after reconnect");
+
+    let m = replica.metrics();
+    assert!(
+        m.counter("repl.reconnects") >= 1,
+        "the drop must be visible as a reconnect"
+    );
+    assert_eq!(
+        m.counter("repl.txns_applied"),
+        applied_before + 1,
+        "re-streamed transactions must be skipped, not re-applied"
+    );
+    assert!(follower.last_error().is_none());
+
+    follower.stop();
+    drop(server);
+    drop(leader);
+    drop(replica);
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}

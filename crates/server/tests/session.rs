@@ -328,6 +328,149 @@ fn transaction_buffers_with_read_your_writes() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// SELECT (and EXPLAIN ANALYZE) inside a transaction see the
+/// transaction's own buffered writes — updated values replace the
+/// committed ones, created atoms appear — while another session keeps
+/// seeing only published state, and ROLLBACK erases everything.
+#[test]
+fn in_txn_select_sees_buffered_writes() {
+    let (db, server, mut client, dir) = serve("txnsel", 2);
+    let mut other = Client::connect(server.local_addr()).expect("second client");
+    run_statement(&db, "INSERT INTO emp (name, salary) VALUES ('base', 10)").expect("seed");
+    run_statement(&db, "INSERT INTO emp (name, salary) VALUES ('aside', 99)").expect("seed aside");
+
+    client.begin().expect("begin");
+    client
+        .query("UPDATE emp SET salary = 20 WHERE salary = 10")
+        .expect("buffered update");
+    client
+        .query("INSERT INTO emp (name, salary) VALUES ('fresh', 30)")
+        .expect("buffered insert");
+
+    // Read-your-writes: the update's new value replaces the committed
+    // one, and the transaction-created atom shows up.
+    assert_eq!(
+        salaries(&client.query_output("SELECT salary FROM emp").unwrap()),
+        vec![20, 99, 30],
+        "in-txn SELECT must see the transaction's own writes"
+    );
+    // Transaction-time stamps: written rows carry the provisional tt
+    // (strictly after the pinned snapshot), while rows the UPDATE merely
+    // scanned — 'aside' was read by the WHERE but not matched — keep
+    // their committed stamps.
+    match client.query_output("SELECT salary FROM emp").unwrap() {
+        StatementOutput::Query(QueryOutput::Rows { rows, .. }) => {
+            let tt_of = |want: i64| {
+                rows.iter()
+                    .find(|r| matches!(r.values[0], Value::Int(i) if i == want))
+                    .map(|r| r.tt.start().0)
+                    .expect("row present")
+            };
+            assert_eq!(tt_of(99), 2, "unwritten row must keep its committed tt");
+            assert_eq!(tt_of(20), 3, "updated row carries the provisional tt");
+            assert_eq!(tt_of(30), 3, "created row carries the provisional tt");
+        }
+        other => panic!("unexpected output {other:?}"),
+    }
+    // Predicates evaluate against the buffered values too — including a
+    // value-index probe on the indexed salary column.
+    assert_eq!(
+        salaries(
+            &client
+                .query_output("SELECT salary FROM emp WHERE salary = 20")
+                .unwrap()
+        ),
+        vec![20],
+        "predicate over a buffered update"
+    );
+    assert_eq!(
+        salaries(
+            &client
+                .query_output("SELECT salary FROM emp WHERE salary = 10")
+                .unwrap()
+        ),
+        Vec::<i64>::new(),
+        "the overwritten committed value must be gone"
+    );
+    // EXPLAIN ANALYZE runs the same overlay-aware path.
+    match client
+        .query_output("EXPLAIN ANALYZE SELECT salary FROM emp")
+        .expect("explain in txn")
+    {
+        StatementOutput::Explain(_) => {}
+        other => panic!("expected Explain, got {other:?}"),
+    }
+    // Another session keeps seeing only the published state.
+    assert_eq!(
+        salaries(&other.query_output("SELECT salary FROM emp").unwrap()),
+        vec![10, 99],
+        "buffered writes must stay invisible to other sessions"
+    );
+
+    client.rollback().expect("rollback");
+    assert_eq!(
+        salaries(&client.query_output("SELECT salary FROM emp").unwrap()),
+        vec![10, 99],
+        "ROLLBACK must erase the buffered writes"
+    );
+    drop((client, other));
+    drop(server);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Prepared EXECUTE honors the open transaction exactly like an ad-hoc
+/// QUERY: buffered writes visible pre-COMMIT, gone post-ROLLBACK.
+#[test]
+fn prepared_execute_sees_txn_writes() {
+    let (db, server, mut client, dir) = serve("txnexec", 1);
+    let all = client.prepare("SELECT salary FROM emp").expect("prepare");
+    let probe = client
+        .prepare("SELECT salary FROM emp WHERE salary >= 50")
+        .expect("prepare probe");
+
+    client.begin().expect("begin");
+    client
+        .query("INSERT INTO emp (name, salary) VALUES ('p', 77)")
+        .expect("buffered insert");
+    match client.execute(all).expect("execute in txn") {
+        Response::Output(out) => assert_eq!(
+            salaries(&out),
+            vec![77],
+            "EXECUTE must see the buffered insert"
+        ),
+        other => panic!("unexpected {other:?}"),
+    }
+    match client.execute(probe).expect("indexed execute in txn") {
+        Response::Output(out) => assert_eq!(salaries(&out), vec![77]),
+        other => panic!("unexpected {other:?}"),
+    }
+    client.rollback().expect("rollback");
+    match client.execute(all).expect("execute after rollback") {
+        Response::Output(out) => assert_eq!(
+            salaries(&out),
+            Vec::<i64>::new(),
+            "rolled-back insert must be gone from EXECUTE"
+        ),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // COMMIT makes the buffered rows equally visible to EXECUTE.
+    client.begin().expect("begin again");
+    client
+        .query("INSERT INTO emp (name, salary) VALUES ('q', 88)")
+        .expect("insert");
+    client.commit().expect("commit");
+    match client.execute(all).expect("execute after commit") {
+        Response::Output(out) => assert_eq!(salaries(&out), vec![88]),
+        other => panic!("unexpected {other:?}"),
+    }
+    drop(client);
+    drop(server);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn ddl_inside_transaction_is_refused() {
     let (db, server, mut client, dir) = serve("ddl", 1);

@@ -25,4 +25,4 @@ pub mod record;
 pub mod wal;
 
 pub use record::LogRecord;
-pub use wal::{SyncPolicy, Wal, WalObs};
+pub use wal::{decode_frames, SyncPolicy, Wal, WalChunk, WalCursor, WalObs};

@@ -23,6 +23,32 @@ struct Inner {
     file: Arc<dyn VfsFile>,
     /// Next append offset == current log length in bytes.
     end: u64,
+    /// The log's *epoch*: a fresh, incarnation-unique value drawn at every
+    /// open and at every [`Wal::reset_with`] truncation. LSNs are byte
+    /// offsets, so a truncation makes old LSNs ambiguous; the epoch lets a
+    /// replication subscriber detect that its resume position belongs to a
+    /// log that no longer exists.
+    epoch: u64,
+}
+
+/// Draws an epoch no other log incarnation of this or any concurrently
+/// running process will draw (process id ⊕ a process-local counter).
+fn fresh_epoch() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    ((std::process::id() as u64) << 32) | COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One chunk of raw, CRC-validated WAL frames handed to a replication
+/// subscriber: whole frames only, starting at `start`, within the durable
+/// prefix of log incarnation `epoch`.
+#[derive(Clone, Debug)]
+pub struct WalChunk {
+    /// The log incarnation these bytes belong to.
+    pub epoch: u64,
+    /// Byte offset of the first frame in `bytes`.
+    pub start: Lsn,
+    /// Raw frame bytes (`[len][crc][payload]`*, zero or more whole frames).
+    pub bytes: Vec<u8>,
 }
 
 /// Group-commit durability gate (leader/follower fsync batching).
@@ -79,7 +105,7 @@ impl Wal {
         let path = path.as_ref().to_owned();
         let file = vfs.open(&path)?;
         // Find the end of the valid prefix.
-        let valid_end = scan_valid_prefix(file.as_ref())?.1;
+        let valid_end = scan_valid_end(&file)?;
         if valid_end != file.len()? {
             file.set_len(valid_end)?;
         }
@@ -87,6 +113,7 @@ impl Wal {
             inner: Mutex::new(Inner {
                 file,
                 end: valid_end,
+                epoch: fresh_epoch(),
             }),
             path,
             policy,
@@ -231,22 +258,105 @@ impl Wal {
         Ok(())
     }
 
+    /// The log's current epoch (changes on every [`Wal::reset_with`]).
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().expect("wal lock").epoch
+    }
+
+    /// The *replicable* horizon: how far a subscriber may safely be
+    /// streamed. Under [`SyncPolicy::OnCommit`] only fsynced bytes ship —
+    /// a power cut must never leave a replica ahead of its leader. Under
+    /// [`SyncPolicy::OnCheckpoint`] the whole in-memory tail ships (the
+    /// leader has already accepted losing it on power failure).
+    pub fn durable_len(&self) -> u64 {
+        match self.policy {
+            SyncPolicy::OnCommit => self.gate.lock().expect("wal gate").synced_end,
+            SyncPolicy::OnCheckpoint => self.len(),
+        }
+    }
+
     /// Reads every valid record from the start of the log. A torn tail
-    /// (bad length or CRC) ends the scan cleanly.
+    /// (bad length or CRC) ends the scan cleanly. Thin wrapper over
+    /// [`Wal::read_from`]; prefer the cursor for anything large.
     pub fn read_all(&self) -> Result<Vec<(Lsn, LogRecord)>> {
+        let mut out = Vec::new();
+        let mut cursor = self.read_from(Lsn(0))?;
+        while let Some(item) = cursor.next_record()? {
+            out.push(item);
+        }
+        Ok(out)
+    }
+
+    /// Opens an incremental cursor over the valid records starting at
+    /// byte offset `from` (must be a frame boundary previously handed out
+    /// as an LSN, or 0). The cursor snapshots the log length at creation;
+    /// records appended later are not observed. Reads the log in bounded
+    /// chunks — memory use is O(largest record), not O(log).
+    pub fn read_from(&self, from: Lsn) -> Result<WalCursor> {
         let inner = self.inner.lock().expect("wal lock");
-        let (records, _) = scan_valid_prefix(inner.file.as_ref())?;
-        Ok(records)
+        Ok(WalCursor::new(inner.file.clone(), from.0, inner.end))
+    }
+
+    /// Reads up to `max_bytes` of raw, CRC-validated frames for a
+    /// replication subscriber positioned at `from`. Only *whole* frames
+    /// within the durable horizon are returned (the first frame is
+    /// included even when it alone exceeds `max_bytes`, so one oversized
+    /// record cannot stall the stream). An empty `bytes` means the
+    /// subscriber is caught up — or, if `from` lies beyond the durable
+    /// end, that its position belongs to a different epoch.
+    pub fn read_chunk(&self, from: Lsn, max_bytes: usize) -> Result<WalChunk> {
+        loop {
+            let (file, epoch) = {
+                let inner = self.inner.lock().expect("wal lock");
+                (inner.file.clone(), inner.epoch)
+            };
+            let durable = self.durable_len();
+            let mut chunk = WalChunk {
+                epoch,
+                start: from,
+                bytes: Vec::new(),
+            };
+            let mut pos = from.0;
+            while pos + 8 <= durable {
+                let mut header = [0u8; 8];
+                file.read_at(&mut header, pos)?;
+                let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as u64;
+                let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+                if pos + 8 + len > durable {
+                    break;
+                }
+                let mut payload = vec![0u8; len as usize];
+                file.read_at(&mut payload, pos + 8)?;
+                if crc32c(&payload) != crc {
+                    break;
+                }
+                chunk.bytes.extend_from_slice(&header);
+                chunk.bytes.extend_from_slice(&payload);
+                pos += 8 + len;
+                if chunk.bytes.len() >= max_bytes {
+                    break;
+                }
+            }
+            // A checkpoint truncation may have swept the log out from under
+            // this read (epoch capture → truncate → stale bytes). Retry
+            // until the epoch was stable across the whole read; only then
+            // are the bytes guaranteed to belong to `epoch`.
+            if self.inner.lock().expect("wal lock").epoch == epoch {
+                return Ok(chunk);
+            }
+        }
     }
 
     /// Truncates the log to empty, then appends `first` (typically a
     /// checkpoint record) and syncs. The caller must have flushed and
-    /// synced all data files *before* calling this.
+    /// synced all data files *before* calling this. Draws a fresh epoch:
+    /// pre-truncation LSNs are meaningless afterwards.
     pub fn reset_with(&self, first: &LogRecord) -> Result<Lsn> {
         {
             let mut inner = self.inner.lock().expect("wal lock");
             inner.file.set_len(0)?;
             inner.end = 0;
+            inner.epoch = fresh_epoch();
             // The durable horizon moved backwards with the truncation; a
             // stale `synced_end` would let `sync_to` skip a needed fsync.
             self.gate.lock().expect("wal gate").synced_end = 0;
@@ -255,6 +365,131 @@ impl Wal {
         self.sync()?;
         Ok(lsn)
     }
+}
+
+/// Streaming decoder over a snapshot of one log's valid prefix. Produced
+/// by [`Wal::read_from`]; also usable over raw replicated bytes via
+/// [`decode_frames`].
+pub struct WalCursor {
+    file: Arc<dyn VfsFile>,
+    /// Absolute offset of the next unparsed byte.
+    pos: u64,
+    /// Log length snapshot taken at cursor creation.
+    end: u64,
+    /// Read-ahead buffer; `buf[..filled]` holds file bytes starting at
+    /// absolute offset `buf_start`.
+    buf: Vec<u8>,
+    buf_start: u64,
+    filled: usize,
+}
+
+impl WalCursor {
+    /// Bytes fetched from the file per read-ahead.
+    const CHUNK: usize = 64 << 10;
+
+    fn new(file: Arc<dyn VfsFile>, pos: u64, end: u64) -> WalCursor {
+        WalCursor {
+            file,
+            pos,
+            end,
+            buf: Vec::new(),
+            buf_start: pos,
+            filled: 0,
+        }
+    }
+
+    /// The LSN of the next record [`WalCursor::next_record`] would return —
+    /// after the final record, one past the last valid frame.
+    pub fn position(&self) -> Lsn {
+        Lsn(self.pos)
+    }
+
+    /// Ensures at least `need` bytes starting at `self.pos` are buffered,
+    /// or as many as the snapshot end allows.
+    fn fill(&mut self, need: usize) -> Result<usize> {
+        let have = (self.buf_start + self.filled as u64).saturating_sub(self.pos) as usize;
+        if have >= need {
+            return Ok(have);
+        }
+        // Discard consumed bytes, then read ahead from the file.
+        let offset = (self.pos - self.buf_start) as usize;
+        self.buf.drain(..offset);
+        self.filled -= offset;
+        self.buf_start = self.pos;
+        let want = need.max(Self::CHUNK);
+        let avail = (self.end - self.buf_start) as usize;
+        let target = want.min(avail);
+        if target > self.filled {
+            let at = self.buf_start + self.filled as u64;
+            let old_len = self.buf.len();
+            self.buf.resize(old_len.max(target), 0);
+            self.file.read_at(&mut self.buf[self.filled..target], at)?;
+            self.filled = target;
+        }
+        Ok(self.filled)
+    }
+
+    /// Decodes the next valid record, or `None` at the end of the valid
+    /// prefix (a torn or corrupt frame ends the scan cleanly, exactly as
+    /// the materializing scan did).
+    pub fn next_record(&mut self) -> Result<Option<(Lsn, LogRecord)>> {
+        if self.fill(8)? < 8 {
+            return Ok(None);
+        }
+        let base = (self.pos - self.buf_start) as usize;
+        let len =
+            u32::from_le_bytes(self.buf[base..base + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(self.buf[base + 4..base + 8].try_into().expect("4 bytes"));
+        if self.fill(8 + len)? < 8 + len {
+            return Ok(None); // torn frame
+        }
+        let base = (self.pos - self.buf_start) as usize;
+        let payload = &self.buf[base + 8..base + 8 + len];
+        if crc32c(payload) != crc {
+            return Ok(None); // corrupt frame — treat as end of log
+        }
+        match LogRecord::decode(payload) {
+            Ok(rec) => {
+                let lsn = Lsn(self.pos);
+                self.pos += 8 + len as u64;
+                Ok(Some((lsn, rec)))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+/// Decodes raw frame bytes (as shipped in a [`WalChunk`]) into records,
+/// returning each record with its LSN (`base` + offset within `bytes`).
+/// Errors on a torn or corrupt frame: unlike a log *file* tail, replicated
+/// bytes passed CRC validation on the leader, so damage here means the
+/// transport or the subscriber's bookkeeping is broken.
+pub fn decode_frames(base: Lsn, bytes: &[u8]) -> Result<Vec<(Lsn, LogRecord)>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if pos + 8 > bytes.len() {
+            return Err(tcom_kernel::Error::corruption(
+                "replicated WAL chunk ends mid-header",
+            ));
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if pos + 8 + len > bytes.len() {
+            return Err(tcom_kernel::Error::corruption(
+                "replicated WAL chunk ends mid-frame",
+            ));
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32c(payload) != crc {
+            return Err(tcom_kernel::Error::corruption(
+                "replicated WAL frame failed CRC",
+            ));
+        }
+        out.push((Lsn(base.0 + pos as u64), LogRecord::decode(payload)?));
+        pos += 8 + len;
+    }
+    Ok(out)
 }
 
 fn encode_frame(rec: &LogRecord) -> Vec<u8> {
@@ -266,34 +501,13 @@ fn encode_frame(rec: &LogRecord) -> Vec<u8> {
     frame
 }
 
-/// Scans the file from the start, returning all valid records and the byte
-/// offset one past the last valid frame.
-fn scan_valid_prefix(file: &dyn VfsFile) -> Result<(Vec<(Lsn, LogRecord)>, u64)> {
+/// Scans the file from the start in bounded chunks, returning the byte
+/// offset one past the last valid frame — without materializing records.
+fn scan_valid_end(file: &Arc<dyn VfsFile>) -> Result<u64> {
     let file_len = file.len()?;
-    let mut buf = vec![0u8; file_len as usize];
-    file.read_at(&mut buf, 0)?;
-    let mut records = Vec::new();
-    let mut pos = 0usize;
-    loop {
-        if pos + 8 > buf.len() {
-            break;
-        }
-        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
-        if pos + 8 + len > buf.len() {
-            break; // torn frame
-        }
-        let payload = &buf[pos + 8..pos + 8 + len];
-        if crc32c(payload) != crc {
-            break; // corrupt frame — treat as end of log
-        }
-        match LogRecord::decode(payload) {
-            Ok(rec) => records.push((Lsn(pos as u64), rec)),
-            Err(_) => break,
-        }
-        pos += 8 + len;
-    }
-    Ok((records, pos as u64))
+    let mut cursor = WalCursor::new(file.clone(), 0, file_len);
+    while cursor.next_record()?.is_some() {}
+    Ok(cursor.position().0)
 }
 
 #[cfg(test)]
@@ -488,6 +702,112 @@ mod tests {
             .unwrap();
         wal.sync_to(end).unwrap();
         assert_eq!(wal.obs().fsyncs.get(), fsyncs + 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cursor_matches_read_all_and_resumes_mid_log() {
+        let path = tmplog("cursor");
+        let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
+        let recs: Vec<LogRecord> = (0..50)
+            .map(|i| LogRecord::Begin { txn: TxnId(i) })
+            .collect();
+        let mut lsns = Vec::new();
+        for r in &recs {
+            lsns.push(wal.append(r).unwrap());
+        }
+        wal.sync().unwrap();
+        let all = wal.read_all().unwrap();
+        assert_eq!(all.len(), 50);
+        // Resume from the LSN of record 30: the cursor yields the suffix.
+        let mut cursor = wal.read_from(lsns[30]).unwrap();
+        let mut suffix = Vec::new();
+        while let Some(item) = cursor.next_record().unwrap() {
+            suffix.push(item);
+        }
+        assert_eq!(suffix, all[30..].to_vec());
+        assert_eq!(cursor.position().0, wal.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cursor_snapshots_end_at_creation() {
+        let path = tmplog("cursor-snap");
+        let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
+        wal.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
+        let mut cursor = wal.read_from(Lsn(0)).unwrap();
+        wal.append(&LogRecord::Begin { txn: TxnId(2) }).unwrap();
+        assert!(cursor.next_record().unwrap().is_some());
+        assert!(
+            cursor.next_record().unwrap().is_none(),
+            "records appended after cursor creation must not be observed"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_chunk_ships_only_durable_whole_frames() {
+        let path = tmplog("chunk");
+        let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
+        let recs: Vec<LogRecord> = (0..10)
+            .map(|i| LogRecord::Begin { txn: TxnId(i) })
+            .collect();
+        let end = wal.append_all(&recs[..6]).unwrap();
+        wal.sync_to(end).unwrap();
+        // Unsynced tail: must not ship under OnCommit.
+        wal.append_all(&recs[6..]).unwrap();
+        let chunk = wal.read_chunk(Lsn(0), usize::MAX).unwrap();
+        let decoded = decode_frames(chunk.start, &chunk.bytes).unwrap();
+        assert_eq!(
+            decoded.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+            recs[..6].to_vec(),
+            "only the fsynced prefix is replicable"
+        );
+        // A tiny max_bytes still ships at least one whole frame.
+        let small = wal.read_chunk(Lsn(0), 1).unwrap();
+        let one = decode_frames(small.start, &small.bytes).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].1, recs[0]);
+        // Resuming from the end of the durable prefix yields nothing.
+        let caught_up = wal.read_chunk(Lsn(end.0), usize::MAX).unwrap();
+        assert!(caught_up.bytes.is_empty());
+        assert_eq!(caught_up.epoch, wal.epoch());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn epoch_changes_on_reset_but_not_reopen_resume() {
+        let path = tmplog("epoch");
+        let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
+        let e1 = wal.epoch();
+        wal.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
+        wal.reset_with(&LogRecord::Checkpoint {
+            clock: TimePoint(3),
+            next_atom_nos: vec![],
+        })
+        .unwrap();
+        let e2 = wal.epoch();
+        assert_ne!(
+            e1, e2,
+            "truncation must invalidate old LSNs via a fresh epoch"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn decode_frames_rejects_damage() {
+        let path = tmplog("decode-damage");
+        let wal = Wal::open(&path, SyncPolicy::OnCommit).unwrap();
+        wal.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
+        wal.sync().unwrap();
+        let chunk = wal.read_chunk(Lsn(0), usize::MAX).unwrap();
+        // Truncated mid-frame.
+        assert!(decode_frames(Lsn(0), &chunk.bytes[..chunk.bytes.len() - 1]).is_err());
+        // Flipped payload byte.
+        let mut bad = chunk.bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(decode_frames(Lsn(0), &bad).is_err());
         let _ = std::fs::remove_file(&path);
     }
 

@@ -62,6 +62,7 @@ fn main() {
         ("E18", experiments::e18_planner),
         ("E19", experiments::e19_wire_throughput),
         ("E20", experiments::e20_replication),
+        ("E21", experiments::e21_tiered_slice),
         ("A1", experiments::a1_delta_granularity),
         ("A2", experiments::a2_directory),
     ];

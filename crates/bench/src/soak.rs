@@ -44,12 +44,12 @@ use crate::measure::Table;
 use crate::workloads::Bom;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tcom_core::{
-    is_wait_die_abort, AtomId, AtomTypeId, AttrDef, Counter, DataType, Database, DbConfig, Error,
-    FaultSchedule, FaultVfs, Histogram, Interval, MoleculeTypeId, Registry, Result, StoreKind,
-    SyncPolicy, TimePoint, Tuple, Txn, Value,
+    is_wait_die_abort, AtomId, AtomTypeId, AttrDef, Compactor, Counter, DataType, Database,
+    DbConfig, Error, FaultSchedule, FaultVfs, Histogram, Interval, MoleculeTypeId, Registry,
+    Result, StoreKind, SyncPolicy, TimePoint, Tuple, Txn, Value,
 };
 
 /// The scenario mix, by label. Actor `i` runs scenario `i % 5`, so any
@@ -82,6 +82,9 @@ pub struct SoakConfig {
     pub power_cuts: usize,
     /// Mutating I/O operations between arming a cut and it striking.
     pub crash_op_spacing: u64,
+    /// Run a background [`Compactor`] on the live engine (replays never
+    /// compact — they are the oracle the tiered engine must match).
+    pub compaction: bool,
 }
 
 impl SoakConfig {
@@ -97,6 +100,7 @@ impl SoakConfig {
             bom_depth: 2,
             power_cuts,
             crash_op_spacing: 30,
+            compaction: false,
         }
     }
 }
@@ -633,6 +637,9 @@ pub struct SoakReport {
     pub sample_tts: Vec<u64>,
     /// Canonical ASOF slices of the live engine at `sample_tts`.
     pub slices: Vec<String>,
+    /// Compaction cycles the live engine completed (0 unless
+    /// [`SoakConfig::compaction`] is set).
+    pub compactions: u64,
 }
 
 fn soak_db_config(kind: StoreKind) -> DbConfig {
@@ -703,10 +710,26 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         })
         .collect();
     let crash_count = registry.counter("soak.crashes", "");
-    let vfs_handle: std::sync::Arc<dyn tcom_core::Vfs> = std::sync::Arc::new(vfs.clone());
+    let vfs_handle: Arc<dyn tcom_core::Vfs> = Arc::new(vfs.clone());
+    // The live engine may tier closed history in the background; the
+    // replays never do, so the slice oracle compares a compacted engine
+    // against uncompacted twins. Aggressive knobs make the thread fire
+    // many cycles inside even a short run.
+    let live_cfg = || {
+        let c = soak_db_config(cfg.kind);
+        if cfg.compaction {
+            c.compaction(true)
+                .compact_min_closed(16)
+                .compact_interval_ms(5)
+        } else {
+            c
+        }
+    };
 
-    let mut db = Database::open_with_vfs(&dir, soak_db_config(cfg.kind), vfs_handle.clone())
-        .expect("open soak db");
+    let mut db = Arc::new(
+        Database::open_with_vfs(&dir, live_cfg(), vfs_handle.clone()).expect("open soak db"),
+    );
+    let mut compactor = cfg.compaction.then(|| Compactor::spawn(db.clone()));
     let world = seed_world(&db, cfg).expect("seed world");
 
     let mut actors: Vec<Actor> = (0..cfg.actors)
@@ -730,7 +753,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         }
         let crashed = AtomicBool::new(false);
         let ctx = LegCtx {
-            db: &db,
+            db: db.as_ref(),
             world: &world,
             journal: &journal,
             in_doubt: &in_doubt,
@@ -750,10 +773,20 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
             crashes += 1;
             crash_count.inc();
             cuts_left -= 1;
-            db.crash();
+            // Stop (and join) the compactor first: it holds the only other
+            // engine handle, and a cut may have struck mid-compaction —
+            // recovery must land on the pre- or post-swap image either way.
+            drop(compactor.take());
+            Arc::try_unwrap(db)
+                .ok()
+                .expect("compactor joined; sole engine handle remains")
+                .crash();
             vfs.reset_after_crash();
-            db = Database::open_with_vfs(&dir, soak_db_config(cfg.kind), vfs_handle.clone())
-                .expect("reopen after power cut");
+            db = Arc::new(
+                Database::open_with_vfs(&dir, live_cfg(), vfs_handle.clone())
+                    .expect("reopen after power cut"),
+            );
+            compactor = cfg.compaction.then(|| Compactor::spawn(db.clone()));
             // Committed-prefix oracle: every transaction whose commit was
             // *reported* must survive, and every recovered tt above the
             // journal must be accounted for by an in-doubt commit attempt
@@ -801,11 +834,25 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     vfs.set_schedule(FaultSchedule::default());
     let elapsed = t0.elapsed();
 
+    // Force one last archival sweep so the sampled slices are guaranteed
+    // to read through segments regardless of background timing — the
+    // replay oracle then compares a tiered engine against flat twins.
+    if cfg.compaction {
+        drop(compactor.take());
+        db.compact_all().expect("final compaction sweep");
+    }
+    let compactions = if cfg.compaction {
+        db.metrics().counter("segment.compactions")
+    } else {
+        0
+    };
+
     let mut committed = journal.into_inner().expect("journal poisoned");
     committed.sort_by_key(|c| c.0);
     let final_now = db.now().0;
     let sample_tts = sample_points(final_now);
     let slices = sample_slices(&db, &world, &sample_tts);
+    drop(compactor);
     drop(db);
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -818,6 +865,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         final_now,
         sample_tts,
         slices,
+        compactions,
     }
 }
 
@@ -891,13 +939,14 @@ pub fn e17_soak(s: crate::experiments::Scale) -> Table {
     let mut t = Table::new(
         "E17",
         "mixed-workload soak: per-scenario throughput and tail latency \
-         (2 power cuts + recovery, oracle-verified)",
+         (2 power cuts + recovery, background compaction, oracle-verified)",
         &["scenario", "ops", "ops/s", "p50 µs", "p95 µs", "p99 µs"],
         "writers commit at OLTP rates while analytical readers stay \
          unblocked on pinned snapshots; the queue consumer drains in \
          insertion order; both power cuts recover to the exact committed \
-         prefix and the serial replay reproduces every transaction time \
-         and ASOF slice on all three store kinds",
+         prefix — even when they strike mid-compaction — and the serial \
+         replay (never compacting) reproduces every transaction time and \
+         ASOF slice of the tiered live engine on all three store kinds",
     );
     let cfg = SoakConfig {
         seed: 1742,
@@ -909,12 +958,18 @@ pub fn e17_soak(s: crate::experiments::Scale) -> Table {
         bom_depth: 3,
         power_cuts: 2,
         crash_op_spacing: s.n(480) as u64,
+        compaction: true,
     };
     let report = run_soak(&cfg);
     verify_soak(&cfg, &report);
     assert!(
         report.crashes >= 1,
         "E17 must exercise at least one power cut + recovery"
+    );
+    assert!(
+        report.compactions >= 1,
+        "E17 runs with tiering on: the live engine must have archived \
+         closed history before the slice oracle sampled it"
     );
     let secs = report.elapsed.as_secs_f64();
     for name in SCENARIOS {
@@ -945,6 +1000,7 @@ pub fn e17_soak(s: crate::experiments::Scale) -> Table {
         "final_tt": report.final_now,
         "crashes": report.crashes,
         "sampled_slices": report.sample_tts.len(),
+        "compactions": report.compactions,
     }));
     t
 }

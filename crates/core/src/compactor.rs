@@ -1,0 +1,124 @@
+//! The background compactor: tiers closed history out of the hot heaps.
+//!
+//! A [`Compactor`] owns one thread that periodically checks every atom
+//! type's closed-version count (from the cached planner statistics — no
+//! store scan per tick) and calls [`Database::compact_type`] once a type
+//! accumulates at least [`crate::DbConfig::compact_min_closed`] closed
+//! versions. Compaction itself runs under the engine's maintenance
+//! quiescence protocol and is crash-safe (see `DESIGN.md` §15); the
+//! thread here only decides *when* to trigger it.
+//!
+//! The thread is gated on [`crate::DbConfig::compaction`]: spawning with
+//! the knob off returns an inert handle, so callers can hold a
+//! `Compactor` unconditionally. Dropping the handle stops the thread and
+//! joins it.
+
+use crate::db::Database;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to the background compaction thread (inert when the
+/// `compaction` config knob is off). Stops and joins on drop.
+pub struct Compactor {
+    stop: Arc<AtomicBool>,
+    cycles: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Compactor {
+    /// Starts the compactor for `db` (a no-op handle when
+    /// `db.config().compaction` is off). The thread holds its own `Arc`,
+    /// so the database outlives it; drop the handle to stop the thread
+    /// before the end of the process.
+    pub fn spawn(db: Arc<Database>) -> Compactor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let cycles = Arc::new(AtomicU64::new(0));
+        let errors = Arc::new(AtomicU64::new(0));
+        if !db.config().compaction {
+            return Compactor {
+                stop,
+                cycles,
+                errors,
+                handle: None,
+            };
+        }
+        let interval = Duration::from_millis(db.config().compact_interval_ms.max(1));
+        let min_closed = db.config().compact_min_closed;
+        let (s, c, e) = (stop.clone(), cycles.clone(), errors.clone());
+        let handle = std::thread::Builder::new()
+            .name("tcom-compactor".into())
+            .spawn(move || {
+                while !s.load(Ordering::Acquire) {
+                    // Sleep in short slices so drop() never waits a full
+                    // interval to join.
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !s.load(Ordering::Acquire) {
+                        let slice = Duration::from_millis(5).min(interval - slept);
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                    if s.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Err(_e) = run_cycle(&db, min_closed) {
+                        // Maintenance failures (e.g. a fault-injected I/O
+                        // error in tests) must not kill the thread: the
+                        // next cycle retries, and the counter surfaces it.
+                        e.fetch_add(1, Ordering::AcqRel);
+                    }
+                    c.fetch_add(1, Ordering::AcqRel);
+                }
+            })
+            .expect("spawn compactor thread");
+        Compactor {
+            stop,
+            cycles,
+            errors,
+            handle: Some(handle),
+        }
+    }
+
+    /// True when the thread is running (config enabled and not stopped).
+    pub fn is_active(&self) -> bool {
+        self.handle.is_some()
+    }
+
+    /// Threshold-check cycles completed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles.load(Ordering::Acquire)
+    }
+
+    /// Cycles that ended in an error (the thread keeps running).
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Acquire)
+    }
+
+    /// Stops the thread and joins it (idempotent; also runs on drop).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One threshold pass: compacts every type whose heap holds at least
+/// `min_closed` closed versions (per the cached statistics snapshot).
+fn run_cycle(db: &Arc<Database>, min_closed: u64) -> tcom_kernel::Result<()> {
+    for ts in db.all_type_stats()? {
+        let closed = ts.store.versions.saturating_sub(ts.store.open_versions);
+        if closed >= min_closed {
+            db.compact_type(ts.ty)?;
+        }
+    }
+    Ok(())
+}

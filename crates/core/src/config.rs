@@ -48,6 +48,16 @@ pub struct DbConfig {
     /// `0` = tuple-at-a-time (the scalar baseline the equivalence suite
     /// compares against).
     pub batch_size: usize,
+    /// Whether the background compactor ([`crate::Compactor::spawn`])
+    /// tiers closed history out of the hot heaps into compressed immutable
+    /// segment files. Manual compaction
+    /// ([`crate::Database::compact_all`]) works regardless.
+    pub compaction: bool,
+    /// Background compaction triggers for an atom type once its heap
+    /// holds at least this many closed (tt-ended) versions.
+    pub compact_min_closed: u64,
+    /// Milliseconds between background compactor threshold checks.
+    pub compact_interval_ms: u64,
 }
 
 impl Default for DbConfig {
@@ -64,6 +74,9 @@ impl Default for DbConfig {
             group_commit: true,
             cost_model: true,
             batch_size: 1024,
+            compaction: false,
+            compact_min_closed: 512,
+            compact_interval_ms: 500,
         }
     }
 }
@@ -136,6 +149,25 @@ impl DbConfig {
         self
     }
 
+    /// Builder-style: enables or disables background compaction.
+    pub fn compaction(mut self, enabled: bool) -> DbConfig {
+        self.compaction = enabled;
+        self
+    }
+
+    /// Builder-style: sets the closed-version threshold that triggers
+    /// background compaction of an atom type.
+    pub fn compact_min_closed(mut self, versions: u64) -> DbConfig {
+        self.compact_min_closed = versions;
+        self
+    }
+
+    /// Builder-style: sets the background compactor check interval.
+    pub fn compact_interval_ms(mut self, ms: u64) -> DbConfig {
+        self.compact_interval_ms = ms;
+        self
+    }
+
     /// Resolved commit stripe count: `commit_stripes`, or 64 when unset.
     pub fn effective_commit_stripes(&self) -> usize {
         if self.commit_stripes != 0 {
@@ -175,7 +207,10 @@ mod tests {
             .commit_stripes(8)
             .group_commit(false)
             .cost_model(false)
-            .batch_size(16);
+            .batch_size(16)
+            .compaction(true)
+            .compact_min_closed(32)
+            .compact_interval_ms(50);
         assert_eq!(c.buffer_frames, 64);
         assert_eq!(c.store_kind, StoreKind::Chain);
         assert_eq!(c.sync_policy, SyncPolicy::OnCheckpoint);
@@ -192,6 +227,12 @@ mod tests {
         assert!(DbConfig::default().cost_model);
         assert_eq!(c.batch_size, 16);
         assert_eq!(DbConfig::default().batch_size, 1024);
+        assert!(c.compaction);
+        assert!(!DbConfig::default().compaction);
+        assert_eq!(c.compact_min_closed, 32);
+        assert_eq!(c.compact_interval_ms, 50);
+        assert_eq!(DbConfig::default().compact_min_closed, 512);
+        assert_eq!(DbConfig::default().compact_interval_ms, 500);
         assert_eq!(DbConfig::default().effective_commit_stripes(), 64);
         assert_eq!(c.effective_workers(), 2);
         assert!(DbConfig::default().effective_workers() >= 1);

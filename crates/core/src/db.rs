@@ -51,14 +51,17 @@ use tcom_kernel::{
     AtomId, AtomNo, AtomTypeId, AttrId, Error, Interval, Lsn, MoleculeTypeId, Result, TimePoint,
     Tuple,
 };
-use tcom_obs::{MetricsSnapshot, Registry};
+use tcom_obs::{Counter, MetricsSnapshot, Registry};
 use tcom_storage::btree::BTree;
 use tcom_storage::buffer::{BufferPool, BufferStats, FileId};
 use tcom_storage::disk::DiskManager;
 use tcom_storage::keys::{encode_value, BKey};
 use tcom_storage::vfs::{StdVfs, Vfs};
 use tcom_version::record::AtomVersion;
-use tcom_version::{ChainStore, DeltaStore, SplitStore, StoreKind, StoreStats, VersionStore};
+use tcom_version::{
+    write_segment_file, ChainStore, DeltaStore, Segment, SplitStore, StoreKind, StoreStats,
+    VersionStore,
+};
 use tcom_wal::{LogRecord, Wal, WalChunk};
 
 /// A pinned snapshot for reads: the published transaction-time clock at
@@ -154,6 +157,8 @@ pub struct Database {
     /// Cached per-type statistics snapshots for the cost-based planner,
     /// kept approximately fresh by commit-time change notes.
     stats: crate::stats::StatsRegistry,
+    /// Completed segment compactions (swaps) since open.
+    compactions: Counter,
 }
 
 impl Database {
@@ -248,6 +253,7 @@ impl Database {
             obs: Arc::new(Registry::new()),
             disks: Arc::new(Mutex::new(Vec::new())),
             stats: crate::stats::StatsRegistry::default(),
+            compactions: Counter::new(),
         };
         db.register_engine_metrics();
 
@@ -268,6 +274,9 @@ impl Database {
             }
         }
 
+        // Segments must be live before WAL replay: the replay's duplicate
+        // checks read merged (heap + segment) histories.
+        db.load_segments()?;
         db.recover()?;
         Ok(db)
     }
@@ -492,6 +501,8 @@ impl Database {
             .register_counter("txn.stripe_waits", "", &self.stripes.waits);
         self.obs
             .register_counter("txn.wait_die_aborts", "", &self.stripes.aborts);
+        self.obs
+            .register_counter("segment.compactions", "", &self.compactions);
     }
 
     /// Registers one store's counter handles under its kind label. Every
@@ -511,6 +522,26 @@ impl Database {
         );
         self.obs
             .register_counter("store.split_migrations", &label, &o.split_migrations);
+
+        // Tiered-storage series: gauges poll the cached segment footers
+        // (no page I/O), counters come from the set's own cells.
+        let segs = store.segments().clone();
+        macro_rules! seg_gauge {
+            ($name:literal, $field:ident) => {{
+                let s = segs.clone();
+                self.obs
+                    .register_gauge($name, &label, move || s.stats().$field);
+            }};
+        }
+        seg_gauge!("segment.live", segments);
+        seg_gauge!("segment.pages", pages);
+        seg_gauge!("segment.versions", versions);
+        seg_gauge!("segment.raw_bytes", raw_bytes);
+        seg_gauge!("segment.comp_bytes", comp_bytes);
+        self.obs
+            .register_counter("segment.reads", &label, &segs.reads);
+        self.obs
+            .register_counter("segment.skips", &label, &segs.skips);
     }
 
     // ---- file plumbing ----
@@ -1234,6 +1265,28 @@ impl Database {
                     // Transaction boundary: safe flush point under pressure.
                     self.flush_if_pressured()?;
                 }
+                LogRecord::SegmentSwap { ty, cutoff, .. } => {
+                    // Redo the heap extraction of a segment that is
+                    // already live (`load_segments` opened it before
+                    // replay). Idempotent: when the pre-crash flush
+                    // already covered the extraction, nothing in the heap
+                    // matches the cutoff anymore. No index rebuilds — the
+                    // swap moves versions without changing the type's
+                    // logical content, and `extract_closed` maintains the
+                    // store's own interval index as it goes.
+                    let store = self.store(AtomTypeId(ty))?;
+                    let mut atoms = Vec::new();
+                    store.scan_atoms(&mut |no| {
+                        atoms.push(no);
+                        Ok(true)
+                    })?;
+                    for no in atoms {
+                        store.extract_closed(no, cutoff)?;
+                    }
+                    // As in `compact_type`: repack the lazily-pruned
+                    // time index so slices don't scan emptied leaves.
+                    store.compact_time_index()?;
+                }
                 _ => {}
             }
         }
@@ -1335,6 +1388,228 @@ impl Database {
         Ok(removed)
     }
 
+    // ---- tiered segment storage ----
+
+    /// Archives every closed (transaction-time-ended) version of one atom
+    /// type into a new compressed, checksummed, immutable segment file,
+    /// atomically swapping the heap records for the segment under full
+    /// quiescence. Crash-safe: the segment reaches its final name via
+    /// temp + rename *before* the swap's WAL record — the record is the
+    /// commit point, and recovery either redoes the heap extraction from
+    /// it or discards the unreferenced file. Returns the number of
+    /// versions archived (0 when the type holds no closed history).
+    pub fn compact_type(&self, ty: AtomTypeId) -> Result<u64> {
+        let _span = self.obs.span("db.compact");
+        let _m = self.maint.lock();
+        // Quiesce exactly like `prune_history`, with one addition: take
+        // `wal_order` before `commit_lock` — `checkpoint` acquires them in
+        // that order, and the reverse would deadlock against it.
+        self.stripes.lock_all(MAINTENANCE_ID)?;
+        let result: Result<u64> = (|| {
+            self.drain_commits();
+            let _order = self.wal_order.lock();
+            let _x = self.commit_lock.write();
+            let store = self.store(ty)?;
+            // With commits drained the published clock is exact, and any
+            // post-swap commit draws a higher tt: the archived set
+            // (closed versions with `tt.end <= cutoff`) is frozen, so
+            // recovery's redo selects exactly the same versions.
+            let cutoff = self.now();
+            let mut atoms = Vec::new();
+            store.scan_atoms(&mut |no| {
+                atoms.push(no);
+                Ok(true)
+            })?;
+            let mut entries: Vec<(u64, AtomVersion)> = Vec::new();
+            for no in &atoms {
+                for v in store.collect_closed(*no, cutoff)? {
+                    entries.push((no.0, v));
+                }
+            }
+            if entries.is_empty() {
+                return Ok(0);
+            }
+            let seg = store.segments().max_seg_no().map_or(0, |n| n + 1);
+            let tmp = self.dir.join(segment_tmp_name(ty.0));
+            let name = segment_file_name(ty.0, seg);
+            write_segment_file(self.vfs.as_ref(), &tmp, ty.0, seg, &entries)?;
+            self.vfs.rename(&tmp, &self.dir.join(&name))?;
+            // Commit point. Unconditional fsync: unlike transaction
+            // commits, a swap must never be half-durable under the lazy
+            // sync policy — the extraction below mutates pages that may
+            // flush before the next WAL sync otherwise.
+            self.wal.append(&LogRecord::SegmentSwap {
+                ty: ty.0,
+                seg,
+                cutoff,
+            })?;
+            self.wal.sync()?;
+            {
+                let _apply = self.begin_apply(&[ty.0]);
+                let (file, _) = self.register(name, true)?;
+                let segment = Segment::open(self.pool.clone(), file, ty.0, seg)?;
+                store.segments().add(Arc::new(segment));
+                for no in &atoms {
+                    store.extract_closed(*no, cutoff)?;
+                }
+                // Extraction prunes the time index lazily — the emptied
+                // leaf pages would stay on its scan chain and every
+                // future slice would read the index at pre-swap size.
+                // Repack it while still quiescent.
+                store.compact_time_index()?;
+            }
+            // The manifest must cover the swap before the checkpoint
+            // below truncates its WAL record.
+            self.write_segment_manifest()?;
+            self.compactions.inc();
+            Ok(entries.len() as u64)
+        })();
+        self.stripes.unlock_all(MAINTENANCE_ID);
+        let archived = result?;
+        if archived == 0 {
+            return Ok(0);
+        }
+        // Compaction reshapes the store outside the commit path: refresh
+        // the planner's snapshots, persist the extracted heaps.
+        self.stats.invalidate_all();
+        self.checkpoint()?;
+        Ok(archived)
+    }
+
+    /// [`Database::compact_type`] over every cataloged atom type; returns
+    /// the total number of versions archived.
+    pub fn compact_all(&self) -> Result<u64> {
+        let ids: Vec<AtomTypeId> =
+            self.with_catalog(|c| c.atom_types().iter().map(|t| t.id).collect());
+        let mut total = 0;
+        for id in ids {
+            total += self.compact_type(id)?;
+        }
+        Ok(total)
+    }
+
+    /// A type's live `(segment reads, fence skips)` counters — how many
+    /// segments were actually scanned vs. skipped on their interval
+    /// fences. EXPLAIN ANALYZE samples these around each access operator.
+    pub fn segment_counters(&self, ty: AtomTypeId) -> Result<(u64, u64)> {
+        Ok(self.store(ty)?.segments().counters())
+    }
+
+    /// Loads the live segment set at open: the manifest plus any
+    /// [`LogRecord::SegmentSwap`] records the WAL holds beyond it (a crash
+    /// between a swap's WAL commit point and its manifest rewrite leaves
+    /// the WAL as the only witness). Opens every live segment into its
+    /// store's set, rewrites the manifest when the WAL knew more, and
+    /// removes the leftovers of an interrupted compaction.
+    fn load_segments(&self) -> Result<()> {
+        let mut live = self.read_segment_manifest()?;
+        let mut wal_extras = 0usize;
+        let mut cursor = self.wal.read_from(Lsn(0))?;
+        while let Some((_, rec)) = cursor.next_record()? {
+            if let LogRecord::SegmentSwap { ty, seg, .. } = rec {
+                if !live.contains(&(ty, seg)) {
+                    live.push((ty, seg));
+                    wal_extras += 1;
+                }
+            }
+        }
+        live.sort_unstable();
+        for &(ty, seg) in &live {
+            let store = self.stores.read().get(&ty).cloned().ok_or_else(|| {
+                Error::corruption(format!("segment manifest names unknown atom type #{ty}"))
+            })?;
+            let (file, _) = self.register(segment_file_name(ty, seg), true)?;
+            let segment = Segment::open(self.pool.clone(), file, ty, seg)?;
+            store.segments().add(Arc::new(segment));
+        }
+        if wal_extras > 0 {
+            self.write_segment_manifest()?;
+        }
+        // Leftover cleanup. The VFS has no readdir, so probe the
+        // deterministic names an interrupted compaction can leave: the
+        // manifest temp, the per-type segment temp, and the one segment
+        // number past the live maximum (a file renamed into place whose
+        // swap record never became durable is dead weight — recovery
+        // treats the swap as never having happened).
+        let tmp = self.dir.join(SEGMENT_MANIFEST_TMP);
+        if self.vfs.exists(&tmp) {
+            self.vfs.remove(&tmp)?;
+        }
+        let type_ids: Vec<u32> =
+            self.with_catalog(|c| c.atom_types().iter().map(|t| t.id.0).collect());
+        for ty in type_ids {
+            let tmp = self.dir.join(segment_tmp_name(ty));
+            if self.vfs.exists(&tmp) {
+                self.vfs.remove(&tmp)?;
+            }
+            let next = live
+                .iter()
+                .filter(|(t, _)| *t == ty)
+                .map(|(_, s)| s + 1)
+                .max()
+                .unwrap_or(0);
+            let orphan = self.dir.join(segment_file_name(ty, next));
+            if self.vfs.exists(&orphan) {
+                self.vfs.remove(&orphan)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses the segment manifest: `<type> <segment>` per line.
+    fn read_segment_manifest(&self) -> Result<Vec<(u32, u64)>> {
+        let path = self.dir.join(SEGMENT_MANIFEST);
+        if !self.vfs.exists(&path) {
+            return Ok(Vec::new());
+        }
+        let f = self.vfs.open(&path)?;
+        let mut buf = vec![0u8; f.len()? as usize];
+        f.read_at(&mut buf, 0)?;
+        let text = String::from_utf8(buf)
+            .map_err(|_| Error::corruption("segment manifest is not UTF-8"))?;
+        let mut out = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parse = |s: &str| {
+                s.parse::<u64>().map_err(|_| {
+                    Error::corruption(format!("malformed segment manifest line '{line}'"))
+                })
+            };
+            let (ty, seg) = line
+                .split_once(' ')
+                .ok_or_else(|| Error::corruption("malformed segment manifest line"))?;
+            out.push((parse(ty)? as u32, parse(seg)?));
+        }
+        Ok(out)
+    }
+
+    /// Rewrites the segment manifest to the current live set, atomically
+    /// (temp + rename). The manifest is authoritative once the WAL's swap
+    /// records have been checkpoint-truncated.
+    fn write_segment_manifest(&self) -> Result<()> {
+        let mut entries: Vec<(u32, u64)> = Vec::new();
+        for (ty, store) in self.stores.read().iter() {
+            for seg in store.segments().list() {
+                entries.push((*ty, seg.seg));
+            }
+        }
+        entries.sort_unstable();
+        let mut text = String::from("# tcom live segments: <type> <segment>\n");
+        for (ty, seg) in entries {
+            text.push_str(&format!("{ty} {seg}\n"));
+        }
+        let tmp = self.dir.join(SEGMENT_MANIFEST_TMP);
+        let f = self.vfs.open(&tmp)?;
+        f.set_len(0)?;
+        f.write_at(text.as_bytes(), 0)?;
+        f.sync()?;
+        self.vfs.rename(&tmp, &self.dir.join(SEGMENT_MANIFEST))?;
+        Ok(())
+    }
+
     /// Test hook: direct access to a value index (for corruption-injection
     /// tests). Hidden from docs; not part of the public contract.
     #[doc(hidden)]
@@ -1404,6 +1679,16 @@ impl Database {
                 (fresh, 0)
             }
         };
+        let segment_fences = store
+            .segments()
+            .list()
+            .iter()
+            .map(|s| crate::stats::SegmentFence {
+                tt_min: s.footer().tt_min(),
+                tt_max: s.footer().tt_max(),
+                pages: s.pages(),
+            })
+            .collect();
         Ok(crate::stats::TypeStats {
             ty,
             name,
@@ -1411,6 +1696,7 @@ impl Database {
             store: base,
             changes_since: changes,
             resident_pages: store.resident_pages(),
+            segment_fences,
         })
     }
 
@@ -1434,6 +1720,24 @@ impl Drop for Database {
             let _ = self.checkpoint();
         }
     }
+}
+
+/// The segment manifest: the durable list of live segment files. Rewritten
+/// atomically (via [`SEGMENT_MANIFEST_TMP`] + rename) after every swap.
+const SEGMENT_MANIFEST: &str = "segments.meta";
+/// Temp name the manifest is staged under before its rename.
+const SEGMENT_MANIFEST_TMP: &str = "segments.meta.tmp";
+
+/// Final name of segment `seg` of atom type `ty`.
+fn segment_file_name(ty: u32, seg: u64) -> String {
+    format!("t{ty}_seg{seg}.tcm")
+}
+
+/// Temp name a type's in-flight segment is written under before its
+/// rename (one per type: compaction is serialized by the maintenance
+/// lock, so there is never more than one in flight).
+fn segment_tmp_name(ty: u32) -> String {
+    format!("t{ty}_seg.tmp")
 }
 
 fn parse_meta(text: &str) -> Result<StoreKind> {

@@ -25,6 +25,7 @@
 
 pub mod algebra;
 pub mod batch;
+pub mod compactor;
 pub mod config;
 pub mod db;
 pub mod dml;
@@ -37,13 +38,14 @@ pub mod stripes;
 pub mod txn;
 
 pub use batch::VersionBatch;
+pub use compactor::Compactor;
 pub use config::DbConfig;
 pub use db::{Database, ReadView};
 pub use dml::{CurrentVersion, Plan, Primitive};
 pub use integrity::IntegrityReport;
 pub use molecule::{MatAtom, Molecule};
 pub use repl::WalApplier;
-pub use stats::TypeStats;
+pub use stats::{SegmentFence, TypeStats};
 pub use stripes::is_wait_die_abort;
 pub use txn::Txn;
 

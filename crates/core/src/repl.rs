@@ -275,6 +275,18 @@ impl WalApplier {
                 self.applied_lsn.store(end, Ordering::Release);
                 self.applied_tt.store(tt.0, Ordering::Release);
             }
+            LogRecord::SegmentSwap { .. } => {
+                // Compaction is a physical reorganization, not a logical
+                // change: the leader's segment files are not streamed, and
+                // the replica compacts on its own schedule (its slices stay
+                // byte-identical either way). Skip, but never mid-batch.
+                if !self.pending.is_empty() {
+                    return Err(Error::corruption(
+                        "replication: segment-swap record inside an open batch",
+                    ));
+                }
+                self.applied_lsn.store(end, Ordering::Release);
+            }
         }
         Ok(())
     }

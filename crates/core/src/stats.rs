@@ -25,6 +25,27 @@ use std::collections::HashMap;
 use tcom_kernel::AtomTypeId;
 use tcom_version::{StoreKind, StoreStats};
 
+/// One live segment's transaction-time fence, as the planner sees it: an
+/// `ASOF TT` slice pays for a segment's pages only when `tt` falls inside
+/// the fence (and never for `FOREVER`, which sees no closed history at
+/// all). Sampled live from the cached segment footers — no page I/O.
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentFence {
+    /// Smallest `tt.start` archived in the segment.
+    pub tt_min: tcom_kernel::TimePoint,
+    /// Largest `tt.end` archived in the segment (exclusive admit bound).
+    pub tt_max: tcom_kernel::TimePoint,
+    /// Data pages the segment holds (what an admitted slice may read).
+    pub pages: u64,
+}
+
+impl SegmentFence {
+    /// True iff a slice at `tt` can see versions of this segment.
+    pub fn admits(&self, tt: tcom_kernel::TimePoint) -> bool {
+        !tt.is_forever() && self.tt_min <= tt && tt < self.tt_max
+    }
+}
+
 /// One atom type's statistics snapshot, as served to the planner.
 #[derive(Clone, Debug)]
 pub struct TypeStats {
@@ -42,6 +63,9 @@ pub struct TypeStats {
     /// Live buffer-pool residency of the store's heap pages (sampled at
     /// call time, not cached).
     pub resident_pages: u64,
+    /// Per-segment transaction-time fences of archived closed history
+    /// (sampled live like residency; empty until the compactor runs).
+    pub segment_fences: Vec<SegmentFence>,
 }
 
 impl TypeStats {
@@ -59,6 +83,17 @@ impl TypeStats {
     /// Fraction of the store's heap pages resident in the buffer pool.
     pub fn residency(&self) -> f64 {
         (self.resident_pages as f64 / self.store.heap_pages.max(1) as f64).min(1.0)
+    }
+
+    /// Segment pages a slice at `tt` may have to read: the page sum of the
+    /// fences admitting `tt`. The remaining segments are fence-skipped and
+    /// cost nothing.
+    pub fn segment_pages_at(&self, tt: tcom_kernel::TimePoint) -> u64 {
+        self.segment_fences
+            .iter()
+            .filter(|f| f.admits(tt))
+            .map(|f| f.pages)
+            .sum()
     }
 }
 

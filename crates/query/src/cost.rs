@@ -85,6 +85,16 @@ pub fn asof_costs(stats: &TypeStats, tt: TimePoint, now: TimePoint) -> PathCosts
         }
     };
 
+    // Archived closed history lives in immutable segment files and is
+    // merged into *both* paths identically — a slice and a walk each read
+    // exactly the segments whose transaction-time fence admits `tt` (the
+    // rest are fence-skipped for free, and FOREVER admits none: closed
+    // versions are never current). Adding the same term to both sides
+    // leaves the walk-vs-slice decision untouched, as it should.
+    let seg_pages = stats.segment_pages_at(tt);
+    let walk_pages = walk_pages + seg_pages;
+    let slice_pages = slice_pages + seg_pages;
+
     let use_slice = slice_pages < walk_pages;
     // Displayed estimate: discount the *heap-backed* component by the
     // fraction of the heap already resident (a warm pool faults in
@@ -95,10 +105,15 @@ pub fn asof_costs(stats: &TypeStats, tt: TimePoint, now: TimePoint) -> PathCosts
     } else {
         (stats.resident_pages.min(s.heap_pages) as f64 / s.heap_pages as f64).clamp(0.0, 1.0)
     };
+    // Segment pages stay full price alongside the index pages: they live
+    // in their own files, so heap residency says nothing about them.
     let (index_part, heap_part) = if use_slice {
-        (index_pages, slice_pages - index_pages)
+        (
+            index_pages + seg_pages,
+            slice_pages - index_pages - seg_pages,
+        )
     } else {
-        (0, walk_pages)
+        (seg_pages, walk_pages - seg_pages)
     };
     let est_pages = index_part + (heap_part as f64 * (1.0 - warm)).round() as u64;
     PathCosts {
@@ -134,9 +149,11 @@ mod tests {
                 max_depth: depth,
                 time_entries: versions,
                 resident_pages: resident,
+                ..Default::default()
             },
             changes_since: 0,
             resident_pages: resident,
+            segment_fences: Vec::new(),
         }
     }
 
@@ -180,6 +197,47 @@ mod tests {
         assert_eq!(cold.use_slice, warm.use_slice, "decision is residency-free");
         assert_eq!(cold.slice_pages, warm.slice_pages);
         assert!(warm.est_pages < cold.est_pages);
+    }
+
+    #[test]
+    fn segment_fences_price_admitted_pages_only() {
+        use tcom_core::stats::SegmentFence;
+        let mut stats = e15_stats(StoreKind::Chain, 65, 0);
+        stats.segment_fences = vec![
+            SegmentFence {
+                tt_min: TimePoint(1),
+                tt_max: TimePoint(5000),
+                pages: 10,
+            },
+            SegmentFence {
+                tt_min: TimePoint(5000),
+                tt_max: TimePoint(9000),
+                pages: 7,
+            },
+        ];
+        let base = asof_costs(
+            &e15_stats(StoreKind::Chain, 65, 0),
+            TimePoint(6500),
+            TimePoint(13000),
+        );
+        // tt=6500 admits only the second fence: +7 pages on both paths,
+        // decision unchanged.
+        let tiered = asof_costs(&stats, TimePoint(6500), TimePoint(13000));
+        assert_eq!(tiered.walk_pages, base.walk_pages + 7);
+        assert_eq!(tiered.slice_pages, base.slice_pages + 7);
+        assert_eq!(tiered.use_slice, base.use_slice);
+        // FOREVER (current state) admits no segment at all.
+        let cur = asof_costs(&stats, TimePoint::FOREVER, TimePoint(13000));
+        let cur_base = asof_costs(
+            &e15_stats(StoreKind::Chain, 65, 0),
+            TimePoint::FOREVER,
+            TimePoint(13000),
+        );
+        assert_eq!(cur.walk_pages, cur_base.walk_pages);
+        assert_eq!(cur.slice_pages, cur_base.slice_pages);
+        // A pre-fence slice (tt below every tt_min) skips both segments.
+        let early = asof_costs(&stats, TimePoint(0), TimePoint(13000));
+        assert_eq!(early.walk_pages, base.walk_pages);
     }
 
     #[test]

@@ -663,7 +663,11 @@ fn candidates_for(
     }
 }
 
-/// The rendered access operator of one side.
+/// The rendered access operator of one side. `segs` is the statement's
+/// `(segments read, fence-skipped)` delta for the side's type: zero both
+/// before the compactor ever runs, in which case the detail string is
+/// byte-identical to the un-tiered output.
+#[allow(clippy::too_many_arguments)]
 fn access_op_report(
     access: &AccessPath,
     def: &AtomTypeDef,
@@ -672,8 +676,9 @@ fn access_op_report(
     pages_read: u64,
     est_pages: Option<u64>,
     depth: usize,
+    segs: (u64, u64),
 ) -> OpReport {
-    let (name, detail) = match access {
+    let (name, mut detail) = match access {
         AccessPath::Scan => ("Scan".to_string(), format!("type={}", def.name)),
         AccessPath::IndexRange { attr, lo, hi } => {
             let aname = def
@@ -697,6 +702,9 @@ fn access_op_report(
             )
         }
     };
+    if segs.0 > 0 || segs.1 > 0 {
+        detail.push_str(&format!(", segs read={} skipped={}", segs.0, segs.1));
+    }
     OpReport {
         name,
         detail,
@@ -976,6 +984,7 @@ impl Prepared {
         misses0: u64,
         t0: std::time::Instant,
     ) -> Result<(QueryOutput, ExplainReport)> {
+        let segs0 = db.segment_counters(self.type_def.id).unwrap_or((0, 0));
         let (candidates, acc_us, acc_pages) = measured(db, || self.candidates_with(db, view, ov))?;
         let n_candidates = candidates.len() as u64;
 
@@ -1047,6 +1056,15 @@ impl Prepared {
             }
         };
 
+        // Segment accounting spans both stages: the access path may merge
+        // archived versions while enumerating (time slice), the consumer
+        // while fetching (scan path) — either way the reads belong to
+        // this statement's access of the type.
+        let segs1 = db.segment_counters(self.type_def.id).unwrap_or((0, 0));
+        let seg_delta = (
+            segs1.0.saturating_sub(segs0.0),
+            segs1.1.saturating_sub(segs0.1),
+        );
         let ops = vec![
             OpReport {
                 name: root_name.to_string(),
@@ -1065,6 +1083,7 @@ impl Prepared {
                 acc_pages,
                 self.est_pages,
                 1,
+                seg_delta,
             ),
         ];
         let report = ExplainReport {
@@ -1086,11 +1105,15 @@ impl Prepared {
         t0: std::time::Instant,
     ) -> Result<(QueryOutput, ExplainReport)> {
         let j = self.join.as_ref().expect("join query");
+        let l_segs0 = db.segment_counters(j.left_def.id).unwrap_or((0, 0));
         let (left, l_us, l_pages) =
             measured(db, || self.side_batch(db, view, &j.left_def, &self.access))?;
+        let l_segs1 = db.segment_counters(j.left_def.id).unwrap_or((0, 0));
+        let r_segs0 = db.segment_counters(j.right_def.id).unwrap_or((0, 0));
         let (right, r_us, r_pages) = measured(db, || {
             self.side_batch(db, view, &j.right_def, &j.right_access)
         })?;
+        let r_segs1 = db.segment_counters(j.right_def.id).unwrap_or((0, 0));
         let (out, us, pages) = measured(db, || {
             Ok(self.rows_from_batch(&join_batches(&left, &right, j.left_key, j.right_key)))
         })?;
@@ -1120,6 +1143,10 @@ impl Prepared {
                 l_pages,
                 self.est_pages,
                 1,
+                (
+                    l_segs1.0.saturating_sub(l_segs0.0),
+                    l_segs1.1.saturating_sub(l_segs0.1),
+                ),
             ),
             access_op_report(
                 &j.right_access,
@@ -1129,6 +1156,10 @@ impl Prepared {
                 r_pages,
                 j.right_est,
                 1,
+                (
+                    r_segs1.0.saturating_sub(r_segs0.0),
+                    r_segs1.1.saturating_sub(r_segs0.1),
+                ),
             ),
         ];
         let report = ExplainReport {

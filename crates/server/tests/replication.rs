@@ -376,6 +376,87 @@ fn replica_crash_recovers_and_resumes() {
     let _ = std::fs::remove_dir_all(&rdir);
 }
 
+/// A replica tiers its own closed history independently of its leader:
+/// compaction is engine maintenance, not a replicated write, so it is
+/// allowed on a read-only replica; the leader's own compaction (whose
+/// segment-swap record enters the streamed WAL) must be skipped by the
+/// applier; and every slice stays byte-identical throughout — whether
+/// neither, one, or both sides are compacted.
+#[test]
+fn replica_compacts_independently_of_leader() {
+    let ldir = tmpdir("tier-lead");
+    let rdir = tmpdir("tier-repl");
+    let leader = Arc::new(Database::open(&ldir, cfg(StoreKind::Split)).unwrap());
+    seed_ddl(&leader);
+    populate(&leader);
+    // Salary churn deepens the closed history both sides can archive.
+    for round in 0..6 {
+        for (i, name) in ["ann", "bob", "carol", "erin", "frank"].iter().enumerate() {
+            run(
+                &leader,
+                &format!(
+                    "UPDATE emp SET salary = {} WHERE name = '{name}'",
+                    2000 + round * 10 + i as i64
+                ),
+            );
+        }
+    }
+    let server = Server::start(leader.clone(), ServerConfig::default().server_threads(2)).unwrap();
+
+    let replica = Arc::new(Database::open(&rdir, cfg(StoreKind::Split)).unwrap());
+    seed_ddl(&replica);
+    let applier = WalApplier::new(replica.clone()).unwrap();
+    let follower = ReplicaFollower::start(server.local_addr().to_string(), applier);
+    wait_sync(&leader, &replica, &follower);
+    assert_identical(&leader, &replica, "before any compaction");
+
+    // The replica archives; the leader stays flat.
+    assert!(
+        replica.compact_all().unwrap() > 0,
+        "replica must have closed history to archive"
+    );
+    assert!(replica.metrics().counter("segment.live") > 0);
+    assert_eq!(leader.metrics().counter("segment.live"), 0);
+    assert_identical(&leader, &replica, "replica tiered, leader flat");
+
+    // Streaming continues into the tiered replica.
+    run(&leader, "UPDATE emp SET salary = 4001 WHERE name = 'ann'");
+    run(
+        &leader,
+        "INSERT INTO emp (name, salary) VALUES ('tier', 4002)",
+    );
+    wait_sync(&leader, &replica, &follower);
+    assert_identical(&leader, &replica, "live writes after replica tiering");
+
+    // Now the leader compacts too: its swap record enters the shipped WAL
+    // and the applier must skip it rather than replay it as a write.
+    assert!(leader.compact_all().unwrap() > 0);
+    run(&leader, "UPDATE emp SET salary = 4003 WHERE name = 'bob'");
+    wait_sync(&leader, &replica, &follower);
+    assert_identical(&leader, &replica, "both sides tiered");
+
+    // A second replica sweep over the freshly closed versions coexists
+    // with the live subscription.
+    assert!(replica.compact_all().unwrap() > 0);
+    wait_sync(&leader, &replica, &follower);
+    assert_identical(&leader, &replica, "second replica sweep");
+
+    let report = replica.verify_integrity().unwrap();
+    assert!(
+        report.is_ok(),
+        "tiered replica failed the integrity sweep: {:?}",
+        report.violations
+    );
+    assert!(follower.last_error().is_none());
+
+    follower.stop();
+    drop(server);
+    drop(leader);
+    drop(replica);
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}
+
 /// Killing and re-establishing the *connection* (leader restart excluded)
 /// resumes idempotently: the follower reconnects with its applied
 /// boundary, re-streamed transactions are skipped, nothing applies twice.

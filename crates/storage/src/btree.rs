@@ -16,8 +16,9 @@
 //! Concurrency: node modifications assume a single writer (the engine
 //! serializes DML); readers are safe against concurrent readers. Deletion
 //! is *lazy* — entries are removed but nodes are never merged, a policy
-//! many production trees (e.g. PostgreSQL pre-vacuum) share; space is
-//! reclaimed when the tree is rebuilt.
+//! many production trees (e.g. PostgreSQL pre-vacuum) share; after a mass
+//! removal, [`BTree::compact`] repacks the survivors into dense nodes so
+//! scans stop paying for emptied pages.
 
 use crate::buffer::{BufferPool, FileId};
 use crate::keys::BKey;
@@ -458,6 +459,90 @@ impl BTree {
         Ok(out)
     }
 
+    /// Repacks the tree into dense nodes, reusing its existing pages.
+    ///
+    /// Lazy deletion leaves emptied leaves on the scan chain, so after a
+    /// mass removal (say, a segment swap pruning most of a time index)
+    /// range scans still walk every historical leaf page. Compaction
+    /// collects the live entries, packs them into full leaves over the
+    /// tree's own pages, and rebuilds the internal levels above them.
+    /// Pages the dense form no longer needs stay allocated — the file
+    /// never shrinks — but become unreachable from the new root, so
+    /// probes and scans touch only dense nodes afterwards.
+    ///
+    /// Callers must hold exclusive access (same single-writer contract as
+    /// `insert`/`remove`): the rebuild overwrites nodes the old root
+    /// still references before the root pointer moves.
+    pub fn compact(&self) -> Result<()> {
+        let entries = self.range_vec(BKey::MIN, BKey::MAX)?;
+        let mut reusable = Vec::new();
+        self.collect_pages(self.root()?, &mut reusable)?;
+        let mut free = reusable.into_iter();
+        let mut take = |pool: &Arc<BufferPool>, file: FileId| -> Result<PageId> {
+            match free.next() {
+                Some(pid) => Ok(pid),
+                None => Ok(pool.create(file, PageKind::BTreeLeaf)?.0),
+            }
+        };
+
+        // Leaf level: full leaves chained in key order (one empty leaf
+        // when the tree holds nothing).
+        let chunks: Vec<&[(BKey, u64)]> = if entries.is_empty() {
+            vec![&[]]
+        } else {
+            entries.chunks(self.leaf_cap).collect()
+        };
+        let ids: Vec<PageId> = chunks
+            .iter()
+            .map(|_| take(&self.pool, self.file))
+            .collect::<Result<_>>()?;
+        let mut level: Vec<(BKey, PageId)> = Vec::with_capacity(ids.len());
+        for (i, chunk) in chunks.iter().enumerate() {
+            let node = LeafNode {
+                entries: chunk.to_vec(),
+                next: ids.get(i + 1).copied().unwrap_or(PageId::INVALID),
+            };
+            let mut page = self.pool.fetch_write(self.file, ids[i])?;
+            Self::store_leaf(&mut page, &node);
+            level.push((chunk.first().map_or(BKey::MIN, |e| e.0), ids[i]));
+        }
+
+        // Internal levels: each node takes up to `int_cap + 1` children;
+        // the first child's low key becomes the node's own low key one
+        // level up, the rest become its separators.
+        while level.len() > 1 {
+            let mut above = Vec::with_capacity(level.len() / (self.int_cap + 1) + 1);
+            for group in level.chunks(self.int_cap + 1) {
+                let node = IntNode {
+                    keys: group[1..].iter().map(|(k, _)| *k).collect(),
+                    children: group.iter().map(|(_, pid)| *pid).collect(),
+                };
+                let pid = take(&self.pool, self.file)?;
+                let mut page = self.pool.fetch_write(self.file, pid)?;
+                Self::store_int(&mut page, &node);
+                above.push((group[0].0, pid));
+            }
+            level = above;
+        }
+        self.set_root(level[0].1)
+    }
+
+    /// Every node page of the subtree rooted at `pid` (pre-order).
+    fn collect_pages(&self, pid: PageId, out: &mut Vec<PageId>) -> Result<()> {
+        out.push(pid);
+        let children = {
+            let page = self.pool.fetch_read(self.file, pid)?;
+            match page.kind()? {
+                PageKind::BTreeInternal => Self::load_int(&page)?.children,
+                _ => return Ok(()),
+            }
+        };
+        for c in children {
+            self.collect_pages(c, out)?;
+        }
+        Ok(())
+    }
+
     /// Height of the tree (1 = root is a leaf). Diagnostic.
     pub fn height(&self) -> Result<u32> {
         let mut h = 1;
@@ -661,6 +746,112 @@ mod tests {
             assert_eq!(t.len().unwrap(), 200);
             for i in 0..200u64 {
                 assert_eq!(t.get(k(i)).unwrap(), Some(i + 7));
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_after_mass_removal_densifies() {
+        let (t, path) = tree("compact", 256);
+        let t = t.with_fanout(4, 4);
+        for i in 0..2000u64 {
+            t.insert(k(i), i).unwrap();
+        }
+        let tall = t.height().unwrap();
+        // Remove 95%: lazy deletion keeps every leaf on the chain.
+        for i in 0..2000u64 {
+            if i % 20 != 0 {
+                t.remove(k(i)).unwrap();
+            }
+        }
+        assert_eq!(t.height().unwrap(), tall, "removal never restructures");
+        t.compact().unwrap();
+        assert!(
+            t.height().unwrap() < tall,
+            "dense form of 100 entries must be shorter than the 2000-entry tree"
+        );
+        assert_eq!(t.len().unwrap(), 100);
+        let all = t.range_vec(BKey::MIN, BKey::MAX).unwrap();
+        assert_eq!(all.len(), 100);
+        for (i, (key, val)) in all.iter().enumerate() {
+            assert_eq!(key.hi, i as u64 * 20);
+            assert_eq!(*val, i as u64 * 20);
+        }
+        for i in 0..2000u64 {
+            assert_eq!(t.get(k(i)).unwrap(), (i % 20 == 0).then_some(i), "key {i}");
+        }
+        // The compacted tree keeps working as a live index.
+        for i in 0..500u64 {
+            t.insert(k(i * 2 + 100_000), i).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), 600);
+        assert_eq!(
+            t.range_vec(k(100_000), BKey::MAX).unwrap().len(),
+            500,
+            "post-compact inserts must be scannable"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_empty_and_full_trees() {
+        let (t, path) = tree("compact-edge", 64);
+        let t = t.with_fanout(4, 4);
+        t.compact().unwrap();
+        assert!(t.is_empty().unwrap());
+        assert_eq!(t.height().unwrap(), 1);
+        for i in 0..300u64 {
+            t.insert(k(i), i).unwrap();
+        }
+        // Compacting with nothing removed is a harmless repack.
+        t.compact().unwrap();
+        assert_eq!(t.len().unwrap(), 300);
+        let all = t.range_vec(BKey::MIN, BKey::MAX).unwrap();
+        assert_eq!(all.len(), 300);
+        assert!(all
+            .iter()
+            .enumerate()
+            .all(|(i, (key, _))| key.hi == i as u64));
+        // Remove everything: the dense form is a single empty leaf.
+        for i in 0..300u64 {
+            t.remove(k(i)).unwrap();
+        }
+        t.compact().unwrap();
+        assert_eq!(t.height().unwrap(), 1);
+        assert!(t.range_vec(BKey::MIN, BKey::MAX).unwrap().is_empty());
+        t.insert(k(7), 7).unwrap();
+        assert_eq!(t.get(k(7)).unwrap(), Some(7));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_survives_reopen() {
+        let path = tmpfile("compact-persist");
+        {
+            let dm = Arc::new(DiskManager::open(&path).unwrap());
+            let pool = BufferPool::new(64);
+            let file = pool.register_file(dm);
+            let t = BTree::create(pool.clone(), file).unwrap().with_fanout(4, 4);
+            for i in 0..1000u64 {
+                t.insert(k(i), i + 1).unwrap();
+            }
+            for i in 0..1000u64 {
+                if i % 10 != 0 {
+                    t.remove(k(i)).unwrap();
+                }
+            }
+            t.compact().unwrap();
+            pool.flush_and_sync().unwrap();
+        }
+        {
+            let dm = Arc::new(DiskManager::open(&path).unwrap());
+            let pool = BufferPool::new(64);
+            let file = pool.register_file(dm);
+            let t = BTree::open(pool, file).unwrap();
+            assert_eq!(t.len().unwrap(), 100);
+            for i in (0..1000u64).step_by(10) {
+                assert_eq!(t.get(k(i)).unwrap(), Some(i + 1));
             }
         }
         let _ = std::fs::remove_file(&path);

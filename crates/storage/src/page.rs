@@ -39,6 +39,8 @@ pub enum PageKind {
     BTreeInternal = 3,
     /// File meta page (page 0 of index and heap files).
     Meta = 4,
+    /// Immutable compressed-segment payload page (tiered storage).
+    Segment = 5,
 }
 
 impl PageKind {
@@ -50,6 +52,7 @@ impl PageKind {
             2 => PageKind::BTreeLeaf,
             3 => PageKind::BTreeInternal,
             4 => PageKind::Meta,
+            5 => PageKind::Segment,
             t => return Err(Error::corruption(format!("unknown page kind {t}"))),
         })
     }

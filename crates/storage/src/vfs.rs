@@ -55,6 +55,9 @@ pub trait Vfs: Send + Sync {
     fn exists(&self, path: &Path) -> bool;
     /// Removes `path`; removing a missing file is an error.
     fn remove(&self, path: &Path) -> Result<()>;
+    /// Atomically renames `from` to `to`, replacing `to` if it exists.
+    /// Renaming a missing file is an error.
+    fn rename(&self, from: &Path, to: &Path) -> Result<()>;
 }
 
 // ---------------------------------------------------------------- StdVfs
@@ -115,6 +118,11 @@ impl Vfs for StdVfs {
 
     fn remove(&self, path: &Path) -> Result<()> {
         std::fs::remove_file(path)?;
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        std::fs::rename(from, to)?;
         Ok(())
     }
 }
@@ -439,6 +447,33 @@ impl Vfs for FaultVfs {
             .map(|_| ())
             .ok_or_else(|| Error::Io(io::Error::new(io::ErrorKind::NotFound, "no such file")))
     }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        let mut st = self.state.lock();
+        st.check_live()?;
+        let idx = st.mut_ops;
+        st.mut_ops += 1;
+        match st.schedule.on_mutation.remove(&idx) {
+            Some(Fault::PowerCut) | Some(Fault::TornWrite { .. }) => {
+                st.power_cut();
+                return Err(Error::fault(format!("power cut before rename op {idx}")));
+            }
+            Some(Fault::FailWrite) => {
+                return Err(Error::fault(format!("rename op {idx} failed on schedule")))
+            }
+            _ => {}
+        }
+        // Like removal, the directory-entry swap is immediately durable,
+        // and the renamed file carries its *durable* content forward: a
+        // rename is only crash-atomic for data that was synced first,
+        // which is exactly the temp-write/sync/rename publication contract.
+        let file = st
+            .files
+            .remove(from)
+            .ok_or_else(|| Error::Io(io::Error::new(io::ErrorKind::NotFound, "no such file")))?;
+        st.files.insert(to.to_owned(), file);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -591,6 +626,36 @@ mod tests {
         assert_eq!(run(), run());
         assert_eq!(run_armed(), run_armed());
         assert_ne!(run().1, run_armed().1);
+    }
+
+    #[test]
+    fn rename_is_durable_swap() {
+        let vfs = FaultVfs::new();
+        let f = vfs.open(&p("tmp")).unwrap();
+        f.write_at(b"synced", 0).unwrap();
+        f.sync().unwrap();
+        f.write_at(b"-tail", 6).unwrap(); // unsynced
+        vfs.rename(&p("tmp"), &p("final")).unwrap();
+        assert!(!vfs.exists(&p("tmp")));
+        assert!(vfs.exists(&p("final")));
+        // A crash immediately after the rename keeps the entry under the
+        // new name with only the synced bytes.
+        let st = vfs.clone();
+        st.power_cut_at(st.mut_ops());
+        let g = vfs.open(&p("final")).unwrap();
+        assert!(g.write_at(b"x", 0).is_err());
+        vfs.reset_after_crash();
+        assert_eq!(vfs.durable_len(&p("final")), Some(6));
+        assert!(vfs.rename(&p("missing"), &p("x")).is_err());
+        // A power cut scheduled *on* the rename op leaves the old name.
+        let f = vfs.open(&p("a")).unwrap();
+        f.write_at(b"z", 0).unwrap();
+        f.sync().unwrap();
+        vfs.power_cut_at(vfs.mut_ops());
+        assert!(vfs.rename(&p("a"), &p("b")).is_err());
+        vfs.reset_after_crash();
+        assert!(vfs.exists(&p("a")));
+        assert!(!vfs.exists(&p("b")));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! * Storage: no delta savings; every update stores a full tuple.
 
 use crate::record::{AtomVersion, Payload, VersionRecord};
+use crate::segment::SegmentSet;
 use crate::store::{
     dir_get, dir_scan, dir_set, emit_slice, filter_at_tt, sort_by_vt, sort_history, tt_visible,
     StoreKind, StoreObs, StoreStats, VersionStore,
@@ -34,6 +35,8 @@ pub struct ChainStore {
     /// which re-indexes); the closed-partition payload is `tt.end`, so a
     /// time slice filters invisible candidates on index entries alone.
     tix: TimeIndex,
+    /// Archived closed history (merged into reads, fed by the compactor).
+    segs: Arc<SegmentSet>,
     obs: StoreObs,
 }
 
@@ -49,6 +52,7 @@ impl ChainStore {
             heap: HeapFile::create(pool.clone(), heap_file)?,
             dir: BTree::create(pool.clone(), dir_file)?,
             tix: TimeIndex::create(pool, tix_file)?,
+            segs: SegmentSet::new(),
             obs: StoreObs::default(),
         })
     }
@@ -64,8 +68,23 @@ impl ChainStore {
             heap: HeapFile::open(pool.clone(), heap_file)?,
             dir: BTree::open(pool.clone(), dir_file)?,
             tix: TimeIndex::open(pool, tix_file)?,
+            segs: SegmentSet::new(),
             obs: StoreObs::default(),
         })
+    }
+
+    /// Heap-resident versions of `no`, unsorted (no segment merge).
+    fn heap_history(&self, no: AtomNo) -> Result<Vec<AtomVersion>> {
+        let mut out = Vec::new();
+        self.walk(no, |_, rec| {
+            out.push(AtomVersion {
+                vt: rec.vt,
+                tt: rec.tt,
+                tuple: Self::tuple_of(rec)?.clone(),
+            });
+            Ok(true)
+        })?;
+        Ok(out)
     }
 
     /// Walks an atom's chain, newest first, decoding every record.
@@ -170,19 +189,14 @@ impl VersionStore for ChainStore {
     }
 
     fn versions_at(&self, no: AtomNo, tt: TimePoint) -> Result<Vec<AtomVersion>> {
-        Ok(sort_by_vt(filter_at_tt(self.history(no)?, tt)))
+        let mut out = filter_at_tt(self.heap_history(no)?, tt);
+        self.segs.versions_at_for(no, tt, &mut out)?;
+        Ok(sort_by_vt(out))
     }
 
     fn history(&self, no: AtomNo) -> Result<Vec<AtomVersion>> {
-        let mut out = Vec::new();
-        self.walk(no, |_, rec| {
-            out.push(AtomVersion {
-                vt: rec.vt,
-                tt: rec.tt,
-                tuple: Self::tuple_of(rec)?.clone(),
-            });
-            Ok(true)
-        })?;
+        let mut out = self.heap_history(no)?;
+        self.segs.history_for(no, &mut out)?;
         Ok(sort_history(out))
     }
 
@@ -194,8 +208,8 @@ impl VersionStore for ChainStore {
         &self.obs
     }
 
-    fn prune(&self, no: AtomNo, cutoff: TimePoint) -> Result<usize> {
-        // Collect the whole chain, partition, delete prunable records and
+    fn extract_closed(&self, no: AtomNo, cutoff: TimePoint) -> Result<Vec<AtomVersion>> {
+        // Collect the whole chain, partition, delete extracted records and
         // rebuild the kept chain (oldest→newest so relocations can never
         // invalidate an already-written pointer).
         let mut all: Vec<(RecordId, VersionRecord)> = Vec::new();
@@ -206,8 +220,18 @@ impl VersionStore for ChainStore {
         let (pruned, kept): (Vec<_>, Vec<_>) =
             all.into_iter().partition(|(_, r)| r.tt.end() <= cutoff);
         if pruned.is_empty() {
-            return Ok(0);
+            return Ok(Vec::new());
         }
+        let extracted = pruned
+            .iter()
+            .map(|(_, r)| {
+                Ok(AtomVersion {
+                    vt: r.vt,
+                    tt: r.tt,
+                    tuple: Self::tuple_of(r)?.clone(),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
         // Drop index entries under the *old* record ids first: rebuilding the
         // kept chain relocates records, and the stale rids would otherwise be
         // unreachable.
@@ -232,7 +256,19 @@ impl VersionStore for ChainStore {
                 .insert(open, rec.tt.start(), new_prev.pack(), payload)?;
         }
         dir_set(&self.dir, no, new_prev)?;
-        Ok(pruned.len())
+        Ok(extracted)
+    }
+
+    fn collect_closed(&self, no: AtomNo, cutoff: TimePoint) -> Result<Vec<AtomVersion>> {
+        Ok(self
+            .heap_history(no)?
+            .into_iter()
+            .filter(|v| v.tt.end() <= cutoff)
+            .collect())
+    }
+
+    fn segments(&self) -> &Arc<SegmentSet> {
+        &self.segs
     }
 
     fn slice_at(
@@ -268,6 +304,7 @@ impl VersionStore for ChainStore {
                 tuple: Self::tuple_of(&rec)?.clone(),
             });
         }
+        self.segs.slice_into(tt, &mut groups)?;
         emit_slice(groups, f)
     }
 
@@ -283,7 +320,14 @@ impl VersionStore for ChainStore {
             };
             self.tix.insert(open, rec.tt.start(), rid.pack(), payload)?;
             Ok(true)
-        })
+        })?;
+        // `clear` deletes lazily and the re-inserts land back in the old
+        // sparse node structure; repack so the rebuilt index scans dense.
+        self.tix.compact()
+    }
+
+    fn compact_time_index(&self) -> Result<()> {
+        self.tix.compact()
     }
 
     fn resident_pages(&self) -> u64 {
@@ -303,6 +347,7 @@ impl VersionStore for ChainStore {
             *depth.entry(r.atom_no.0).or_insert(0) += 1;
             Ok(true)
         })?;
+        let seg = self.segs.stats();
         Ok(StoreStats {
             atoms: self.dir.len()?,
             versions,
@@ -313,6 +358,9 @@ impl VersionStore for ChainStore {
             max_depth: depth.values().copied().max().unwrap_or(0),
             time_entries: self.tix.len()?,
             resident_pages: self.heap.resident_pages(),
+            segments: seg.segments,
+            segment_pages: seg.pages,
+            segment_versions: seg.versions,
         })
     }
 }

@@ -20,6 +20,7 @@
 //! narrow updates, while past time-slices pay CPU for delta replay.
 
 use crate::record::{AtomVersion, Payload, TupleDelta, VersionRecord};
+use crate::segment::SegmentSet;
 use crate::store::{
     dir_get, dir_scan, dir_set, filter_at_tt, sort_by_vt, sort_history, StoreKind, StoreObs,
     StoreStats, VersionStore,
@@ -40,6 +41,9 @@ pub struct DeltaStore {
     /// delta record needs a chain walk anyway, so the index narrows a slice
     /// to a candidate atom set rather than to individual records.
     tix: TimeIndex,
+    /// Archived closed history; segment versions are stored as *full*
+    /// tuples (materialized at extraction), so reads need no chain walk.
+    segs: Arc<SegmentSet>,
     obs: StoreObs,
 }
 
@@ -55,6 +59,7 @@ impl DeltaStore {
             heap: HeapFile::create(pool.clone(), heap_file)?,
             dir: BTree::create(pool.clone(), dir_file)?,
             tix: TimeIndex::create(pool, tix_file)?,
+            segs: SegmentSet::new(),
             obs: StoreObs::default(),
         })
     }
@@ -70,8 +75,23 @@ impl DeltaStore {
             heap: HeapFile::open(pool.clone(), heap_file)?,
             dir: BTree::open(pool.clone(), dir_file)?,
             tix: TimeIndex::open(pool, tix_file)?,
+            segs: SegmentSet::new(),
             obs: StoreObs::default(),
         })
+    }
+
+    /// Heap-resident versions of `no` (reconstructed tuples), unsorted.
+    fn heap_history(&self, no: AtomNo) -> Result<Vec<AtomVersion>> {
+        let mut out = Vec::new();
+        self.walk_reconstruct(no, |_, rec, tuple, _| {
+            out.push(AtomVersion {
+                vt: rec.vt,
+                tt: rec.tt,
+                tuple: tuple.clone(),
+            });
+            Ok(true)
+        })?;
+        Ok(out)
     }
 
     /// Walks the chain newest→oldest, reconstructing each record's tuple.
@@ -237,19 +257,14 @@ impl VersionStore for DeltaStore {
     }
 
     fn versions_at(&self, no: AtomNo, tt: TimePoint) -> Result<Vec<AtomVersion>> {
-        Ok(sort_by_vt(filter_at_tt(self.history(no)?, tt)))
+        let mut out = filter_at_tt(self.heap_history(no)?, tt);
+        self.segs.versions_at_for(no, tt, &mut out)?;
+        Ok(sort_by_vt(out))
     }
 
     fn history(&self, no: AtomNo) -> Result<Vec<AtomVersion>> {
-        let mut out = Vec::new();
-        self.walk_reconstruct(no, |_, rec, tuple, _| {
-            out.push(AtomVersion {
-                vt: rec.vt,
-                tt: rec.tt,
-                tuple: tuple.clone(),
-            });
-            Ok(true)
-        })?;
+        let mut out = self.heap_history(no)?;
+        self.segs.history_for(no, &mut out)?;
         Ok(sort_history(out))
     }
 
@@ -261,9 +276,9 @@ impl VersionStore for DeltaStore {
         &self.obs
     }
 
-    fn prune(&self, no: AtomNo, cutoff: TimePoint) -> Result<usize> {
+    fn extract_closed(&self, no: AtomNo, cutoff: TimePoint) -> Result<Vec<AtomVersion>> {
         // Reconstruct the full chain (deltas depend on their newer
-        // neighbours, which may be pruned), then rebuild the kept chain
+        // neighbours, which may be extracted), then rebuild the kept chain
         // with freshly computed payloads: the new head full, closed
         // non-head records as deltas against their new newer neighbour.
         let mut all: Vec<(RecordId, VersionRecord, Tuple)> = Vec::new();
@@ -274,7 +289,7 @@ impl VersionStore for DeltaStore {
         let (pruned, kept): (Vec<_>, Vec<_>) =
             all.into_iter().partition(|(_, r, _)| r.tt.end() <= cutoff);
         if pruned.is_empty() {
-            return Ok(0);
+            return Ok(Vec::new());
         }
         // Drop index entries under the *old* record ids before the rebuild
         // relocates the kept records.
@@ -307,7 +322,26 @@ impl VersionStore for DeltaStore {
                 .insert(rec.is_current(), rec.tt.start(), new_prev.pack(), no.0)?;
         }
         dir_set(&self.dir, no, new_prev)?;
-        Ok(pruned.len())
+        Ok(pruned
+            .into_iter()
+            .map(|(_, rec, tuple)| AtomVersion {
+                vt: rec.vt,
+                tt: rec.tt,
+                tuple,
+            })
+            .collect())
+    }
+
+    fn collect_closed(&self, no: AtomNo, cutoff: TimePoint) -> Result<Vec<AtomVersion>> {
+        Ok(self
+            .heap_history(no)?
+            .into_iter()
+            .filter(|v| v.tt.end() <= cutoff)
+            .collect())
+    }
+
+    fn segments(&self) -> &Arc<SegmentSet> {
+        &self.segs
     }
 
     fn slice_at(
@@ -330,6 +364,9 @@ impl VersionStore for DeltaStore {
                 Ok(true)
             })?;
         }
+        // Atoms whose entire closed history was archived have no closed tix
+        // entries left; the segment fences contribute those candidates.
+        self.segs.visible_atoms(tt, &mut atoms)?;
         for no in atoms {
             let vs = self.versions_at(AtomNo(no), tt)?;
             if vs.is_empty() {
@@ -349,7 +386,14 @@ impl VersionStore for DeltaStore {
             self.tix
                 .insert(rec.is_current(), rec.tt.start(), rid.pack(), rec.atom_no.0)?;
             Ok(true)
-        })
+        })?;
+        // `clear` deletes lazily and the re-inserts land back in the old
+        // sparse node structure; repack so the rebuilt index scans dense.
+        self.tix.compact()
+    }
+
+    fn compact_time_index(&self) -> Result<()> {
+        self.tix.compact()
     }
 
     fn resident_pages(&self) -> u64 {
@@ -369,6 +413,7 @@ impl VersionStore for DeltaStore {
             *depth.entry(r.atom_no.0).or_insert(0) += 1;
             Ok(true)
         })?;
+        let seg = self.segs.stats();
         Ok(StoreStats {
             atoms: self.dir.len()?,
             versions,
@@ -379,6 +424,9 @@ impl VersionStore for DeltaStore {
             max_depth: depth.values().copied().max().unwrap_or(0),
             time_entries: self.tix.len()?,
             resident_pages: self.heap.resident_pages(),
+            segments: seg.segments,
+            segment_pages: seg.pages,
+            segment_versions: seg.versions,
         })
     }
 }

@@ -18,6 +18,7 @@
 pub mod chain;
 pub mod delta;
 pub mod record;
+pub mod segment;
 pub mod split;
 pub mod store;
 pub mod timeindex;
@@ -25,6 +26,11 @@ pub mod timeindex;
 pub use chain::ChainStore;
 pub use delta::DeltaStore;
 pub use record::{AtomVersion, Payload, TupleDelta, VersionRecord};
+pub use segment::{
+    build_segment_stream, decode_block, encode_block, lzss_compress, lzss_decompress,
+    write_segment_file, BlockFence, Segment, SegmentFooter, SegmentSet, SegmentSetStats,
+    SEGMENT_FORMAT, SEGMENT_MAGIC,
+};
 pub use split::SplitStore;
 pub use store::{StoreKind, StoreObs, StoreStats, VersionStore, VersionStoreExt};
 pub use timeindex::{TimeIndex, TimeIndexEntry};

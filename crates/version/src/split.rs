@@ -14,6 +14,7 @@
 //! to total history length.
 
 use crate::record::{AtomVersion, Payload, VersionRecord};
+use crate::segment::SegmentSet;
 use crate::store::{
     dir_get, dir_scan, dir_set, emit_slice, sort_by_vt, sort_history, tt_visible, StoreKind,
     StoreObs, StoreStats, VersionStore,
@@ -85,6 +86,8 @@ pub struct SplitStore {
     /// closed partition uses `lo = hist record id` with a `tt.end` payload
     /// for heap-free visibility filtering.
     tix: TimeIndex,
+    /// Archived closed history (compressed immutable segments).
+    segs: Arc<SegmentSet>,
     obs: StoreObs,
 }
 
@@ -104,6 +107,7 @@ impl SplitStore {
             hist_heap: HeapFile::create(pool.clone(), hist_heap)?,
             hist_dir: BTree::create(pool.clone(), hist_dir)?,
             tix: TimeIndex::create(pool, tix_file)?,
+            segs: SegmentSet::new(),
             obs: StoreObs::default(),
         })
     }
@@ -123,6 +127,7 @@ impl SplitStore {
             hist_heap: HeapFile::open(pool.clone(), hist_heap)?,
             hist_dir: BTree::open(pool.clone(), hist_dir)?,
             tix: TimeIndex::open(pool, tix_file)?,
+            segs: SegmentSet::new(),
             obs: StoreObs::default(),
         })
     }
@@ -285,6 +290,7 @@ impl VersionStore for SplitStore {
             }
             Ok(true)
         })?;
+        self.segs.versions_at_for(no, tt, &mut out)?;
         Ok(sort_by_vt(out))
     }
 
@@ -302,6 +308,7 @@ impl VersionStore for SplitStore {
                 Err(Error::corruption("delta record in split history store"))
             }
         })?;
+        self.segs.history_for(no, &mut out)?;
         Ok(sort_history(out))
     }
 
@@ -315,8 +322,8 @@ impl VersionStore for SplitStore {
         &self.obs
     }
 
-    fn prune(&self, no: AtomNo, cutoff: TimePoint) -> Result<usize> {
-        // History chains are ordered by descending tt.end, so prunable
+    fn extract_closed(&self, no: AtomNo, cutoff: TimePoint) -> Result<Vec<AtomVersion>> {
+        // History chains are ordered by descending tt.end, so extractable
         // records form a contiguous tail; collect the kept prefix and
         // rebuild it (oldest→newest) with the tail cut off.
         let mut kept: Vec<(RecordId, VersionRecord)> = Vec::new();
@@ -333,15 +340,25 @@ impl VersionStore for SplitStore {
             cur = next;
         }
         if prune_rids.is_empty() {
-            return Ok(0);
+            return Ok(Vec::new());
         }
         // All history records live in the closed partition under their old
         // record ids; drop those entries before the rebuild relocates the
-        // kept ones. The prunable tail's records must be re-read for their
-        // tt_start (only their rids were kept above).
+        // kept ones. The extractable tail's records must be re-read (only
+        // their rids were kept above); that re-read also materializes the
+        // versions this method returns.
+        let mut extracted = Vec::with_capacity(prune_rids.len());
         for rid in &prune_rids {
             let rec = self.hist_heap.with_record(*rid, VersionRecord::decode)??;
             self.tix.remove(false, rec.tt.start(), rid.pack())?;
+            let Payload::Full(tuple) = rec.payload else {
+                return Err(Error::corruption("delta record in split history store"));
+            };
+            extracted.push(AtomVersion {
+                vt: rec.vt,
+                tt: rec.tt,
+                tuple,
+            });
         }
         for (rid, rec) in &kept {
             self.tix.remove(false, rec.tt.start(), rid.pack())?;
@@ -363,7 +380,29 @@ impl VersionStore for SplitStore {
         } else {
             dir_set(&self.hist_dir, no, new_prev)?;
         }
-        Ok(prune_rids.len())
+        Ok(extracted)
+    }
+
+    fn collect_closed(&self, no: AtomNo, cutoff: TimePoint) -> Result<Vec<AtomVersion>> {
+        let mut out = Vec::new();
+        self.walk_history(no, |rec| {
+            if rec.tt.end() <= cutoff {
+                let Payload::Full(tuple) = &rec.payload else {
+                    return Err(Error::corruption("delta record in split history store"));
+                };
+                out.push(AtomVersion {
+                    vt: rec.vt,
+                    tt: rec.tt,
+                    tuple: tuple.clone(),
+                });
+            }
+            Ok(true)
+        })?;
+        Ok(out)
+    }
+
+    fn segments(&self) -> &Arc<SegmentSet> {
+        &self.segs
     }
 
     fn slice_at(
@@ -422,6 +461,7 @@ impl VersionStore for SplitStore {
                 });
             }
         }
+        self.segs.slice_into(tt, &mut groups)?;
         emit_slice(groups, f)
     }
 
@@ -445,7 +485,14 @@ impl VersionStore for SplitStore {
             self.tix
                 .insert(false, rec.tt.start(), rid.pack(), rec.tt.end().0)?;
             Ok(true)
-        })
+        })?;
+        // `clear` deletes lazily and the re-inserts land back in the old
+        // sparse node structure; repack so the rebuilt index scans dense.
+        self.tix.compact()
+    }
+
+    fn compact_time_index(&self) -> Result<()> {
+        self.tix.compact()
     }
 
     fn resident_pages(&self) -> u64 {
@@ -476,6 +523,7 @@ impl VersionStore for SplitStore {
             bytes += rec.len() as u64;
             Ok(true)
         })?;
+        let seg = self.segs.stats();
         Ok(StoreStats {
             atoms: self.cur_dir.len()?,
             versions,
@@ -486,6 +534,9 @@ impl VersionStore for SplitStore {
             max_depth: depth.values().copied().max().unwrap_or(0),
             time_entries: self.tix.len()?,
             resident_pages: self.cur_heap.resident_pages() + self.hist_heap.resident_pages(),
+            segments: seg.segments,
+            segment_pages: seg.pages,
+            segment_versions: seg.versions,
         })
     }
 }

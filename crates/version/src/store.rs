@@ -9,6 +9,8 @@
 //! other; comparing them is the heart of the reproduced evaluation.
 
 use crate::record::AtomVersion;
+use crate::segment::SegmentSet;
+use std::sync::Arc;
 use tcom_kernel::{AtomNo, Interval, RecordId, Result, TimePoint, Tuple};
 use tcom_obs::Counter;
 use tcom_storage::btree::BTree;
@@ -57,6 +59,13 @@ pub struct StoreStats {
     /// Heap pages currently resident in the buffer pool (snapshot; moves
     /// with the workload).
     pub resident_pages: u64,
+    /// Live compressed segments of archived closed history.
+    pub segments: u64,
+    /// Total pages across the segment files.
+    pub segment_pages: u64,
+    /// Versions archived into segments (not counted in `versions`, which
+    /// covers only the hot heaps).
+    pub segment_versions: u64,
 }
 
 impl StoreStats {
@@ -142,12 +151,39 @@ pub trait VersionStore: Send + Sync {
     /// residency discount.
     fn resident_pages(&self) -> u64;
 
-    /// Physically discards this atom's versions whose transaction time
-    /// ended at or before `cutoff` — they are invisible to every slice at
-    /// `tt >= cutoff`. Slices at earlier transaction times stop being
-    /// faithful (that is the point of pruning). Returns the number of
-    /// versions removed. Current (tt-open) versions are never pruned.
-    fn prune(&self, no: AtomNo, cutoff: TimePoint) -> Result<usize>;
+    /// Physically discards this atom's *heap-resident* versions whose
+    /// transaction time ended at or before `cutoff` — they are invisible
+    /// to every slice at `tt >= cutoff`. Slices at earlier transaction
+    /// times stop being faithful (that is the point of pruning). Returns
+    /// the number of versions removed. Current (tt-open) versions are
+    /// never pruned, and versions already archived into segments are not
+    /// touched (segment retention is a separate, file-level decision).
+    fn prune(&self, no: AtomNo, cutoff: TimePoint) -> Result<usize> {
+        Ok(self.extract_closed(no, cutoff)?.len())
+    }
+
+    /// Removes this atom's closed versions with `tt.end <= cutoff` from
+    /// the hot heaps and returns them, oldest extraction order
+    /// unspecified, with delta payloads materialized to full tuples. The
+    /// heap-side half of a segment swap: the compactor first copies
+    /// exactly this set (every closed version at or below the cutoff)
+    /// into a segment file, then extracts it. Idempotent — a second call
+    /// with the same cutoff finds nothing and returns an empty vector,
+    /// which is what makes crash-recovery redo of a logged swap safe.
+    fn extract_closed(&self, no: AtomNo, cutoff: TimePoint) -> Result<Vec<AtomVersion>>;
+
+    /// Read-only preview of [`VersionStore::extract_closed`]: this atom's
+    /// *heap-resident* closed versions with `tt.end <= cutoff`, delta
+    /// payloads materialized, already-archived segment versions excluded.
+    /// The compactor copies exactly this set into a segment file before
+    /// extracting it, so a crash between the two leaves either state
+    /// readable.
+    fn collect_closed(&self, no: AtomNo, cutoff: TimePoint) -> Result<Vec<AtomVersion>>;
+
+    /// The store's immutable compressed segments of archived history.
+    /// Read paths merge these transparently; the engine publishes into
+    /// the set under its quiescence protocol.
+    fn segments(&self) -> &Arc<SegmentSet>;
 
     /// Index-backed snapshot scan: calls `f` once per atom that has at
     /// least one version visible at transaction time `tt`, in ascending
@@ -167,6 +203,14 @@ pub trait VersionStore: Send + Sync {
     /// Drops and rebuilds the transaction-time interval index from the
     /// store's heaps (recovery / consistency repair).
     fn rebuild_time_index(&self) -> Result<()>;
+
+    /// Repacks the transaction-time index into dense nodes. Index
+    /// deletion is lazy, so a segment swap that extracts most closed
+    /// versions leaves the index's emptied leaf pages on the scan chain;
+    /// until they are repacked, every slice reads the index at its
+    /// pre-extraction size. The engine calls this as the final step of a
+    /// swap, under the same quiescence as the extraction itself.
+    fn compact_time_index(&self) -> Result<()>;
 
     /// The store's observability counter handles (clone them to register
     /// in a metrics registry).

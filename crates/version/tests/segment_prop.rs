@@ -1,0 +1,241 @@
+//! Property tests for the segment codec: LZSS compression, block
+//! encoding, footer encoding, the full stream builder, and the
+//! fence-pruning predicates.
+//!
+//! Two families of properties:
+//!
+//! * **Round-trip + rejection** — every encode/decode pair is exact, and
+//!   every truncation boundary (and trailing garbage) of every encoded
+//!   artifact is rejected with a clean error, never a panic. Crash
+//!   recovery and torn segment files depend on this.
+//! * **Fence soundness** — when a segment- or block-level fence says a
+//!   transaction time or atom is *not* admitted, no version behind the
+//!   fence can match it. Pruning may over-admit (that only costs pages),
+//!   but under-admitting would silently drop history.
+//!
+//! `PROPTEST_CASES` scales the case count (CI runs 256).
+
+use proptest::prelude::*;
+use tcom_kernel::codec::crc32c;
+use tcom_kernel::{AtomNo, Interval, TimePoint, Tuple, Value};
+use tcom_version::{
+    build_segment_stream, decode_block, encode_block, lzss_compress, lzss_decompress, AtomVersion,
+    SegmentFooter,
+};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        "[a-z0-9 ]{0,16}".prop_map(|s| Value::from(s.as_str())),
+    ]
+}
+
+/// A closed version: finite `tt` (that is what segments hold), `vt`
+/// bounded or open-ended.
+fn arb_closed_version() -> impl Strategy<Value = (u64, AtomVersion)> {
+    (
+        0u64..40,
+        0u64..900,
+        1u64..60,
+        0u64..900,
+        1u64..60,
+        any::<bool>(),
+        proptest::collection::vec(arb_value(), 0..4),
+    )
+        .prop_map(|(no, ts, tl, vs, vl, vt_open, vals)| {
+            let tt = Interval::new(TimePoint(ts), TimePoint(ts + tl)).unwrap();
+            let vt = if vt_open {
+                Interval::from_start(TimePoint(vs))
+            } else {
+                Interval::new(TimePoint(vs), TimePoint(vs + vl)).unwrap()
+            };
+            (
+                no,
+                AtomVersion {
+                    vt,
+                    tt,
+                    tuple: Tuple::new(vals),
+                },
+            )
+        })
+}
+
+fn arb_versions(max: usize) -> impl Strategy<Value = Vec<(u64, AtomVersion)>> {
+    proptest::collection::vec(arb_closed_version(), 0..max)
+}
+
+/// Total order used to compare version multisets (ties broken on the
+/// tuple's debug form, which is injective for our value set).
+fn sort_key(e: &(u64, AtomVersion)) -> (u64, TimePoint, TimePoint, TimePoint, String) {
+    (
+        e.0,
+        e.1.tt.start(),
+        e.1.vt.start(),
+        e.1.tt.end(),
+        format!("{:?}", e.1.tuple),
+    )
+}
+
+fn sorted(mut v: Vec<(u64, AtomVersion)>) -> Vec<(u64, AtomVersion)> {
+    v.sort_by_key(sort_key);
+    v
+}
+
+proptest! {
+    /// Compression is lossless, and *every* strict prefix of a compressed
+    /// stream is rejected (the declared raw length can never be met).
+    #[test]
+    fn lzss_roundtrip_and_truncation(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let comp = lzss_compress(&data);
+        prop_assert_eq!(lzss_decompress(&comp, data.len()).unwrap(), data.clone());
+        for cut in 0..comp.len() {
+            prop_assert!(
+                lzss_decompress(&comp[..cut], data.len()).is_err(),
+                "prefix of {cut}/{} bytes must not decompress",
+                comp.len()
+            );
+        }
+        // A wrong declared length is also rejected.
+        prop_assert!(lzss_decompress(&comp, data.len() + 1).is_err());
+        if !data.is_empty() {
+            prop_assert!(lzss_decompress(&comp, data.len() - 1).is_err());
+        }
+    }
+
+    /// Arbitrary garbage never panics the decompressor — it returns an
+    /// error or, by coincidence, valid output of the declared length.
+    #[test]
+    fn lzss_decompress_never_panics(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        raw_len in 0usize..2048,
+    ) {
+        if let Ok(out) = lzss_decompress(&data, raw_len) {
+            prop_assert_eq!(out.len(), raw_len);
+        }
+    }
+
+    /// Block encode/decode is exact; every truncation boundary and any
+    /// trailing byte is rejected.
+    #[test]
+    fn block_roundtrip_and_truncation(entries in arb_versions(24)) {
+        let entries = sorted(entries);
+        let raw = encode_block(&entries);
+        prop_assert_eq!(decode_block(&raw).unwrap(), entries);
+        for cut in 0..raw.len() {
+            prop_assert!(decode_block(&raw[..cut]).is_err(), "cut at {cut}/{}", raw.len());
+        }
+        let mut extended = raw.clone();
+        extended.push(0);
+        prop_assert!(decode_block(&extended).is_err(), "trailing byte must be rejected");
+    }
+
+    /// Footer encode/decode is exact; truncations and trailing bytes are
+    /// rejected.
+    #[test]
+    fn footer_roundtrip_and_truncation(entries in arb_versions(40)) {
+        let (_, footer) = build_segment_stream(&entries);
+        let enc = footer.encode();
+        prop_assert_eq!(SegmentFooter::decode(&enc).unwrap(), footer);
+        for cut in 0..enc.len() {
+            prop_assert!(SegmentFooter::decode(&enc[..cut]).is_err(), "cut at {cut}/{}", enc.len());
+        }
+        let mut extended = enc.clone();
+        extended.push(0);
+        prop_assert!(SegmentFooter::decode(&extended).is_err());
+    }
+
+    /// The full stream round-trips: every fence locates a decompressible,
+    /// checksummed block; the union of all blocks is exactly the input
+    /// multiset; totals and offsets are consistent.
+    #[test]
+    fn stream_roundtrip(entries in arb_versions(64)) {
+        let (stream, footer) = build_segment_stream(&entries);
+        prop_assert_eq!(footer.versions, entries.len() as u64);
+        prop_assert_eq!(footer.comp_bytes, stream.len() as u64);
+        prop_assert_eq!(
+            footer.raw_bytes,
+            footer.blocks.iter().map(|b| b.raw_len as u64).sum::<u64>()
+        );
+
+        let mut offset = 0u64;
+        let mut decoded = Vec::new();
+        for fence in &footer.blocks {
+            prop_assert_eq!(fence.offset, offset, "blocks must be contiguous");
+            offset += fence.comp_len as u64;
+            let comp = &stream[fence.offset as usize..(fence.offset + fence.comp_len as u64) as usize];
+            let raw = lzss_decompress(comp, fence.raw_len as usize).unwrap();
+            prop_assert_eq!(crc32c(&raw), fence.crc);
+            let block = decode_block(&raw).unwrap();
+            prop_assert_eq!(block.len() as u32, fence.count);
+
+            // Fences are tight over their block.
+            prop_assert_eq!(fence.atom_min, block.iter().map(|(n, _)| *n).min().unwrap());
+            prop_assert_eq!(fence.atom_max, block.iter().map(|(n, _)| *n).max().unwrap());
+            prop_assert_eq!(fence.tt_min, block.iter().map(|(_, v)| v.tt.start()).min().unwrap());
+            prop_assert_eq!(fence.tt_max, block.iter().map(|(_, v)| v.tt.end()).max().unwrap());
+            prop_assert_eq!(fence.vt_min, block.iter().map(|(_, v)| v.vt.start()).min().unwrap());
+            prop_assert_eq!(fence.vt_max, block.iter().map(|(_, v)| v.vt.end()).max().unwrap());
+            decoded.extend(block);
+        }
+        prop_assert_eq!(offset, stream.len() as u64);
+        prop_assert_eq!(sorted(decoded), sorted(entries));
+    }
+
+    /// Fence pruning is sound: a rejected transaction time or atom number
+    /// has no matching version behind the fence, at segment scope and at
+    /// block scope. `FOREVER` (current state) is never admitted.
+    #[test]
+    fn fence_pruning_sound(
+        entries in arb_versions(64),
+        probes in proptest::collection::vec(0u64..1100, 1..12),
+        atom_probes in proptest::collection::vec(0u64..60, 1..8),
+    ) {
+        let (stream, footer) = build_segment_stream(&entries);
+        prop_assert!(!footer.admits_tt(TimePoint::FOREVER));
+        for fence in &footer.blocks {
+            prop_assert!(!fence.admits_tt(TimePoint::FOREVER));
+        }
+
+        // Probe at arbitrary points plus every fence edge (off-by-one
+        // territory: starts, ends, and their neighbours).
+        let mut tts: Vec<TimePoint> = probes.into_iter().map(TimePoint).collect();
+        for (_, v) in &entries {
+            tts.push(v.tt.start());
+            tts.push(v.tt.end());
+            tts.push(TimePoint(v.tt.end().0.saturating_sub(1)));
+        }
+
+        for &tt in &tts {
+            if !footer.admits_tt(tt) {
+                prop_assert!(
+                    !entries.iter().any(|(_, v)| v.tt.contains(tt)),
+                    "segment fence rejected tt={tt} but a version contains it"
+                );
+            }
+            for fence in &footer.blocks {
+                if fence.admits_tt(tt) {
+                    continue;
+                }
+                let comp = &stream
+                    [fence.offset as usize..(fence.offset + fence.comp_len as u64) as usize];
+                let raw = lzss_decompress(comp, fence.raw_len as usize).unwrap();
+                let block = decode_block(&raw).unwrap();
+                prop_assert!(
+                    !block.iter().any(|(_, v)| v.tt.contains(tt)),
+                    "block fence rejected tt={tt} but a version in the block contains it"
+                );
+            }
+        }
+
+        for no in atom_probes {
+            if !footer.admits_atom(AtomNo(no)) {
+                prop_assert!(
+                    !entries.iter().any(|(n, _)| *n == no),
+                    "segment fence rejected atom {no} but it has archived versions"
+                );
+            }
+        }
+    }
+}

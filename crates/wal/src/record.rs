@@ -53,6 +53,20 @@ pub enum LogRecord {
         /// `(atom type id, next atom number)` pairs.
         next_atom_nos: Vec<(u32, u64)>,
     },
+    /// A compaction segment was published for an atom type: segment file
+    /// `seg` holds every closed version of the type with
+    /// `tt.end <= cutoff`, and those versions are (being) removed from the
+    /// hot heaps. This record is the swap's commit point — once durable,
+    /// recovery redoes the heap-side extraction; before it, the segment
+    /// temp file is garbage.
+    SegmentSwap {
+        /// The atom type whose closed history was segmented.
+        ty: u32,
+        /// Segment sequence number within the type (names the file).
+        seg: u64,
+        /// Every archived version has `tt.end <= cutoff`.
+        cutoff: TimePoint,
+    },
 }
 
 impl LogRecord {
@@ -64,7 +78,7 @@ impl LogRecord {
             | LogRecord::Abort { txn }
             | LogRecord::InsertVersion { txn, .. }
             | LogRecord::CloseVersion { txn, .. } => Some(*txn),
-            LogRecord::Checkpoint { .. } => None,
+            LogRecord::Checkpoint { .. } | LogRecord::SegmentSwap { .. } => None,
         }
     }
 
@@ -122,6 +136,12 @@ impl LogRecord {
                     e.put_u64(*no);
                 }
             }
+            LogRecord::SegmentSwap { ty, seg, cutoff } => {
+                e.put_u8(6);
+                e.put_u64(*ty as u64);
+                e.put_u64(*seg);
+                e.put_time(*cutoff);
+            }
         }
         e.finish()
     }
@@ -169,6 +189,11 @@ impl LogRecord {
                     next_atom_nos,
                 }
             }
+            6 => LogRecord::SegmentSwap {
+                ty: d.get_u64()? as u32,
+                seg: d.get_u64()?,
+                cutoff: d.get_time()?,
+            },
             t => return Err(Error::corruption(format!("unknown log record tag {t}"))),
         };
         if !d.is_exhausted() {
@@ -206,6 +231,11 @@ mod tests {
                 clock: TimePoint(42),
                 next_atom_nos: vec![(0, 100), (1, 7)],
             },
+            LogRecord::SegmentSwap {
+                ty: 3,
+                seg: 2,
+                cutoff: TimePoint(41),
+            },
         ]
     }
 
@@ -222,6 +252,7 @@ mod tests {
         let rs = all_records();
         assert_eq!(rs[0].txn(), Some(TxnId(7)));
         assert_eq!(rs[5].txn(), None);
+        assert_eq!(rs[6].txn(), None);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `tcom-shell` — an interactive TQL shell over a tcom database.
 //!
 //! ```text
-//! cargo run --bin tcom-shell -- /path/to/db [--store chain|delta|split]
+//! cargo run --bin tcom-shell -- /path/to/db [--store chain|delta|split] [--compact [min-closed]]
 //! cargo run --bin tcom-shell -- --connect host:port
 //! ```
 //!
@@ -26,6 +26,7 @@
 //! ```
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 use tcom::prelude::*;
 use tcom_client::{Client, Response};
 use tcom_query::{run_statement, StatementOutput};
@@ -33,7 +34,7 @@ use tcom_query::{run_statement, StatementOutput};
 /// Where statements execute: an embedded database, a server, or both (the
 /// connection takes precedence while it exists).
 struct Shell {
-    db: Option<Database>,
+    db: Option<Arc<Database>>,
     remote: Option<Client>,
 }
 
@@ -47,6 +48,7 @@ fn main() {
     if path.is_none() && connect.is_none() {
         eprintln!(
             "usage: tcom-shell <db-dir> [--store chain|delta|split]\n\
+             \u{20}      tcom-shell <db-dir> --compact [min-closed]\n\
              \u{20}      tcom-shell --connect host:port"
         );
         std::process::exit(2);
@@ -63,6 +65,14 @@ fn main() {
             }
         });
     }
+    if let Some(i) = args.iter().position(|a| a == "--compact") {
+        config = config.compaction(true);
+        // Optional threshold: how many closed versions a type accumulates
+        // before the compactor tiers them into a segment.
+        if let Some(n) = args.get(i + 1).and_then(|a| a.parse::<u64>().ok()) {
+            config = config.compact_min_closed(n);
+        }
+    }
     let db = path.as_deref().map(|p| match Database::open(p, config) {
         Ok(db) => {
             println!(
@@ -71,13 +81,16 @@ fn main() {
                 db.config().store_kind,
                 db.now()
             );
-            db
+            Arc::new(db)
         }
         Err(e) => {
             eprintln!("cannot open {p}: {e}");
             std::process::exit(1);
         }
     });
+    // Inert handle unless `--compact` turned the knob on; held for the
+    // whole session so drop joins the thread before the database closes.
+    let _compactor = db.as_ref().map(|db| Compactor::spawn(db.clone()));
     let remote = connect.as_deref().map(|addr| match Client::connect(addr) {
         Ok(c) => {
             println!("connected to {} ({})", addr, c.server_info());
@@ -142,10 +155,23 @@ fn run_shell_statement(shell: &mut Shell, stmt: &str) {
         return;
     }
     match &shell.db {
-        Some(db) => match run_statement(db, stmt) {
-            Ok(out) => print_output(out),
-            Err(e) => eprintln!("error: {e}"),
-        },
+        Some(db) => {
+            // A wait-die victim has applied nothing (the background
+            // compactor's swap briefly owns every commit stripe), so the
+            // statement is safe to replay; give maintenance a moment to
+            // finish rather than surfacing a spurious error.
+            let mut attempts = 0u32;
+            loop {
+                match run_statement(db, stmt) {
+                    Ok(out) => break print_output(out),
+                    Err(e) if tcom_core::is_wait_die_abort(&e) && attempts < 400 => {
+                        attempts += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(e) => break eprintln!("error: {e}"),
+                }
+            }
+        }
         None => eprintln!("not connected and no local database — use .connect host:port"),
     }
 }

@@ -55,7 +55,7 @@ pub use tcom_kernel::{Error, Result};
 /// Everything an application typically needs.
 pub mod prelude {
     pub use tcom_catalog::{AttrDef, MoleculeEdge};
-    pub use tcom_core::{Database, DbConfig, MatAtom, Molecule, StoreKind, Txn};
+    pub use tcom_core::{Compactor, Database, DbConfig, MatAtom, Molecule, StoreKind, Txn};
     pub use tcom_kernel::time::{iv, iv_from};
     pub use tcom_kernel::{
         AtomId, AtomTypeId, AttrId, DataType, Interval, MoleculeTypeId, Result, TemporalElement,
